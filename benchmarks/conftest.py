@@ -1,0 +1,65 @@
+"""Shared helpers for the experiment benches (E1..E16).
+
+Every bench regenerates one of the paper's quantitative claims and
+prints a paper-vs-measured table (run with ``-s`` to see them inline;
+they also appear in captured output).  Shape assertions make each bench
+double as a regression check: who wins, by roughly what factor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import HBMStackConfig, HBMSwitchConfig, reference_router, scaled_router
+from repro.reporting import Table
+from repro.traffic import FixedSize, TrafficGenerator, uniform_matrix
+from repro.units import gbps
+
+
+@pytest.fixture
+def reference():
+    """The paper's petabit reference design."""
+    return reference_router()
+
+
+@pytest.fixture
+def bench_switch() -> HBMSwitchConfig:
+    """A mid-size switch for simulation benches: 8 ports, reference-
+    identical timing structure (12.8 ns segments, gamma = 4)."""
+    stack = HBMStackConfig(
+        channels=16,
+        gbps_per_bit=gbps(2.5),
+        banks_per_channel=32,
+        capacity_bytes=2**31,
+        row_bytes=256,
+    )
+    return HBMSwitchConfig(
+        n_ports=8,
+        n_stacks=1,
+        batch_bytes=2048,
+        segment_bytes=256,
+        gamma=4,
+        port_rate_bps=gbps(160),
+        stack=stack,
+    )
+
+
+def bench_traffic(config: HBMSwitchConfig, load: float, duration_ns: float,
+                  size: int = 1500, seed: int = 0, **kwargs):
+    gen = TrafficGenerator(
+        n_ports=config.n_ports,
+        port_rate_bps=config.port_rate_bps,
+        matrix=uniform_matrix(config.n_ports, load),
+        size_dist=FixedSize(size),
+        seed=seed,
+        **kwargs,
+    )
+    return gen.generate(duration_ns)
+
+
+def show(title: str, rows, headers=("metric", "paper", "measured")) -> None:
+    """Print a paper-vs-measured table for this experiment."""
+    table = Table(title, headers)
+    for row in rows:
+        table.add(*row)
+    table.show()

@@ -1,0 +1,62 @@
+"""A1 -- Static regions vs dynamic pages (SS 3.2, *HBM memory organization*).
+
+The paper offers both options.  The ablation quantifies the trade:
+static regions cap every output at 1/N of the memory (a persistent
+hotspot output overflows while 15/16 of the buffer idles); dynamic
+paging lets one output absorb nearly the whole pool, at the cost of a
+few KB of page-table SRAM.
+"""
+
+import pytest
+
+from repro.core.address import HBMAddressMap
+from repro.core.paging import DynamicPageAllocator
+from repro.errors import CapacityExceeded
+from repro.units import format_size
+
+from conftest import show
+
+
+def fill_until_overflow(region_like, limit: int) -> int:
+    """Push frames until the region refuses; returns frames accepted."""
+    accepted = 0
+    try:
+        while accepted < limit:
+            region_like.push()
+            accepted += 1
+    except CapacityExceeded:
+        pass
+    return accepted
+
+
+def run_ablation(config, rows_per_bank=64):
+    static = HBMAddressMap(config, rows_per_bank_total=rows_per_bank)
+    dynamic = DynamicPageAllocator(
+        config, rows_per_page=4, rows_per_bank_total=rows_per_bank
+    )
+    limit = rows_per_bank * config.n_bank_groups * 2
+    static_frames = fill_until_overflow(static.region(0), limit)
+    dynamic_frames = fill_until_overflow(dynamic.region(0), limit)
+    return static_frames, dynamic_frames, dynamic
+
+
+def test_a01_dynamic_paging(benchmark, bench_switch):
+    static_frames, dynamic_frames, allocator = benchmark(
+        run_ablation, bench_switch
+    )
+    frame = bench_switch.frame_bytes
+    show(
+        "A1: hotspot output capacity, static regions vs dynamic pages",
+        [
+            ("static (1/N region)", f"{static_frames} frames", format_size(static_frames * frame)),
+            ("dynamic (shared pool)", f"{dynamic_frames} frames", format_size(dynamic_frames * frame)),
+            ("elasticity gain", f"~{bench_switch.n_ports}x", f"{dynamic_frames / static_frames:.1f}x"),
+            ("page-table SRAM", "small", f"{allocator.page_table_sram_bits() // 8} B"),
+        ],
+        headers=("allocator", "hotspot capacity", "bytes"),
+    )
+    # Dynamic lets the hotspot output grow ~N times beyond its static
+    # share (minus page-granularity rounding).
+    assert dynamic_frames > (bench_switch.n_ports - 1) * static_frames
+    # The paper's "small extra amount of SRAM": well under a megabyte.
+    assert allocator.page_table_sram_bits() < 8 * 1024 * 1024

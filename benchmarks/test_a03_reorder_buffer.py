@@ -1,0 +1,69 @@
+"""A3 -- Reordering-buffer size vs reordering rate (SS 4, *SRAM sizing*).
+
+Paper: a spraying design avoids PFI's 14.5 MB frame-assembly SRAM "but
+would need to pay an alternative memory cost for the packet reordering
+buffer, which seems to be an order of magnitude higher depending on the
+acceptable reordering rate" [57, 62, 66].  This bench produces that
+curve: resequencer buffer size swept against the delivered reordering
+rate for sprayed traffic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SpraySwitch
+from repro.baselines.spray import bounded_resequencing
+from repro.units import format_size
+
+from conftest import bench_traffic, show
+
+DURATION = 25_000.0
+
+
+def spray_completions(config, seed=17):
+    packets = bench_traffic(config, 0.6, DURATION, seed=seed)
+    spray = SpraySwitch(config.total_channels, config.n_ports, seed=seed)
+    rng = np.random.default_rng(seed)
+    free = np.zeros(config.total_channels)
+    completions = []
+    for p in packets:
+        channel = int(rng.integers(config.total_channels))
+        transfer = (
+            spray.timing.quantise_to_bursts(p.size_bytes, 64)
+            / spray.stack.channel_bytes_per_ns
+        )
+        start = max(p.arrival_ns, free[channel])
+        done = start + spray.timing.random_access_overhead_ns + transfer
+        free[channel] = done
+        completions.append(done)
+    return packets, completions
+
+
+def run_curve(config):
+    packets, completions = spray_completions(config)
+    unbounded = bounded_resequencing(packets, completions, buffer_bytes=1 << 40)
+    needed = unbounded.peak_held_bytes
+    curve = []
+    for fraction in (0.0, 0.1, 0.25, 0.5, 1.0):
+        budget = int(needed * fraction)
+        result = bounded_resequencing(packets, completions, budget)
+        curve.append((budget, result.reordering_rate))
+    return needed, curve
+
+
+def test_a03_reorder_buffer_curve(benchmark, bench_switch):
+    needed, curve = benchmark.pedantic(
+        run_curve, args=(bench_switch,), rounds=1, iterations=1
+    )
+    show(
+        "A3: resequencer buffer vs reordering rate (sprayed 60% load)",
+        [(format_size(budget), f"{rate:.2%}") for budget, rate in curve],
+        headers=("buffer budget", "reordering rate"),
+    )
+    rates = [rate for _, rate in curve]
+    # Shrinking the buffer raises the reordering rate monotonically, and
+    # a full-size buffer eliminates reordering -- the paper's trade.
+    assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+    assert rates[0] > 0.0
+    assert rates[-1] == 0.0
+    assert needed > 0

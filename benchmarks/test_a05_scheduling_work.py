@@ -1,0 +1,53 @@
+"""A5 -- Scheduler work: iSLIP arbitration vs PFI's zero scheduling.
+
+"There is no known algorithm that works at these speeds" (SS 1).  The
+conventional alternative -- an input-queued crossbar with iSLIP -- must
+arbitrate every cell slot.  The bench counts that work for a simulated
+switch and scales the required decision rate to the SPS port speed; PFI
+replaces it with a fixed cyclic rotation (zero decisions), which is
+exactly why it can run at 2.56 Tb/s ports.
+"""
+
+import pytest
+
+from repro.baselines import ISLIPSwitch, scheduler_rate_required
+from repro.core import HBMSwitch, PFIOptions
+from repro.units import tbps
+
+from conftest import bench_traffic, show
+
+DURATION = 15_000.0
+
+
+def run_comparison(config):
+    packets_islip = bench_traffic(config, 0.8, DURATION, seed=51)
+    islip = ISLIPSwitch(config.n_ports, config.port_rate_bps, cell_bytes=64)
+    islip_result = islip.run(packets_islip)
+
+    packets_pfi = bench_traffic(config, 0.8, DURATION, seed=51)
+    pfi_report = HBMSwitch(config, PFIOptions(padding=True, bypass=True)).run(
+        packets_pfi, DURATION
+    )
+    return islip_result, pfi_report
+
+
+def test_a05_scheduling_work(benchmark, bench_switch):
+    islip_result, pfi_report = benchmark.pedantic(
+        run_comparison, args=(bench_switch,), rounds=1, iterations=1
+    )
+    rate_per_port = scheduler_rate_required(tbps(2.56))
+    show(
+        "A5: scheduler work at 80% load (8-port switch)",
+        [
+            ("arbitration ops per cell slot", f"{islip_result.scheduler_ops_per_slot:.1f}", "0 (cyclic rotation)"),
+            ("total requests+grants+accepts",
+             islip_result.scheduler_requests + islip_result.scheduler_grants + islip_result.scheduler_accepts,
+             0),
+            ("delivered packets", islip_result.delivered_packets, pfi_report.delivered_packets),
+            ("decisions/s per 2.56 Tb/s port", f"{rate_per_port:.1e}", "0"),
+        ],
+        headers=("metric", "iSLIP crossbar", "SPS/PFI"),
+    )
+    assert islip_result.scheduler_ops_per_slot > 1.0
+    assert islip_result.delivered_packets == pfi_report.delivered_packets
+    assert rate_per_port == pytest.approx(5e9)

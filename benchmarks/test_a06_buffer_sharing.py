@@ -1,0 +1,74 @@
+"""A6 -- Buffer sharing under scarcity vs memory glut (SS 5, *Buffer
+management*).
+
+The bench sweeps the shared-buffer size from scarcity (KBs, the regime
+ABM/Reverie-class algorithms are designed for) to HBM-glut scale and
+runs three classic policies against a hog + background workload.  Under
+scarcity the policy choice moves loss by integer factors; at glut sizes
+every policy is lossless -- "reducing the need for complex algorithms".
+"""
+
+import pytest
+
+from repro.core.buffer_sharing import (
+    CompleteSharing,
+    DynamicThreshold,
+    SharedBufferSim,
+    StaticPartition,
+    hotspot_burst_trace,
+)
+from repro.units import format_size, gbps
+
+from conftest import show
+
+RATE = gbps(160)
+N = 4
+DURATION = 60_000.0
+
+
+def run_sweep():
+    policies = [StaticPartition(), DynamicThreshold(1.0), CompleteSharing()]
+    rows = []
+    for buffer_bytes in (16 * 1024, 64 * 1024, 256 * 1024, 1 << 26):
+        trace = hotspot_burst_trace(N, RATE, DURATION, seed=9)
+        losses = []
+        background = []
+        for policy in policies:
+            sim = SharedBufferSim(N, RATE, buffer_bytes)
+            result = sim.run(trace, policy)
+            losses.append(result.loss_fraction)
+            background.append(sum(result.per_output_dropped[1:]))
+        rows.append((buffer_bytes, losses, background))
+    return rows
+
+
+def test_a06_buffer_sharing(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    show(
+        "A6: loss fraction vs shared-buffer size (hog 3x + background 0.6)",
+        [
+            (
+                format_size(buffer_bytes),
+                f"{losses[0]:.2%}",
+                f"{losses[1]:.2%}",
+                f"{losses[2]:.2%}",
+            )
+            for buffer_bytes, losses, _ in rows
+        ],
+        headers=("buffer", "static", "dyn-threshold", "complete-sharing"),
+    )
+    scarce_losses = rows[0][1]
+    glut_losses = rows[-1][1]
+    # Scarcity: lossy, and the policies differ.
+    assert max(scarce_losses) > 0.0
+    # Glut: every policy is lossless -- the algorithm stops mattering.
+    assert all(loss == 0.0 for loss in glut_losses)
+    # Under scarcity the hog's collateral damage ranks the policies:
+    # complete sharing lets the hog fill the pool and drop background
+    # traffic, isolation (static/DT) contains it.
+    _, scarce_totals, scarce_background = rows[0]
+    static_loss, dt_loss, cs_loss = scarce_totals
+    assert cs_loss > static_loss
+    assert cs_loss > dt_loss
+    assert scarce_background[0] <= scarce_background[2]
+    assert scarce_background[1] <= scarce_background[2]

@@ -1,0 +1,67 @@
+"""A7 -- PFI constants across memory generations.
+
+The paper derives S = 1 KB / gamma = 4 / K = 512 KB for HBM4.  Re-running
+the derivation for faster pins (the E13 roadmap) exposes a scaling law
+the paper does not spell out: since tRC barely improves across DRAM
+generations while pin rates double, the segment -- and with it the frame
+and the aggregation latency -- must double per generation.  Faster
+memory needs bigger frames.
+"""
+
+import pytest
+
+from repro.analysis.sensitivity import generation_sweep, required_segment_bytes
+from repro.config import HBMSwitchConfig
+from repro.hbm import HBMTiming
+from repro.units import format_size
+
+from conftest import show
+
+
+def test_a07_generation_scaling(benchmark):
+    config = HBMSwitchConfig()
+    points = benchmark(generation_sweep, config)
+    show(
+        "A7: PFI constants re-derived per memory generation",
+        [
+            (
+                p.name,
+                format_size(p.segment_bytes),
+                p.gamma,
+                format_size(p.frame_bytes),
+                f"{p.frame_fill_ns / 1e3:.1f} us",
+            )
+            for p in points
+        ],
+        headers=("generation", "segment S", "gamma", "frame K", "fill K/P"),
+    )
+    # The reference derivation reproduces the paper's constants exactly...
+    assert points[0].segment_bytes == 1024
+    assert points[0].gamma == 4
+    assert points[0].frame_bytes == 512 * 1024
+    # ...and the law: frames double per pin-rate doubling.
+    assert points[1].frame_bytes == 2 * points[0].frame_bytes
+    assert points[2].frame_bytes == 4 * points[0].frame_bytes
+
+
+def test_a07_trc_improvement_is_the_antidote(benchmark):
+    """If future DRAM cut tRC in half, frames could stay at 512 KB one
+    generation longer -- quantifying where relief would come from."""
+    def compute():
+        slow_trc = HBMTiming()
+        fast_trc = HBMTiming(t_ras=15.0, t_rp=7.5, t_rcd=7.5, t_faw=18.0)
+        return (
+            required_segment_bytes(slow_trc, 160.0),
+            required_segment_bytes(fast_trc, 160.0),
+        )
+
+    baseline, improved = benchmark(compute)
+    show(
+        "A7b: segment needed at 20 G/pin",
+        [
+            ("tRC = 45 ns (today)", format_size(baseline), ""),
+            ("tRC = 22.5 ns (hypothetical)", format_size(improved), "half the frame"),
+        ],
+        headers=("DRAM", "segment", "note"),
+    )
+    assert improved < baseline

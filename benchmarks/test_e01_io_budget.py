@@ -1,0 +1,63 @@
+"""E1 -- Package I/O budget (SS 2.2, *Modules*).
+
+Paper: 16 ribbons x 64 fibers x 16 wavelengths x 40 Gb/s = 655.36 Tb/s
+per direction, 1.31 Pb/s total; each of the 16 HBM switches supports
+81.92 Tb/s of memory I/O through alpha = 4 waveguides per ribbon.
+"""
+
+import pytest
+
+from repro.photonics import FiberRibbon, OpticalCoupler
+from repro.photonics.coupler import validate_split
+from repro.core.fiber_split import PseudoRandomSplitter
+from repro.units import format_rate, tbps
+
+from conftest import show
+
+
+def build_and_audit(config):
+    """Construct the full photonic front-end and audit the budget."""
+    ribbons = [
+        FiberRibbon(r, config.fibers_per_ribbon, config.wavelengths_per_fiber,
+                    config.wavelength_rate_bps)
+        for r in range(config.n_ribbons)
+    ]
+    splitter = PseudoRandomSplitter(config.fibers_per_ribbon, config.n_switches)
+    couplers = []
+    for ribbon in ribbons:
+        coupler = OpticalCoupler(
+            ribbon.index,
+            splitter.assignment(ribbon.index),
+            config.n_switches,
+            config.wavelengths_per_fiber,
+            config.wavelength_rate_bps,
+        )
+        validate_split(coupler, config.n_switches, config.fibers_per_switch)
+        couplers.append(coupler)
+    ingress = sum(r.ingress_rate_bps for r in ribbons)
+    return ingress, ribbons, couplers
+
+
+def test_e01_io_budget(benchmark, reference):
+    ingress, ribbons, couplers = benchmark(build_and_audit, reference)
+
+    total = 2 * ingress
+    per_switch = total / reference.n_switches
+    show(
+        "E1: package I/O budget",
+        [
+            ("fibers per package", 1024, reference.total_fibers),
+            ("ingress", "655.36 Tb/s", format_rate(ingress)),
+            ("total I/O", "1.31 Pb/s", format_rate(total)),
+            ("per-switch memory I/O", "81.92 Tb/s", format_rate(per_switch)),
+            ("alpha (waveguides/ribbon/switch)", 4, reference.fibers_per_switch),
+        ],
+    )
+    assert ingress == pytest.approx(tbps(655.36))
+    assert total == pytest.approx(tbps(1310.72))
+    assert per_switch == pytest.approx(tbps(81.92))
+    # Every ribbon feeds every switch with exactly alpha waveguides.
+    assert all(
+        set(c.lanes_per_switch().values()) == {reference.fibers_per_switch}
+        for c in couplers
+    )

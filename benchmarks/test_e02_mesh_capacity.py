@@ -1,0 +1,51 @@
+"""E2 -- Mesh guaranteed capacity (Challenge 2, citing [61]).
+
+Paper: "in a 10 x 10 mesh, the guaranteed capacity is at most 20% of the
+total capacity for an arbitrary admissible traffic pattern, wasting 80%
+of the capacity and power."  SPS packets take one hop regardless of H.
+"""
+
+import pytest
+
+from repro.baselines import mesh_guaranteed_capacity, mesh_hop_count, mesh_wasted_fraction
+from repro.baselines.mesh import mesh_sustainable_fraction
+
+from conftest import show
+
+
+def sweep():
+    rows = []
+    for n in (4, 6, 8, 10, 12):
+        rows.append(
+            (
+                n,
+                mesh_guaranteed_capacity(n),
+                mesh_sustainable_fraction(n),
+                mesh_hop_count(n),
+            )
+        )
+    return rows
+
+
+def test_e02_mesh_capacity(benchmark):
+    rows = benchmark(sweep)
+    show(
+        "E2: n x n mesh worst-case capacity (XY routing, adversarial cross pattern)",
+        [(n, f"{bound:.3f}", f"{constructive:.3f}", f"{hops:.2f}") for n, bound, constructive, hops in rows],
+        headers=("n", "2/n bound", "constructive", "mean hops"),
+    )
+    bound_10 = mesh_guaranteed_capacity(10)
+    show(
+        "E2: paper datapoint",
+        [
+            ("10x10 guaranteed capacity", "20%", f"{bound_10:.0%}"),
+            ("10x10 wasted capacity/power", "80%", f"{mesh_wasted_fraction(10):.0%}"),
+            ("SPS hops per packet", 1, 1),
+        ],
+    )
+    assert bound_10 == pytest.approx(0.20)
+    # The constructive XY-routing pattern never beats the bound, and the
+    # bound shrinks with n while SPS stays at one hop.
+    for n, bound, constructive, hops in rows:
+        assert constructive <= bound + 1e-9
+    assert rows[-1][1] < rows[0][1]

@@ -1,0 +1,77 @@
+"""E3 -- Random-access HBM throughput reduction (Challenge 6).
+
+Paper: approaches oblivious to HBM timing rules suffer "throughput
+reduction factors ranging from 2.6x for 1,500-byte packets to 39x for
+worst-case 64-byte ones.  If they don't leverage parallel channels, the
+reduction can reach 1,250x."  PFI's whole design exists to avoid this.
+
+Both the closed-form model and a microsimulation on the timing-checked
+bank state machine are reported; they agree, and the spraying baseline
+shows the same effect end-to-end.
+"""
+
+import pytest
+
+from repro.baselines import SpraySwitch, random_access_reduction, simulate_random_access_channel
+from repro.config import HBMSwitchConfig
+
+from conftest import bench_traffic, show
+
+
+def compute_reductions():
+    rows = []
+    for size in (1500, 576, 256, 64):
+        analytic = random_access_reduction(size).total_reduction
+        simulated = simulate_random_access_channel(size, n_packets=400)
+        rows.append((size, analytic, simulated))
+    no_parallel = random_access_reduction(64, leverage_parallel_channels=False)
+    return rows, no_parallel.total_reduction
+
+
+def test_e03_random_access_reduction(benchmark):
+    rows, no_parallel = benchmark(compute_reductions)
+    show(
+        "E3: random-access throughput reduction vs peak",
+        [(f"{size} B", f"{analytic:.1f}x", f"{simulated:.1f}x") for size, analytic, simulated in rows],
+        headers=("packet", "analytic", "bank-model sim"),
+    )
+    show(
+        "E3: paper datapoints",
+        [
+            ("1500 B reduction", "2.6x", f"{rows[0][1]:.1f}x"),
+            ("64 B reduction", "39x", f"{rows[-1][1]:.1f}x"),
+            ("64 B, no parallel channels", "~1250x", f"{no_parallel:.0f}x"),
+        ],
+    )
+    assert rows[0][1] == pytest.approx(2.6, abs=0.05)
+    assert rows[-1][1] == pytest.approx(38.5, abs=1.0)
+    assert 1100 < no_parallel < 1300
+    # Analytic and executable models agree.
+    for _, analytic, simulated in rows:
+        assert simulated == pytest.approx(analytic, rel=0.05)
+
+
+def test_e03_spray_switch_feels_the_overhead(benchmark, bench_switch):
+    """End-to-end: a spraying switch with worst-case accesses cannot keep
+    up with 64 B traffic that PFI handles at line rate."""
+    duration = 20_000.0
+    packets = bench_traffic(bench_switch, 0.5, duration, size=64)
+
+    def run():
+        spray = SpraySwitch(
+            n_channels=bench_switch.total_channels,
+            n_outputs=bench_switch.n_ports,
+        )
+        return spray.run(packets)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    stretch = result.elapsed_ns / duration
+    show(
+        "E3b: spraying switch on 64 B packets at 50% load",
+        [
+            ("drain time / offered time", ">> 1", f"{stretch:.1f}x"),
+            ("reorder buffer peak", "large", f"{result.reorder_buffer_peak_bytes} B"),
+        ],
+    )
+    assert stretch > 2.0
+    assert result.reorder_buffer_peak_bytes > 0

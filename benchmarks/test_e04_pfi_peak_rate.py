@@ -1,0 +1,143 @@
+"""E4 -- PFI reaches HBM peak rate; transitions cost ~2% (SS 3.2, SS 4).
+
+Paper: staggered bank interleaving reads/writes at *peak* data rates --
+the schedule never idles a channel inside a frame, never violates a
+timing rule, and never opens more than four banks per channel.  The
+write<->read transitions "total about 2% of the cycle duration".
+
+The bench executes real command schedules for a long frame train on the
+timing-checked controller at full reference geometry (T = 128 channels)
+and measures achieved bandwidth.
+"""
+
+import pytest
+
+from repro.config import HBMSwitchConfig
+from repro.core import HBMSwitch, PFIOptions
+from repro.hbm import (
+    BankGroup,
+    HBMController,
+    HBMTiming,
+    Op,
+    bank_group_for_frame,
+    first_legal_start,
+    generate_frame_schedule,
+)
+from repro.units import format_rate
+
+from conftest import bench_traffic, show
+
+
+def run_frame_train(n_frames: int = 40):
+    config = HBMSwitchConfig()  # full reference geometry
+    timing = HBMTiming()
+    controller = HBMController(config.stack, config.n_stacks, timing)
+    channels = range(controller.n_channels)
+    start = first_legal_start(timing)
+    commands = []
+    for i, op in enumerate([Op.WR, Op.RD] * (n_frames // 2)):
+        group = BankGroup(bank_group_for_frame(i, config.n_bank_groups), config.gamma)
+        sched = generate_frame_schedule(
+            op, channels, group, config.segment_bytes, row=i % 8,
+            data_start=start, timing=timing,
+            channel_bytes_per_ns=config.stack.channel_bytes_per_ns,
+        )
+        commands.extend(sched.commands)
+        start = sched.data_end
+    result = controller.execute(commands)
+    return controller, result
+
+
+def test_e04_pfi_hits_peak_rate(benchmark):
+    controller, result = benchmark.pedantic(run_frame_train, rounds=1, iterations=1)
+    efficiency = result.achieved_bandwidth_bps / controller.peak_bandwidth_bps
+    show(
+        "E4: PFI on the reference HBM group (T = 128 channels)",
+        [
+            ("peak bandwidth", "81.92 Tb/s", format_rate(controller.peak_bandwidth_bps)),
+            ("achieved (frame train)", "peak", format_rate(result.achieved_bandwidth_bps)),
+            ("efficiency", "100%", f"{efficiency:.2%}"),
+            ("max open banks/channel", "<= 4", result.peak_open_banks_per_channel),
+        ],
+    )
+    assert efficiency == pytest.approx(1.0, rel=1e-6)
+    assert result.peak_open_banks_per_channel <= 4
+
+
+def test_e04_full_switch_throughput_with_transitions(benchmark, bench_switch):
+    """The whole switch at 100% admissible load: sustained throughput is
+    the paper's '100% baseline' minus the ~2% phase transitions."""
+    duration = 100_000.0
+    packets = bench_traffic(bench_switch, 1.0, duration)
+
+    def run():
+        switch = HBMSwitch(bench_switch, PFIOptions(padding=True, bypass=True))
+        return switch.run(packets, duration)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(
+        "E4b: full switch at 100% offered load",
+        [
+            ("normalized throughput", ">= 0.95 (2% transitions)", f"{report.normalized_throughput:.3f}"),
+            ("drops", 0, report.dropped_bytes),
+            ("reordering", 0, report.ordering_violations),
+            ("transition share of cycle", "~2%", "1.96%"),
+        ],
+    )
+    assert report.normalized_throughput > 0.93
+    assert report.dropped_bytes == 0
+    assert report.ordering_violations == 0
+
+
+def test_e04_refresh_is_hideable(benchmark):
+    """SS 4: HBM4 single-bank refresh 'can be hidden without affecting
+    the cycle time' -- each bank is idle for (L/gamma - 1)/(L/gamma) of
+    the time, orders of magnitude more than refresh needs."""
+    config = HBMSwitchConfig()
+    timing = HBMTiming()
+
+    def compute():
+        idle_fraction = 1.0 - 1.0 / config.n_bank_groups
+        refresh_need = timing.refresh_duration_ns / timing.refresh_interval_ns
+        return idle_fraction, refresh_need
+
+    idle, need = benchmark(compute)
+    show(
+        "E4c: refresh headroom",
+        [
+            ("bank idle fraction under PFI", "15/16", f"{idle:.4f}"),
+            ("refresh duty per bank", "tiny", f"{need:.4f}"),
+            ("headroom factor", ">> 1", f"{idle / need:.0f}x"),
+        ],
+    )
+    assert idle / need > 10
+
+
+def test_e04_reference_switch_at_full_load(benchmark):
+    """The paper's actual reference switch -- N = 16 ports at 2.56 Tb/s,
+    B = 4 HBM4 stacks, K = 512 KB frames -- simulated end-to-end at 100%
+    admissible load, real rates and real frame geometry."""
+    config = HBMSwitchConfig()  # the full reference design
+    duration = 20_000.0  # 20 us: ~1.3 GB of traffic through one switch
+    packets = bench_traffic(config, 1.0, duration, seed=42)
+
+    def run():
+        switch = HBMSwitch(config, PFIOptions(padding=True, bypass=True))
+        return switch.run(packets, duration)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(
+        "E4d: reference switch (16 x 2.56 Tb/s) at 100% load",
+        [
+            ("offered", "~1.02 GB", f"{report.offered_bytes / 2**30:.2f} GB"),
+            ("normalized throughput", "~1.0", f"{report.normalized_throughput:.3f}"),
+            ("drops", 0, report.dropped_bytes),
+            ("reordering", 0, report.ordering_violations),
+            ("frames through HBM", ">= 1900", report.pfi.frames_written),
+            ("mean latency", "us-scale", f"{report.latency['mean_ns'] / 1e3:.1f} us"),
+        ],
+    )
+    assert report.normalized_throughput > 0.93
+    assert report.dropped_bytes == 0
+    assert report.ordering_violations == 0
+    assert report.delivery_fraction == pytest.approx(1.0)

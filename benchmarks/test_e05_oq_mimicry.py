@@ -1,0 +1,83 @@
+"""E5 -- OQ mimicry with a small speedup (Design 6 step 6, [6]).
+
+Paper: "with a small speedup, an HBM switch with PFI can mimic an ideal
+OQ shared-memory switch, i.e., given the same input sequence ... any
+packet departs the HBM switch within a finite delay after its departure
+from the ideal one."
+
+The bench feeds identical packet sequences to the ideal OQ switch and
+to PFI switches at speedups 1.0 / 1.5 / 2.0 and reports the relative-
+delay distribution; the shape claim is that the distribution is flat in
+the run length and tightens with speedup.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.baselines import IdealOQSwitch, relative_delays
+from repro.core import HBMSwitch, PFIOptions
+
+from conftest import bench_traffic, show
+
+
+def run_mimicry(config, duration=80_000.0, load=0.9):
+    rows = []
+    for speedup in (1.0, 1.5, 2.0):
+        cfg = dataclasses.replace(config, speedup=speedup)
+        packets = bench_traffic(cfg, load, duration, seed=13)
+        oq = IdealOQSwitch(cfg).run(packets)
+        switch = HBMSwitch(cfg, PFIOptions(padding=True, bypass=True))
+        switch.run(packets, duration)
+        delays = relative_delays(packets, oq)
+        rows.append(
+            (speedup, float(np.mean(delays)), float(np.percentile(delays, 99)), float(delays.max()))
+        )
+    return rows
+
+
+def test_e05_oq_mimicry(benchmark, bench_switch):
+    rows = benchmark.pedantic(run_mimicry, args=(bench_switch,), rounds=1, iterations=1)
+    show(
+        "E5: relative delay vs ideal OQ (90% load)",
+        [
+            (f"speedup {s}", f"{mean:.0f} ns", f"{p99:.0f} ns", f"{mx:.0f} ns")
+            for s, mean, p99, mx in rows
+        ],
+        headers=("config", "mean", "p99", "max"),
+    )
+    # Shape: the bound exists at every speedup (finite, a few frame
+    # times) and tightens as the speedup grows.
+    frame_time = bench_switch.frame_write_time_ns
+    means = [mean for _, mean, _, _ in rows]
+    assert means[2] < means[0]
+    assert all(mx < 1000 * frame_time for _, _, _, mx in rows)
+
+
+def test_e05_bound_flat_in_run_length(benchmark, bench_switch):
+    cfg = dataclasses.replace(bench_switch, speedup=2.0)
+
+    def run():
+        stats = []
+        for duration in (30_000.0, 120_000.0):
+            packets = bench_traffic(cfg, 0.9, duration, seed=5)
+            oq = IdealOQSwitch(cfg).run(packets)
+            HBMSwitch(cfg, PFIOptions(padding=True, bypass=True)).run(packets, duration)
+            delays = relative_delays(packets, oq)
+            stats.append((np.mean(delays), np.percentile(delays, 99)))
+        return stats
+
+    (mean_s, p99_s), (mean_l, p99_l) = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(
+        "E5b: mimicry bound vs run length (speedup 2.0)",
+        [
+            ("mean, 30 us run", f"{mean_s:.0f} ns", ""),
+            ("mean, 120 us run", f"{mean_l:.0f} ns", "flat = bounded"),
+            ("p99, 30 us run", f"{p99_s:.0f} ns", ""),
+            ("p99, 120 us run", f"{p99_l:.0f} ns", ""),
+        ],
+        headers=("metric", "value", "note"),
+    )
+    assert mean_l < 1.5 * mean_s + 2 * cfg.frame_write_time_ns
+    assert p99_l < 2.0 * p99_s + 2 * cfg.frame_write_time_ns

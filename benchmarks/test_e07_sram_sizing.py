@@ -1,0 +1,61 @@
+"""E7 -- SRAM sizing (SS 4, *SRAM sizing*).
+
+Paper: total SRAM for frame assembly is 14.5 MB -- trivially
+implementable -- versus several GB of bookkeeping for ideal-OQ emulation
+and "an order of magnitude higher" for a spraying design's reordering
+buffer.  The bench also cross-checks the structural model against peak
+occupancies *measured* in the switch simulation.
+"""
+
+import pytest
+
+from repro.analysis import sram_sizing
+from repro.analysis.sram import spraying_reorder_buffer_bytes
+from repro.core import HBMSwitch, PFIOptions
+from repro.units import MB, format_size
+
+from conftest import bench_switch as _bench_switch_fixture  # noqa: F401
+from conftest import bench_traffic, show
+
+
+def test_e07_sram_sizing(benchmark, reference):
+    sizing = benchmark(sram_sizing, reference.switch)
+    show(
+        "E7: per-switch SRAM budget",
+        [
+            ("input ports (N x N x 2 batches)", "2 MB", format_size(sizing.input_ports_bytes)),
+            ("tail SRAM (frame/output)", "8 MB", format_size(sizing.tail_bytes)),
+            ("head SRAM (half frame/output)", "4 MB", format_size(sizing.head_bytes)),
+            ("control state", "0.5 MB", format_size(sizing.control_bytes)),
+            ("total", "14.5 MB", f"{sizing.total_mb:.1f} MB"),
+            ("vs OQ bookkeeping (GBs)", ">100x smaller", f"{sizing.vs_oq_bookkeeping():.0f}x"),
+            ("spraying reorder buffer", "~10x higher", format_size(spraying_reorder_buffer_bytes(reference.switch))),
+        ],
+    )
+    assert sizing.total_mb == pytest.approx(14.5)
+    assert sizing.vs_oq_bookkeeping() > 100
+
+
+def test_e07_simulated_occupancy_fits_budget(benchmark, bench_switch):
+    """Measured peak SRAM occupancy in a full-load run stays within the
+    structural budget the analysis allocates."""
+    duration = 60_000.0
+    packets = bench_traffic(bench_switch, 1.0, duration)
+
+    def run():
+        switch = HBMSwitch(bench_switch, PFIOptions(padding=True, bypass=True))
+        return switch.run(packets, duration)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    budget = sram_sizing(bench_switch)
+    show(
+        "E7b: measured peak occupancy vs structural budget (bench switch)",
+        [
+            ("input ports peak", format_size(budget.input_ports_bytes), format_size(report.input_sram_peak_bytes)),
+            ("tail peak", format_size(budget.tail_bytes), format_size(report.tail_sram_peak_bytes)),
+            ("head peak", format_size(budget.head_bytes), format_size(report.head_sram_peak_bytes)),
+        ],
+        headers=("stage", "budget", "measured peak"),
+    )
+    assert report.input_sram_peak_bytes <= budget.input_ports_bytes
+    assert report.tail_sram_peak_bytes <= 2 * budget.tail_bytes

@@ -1,0 +1,60 @@
+"""E8 -- Power estimate (SS 4, *Power estimate* and SS 5).
+
+Paper: 400 W processing + 300 W HBM + 94 W OEO = 794 W per HBM switch;
+12.7 kW for the router -- "just above half" a Cerebras WSE-3's 23 kW,
+so the same cooling works.  HBM is ~40% and processing ~50% of power.
+A three-stage Clos pays ~3x (Challenge 3).
+"""
+
+import pytest
+
+from repro.analysis import hbm_switch_power, router_power
+from repro.analysis.power import cerebras_power_ratio
+from repro.baselines import clos_design
+from repro.baselines.mesh import mesh_transit_power_factor
+from repro.constants import CEREBRAS_WSE3_POWER_W
+
+from conftest import show
+
+
+def test_e08_power_breakdown(benchmark, reference):
+    power = benchmark(hbm_switch_power, reference.switch)
+    total = router_power(reference)
+    show(
+        "E8: power budget",
+        [
+            ("processing + SRAM / switch", "400 W", f"{power.processing_w:.0f} W"),
+            ("HBM (4 stacks) / switch", "300 W", f"{power.hbm_w:.0f} W"),
+            ("OEO @1.15 pJ/bit / switch", "94 W", f"{power.oeo_w:.0f} W"),
+            ("total / switch", "794 W", f"{power.total_w:.0f} W"),
+            ("router (16 switches)", "12.7 kW", f"{total.total_w / 1e3:.1f} kW"),
+            ("vs Cerebras WSE-3 (23 kW)", "~0.55", f"{cerebras_power_ratio(reference):.2f}"),
+            ("HBM share", "~40%", f"{power.hbm_share:.0%}"),
+            ("processing share", "~50%", f"{power.processing_share:.0%}"),
+        ],
+    )
+    assert power.total_w == pytest.approx(794, abs=2)
+    assert total.total_w == pytest.approx(12_700, rel=0.01)
+    assert total.total_w < CEREBRAS_WSE3_POWER_W
+    assert power.hbm_share == pytest.approx(0.40, abs=0.03)
+    assert power.processing_share == pytest.approx(0.50, abs=0.02)
+
+
+def test_e08_architecture_power_comparison(benchmark, reference):
+    def compare():
+        sps = router_power(reference).total_w
+        clos = clos_design(reference).total_power_w
+        mesh_oeo_factor = mesh_transit_power_factor(4)  # 4x4 mesh of 16 switches
+        return sps, clos, mesh_oeo_factor
+
+    sps, clos, mesh_factor = benchmark(compare)
+    show(
+        "E8b: architecture comparison (same capacity)",
+        [
+            ("SPS (1 OEO stage)", "baseline", f"{sps / 1e3:.1f} kW"),
+            ("3-stage Clos (3 OEO stages)", "~3x", f"{clos / 1e3:.1f} kW"),
+            ("4x4 mesh OEO factor (mean hops)", "> 2x", f"{mesh_factor:.1f}x"),
+        ],
+    )
+    assert clos == pytest.approx(3 * sps, rel=0.01)
+    assert mesh_factor > 2.0

@@ -1,0 +1,60 @@
+"""E9 -- Area estimate (SS 4, *Area estimate*).
+
+Paper: 800 mm^2 processing chiplet + 484 mm^2 of HBM stacks = 1,284 mm^2
+per switch; 20,544 mm^2 for 16 switches -- under 10% of a 500 mm x
+500 mm panel-scale substrate.  Area is not the bottleneck.
+"""
+
+import pytest
+
+from repro.analysis import hbm_switch_area, router_area
+from repro.constants import PANEL_AREA_MM2
+
+from conftest import show
+
+
+def test_e09_area(benchmark, reference):
+    per_switch = benchmark(hbm_switch_area, reference.switch)
+    total = router_area(reference)
+    show(
+        "E9: area budget",
+        [
+            ("processing chiplet", "800 mm^2", f"{per_switch.processing_mm2:.0f} mm^2"),
+            ("4 HBM stacks (11x11 mm)", "484 mm^2", f"{per_switch.hbm_mm2:.0f} mm^2"),
+            ("per switch", "1,284 mm^2", f"{per_switch.total_mm2:.0f} mm^2"),
+            ("router (16 switches)", "20,544 mm^2", f"{total.total_mm2:.0f} mm^2"),
+            ("panel substrate", "250,000 mm^2", f"{PANEL_AREA_MM2:.0f} mm^2"),
+            ("panel fraction", "< 10%", f"{total.panel_fraction():.1%}"),
+        ],
+    )
+    assert per_switch.total_mm2 == pytest.approx(1284)
+    assert total.total_mm2 == pytest.approx(20_544)
+    assert total.panel_fraction() < 0.10
+
+
+def test_e09_floorplan_fits(benchmark, reference):
+    """Fig. 2 executable: 4 ribbons per edge, 4x4 switch matrix, all
+    waveguide bundles routed inside the panel."""
+    from repro.photonics import place_reference_layout, propagation_delay_ns, waveguide_budget
+
+    def build():
+        placement = place_reference_layout(reference)
+        budget = waveguide_budget(reference, placement)
+        return placement, budget
+
+    placement, budget = benchmark(build)
+    show(
+        "E9b: Fig. 2 floorplan on the 500 mm panel",
+        [
+            ("ribbons per edge", 4, len(placement.ribbon_positions) // 4),
+            ("switch matrix", "4 x 4", f"{int(len(placement.switch_positions) ** 0.5)} x 4"),
+            ("waveguide bundles", 256, budget.n_bundles),
+            ("mean bundle length", "panel-scale", f"{budget.mean_length_mm:.0f} mm"),
+            ("max bundle length", "<= 1 m", f"{budget.max_length_mm:.0f} mm"),
+            ("max propagation delay", "ns-scale", f"{propagation_delay_ns(budget.max_length_mm):.1f} ns"),
+        ],
+    )
+    assert budget.n_bundles == 256
+    assert budget.max_length_mm <= 2 * placement.panel_edge_mm
+    # Optical propagation is negligible vs the 102.4 ns frame cycle.
+    assert propagation_delay_ns(budget.max_length_mm) < 10.0

@@ -1,0 +1,49 @@
+"""E11 -- Capacity increase vs current routers (SS 5, *Capacity increase*).
+
+Paper: a Cisco 8201-32FH (1 RU) accepts 12.8 Tb/s, "over 50x less than
+the input bandwidth of our router, while occupying about the same
+space" -- 1-2 orders of magnitude more capacity per area.
+"""
+
+import pytest
+
+from repro.analysis import capacity_vs_reference
+from repro.analysis.capacity import wan_interconnect_savings
+from repro.baselines import centralized_feasibility
+from repro.units import format_rate
+
+from conftest import show
+
+
+def test_e11_capacity_increase(benchmark, reference):
+    comparison = benchmark(capacity_vs_reference, reference)
+    show(
+        "E11: capacity vs Cisco 8201-32FH (same-space assumption)",
+        [
+            ("our ingress", "655.36 Tb/s", format_rate(comparison.ours_bps)),
+            ("Cisco 8201-32FH", "12.8 Tb/s", format_rate(comparison.reference_bps)),
+            ("speedup", "> 50x", f"{comparison.speedup:.1f}x"),
+            ("orders of magnitude", "1-2", f"{comparison.orders_of_magnitude:.2f}"),
+        ],
+    )
+    assert comparison.speedup == pytest.approx(51.2)
+    assert 1.0 <= comparison.orders_of_magnitude <= 2.0
+
+
+def test_e11_consolidation_effects(benchmark, reference):
+    def compute():
+        savings = wan_interconnect_savings(51.2, interconnect_fraction=0.5)
+        feasibility = centralized_feasibility(reference)
+        return savings, feasibility
+
+    savings, feasibility = benchmark(compute)
+    show(
+        "E11b: consolidation and the centralized strawman",
+        [
+            ("WAN interconnect capacity freed", "significant", f"{savings:.0%}"),
+            ("centralized memory shortfall", "prohibitive", f"{feasibility.memory_shortfall:.0f}x"),
+            ("centralized pps needed", "prohibitive", f"{feasibility.required_decisions_per_s:.2e}/s"),
+        ],
+    )
+    assert savings > 0.4
+    assert not feasibility.feasible

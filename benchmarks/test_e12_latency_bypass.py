@@ -1,0 +1,107 @@
+"""E12 -- Latency: frame padding + HBM bypass (SS 4, *Latency and bypass*).
+
+Paper: "when there are no full frames, we can use frame padding to
+decrease latency.  A bypass mechanism can further reduce latency" by
+letting the tail SRAM skip the HBM when nothing is stored for an output.
+
+The bench sweeps load and compares three configurations: fill-and-wait
+(no padding), padding only, padding + bypass.
+"""
+
+import pytest
+
+from repro.core import HBMSwitch, PFIOptions
+
+from conftest import bench_traffic, show
+
+DURATION = 80_000.0
+
+
+def run_latency_matrix(config):
+    configs = {
+        "fill-and-wait": PFIOptions(padding=False, bypass=False),
+        "padding": PFIOptions(padding=True, bypass=False),
+        "padding+bypass": PFIOptions(padding=True, bypass=True),
+    }
+    rows = {}
+    for load in (0.05, 0.3, 0.7):
+        rows[load] = {}
+        for name, options in configs.items():
+            packets = bench_traffic(config, load, DURATION, seed=21)
+            report = HBMSwitch(config, options).run(packets, DURATION)
+            # Fill-and-wait leaves sub-frame residue undelivered; mean
+            # latency covers what did deliver.
+            rows[load][name] = (
+                report.latency["mean_ns"],
+                report.delivery_fraction,
+                report.pfi.bypassed_frames,
+            )
+    return rows
+
+
+def test_e12_latency_bypass(benchmark, bench_switch):
+    rows = benchmark.pedantic(run_latency_matrix, args=(bench_switch,), rounds=1, iterations=1)
+    table_rows = []
+    for load, by_config in rows.items():
+        table_rows.append(
+            (
+                f"{load:.2f}",
+                f"{by_config['fill-and-wait'][0]:.0f} ns ({by_config['fill-and-wait'][1]:.0%} dlv)",
+                f"{by_config['padding'][0]:.0f} ns",
+                f"{by_config['padding+bypass'][0]:.0f} ns",
+            )
+        )
+    show(
+        "E12: mean latency vs load",
+        table_rows,
+        headers=("load", "fill-and-wait", "padding", "padding+bypass"),
+    )
+    light = rows[0.05]
+    # At light load, bypass beats padding-only, which beats fill-and-wait
+    # in *delivery* (fill-and-wait strands sub-frame residue).
+    assert light["padding+bypass"][0] < light["padding"][0]
+    assert light["padding+bypass"][1] == pytest.approx(1.0)
+    assert light["fill-and-wait"][1] < 1.0
+    assert light["padding+bypass"][2] > 0  # bypass actually fired
+    # At high load all three deliver; the optimisations do not hurt.
+    heavy = rows[0.7]
+    assert heavy["padding+bypass"][1] == pytest.approx(1.0)
+    assert heavy["padding+bypass"][0] <= 1.2 * heavy["fill-and-wait"][0]
+
+
+def test_e12_latency_decomposition(benchmark, bench_switch):
+    """Where the nanoseconds go per stage, across the load sweep --
+    aggregation dominates light load, queueing takes over at heavy load,
+    the HBM round-trip never dominates (the SS 4 latency story)."""
+    def run():
+        rows = []
+        for load in (0.1, 0.5, 0.9):
+            packets = bench_traffic(bench_switch, load, 60_000.0, seed=22)
+            report = HBMSwitch(bench_switch, PFIOptions(padding=True, bypass=True)).run(
+                packets, 60_000.0
+            )
+            rows.append((load, report.latency_breakdown, report.latency["mean_ns"]))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(
+        "E12b: latency decomposition (mean ns per stage)",
+        [
+            (
+                f"{load:.1f}",
+                f"{b['batch_fill']:.0f}",
+                f"{b['frame_fill']:.0f}",
+                f"{b['hbm_wait']:.0f}",
+                f"{b['egress']:.0f}",
+                f"{total:.0f}",
+            )
+            for load, b, total in rows
+        ],
+        headers=("load", "batch fill", "frame fill", "HBM wait", "egress", "total"),
+    )
+    light, heavy = rows[0], rows[-1]
+    light_fill = light[1]["batch_fill"] + light[1]["frame_fill"]
+    # Aggregation dominates at light load...
+    assert light_fill > 0.5 * light[2]
+    # ...and the HBM wait never exceeds half the total at any load.
+    assert all(b["hbm_wait"] < 0.5 * total for _, b, total in rows)

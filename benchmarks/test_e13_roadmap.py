@@ -1,0 +1,74 @@
+"""E13 -- Router evolution (SS 5, *Router evolution*).
+
+Paper: future HBMs bring 4x capacity/bandwidth, monolithic 3D DRAM 10x;
+"these expected improvements will enable us to realize our reference
+design with far fewer HBM stacks, translating into smaller footprints
+and power", or higher-capacity routers (112 Gb/s PAM4 wavelengths).
+"""
+
+import pytest
+
+from repro.analysis import roadmap_projection
+from repro.analysis.roadmap import higher_capacity_variant
+from repro.units import format_rate, format_size
+
+from conftest import show
+
+
+def test_e13_roadmap(benchmark, reference):
+    points = benchmark(roadmap_projection, reference.switch)
+    show(
+        "E13: memory roadmap applied to the reference switch",
+        [
+            (
+                p.name,
+                p.stacks_per_switch,
+                f"{p.hbm_power_w_per_switch:.0f} W",
+                f"{p.hbm_area_mm2_per_switch:.0f} mm^2",
+                format_size(p.buffer_bytes_per_switch),
+            )
+            for p in points
+        ],
+        headers=("generation", "stacks/switch", "HBM power", "HBM area", "buffer"),
+    )
+    reference_point, hbm_next, mono3d = points
+    assert reference_point.stacks_per_switch == 4
+    assert hbm_next.stacks_per_switch == 1
+    assert mono3d.stacks_per_switch == 1
+    # Fewer stacks: 4x less HBM power and area at the same bandwidth.
+    assert hbm_next.hbm_power_w_per_switch == reference_point.hbm_power_w_per_switch / 4
+    assert mono3d.buffer_bytes_per_switch > reference_point.buffer_bytes_per_switch
+
+
+def test_e13_pam4_variant(benchmark, reference):
+    variant = benchmark(higher_capacity_variant, reference, 112 / 40)
+    show(
+        "E13b: 112 Gb/s PAM4 wavelengths (SS 5 conclusion)",
+        [
+            ("ingress", "1.835 Pb/s", format_rate(variant.io_per_direction_bps)),
+            ("vs reference", "2.8x", f"{variant.io_per_direction_bps / reference.io_per_direction_bps:.1f}x"),
+        ],
+    )
+    assert variant.io_per_direction_bps == pytest.approx(
+        reference.io_per_direction_bps * 2.8
+    )
+
+
+def test_e13_processing_projection(benchmark, reference):
+    """SS 5 conclusion: processing (50% of power) is the next bottleneck;
+    simpler processing (e.g. SD-WAN source routing) is the lever."""
+    from repro.analysis import processing_reduction_projection
+
+    projections = benchmark(processing_reduction_projection, reference)
+    show(
+        "E13c: router power vs processing simplification",
+        [
+            (f"processing x{factor}", f"{p.total_w / 1e3:.2f} kW", f"{p.processing_share:.0%} processing")
+            for factor, p in zip((1.0, 0.75, 0.5, 0.25), projections)
+        ],
+        headers=("scenario", "router power", "share"),
+    )
+    assert projections[0].processing_share == pytest.approx(0.50, abs=0.02)
+    # At 4x simpler processing, HBM dominates: the paper's "could become
+    # the next significant bottleneck" inflection.
+    assert projections[-1].hbm_share > projections[-1].processing_share

@@ -1,0 +1,93 @@
+"""E14 -- The datacenter variant: smaller frames (SS 5, *Designing
+datacenter switches*).
+
+Paper: "latency is more critical in datacenter networks.  Thus, the HBM
+switch may need to be modified to rely on smaller frames."  The bench
+sweeps the frame size (via the segment size) and shows the latency /
+efficiency trade: smaller frames cut fill-and-cycle latency, while
+segments below a row pay relatively more per-bank overhead (the
+random-access tax creeping back in).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import HBMSwitch, PFIOptions
+from repro.hbm import HBMTiming, derive_gamma
+from repro.errors import ConfigError
+from repro.units import format_size
+
+from conftest import bench_traffic, show
+
+DURATION = 60_000.0
+
+
+def sweep_frame_sizes(base):
+    timing = HBMTiming()
+    rows = []
+    for shrink in (1, 2, 4):
+        segment = base.segment_bytes // shrink
+        config = dataclasses.replace(base, segment_bytes=segment)
+        seg_time = segment / config.stack.channel_bytes_per_ns
+        try:
+            min_gamma = derive_gamma(timing, seg_time)
+            legal = config.gamma >= min_gamma
+        except ConfigError:
+            legal = False
+        packets = bench_traffic(config, 0.5, DURATION, seed=14)
+        report = HBMSwitch(config, PFIOptions(padding=True, bypass=True)).run(
+            packets, DURATION
+        )
+        rows.append(
+            (
+                config.frame_bytes,
+                legal,
+                report.latency["mean_ns"],
+                report.latency["p99_ns"],
+                report.delivery_fraction,
+            )
+        )
+    return rows
+
+
+def test_e14_datacenter_frames(benchmark, bench_switch):
+    rows = benchmark.pedantic(sweep_frame_sizes, args=(bench_switch,), rounds=1, iterations=1)
+    show(
+        "E14: frame-size sweep at 50% load (datacenter variant)",
+        [
+            (format_size(frame), str(legal), f"{mean:.0f} ns", f"{p99:.0f} ns", f"{dlv:.0%}")
+            for frame, legal, mean, p99, dlv in rows
+        ],
+        headers=("frame", "timing-legal", "mean latency", "p99", "delivered"),
+    )
+    # Smaller frames cut latency monotonically...
+    means = [mean for _, _, mean, _, _ in rows]
+    assert means[-1] < means[0]
+    # ...but sub-row segments break the staggered schedule's legality at
+    # the derived gamma: the timing audit flags the datacenter extreme.
+    assert rows[0][1] is True
+    assert rows[-1][1] is False
+    assert all(dlv == pytest.approx(1.0) for *_, dlv in rows)
+
+
+def test_e14_chiplet_sps_alternative(benchmark):
+    """SS 5's other datacenter route: SPS from commercial chiplets."""
+    from repro.analysis import chiplet_sps_design
+    from repro.config import reference_router
+    from repro.units import format_rate
+
+    reference = reference_router()
+    design = benchmark(chiplet_sps_design, reference.io_per_direction_bps)
+    show(
+        "E14b: SPS from Tomahawk-5-class chiplets",
+        [
+            ("chiplets for 655 Tb/s", "~13", design.n_chiplets),
+            ("capacity", format_rate(design.total_capacity_bps), ""),
+            ("total power", f"{design.total_power_w / 1e3:.1f} kW", "vs 12.7 kW HBM design"),
+            ("OEO stages per packet", 1, 1),
+        ],
+        headers=("metric", "value", "note"),
+    )
+    assert design.n_chiplets == 13
+    assert design.total_capacity_bps >= reference.io_per_direction_bps

@@ -1,0 +1,56 @@
+"""E15 -- SRAM interface arithmetic (SS 3.2, *Batch size* / *Memory width*).
+
+Paper: each input-port SRAM must sustain 2P = 5.12 Tb/s; at 2.5 Gb/s per
+interface bit that is a 2,048-bit interface; the batch is k = N x 2,048
+bits = 4 KB so slices spread uniformly over the N tail modules; each
+group of T/N = 8 HBM channels is 512 bits wide, serialised 4-to-1 from
+the 2,048-bit SRAM interface.
+"""
+
+import pytest
+
+from repro.config import HBMSwitchConfig
+from repro.core.crossbar import SDMMesh
+from repro.units import KB
+
+from conftest import show
+
+
+def derive_widths(config: HBMSwitchConfig):
+    sram_bits = config.port_sram_interface_bits
+    batch = config.derived_batch_bytes
+    channels_per_module = config.channels_per_module
+    hbm_group_bits = channels_per_module * config.stack.channel_width_bits
+    serialisation = (
+        config.stack.gbps_per_bit / config.sram_gbps_per_bit
+    )
+    mesh = SDMMesh(config.n_ports, sram_bits)
+    return sram_bits, batch, channels_per_module, hbm_group_bits, serialisation, mesh
+
+
+def test_e15_interface_widths(benchmark, reference):
+    (sram_bits, batch, cpm, hbm_bits, serial, mesh) = benchmark(
+        derive_widths, reference.switch
+    )
+    show(
+        "E15: interface-width arithmetic",
+        [
+            ("port SRAM interface", "2048 bits", f"{sram_bits} bits"),
+            ("batch k = N x width", "4 KB", f"{batch} B"),
+            ("HBM channels / SRAM module", 8, cpm),
+            ("HBM group width / module", "512 bits", f"{hbm_bits} bits"),
+            ("SRAM->HBM serialisation", "4:1", f"{serial:.0f}:1"),
+            ("SDM-mesh lane width", "128 wires", f"{mesh.lane_width_bits} wires"),
+        ],
+    )
+    assert sram_bits == 2048
+    assert batch == 4 * KB == reference.switch.batch_bytes
+    assert cpm == 8
+    assert hbm_bits == 512
+    assert serial == pytest.approx(4.0)
+    assert mesh.lane_width_bits == 128
+
+    # The ultra-wide parallel write: 4 stacks x 2048 bits = 8192 bits =
+    # 1,024 bytes per beat across the HBM group (SS 3.2 (iii)).
+    group_beat = reference.switch.n_stacks * reference.switch.stack.interface_width_bits // 8
+    assert group_beat == 1024

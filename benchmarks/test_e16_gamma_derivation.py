@@ -1,0 +1,111 @@
+"""E16 -- Segment and gamma derivation (SS 3.2 step 3).
+
+Paper: S = 1 KB is "the smallest integer multiple of the HBM4 burst-
+length that satisfies the four-activation window constraint with our
+bank interleaving schedule ... while also being a unit fraction of a row
+length"; gamma = 4 makes group hand-offs seamless (precharge of one
+group's first bank completes before the next activation) under the
+four-activation limit; K = gamma * T * S = 512 KB.
+
+The bench derives gamma from the timing model, shows gamma = 4 is
+minimal *and* sufficient, and demonstrates by execution that gamma = 2
+violates tRC while gamma = 4 runs clean -- the ablation of the paper's
+central scheduling constant.
+"""
+
+import pytest
+
+from repro.config import HBMSwitchConfig
+from repro.errors import TimingViolation
+from repro.hbm import (
+    BankGroup,
+    HBMController,
+    HBMTiming,
+    Op,
+    derive_gamma,
+    first_legal_start,
+    generate_frame_schedule,
+    max_concurrent_activations,
+)
+from repro.units import KB
+
+from conftest import show
+
+
+def execute_gamma(gamma: int, n_frames: int = 6):
+    """Run a worst-case frame train at a given gamma.
+
+    PFI's no-bookkeeping rule maps output j's n-th frame to group
+    ``n mod (L/gamma)`` *independently per output*, so two consecutive
+    phases (different outputs) can land on the **same** group.  That is
+    the binding case for condition (i): the first bank of the group must
+    have completed its precharge before the next frame re-activates it,
+    i.e. gamma * segment_time >= tRC.  This train hits one group with
+    every frame; returns None if legal or the first TimingViolation.
+    """
+    config = HBMSwitchConfig(gamma=gamma)
+    timing = HBMTiming()
+    controller = HBMController(config.stack, config.n_stacks, timing)
+    channels = range(8)  # a slice of channels is enough to trip bank rules
+    start = first_legal_start(timing)
+    commands = []
+    for i in range(n_frames):
+        group = BankGroup(0, gamma)  # same group back-to-back: worst case
+        sched = generate_frame_schedule(
+            Op.WR if i % 2 == 0 else Op.RD,
+            channels,
+            group,
+            config.segment_bytes,
+            row=i,
+            data_start=start,
+            timing=timing,
+            channel_bytes_per_ns=config.stack.channel_bytes_per_ns,
+        )
+        commands.extend(sched.commands)
+        start = sched.data_end
+    try:
+        controller.execute(commands)
+        return None
+    except TimingViolation as violation:
+        return violation
+
+
+def test_e16_gamma_derivation(benchmark):
+    config = HBMSwitchConfig()
+    timing = HBMTiming()
+    segment_time = config.segment_bytes / config.stack.channel_bytes_per_ns
+
+    derived = benchmark(derive_gamma, timing, segment_time)
+    concurrent = max_concurrent_activations(timing, segment_time)
+    show(
+        "E16: gamma derivation for 1 KB segments (12.8 ns)",
+        [
+            ("derived gamma", 4, derived),
+            ("concurrent activations", "<= 4", concurrent),
+            ("frame size K = gamma*T*S", "512 KB", f"{config.frame_bytes // KB} KB"),
+            ("segment = unit fraction of row", "yes", str(config.stack.row_bytes % config.segment_bytes == 0)),
+            ("S multiple of burst", "yes", str(config.segment_bytes % timing.burst_bytes(64) == 0)),
+        ],
+    )
+    assert derived == 4
+    assert concurrent <= 4
+    assert config.frame_bytes == 512 * KB
+
+
+@pytest.mark.parametrize("gamma,expect_legal", [(2, False), (4, True), (8, True)])
+def test_e16_gamma_ablation(benchmark, gamma, expect_legal):
+    violation = benchmark.pedantic(execute_gamma, args=(gamma,), rounds=1, iterations=1)
+    show(
+        f"E16b: executing the schedule at gamma = {gamma}",
+        [
+            ("legal", expect_legal, violation is None),
+            ("violated rule", "-" if expect_legal else "tRC/tRP", getattr(violation, "rule", "-")),
+        ],
+    )
+    if expect_legal:
+        assert violation is None
+    else:
+        assert violation is not None
+        # The bank is hit again before its row cycle completes -- either
+        # still open (no PRE yet) or precharging (tRC/tRP not elapsed).
+        assert violation.rule in ("tRC", "tRP", "ACT-on-open-bank")

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Attacking the fiber split (Challenge 4 / Idea 4).
+
+An attacker who knows the router splits fibers contiguously can steer
+its flows onto exactly the fibers feeding one internal HBM switch and
+saturate it while the other 15 idle.  This example mounts that attack
+against both splitters and also shows the benign "first fiber connected
+first" operator skew.
+
+Run:  python examples/adversarial_split.py
+"""
+
+import numpy as np
+
+from repro.core.fiber_split import (
+    ContiguousSplitter,
+    PseudoRandomSplitter,
+    overload_loss_fraction,
+    per_switch_loads,
+    per_switch_port_loads,
+    split_imbalance,
+)
+from repro.reporting import Table
+from repro.traffic.generators import fiber_load_profile
+
+F, H, RIBBONS = 64, 16, 16
+
+
+def attack(splitter, target_fibers):
+    profiles = [
+        fiber_load_profile(F, "adversarial", total_load=1.0, target_fibers=target_fibers)
+        for _ in range(RIBBONS)
+    ]
+    loads = per_switch_loads(splitter, profiles)
+    port_loads = per_switch_port_loads(splitter, profiles)
+    return (
+        split_imbalance(loads),
+        overload_loss_fraction(port_loads, port_capacity=1.0 / H),
+        loads,
+    )
+
+
+def main() -> None:
+    contiguous = ContiguousSplitter(F, H)
+    secret = PseudoRandomSplitter(F, H, seed=0x5EC2E7)
+
+    # The attacker targets the first alpha fibers of every ribbon -- the
+    # fibers that feed switch 0 under the contiguous pattern.
+    target = contiguous.fibers_to(0, 0)
+    print(f"Attacker targets fibers {target} of every ribbon\n")
+
+    table = Table("Adversarial attack", ["splitter", "imbalance (max/mean)", "overload loss"])
+    for name, splitter in (("contiguous", contiguous), ("pseudo-random (secret seed)", secret)):
+        imbalance, loss, loads = attack(splitter, target)
+        table.add(name, f"{imbalance:.1f}", f"{loss:.0%}")
+    table.show()
+
+    # The benign skew: operators populate the first fibers first.
+    rng = np.random.default_rng(1)
+    profiles = [
+        fiber_load_profile(F, "first-connected", total_load=1.0, skew=8.0, rng=rng)
+        for _ in range(RIBBONS)
+    ]
+    table = Table("Operator 'first-connected' skew (8x front-to-back)",
+                  ["splitter", "imbalance (max/mean)"])
+    for name, splitter in (("contiguous", contiguous), ("pseudo-random", secret)):
+        imbalance = split_imbalance(per_switch_loads(splitter, profiles))
+        table.add(name, f"{imbalance:.2f}")
+    table.show()
+
+    # And the typical case the paper expects: upstream ECMP/LAG hashing.
+    profiles = [fiber_load_profile(F, "ecmp", total_load=1.0, rng=rng) for _ in range(RIBBONS)]
+    table = Table("ECMP/LAG-hashed fiber loads (SS 4 typical case)",
+                  ["splitter", "imbalance (max/mean)"])
+    for name, splitter in (("contiguous", contiguous), ("pseudo-random", secret)):
+        imbalance = split_imbalance(per_switch_loads(splitter, profiles))
+        table.add(name, f"{imbalance:.3f}")
+    table.show()
+
+    print(
+        "\nThe contiguous split hands an attacker a 16x concentration;\n"
+        "a secret pseudo-random split bounds the damage, and under the\n"
+        "typical hashed loads both are essentially perfectly balanced."
+    )
+
+
+if __name__ == "__main__":
+    main()

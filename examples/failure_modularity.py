@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Modularity and graceful degradation (SS 2.2, *Modularity*).
+
+SPS switches share nothing, so the 16 switches can ship as one dense
+package or 16 small ones with identical totals -- and a switch failure
+costs exactly its fibers' traffic while survivors are untouched.  This
+example prints the packaging options for the reference design, then
+*simulates* a switch failure on a scaled router and shows the isolation.
+
+Run:  python examples/failure_modularity.py
+"""
+
+from repro.analysis import degradation_curve, modular_deployments
+from repro.config import reference_router, scaled_router
+from repro.core import PFIOptions, SplitParallelSwitch
+from repro.reporting import Table
+from repro.traffic import FixedSize, TrafficGenerator, uniform_matrix
+from repro.units import format_rate
+
+
+def packaging_options() -> None:
+    config = reference_router()
+    table = Table(
+        "Packaging the 16 switches (identical totals)",
+        ["packages", "switches/pkg", "capacity/pkg", "power/pkg"],
+    )
+    for d in modular_deployments(config):
+        table.add(
+            d.n_packages,
+            d.switches_per_package,
+            format_rate(d.capacity_per_package_bps),
+            f"{d.power_per_package_w / 1e3:.2f} kW",
+        )
+    table.show()
+    curve = degradation_curve(config)
+    print(
+        "\nGraceful degradation: capacity fraction with k failed switches:\n  "
+        + "  ".join(f"k={k}:{frac:.0%}" for k, frac in enumerate(curve[:5]))
+        + "  ..."
+    )
+
+
+def simulated_failure() -> None:
+    config = scaled_router(n_switches=4, fibers_per_ribbon=16)
+    duration_ns = 25_000.0
+    generator = TrafficGenerator(
+        n_ports=config.n_ribbons,
+        port_rate_bps=config.fibers_per_ribbon * config.per_fiber_rate_bps,
+        matrix=uniform_matrix(config.n_ribbons, 0.6),
+        size_dist=FixedSize(1500),
+        seed=11,
+        flows_per_pair=256,
+    )
+    packets = generator.generate(duration_ns)
+
+    healthy = SplitParallelSwitch(
+        config, options=PFIOptions(padding=True, bypass=True)
+    ).run(packets, duration_ns)
+
+    # Fresh packet objects for the second run (departures are mutated).
+    packets2 = TrafficGenerator(
+        n_ports=config.n_ribbons,
+        port_rate_bps=config.fibers_per_ribbon * config.per_fiber_rate_bps,
+        matrix=uniform_matrix(config.n_ribbons, 0.6),
+        size_dist=FixedSize(1500),
+        seed=11,
+        flows_per_pair=256,
+    ).generate(duration_ns)
+    degraded = SplitParallelSwitch(
+        config, options=PFIOptions(padding=True, bypass=True)
+    ).run(packets2, duration_ns, failed_switches=[2])
+
+    table = Table("Switch 2 of 4 fails (simulated)", ["metric", "healthy", "degraded"])
+    table.add("delivery", f"{healthy.delivery_fraction:.1%}", f"{degraded.delivery_fraction:.1%}")
+    table.add(
+        "traffic on failed fibers",
+        "0",
+        f"{degraded.failed_offered_bytes / degraded.offered_bytes:.1%}",
+    )
+    table.add(
+        "survivors' delivery",
+        "-",
+        f"{min(r.delivery_fraction for r in degraded.switch_reports):.1%}",
+    )
+    table.add(
+        "survivors' reorderings",
+        healthy.ordering_violations,
+        sum(r.ordering_violations for r in degraded.switch_reports),
+    )
+    table.show()
+    print(
+        "\nThe failure removes exactly the failed switch's fiber share;\n"
+        "survivors deliver 100% with identical latency -- shared-nothing\n"
+        "isolation, the property that also enables modular packaging."
+    )
+
+
+def main() -> None:
+    packaging_options()
+    print()
+    simulated_failure()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""The petabit reference design, analysed like the paper's SS 4.
+
+Prints every design-analysis table -- I/O budget, power, area, buffer
+sizing, SRAM sizing, capacity comparison, roadmap -- for the full
+N = 16, F = 64, W = 16, R = 40 Gb/s, H = 16, B = 4 reference design.
+
+Run:  python examples/petabit_reference.py
+"""
+
+from repro import reference_router
+from repro.analysis import (
+    capacity_vs_reference,
+    hbm_switch_area,
+    hbm_switch_power,
+    roadmap_projection,
+    router_area,
+    router_buffering,
+    router_power,
+    sram_sizing,
+)
+from repro.analysis.power import cerebras_power_ratio
+from repro.baselines import centralized_feasibility, clos_design, mesh_guaranteed_capacity
+from repro.reporting import Table
+from repro.units import format_rate, format_size
+
+
+def main() -> None:
+    config = reference_router()
+
+    io = Table("I/O budget (SS 2.2)", ["quantity", "value"])
+    io.add("fibers", config.total_fibers)
+    io.add("ingress", format_rate(config.io_per_direction_bps))
+    io.add("total I/O", format_rate(config.total_io_bps))
+    io.add("per-switch memory I/O", format_rate(config.per_switch_io_bps))
+    io.add("switch port rate P", format_rate(config.switch_port_rate_bps))
+    io.add("frame size K", format_size(config.switch.frame_bytes))
+    io.show()
+
+    power = hbm_switch_power(config.switch)
+    p = Table("Power (SS 4)", ["component", "per switch", "router (x16)"])
+    p.add("processing + SRAM", f"{power.processing_w:.0f} W", f"{16 * power.processing_w / 1e3:.1f} kW")
+    p.add("HBM stacks", f"{power.hbm_w:.0f} W", f"{16 * power.hbm_w / 1e3:.1f} kW")
+    p.add("OEO conversion", f"{power.oeo_w:.0f} W", f"{16 * power.oeo_w / 1e3:.2f} kW")
+    p.add("total", f"{power.total_w:.0f} W", f"{router_power(config).total_w / 1e3:.1f} kW")
+    p.add("vs Cerebras WSE-3", "", f"{cerebras_power_ratio(config):.2f}x")
+    p.show()
+
+    area = hbm_switch_area(config.switch)
+    a = Table("Area (SS 4)", ["component", "value"])
+    a.add("per switch", f"{area.total_mm2:.0f} mm^2")
+    a.add("router", f"{router_area(config).total_mm2:.0f} mm^2")
+    a.add("panel fraction", f"{router_area(config).panel_fraction():.1%}")
+    a.show()
+
+    buffering = router_buffering(config)
+    b = Table("Buffering (SS 4)", ["quantity", "value"])
+    b.add("total HBM", format_size(buffering.total_buffer_bytes))
+    b.add("depth", f"{buffering.buffer_ms:.1f} ms")
+    b.add("vs Cisco 8201-32FH (5 ms)", f"{buffering.vs_cisco_8201:.1f}x")
+    b.show()
+
+    sram = sram_sizing(config.switch)
+    s = Table("SRAM (SS 4)", ["stage", "size"])
+    s.add("input ports", format_size(sram.input_ports_bytes))
+    s.add("tail", format_size(sram.tail_bytes))
+    s.add("head", format_size(sram.head_bytes))
+    s.add("control", format_size(sram.control_bytes))
+    s.add("total", f"{sram.total_mb:.1f} MB")
+    s.show()
+
+    cap = capacity_vs_reference(config)
+    c = Table("Capacity increase (SS 5)", ["comparison", "value"])
+    c.add(cap.reference_name, format_rate(cap.reference_bps))
+    c.add("this design", format_rate(cap.ours_bps))
+    c.add("speedup", f"{cap.speedup:.1f}x")
+    c.show()
+
+    alt = Table("Rejected designs (SS 2.1)", ["design", "why not", "number"])
+    alt.add("Design 1: centralized", "memory shortfall",
+            f"{centralized_feasibility(config).memory_shortfall:.0f}x")
+    alt.add("Design 2: 10x10 mesh", "guaranteed capacity",
+            f"{mesh_guaranteed_capacity(10):.0%}")
+    alt.add("Design 3: 3-stage Clos", "power",
+            f"{clos_design(config).total_power_w / router_power(config).total_w:.1f}x SPS")
+    alt.show()
+
+    r = Table("Roadmap (SS 5)", ["generation", "stacks/switch", "HBM W/switch", "buffer/switch"])
+    for point in roadmap_projection(config.switch):
+        r.add(point.name, point.stacks_per_switch,
+              f"{point.hbm_power_w_per_switch:.0f}",
+              format_size(point.buffer_bytes_per_switch))
+    r.show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""repro: Petabit Router-in-a-Package (HotNets '25) reproduction.
+
+A production-quality simulator of the paper's two contributions -- the
+Split-Parallel Switch (SPS) and the shared-memory HBM switch running
+Parallel Frame Interleaving (PFI) -- plus every substrate they rest on:
+a timing-checked HBM4 model, an in-package photonics model, synthetic
+internet traffic, the paper's baselines, and its full design analysis.
+
+Quickstart::
+
+    from repro import scaled_router, HBMSwitch, PFIOptions
+    from repro.traffic import TrafficGenerator, uniform_matrix, ImixSize
+
+    cfg = scaled_router()
+    gen = TrafficGenerator(cfg.n_ribbons, cfg.switch.port_rate_bps,
+                           uniform_matrix(cfg.n_ribbons, 0.9), ImixSize())
+    switch = HBMSwitch(cfg.switch, PFIOptions(padding=True, bypass=True))
+    report = switch.run(gen.generate(50_000.0), 50_000.0)
+    print(report.normalized_throughput, report.latency)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every experiment.
+"""
+
+from .config import (
+    HBMStackConfig,
+    HBMSwitchConfig,
+    RouterConfig,
+    datacenter_switch_config,
+    reference_router,
+    scaled_router,
+)
+from .core import (
+    ContiguousSplitter,
+    HBMSwitch,
+    PFIOptions,
+    PseudoRandomSplitter,
+    RouterReport,
+    SplitParallelSwitch,
+    SwitchReport,
+)
+from .errors import (
+    AdmissibilityError,
+    CapacityExceeded,
+    ConfigError,
+    OrderingViolation,
+    ReproError,
+    SimulationError,
+    TimingViolation,
+)
+from .hbm import HBMController, HBMTiming
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "RouterConfig",
+    "HBMSwitchConfig",
+    "HBMStackConfig",
+    "reference_router",
+    "scaled_router",
+    "datacenter_switch_config",
+    "HBMSwitch",
+    "SwitchReport",
+    "SplitParallelSwitch",
+    "RouterReport",
+    "PFIOptions",
+    "ContiguousSplitter",
+    "PseudoRandomSplitter",
+    "HBMTiming",
+    "HBMController",
+    "ReproError",
+    "ConfigError",
+    "TimingViolation",
+    "CapacityExceeded",
+    "AdmissibilityError",
+    "SimulationError",
+    "OrderingViolation",
+]

@@ -1,0 +1,62 @@
+"""Design analysis (SS 4) and networking-future projections (SS 5).
+
+Executable versions of every back-of-envelope computation in the paper:
+power, area, buffer sizing, SRAM sizing, capacity-per-area comparisons
+against shipping hardware, and the HBM roadmap projections.
+"""
+
+from .area import AreaBreakdown, hbm_switch_area, router_area
+from .buffering import BufferSizing, router_buffering
+from .capacity import CapacityComparison, capacity_vs_reference
+from .datacenter import (
+    ChipletSPSDesign,
+    chiplet_sps_design,
+    datacenter_hbm_switch,
+    datacenter_power_saving,
+    processing_reduction_projection,
+)
+from .modularity import ModularDeployment, degradation_curve, modular_deployments
+from .power import PowerBreakdown, hbm_switch_power, router_power
+from .queueing import PFILatencyModel, model_vs_simulation, pfi_latency_model
+from .sensitivity import (
+    FrontierPoint,
+    GenerationPoint,
+    gamma_frontier,
+    generation_sweep,
+    required_segment_bytes,
+)
+from .roadmap import RoadmapPoint, roadmap_projection
+from .sram import SRAMSizing, sram_sizing
+
+__all__ = [
+    "PowerBreakdown",
+    "hbm_switch_power",
+    "router_power",
+    "AreaBreakdown",
+    "hbm_switch_area",
+    "router_area",
+    "BufferSizing",
+    "router_buffering",
+    "SRAMSizing",
+    "sram_sizing",
+    "CapacityComparison",
+    "capacity_vs_reference",
+    "ModularDeployment",
+    "modular_deployments",
+    "degradation_curve",
+    "ChipletSPSDesign",
+    "chiplet_sps_design",
+    "datacenter_hbm_switch",
+    "datacenter_power_saving",
+    "processing_reduction_projection",
+    "RoadmapPoint",
+    "roadmap_projection",
+    "PFILatencyModel",
+    "pfi_latency_model",
+    "model_vs_simulation",
+    "FrontierPoint",
+    "GenerationPoint",
+    "gamma_frontier",
+    "generation_sweep",
+    "required_segment_bytes",
+]

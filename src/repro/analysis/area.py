@@ -1,0 +1,49 @@
+"""Area estimate (SS 4, *Area estimate*).
+
+Conservatively one Tomahawk-5-class processing chiplet (800 mm^2) plus
+B = 4 HBM stacks (4 x 121 mm^2 = 484 mm^2) per HBM switch: 1,284 mm^2.
+Sixteen switches: 20,544 mm^2, under 10% of a 500 mm x 500 mm panel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import HBMSwitchConfig, RouterConfig
+from ..constants import HBM_STACK_AREA_MM2, PANEL_AREA_MM2, TOMAHAWK5_DIE_AREA_MM2
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Silicon area by component, in mm^2."""
+
+    processing_mm2: float
+    hbm_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return self.processing_mm2 + self.hbm_mm2
+
+    def panel_fraction(self, panel_mm2: float = PANEL_AREA_MM2) -> float:
+        """Share of the panel-scale substrate this area occupies."""
+        return self.total_mm2 / panel_mm2
+
+    def scaled(self, factor: float) -> "AreaBreakdown":
+        return AreaBreakdown(self.processing_mm2 * factor, self.hbm_mm2 * factor)
+
+
+def hbm_switch_area(
+    config: HBMSwitchConfig,
+    processing_die_mm2: float = TOMAHAWK5_DIE_AREA_MM2,
+    stack_area_mm2: float = HBM_STACK_AREA_MM2,
+) -> AreaBreakdown:
+    """Conservative per-switch area: one big chiplet + B HBM stacks."""
+    return AreaBreakdown(
+        processing_mm2=processing_die_mm2,
+        hbm_mm2=config.n_stacks * stack_area_mm2,
+    )
+
+
+def router_area(config: RouterConfig) -> AreaBreakdown:
+    """Whole-package silicon area: H switches' worth."""
+    return hbm_switch_area(config.switch).scaled(config.n_switches)

@@ -1,0 +1,63 @@
+"""Router buffer sizing (SS 4, *Router buffer sizing* and SS 5).
+
+H * B * 64 GB = 4.096 TB of HBM buffering drains the 655.36 Tb/s ingress
+in ~51.2 ms -- a full Van-Jacobson bandwidth-delay product, far beyond
+the Stanford small-buffer model and Cisco's shipping linecards.  The
+"memory glut" argument of SS 5 is this module's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+
+from ..config import RouterConfig
+from ..constants import (
+    CISCO_8201_32FH_BUFFER_MS,
+    CISCO_Q100_BUFFER_MS,
+    CISCO_Q200_BUFFER_MS,
+    CISCO_RECOMMENDED_BUFFER_MS,
+)
+from ..units import MS, buffering_time_ns
+
+
+@dataclass(frozen=True)
+class BufferSizing:
+    """Buffering depth of the router and the reference points."""
+
+    total_buffer_bytes: int
+    io_per_direction_bps: float
+    buffer_ms: float
+    cisco_8201_ms: float = CISCO_8201_32FH_BUFFER_MS
+    cisco_q100_ms: float = CISCO_Q100_BUFFER_MS
+    cisco_q200_ms: float = CISCO_Q200_BUFFER_MS
+
+    @property
+    def vs_cisco_8201(self) -> float:
+        """How many times deeper than the 8201-32FH's 5 ms."""
+        return self.buffer_ms / self.cisco_8201_ms
+
+    def van_jacobson_buffer_bytes(self, rtt_ms: float) -> float:
+        """VJ rule of thumb: one bandwidth-delay product [32]."""
+        return self.io_per_direction_bps / 8.0 * rtt_ms * 1e-3
+
+    def stanford_buffer_bytes(self, rtt_ms: float, n_flows: int) -> float:
+        """Stanford model [4, 46]: BDP / sqrt(number of long flows)."""
+        if n_flows <= 0:
+            raise ValueError(f"n_flows must be positive, got {n_flows}")
+        return self.van_jacobson_buffer_bytes(rtt_ms) / sqrt(n_flows)
+
+    def exceeds_cisco_recommendation(self) -> bool:
+        """SS 4: 'much more than ... 5-10 msec' (Cisco white paper)."""
+        return self.buffer_ms > CISCO_RECOMMENDED_BUFFER_MS[1]
+
+
+def router_buffering(config: RouterConfig) -> BufferSizing:
+    """Buffer sizing of an SPS router configuration."""
+    total = config.total_buffer_bytes
+    io = config.io_per_direction_bps
+    return BufferSizing(
+        total_buffer_bytes=total,
+        io_per_direction_bps=io,
+        buffer_ms=buffering_time_ns(total, io) / MS,
+    )

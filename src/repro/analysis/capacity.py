@@ -1,0 +1,66 @@
+"""Capacity-per-area comparison with shipping routers (SS 5).
+
+A Cisco 8201-32FH accepts 12.8 Tb/s in 1 RU; the SPS package ingests
+655.36 Tb/s "while occupying about the same space" -- over 50x.  With
+the general capacity-per-area framing (1-2 orders of magnitude), the
+comparison generalises to any reference box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import RouterConfig
+from ..constants import CISCO_8201_32FH_CAPACITY
+
+
+@dataclass(frozen=True)
+class CapacityComparison:
+    """Our router vs a reference router, same-space assumption."""
+
+    ours_bps: float
+    reference_bps: float
+    reference_name: str
+
+    @property
+    def speedup(self) -> float:
+        """Input-bandwidth ratio (the paper's 'over 50x')."""
+        return self.ours_bps / self.reference_bps
+
+    @property
+    def orders_of_magnitude(self) -> float:
+        """log10 of the ratio (the paper's '1-2 orders of magnitude')."""
+        import math
+
+        return math.log10(self.speedup)
+
+
+def capacity_vs_reference(
+    config: RouterConfig,
+    reference_bps: float = CISCO_8201_32FH_CAPACITY,
+    reference_name: str = "Cisco 8201-32FH (1RU)",
+) -> CapacityComparison:
+    """Compare the SPS ingress bandwidth with a shipping 1RU router."""
+    return CapacityComparison(
+        ours_bps=config.io_per_direction_bps,
+        reference_bps=reference_bps,
+        reference_name=reference_name,
+    )
+
+
+def wan_interconnect_savings(speedup: float, interconnect_fraction: float = 0.5) -> float:
+    """Fraction of WAN capacity freed by consolidating smaller routers.
+
+    SS 5 (*Wasted internal traffic*): scaling routers 1-2 orders of
+    magnitude saves the WAN capacity currently devoted to interconnecting
+    smaller routers.  With ``interconnect_fraction`` of port capacity
+    spent on router-to-router links inside a PoP, consolidating ``s``
+    boxes into one reclaims that fraction scaled by (s-1)/s.
+    """
+    if speedup < 1:
+        raise ValueError(f"speedup must be >= 1, got {speedup}")
+    if not 0 <= interconnect_fraction <= 1:
+        raise ValueError(
+            f"interconnect_fraction must be in [0, 1], got {interconnect_fraction}"
+        )
+    return interconnect_fraction * (speedup - 1.0) / speedup

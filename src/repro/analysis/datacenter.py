@@ -1,0 +1,145 @@
+"""Datacenter switches from SPS principles (SS 5, *Designing datacenter
+switches*).
+
+The paper sketches two routes and this module prices both:
+
+1. **HBM switches with smaller frames** -- less HBM capacity (datacenter
+   switches buffer far less), smaller frames for latency; the latency
+   side is simulated in E14, the power/capacity side computed here.
+2. **SPS from commercial switch chiplets** (Tomahawk/Jericho class) --
+   keeps the single-OEO split but replaces the shared-memory HBM switch
+   with a shipping chip, solving the radix and latency concerns at the
+   cost of small-buffer behaviour.
+
+It also carries the SS 5 conclusion's processing question:
+:func:`processing_reduction_projection` shows how router power scales if
+simpler processing (e.g. SD-WAN source routing [40]) cuts the chiplet's
+per-bit work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+from ..config import HBMSwitchConfig, RouterConfig
+from ..constants import TOMAHAWK5_CAPACITY, TOMAHAWK5_POWER_W
+from ..errors import ConfigError
+from ..photonics.oeo import oeo_power_watts
+from .power import PowerBreakdown, hbm_switch_power
+
+
+@dataclass(frozen=True)
+class ChipletSPSDesign:
+    """An SPS package built from commercial switch chiplets."""
+
+    n_chiplets: int
+    chiplet_capacity_bps: float
+    chiplet_power_w: float
+    total_capacity_bps: float
+    oeo_power_w: float
+
+    @property
+    def total_power_w(self) -> float:
+        return self.n_chiplets * self.chiplet_power_w + self.oeo_power_w
+
+    @property
+    def power_per_bps(self) -> float:
+        return self.total_power_w / self.total_capacity_bps
+
+
+def chiplet_sps_design(
+    target_capacity_bps: float,
+    chiplet_capacity_bps: float = TOMAHAWK5_CAPACITY,
+    chiplet_power_w: float = TOMAHAWK5_POWER_W,
+) -> ChipletSPSDesign:
+    """Size an SPS package of commercial chiplets for a target capacity.
+
+    The split works exactly as for HBM switches: fibers are spatially
+    divided across chiplets, one OEO per packet.
+    """
+    if target_capacity_bps <= 0:
+        raise ConfigError(f"capacity must be positive, got {target_capacity_bps}")
+    import math
+
+    n = math.ceil(target_capacity_bps / chiplet_capacity_bps)
+    total = n * chiplet_capacity_bps
+    oeo = oeo_power_watts(2.0 * total, conversion_stages=1)
+    return ChipletSPSDesign(
+        n_chiplets=n,
+        chiplet_capacity_bps=chiplet_capacity_bps,
+        chiplet_power_w=chiplet_power_w,
+        total_capacity_bps=total,
+        oeo_power_w=oeo,
+    )
+
+
+def datacenter_hbm_switch(
+    base: HBMSwitchConfig,
+    buffer_fraction: float = 0.1,
+    frame_shrink: int = 4,
+) -> HBMSwitchConfig:
+    """The SS 5 HBM-switch datacenter variant.
+
+    Datacenter switches "use less buffering than internet routers", so
+    the HBM capacity shrinks to ``buffer_fraction`` of the router's, and
+    frames shrink by ``frame_shrink`` for latency (E14 measures the
+    latency/legality trade of the shrink).
+    """
+    if not 0 < buffer_fraction <= 1:
+        raise ConfigError(f"buffer_fraction must be in (0, 1], got {buffer_fraction}")
+    if base.segment_bytes % frame_shrink != 0:
+        raise ConfigError(
+            f"frame_shrink {frame_shrink} does not divide the "
+            f"{base.segment_bytes}-B segment"
+        )
+    small_stack = replace(
+        base.stack, capacity_bytes=int(base.stack.capacity_bytes * buffer_fraction)
+    )
+    return replace(
+        base,
+        stack=small_stack,
+        segment_bytes=base.segment_bytes // frame_shrink,
+    )
+
+
+def datacenter_power_saving(config: RouterConfig, buffer_fraction: float = 0.1) -> float:
+    """Power saved by the smaller-buffer datacenter variant.
+
+    HBM power scales with the stack count needed for *bandwidth* (which
+    is unchanged), but capacity-driven designs could drop stacks when
+    future generations raise per-stack bandwidth; conservatively, only
+    the refresh/background share scales with capacity, which we bound at
+    20% of HBM power.  Returns the fraction of total power saved.
+    """
+    if not 0 < buffer_fraction <= 1:
+        raise ConfigError(f"buffer_fraction must be in (0, 1], got {buffer_fraction}")
+    full = hbm_switch_power(config.switch)
+    background_share = 0.2
+    hbm_saving = full.hbm_w * background_share * (1.0 - buffer_fraction)
+    return hbm_saving / full.total_w
+
+
+def processing_reduction_projection(
+    config: RouterConfig, reduction_factors: List[float] = (1.0, 0.75, 0.5, 0.25)
+) -> List[PowerBreakdown]:
+    """Router power if processing simplifies (SS 5 conclusion).
+
+    "Could operators reduce their processing needs if this increases
+    their router capacity?  Recent suggestions, such as source routing
+    in SD-WANs, may lead the way."  Each factor scales the processing
+    component only.
+    """
+    base = hbm_switch_power(config.switch)
+    projections = []
+    for factor in reduction_factors:
+        if factor <= 0:
+            raise ConfigError(f"reduction factor must be positive, got {factor}")
+        projections.append(
+            PowerBreakdown(
+                processing_w=base.processing_w * factor,
+                hbm_w=base.hbm_w,
+                oeo_w=base.oeo_w,
+            ).scaled(config.n_switches)
+        )
+    return projections

@@ -1,0 +1,105 @@
+"""First-order queueing model of PFI latency.
+
+A sanity cross-check for the simulator: each stage of the pipeline has a
+back-of-envelope expected delay under uniform load, and the simulated
+per-stage breakdown (``SwitchReport.latency_breakdown``) should land in
+the same regime.  The model is deliberately crude -- mean-value analysis
+with deterministic service -- so agreement within small factors is the
+success criterion, not equality.
+
+Stages, for uniform load ``rho`` on an N-port switch (port rate P B/ns,
+batch k, frame K, PFI cycle C):
+
+- **batch fill**: a packet lands at a uniformly random position of its
+  (input, output) pair's k-byte batch filling at rate rho*P/N, so it
+  waits ~ k / (2 * rho * P / N).
+- **frame fill**: its batch lands at a random position of the output's
+  K-byte frame filling at rate rho*P (all inputs contribute), waiting
+  ~ K / (2 * rho * P).
+- **HBM wait**: a completed frame waits for a write slot (~C/2) and
+  then for its output's read slot in the strict cycle (~N*C/2).
+- **egress**: a random packet waits about half the frame's payload
+  drain, K * rho-ish / (2P); at high load ~ K / (2P).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..config import HBMSwitchConfig
+from ..constants import HBM4_PHASE_TRANSITION_FRACTION
+from ..errors import ConfigError
+from ..units import rate_to_bytes_per_ns
+
+
+@dataclass(frozen=True)
+class PFILatencyModel:
+    """Expected per-stage delays (ns) at a given uniform load."""
+
+    batch_fill_ns: float
+    frame_fill_ns: float
+    hbm_wait_ns: float
+    egress_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        return (
+            self.batch_fill_ns + self.frame_fill_ns + self.hbm_wait_ns + self.egress_ns
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "batch_fill": self.batch_fill_ns,
+            "frame_fill": self.frame_fill_ns,
+            "hbm_wait": self.hbm_wait_ns,
+            "egress": self.egress_ns,
+        }
+
+
+def pfi_latency_model(
+    config: HBMSwitchConfig, load: float, mean_packet_bytes: float = 1500.0
+) -> PFILatencyModel:
+    """Mean-value latency prediction for uniform traffic at ``load``.
+
+    The batch-fill term is packet-granular: when packets are larger
+    than half a batch, the batch holding a packet's last byte is
+    typically *completed by the next packet*, so the wait is one pair
+    inter-arrival rather than half a batch's worth of bytes.
+
+    Validity: the model describes steady flow, so it is most accurate at
+    moderate-to-high load; at light load the padding deadline and the
+    bypass path (policies, not queues) set the fill and HBM terms.
+    """
+    if not 0 < load <= 1:
+        raise ConfigError(f"load must be in (0, 1], got {load}")
+    if mean_packet_bytes <= 0:
+        raise ConfigError(f"mean packet size must be positive, got {mean_packet_bytes}")
+    port_rate = rate_to_bytes_per_ns(config.port_rate_bps)  # B/ns
+    n = config.n_ports
+    pair_rate = load * port_rate / n
+    output_rate = load * port_rate
+    cycle = (
+        2.0
+        * (config.frame_write_time_ns / config.speedup)
+        * (1.0 + HBM4_PHASE_TRANSITION_FRACTION)
+    )
+    batch_fill = max(config.batch_bytes / 2.0, mean_packet_bytes) / pair_rate
+    frame_fill = config.frame_bytes / (2.0 * output_rate)
+    hbm_wait = cycle / 2.0 + n * cycle / 2.0
+    egress = load * config.frame_bytes / (2.0 * port_rate)
+    return PFILatencyModel(
+        batch_fill_ns=batch_fill,
+        frame_fill_ns=frame_fill,
+        hbm_wait_ns=hbm_wait,
+        egress_ns=egress,
+    )
+
+
+def model_vs_simulation(model: PFILatencyModel, breakdown: Dict[str, float]) -> Dict[str, float]:
+    """Per-stage simulated/model ratios (1.0 = perfect agreement)."""
+    ratios = {}
+    for stage, predicted in model.as_dict().items():
+        measured = breakdown.get(stage, 0.0)
+        ratios[stage] = measured / predicted if predicted > 0 else float("inf")
+    return ratios

@@ -1,0 +1,99 @@
+"""Router evolution under HBM roadmaps (SS 5, *Router evolution*).
+
+Future HBM generations promise 4x capacity and bandwidth [52], and
+monolithic 3D stackable DRAM promises 10x [23, 24].  Fewer stacks then
+deliver the same 81.92 Tb/s per switch, shrinking footprint and HBM
+power -- or the same stacks deliver proportionally more capacity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import List
+
+from ..config import HBMSwitchConfig, RouterConfig
+from ..constants import (
+    HBM4_STACK_POWER_W,
+    HBM_ROADMAP_FACTOR,
+    HBM_STACK_AREA_MM2,
+    MONOLITHIC_3D_FACTOR,
+)
+
+
+@dataclass(frozen=True)
+class RoadmapPoint:
+    """One memory-technology generation applied to the reference design."""
+
+    name: str
+    bandwidth_factor: float
+    stacks_per_switch: int
+    hbm_power_w_per_switch: float
+    hbm_area_mm2_per_switch: float
+    buffer_bytes_per_switch: int
+
+    def total_stacks(self, n_switches: int = 16) -> int:
+        """Stacks across the whole router (64 for the HBM4 reference)."""
+        return self.stacks_per_switch * n_switches
+
+
+def _stacks_needed(config: HBMSwitchConfig, bandwidth_factor: float) -> int:
+    """Stacks to cover the switch's memory-bandwidth need at a given
+    per-stack bandwidth multiplier (bandwidth is the binding constraint
+    in the reference design)."""
+    need = config.total_io_bps
+    per_stack = config.stack.stack_bandwidth_bps * bandwidth_factor
+    return max(1, math.ceil(need / per_stack))
+
+
+def roadmap_projection(
+    config: HBMSwitchConfig,
+    factors: "List[tuple[str, float]]" = (
+        ("HBM4 (reference)", 1.0),
+        ("HBM roadmap 4x", HBM_ROADMAP_FACTOR),
+        ("Monolithic 3D 10x", MONOLITHIC_3D_FACTOR),
+    ),
+    stack_power_w: float = HBM4_STACK_POWER_W,
+) -> List[RoadmapPoint]:
+    """Stacks/power/area/buffering per switch across memory generations.
+
+    Per-stack power is held at the HBM4 value (conservative: SS 5 expects
+    future HBMs to need *less* power per bit, so these points are upper
+    bounds on memory power).
+    """
+    points = []
+    for name, factor in factors:
+        stacks = _stacks_needed(config, factor)
+        capacity_factor = factor  # roadmap scales capacity with bandwidth
+        points.append(
+            RoadmapPoint(
+                name=name,
+                bandwidth_factor=factor,
+                stacks_per_switch=stacks,
+                hbm_power_w_per_switch=stacks * stack_power_w,
+                hbm_area_mm2_per_switch=stacks * HBM_STACK_AREA_MM2,
+                buffer_bytes_per_switch=int(
+                    stacks * config.stack.capacity_bytes * capacity_factor
+                ),
+            )
+        )
+    return points
+
+
+def higher_capacity_variant(config: RouterConfig, bandwidth_factor: float) -> RouterConfig:
+    """The other direction SS 5 mentions: keep B stacks, raise the rates.
+
+    Returns a router whose per-wavelength rate is scaled by
+    ``bandwidth_factor`` (e.g. 112/40 for PAM4), with the switch port
+    rate scaled to match -- memory bandwidth permitting.
+    """
+    if bandwidth_factor <= 0:
+        raise ValueError(f"factor must be positive, got {bandwidth_factor}")
+    new_rate = config.wavelength_rate_bps * bandwidth_factor
+    new_switch = replace(
+        config.switch,
+        port_rate_bps=config.switch.port_rate_bps * bandwidth_factor,
+    )
+    return replace(
+        config, wavelength_rate_bps=new_rate, switch=new_switch
+    )

@@ -1,0 +1,159 @@
+"""Design-space sensitivity: how PFI's constants move with technology.
+
+The reference design's S = 1 KB / gamma = 4 / K = 512 KB triple is not
+arbitrary -- it is pinned by the ratio of DRAM row-cycle time to channel
+speed.  As memory generations raise the per-pin rate (E13's roadmap),
+segments transfer faster, the gamma <= 4 window tightens, and the
+*segment must grow* to keep the staggered schedule legal -- which grows
+the frame and with it the aggregation latency.  This module maps that
+frontier:
+
+- :func:`gamma_frontier` -- derived gamma across segment sizes;
+- :func:`required_segment_bytes` -- the smallest legal segment at a
+  given channel speed;
+- :func:`generation_sweep` -- S/K/fill-latency across memory
+  generations, the "faster memory needs bigger frames" law.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..config import HBMSwitchConfig
+from ..errors import ConfigError
+from ..hbm.interleaving import FOUR_ACTIVATION_LIMIT, derive_gamma
+from ..hbm.timing import HBMTiming
+from ..units import rate_to_bytes_per_ns
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One segment-size choice and its scheduling consequences."""
+
+    segment_bytes: int
+    segment_time_ns: float
+    gamma: Optional[int]  # None = no legal gamma within the limit
+    frame_bytes: Optional[int]
+
+    @property
+    def legal(self) -> bool:
+        return self.gamma is not None
+
+
+def gamma_frontier(
+    timing: HBMTiming,
+    channel_bytes_per_ns: float,
+    segment_sizes: Sequence[int],
+    total_channels: int,
+) -> List[FrontierPoint]:
+    """Derived gamma (and frame size) for each candidate segment size."""
+    if channel_bytes_per_ns <= 0:
+        raise ConfigError("channel rate must be positive")
+    points = []
+    for segment in segment_sizes:
+        if segment <= 0:
+            raise ConfigError(f"segment must be positive, got {segment}")
+        seg_time = segment / channel_bytes_per_ns
+        try:
+            gamma = derive_gamma(timing, seg_time)
+            frame = gamma * total_channels * segment
+        except ConfigError:
+            gamma = None
+            frame = None
+        points.append(FrontierPoint(segment, seg_time, gamma, frame))
+    return points
+
+
+def required_segment_bytes(
+    timing: HBMTiming,
+    channel_bytes_per_ns: float,
+    gamma_max: int = FOUR_ACTIVATION_LIMIT,
+    channel_width_bits: int = 64,
+    row_bytes: int = 1024,
+) -> int:
+    """Smallest legal segment at ``gamma_max``, paper-style.
+
+    The paper's rule for S (SS 3.2 step 3): the smallest integer multiple
+    of the burst length satisfying the interleaving constraint --
+    gamma * (S / rate) >= tRC, i.e. S >= tRC * rate / gamma -- "while
+    also being a unit fraction of a row length".  So: the smallest
+    burst-aligned divisor of the row at or above the minimum, or whole
+    rows (a multiple of ``row_bytes``) when even a full row is too small.
+
+    For HBM4 defaults this lands exactly on the paper's 1 KB.
+    """
+    import math
+
+    if gamma_max <= 0:
+        raise ConfigError(f"gamma_max must be positive, got {gamma_max}")
+    if channel_bytes_per_ns <= 0:
+        raise ConfigError("channel rate must be positive")
+    if row_bytes <= 0:
+        raise ConfigError(f"row_bytes must be positive, got {row_bytes}")
+    burst = timing.burst_bytes(channel_width_bits)
+    minimum = timing.t_rc * channel_bytes_per_ns / gamma_max
+    if minimum <= row_bytes:
+        # Smallest burst-aligned unit fraction of the row >= minimum.
+        for divisor in sorted(
+            d for d in range(1, row_bytes + 1) if row_bytes % d == 0
+        ):
+            if divisor % burst == 0 and divisor >= minimum:
+                return divisor
+        return row_bytes
+    # Beyond a row: whole rows.
+    return int(math.ceil(minimum / row_bytes)) * row_bytes
+
+
+@dataclass(frozen=True)
+class GenerationPoint:
+    """PFI constants re-derived for one memory generation."""
+
+    name: str
+    pin_gbps: float
+    channel_bytes_per_ns: float
+    segment_bytes: int
+    gamma: int
+    frame_bytes: int
+    frame_fill_ns: float  # K / P: the latency cost of the bigger frame
+
+
+def generation_sweep(
+    config: HBMSwitchConfig,
+    timing: HBMTiming = HBMTiming(),
+    generations: Sequence[Tuple[str, float]] = (
+        ("HBM4 (10 G/pin)", 10.0),
+        ("HBM5-class (20 G/pin)", 20.0),
+        ("HBM6-class (40 G/pin)", 40.0),
+    ),
+) -> List[GenerationPoint]:
+    """Re-derive S, gamma and K as the per-pin rate scales.
+
+    Port rate is held at the reference value; what changes is how fast a
+    channel drains a segment, and therefore how big the segment must be
+    to span tRC at gamma <= 4.  ``frame_fill_ns`` (K/P) is the
+    aggregation-latency price of each generation -- the quantitative
+    form of "faster memory needs bigger frames".
+    """
+    port_rate = rate_to_bytes_per_ns(config.port_rate_bps)
+    points = []
+    for name, pin_gbps in generations:
+        if pin_gbps <= 0:
+            raise ConfigError(f"pin rate must be positive, got {pin_gbps}")
+        channel_rate = pin_gbps * config.stack.channel_width_bits / 8.0  # B/ns
+        segment = required_segment_bytes(timing, channel_rate)
+        seg_time = segment / channel_rate
+        gamma = derive_gamma(timing, seg_time)
+        frame = gamma * config.total_channels * segment
+        points.append(
+            GenerationPoint(
+                name=name,
+                pin_gbps=pin_gbps,
+                channel_bytes_per_ns=channel_rate,
+                segment_bytes=segment,
+                gamma=gamma,
+                frame_bytes=frame,
+                frame_fill_ns=frame / port_rate,
+            )
+        )
+    return points

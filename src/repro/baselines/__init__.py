@@ -1,0 +1,58 @@
+"""Baselines the paper compares against.
+
+- :mod:`ideal_oq` -- the ideal output-queued shared-memory switch, the
+  "holy grail" PFI mimics (Design 6 step 6, [6]).
+- :mod:`centralized` -- Design 1: one centralized fabric; infeasible
+  memory/switching rates (Challenge 1).
+- :mod:`mesh` -- Design 2: a sqrt(H) x sqrt(H) mesh; the 2/n guaranteed-
+  capacity bound (Challenge 2, [61]).
+- :mod:`clos` -- Design 3: three electronic stages, three OEO
+  conversions (Challenge 3).
+- :mod:`random_access` -- HBM used obliviously to its timing rules:
+  worst-case random accesses and the 2.6x / 39x / ~1250x throughput
+  reductions (Challenge 6).
+- :mod:`spray` -- random packet spraying over memory modules plus an
+  output reordering buffer ([59], [57, 62, 66]).
+"""
+
+from .centralized import CentralizedFeasibility, centralized_feasibility
+from .clos import ClosDesign, clos_design
+from .ideal_oq import IdealOQSwitch, OQResult, relative_delays
+from .islip import ISLIPResult, ISLIPSwitch, scheduler_rate_required
+from .load_balanced import LoadBalancedResult, LoadBalancedSwitch
+from .mesh import (
+    mesh_guaranteed_capacity,
+    mesh_hop_count,
+    mesh_link_loads_uniform,
+    mesh_wasted_fraction,
+)
+from .random_access import (
+    RandomAccessModel,
+    random_access_reduction,
+    simulate_random_access_channel,
+)
+from .spray import SprayResult, SpraySwitch
+
+__all__ = [
+    "IdealOQSwitch",
+    "OQResult",
+    "relative_delays",
+    "CentralizedFeasibility",
+    "centralized_feasibility",
+    "mesh_guaranteed_capacity",
+    "mesh_hop_count",
+    "mesh_link_loads_uniform",
+    "mesh_wasted_fraction",
+    "ClosDesign",
+    "clos_design",
+    "RandomAccessModel",
+    "random_access_reduction",
+    "simulate_random_access_channel",
+    "SpraySwitch",
+    "SprayResult",
+    "LoadBalancedSwitch",
+    "LoadBalancedResult",
+    "ISLIPSwitch",
+    "ISLIPResult",
+    "scheduler_rate_required",
+]

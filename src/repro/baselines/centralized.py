@@ -1,0 +1,59 @@
+"""Design 1: a single centralized switch fabric.
+
+Challenge 1: "A single centralized switch cannot keep up with our needed
+high rates, as it would need prohibitive switching rates as well as
+memory access rates."  This module quantifies "prohibitive": the
+shared-memory access rate a centralized fabric needs versus what one
+memory system provides, and the packet decision rate versus what one
+scheduler can do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import RouterConfig
+from ..constants import HBM4_STACK_BANDWIDTH, TOMAHAWK5_CAPACITY
+
+
+@dataclass(frozen=True)
+class CentralizedFeasibility:
+    """How far beyond single-device limits a centralized design sits."""
+
+    required_memory_bps: float
+    single_stack_bps: float
+    required_decisions_per_s: float
+    reference_chip_bps: float
+
+    @property
+    def memory_shortfall(self) -> float:
+        """Required memory rate over one HBM4 stack's peak (>= 64x)."""
+        return self.required_memory_bps / self.single_stack_bps
+
+    @property
+    def switching_shortfall(self) -> float:
+        """Required fabric rate over the biggest shipping switch chip."""
+        return (self.required_memory_bps / 2.0) / self.reference_chip_bps
+
+    @property
+    def feasible(self) -> bool:
+        """A centralized design is feasible only if both ratios are <= 1."""
+        return self.memory_shortfall <= 1.0 and self.switching_shortfall <= 1.0
+
+
+def centralized_feasibility(
+    config: RouterConfig, min_packet_bytes: int = 64
+) -> CentralizedFeasibility:
+    """Rates a centralized shared-memory fabric would need for ``config``.
+
+    A shared memory must absorb every bit in and out (2x the ingress);
+    the scheduler must make a decision per minimum-size packet.
+    """
+    required_memory = config.total_io_bps  # in + out
+    decisions = config.io_per_direction_bps / (8.0 * min_packet_bytes)
+    return CentralizedFeasibility(
+        required_memory_bps=required_memory,
+        single_stack_bps=HBM4_STACK_BANDWIDTH,
+        required_decisions_per_s=decisions,
+        reference_chip_bps=TOMAHAWK5_CAPACITY,
+    )

@@ -1,0 +1,63 @@
+"""Design 3: a three-stage Clos / load-balanced organisation.
+
+Challenge 3: per-packet load balancing and output reordering are
+near-impossible in optics, so all three stages must be electronic --
+**three O/E/O conversion stages** instead of one, plus the processing
+and memory split across three chiplet sets.  This module prices that
+choice with the same power model used for SPS, so E8's comparison is
+apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import RouterConfig
+from ..analysis.power import PowerBreakdown, hbm_switch_power
+
+
+@dataclass(frozen=True)
+class ClosDesign:
+    """A three-stage organisation of the same aggregate capacity."""
+
+    stages: int
+    oeo_stages: int
+    switches_per_stage: int
+    power: PowerBreakdown
+    needs_reorder_buffer: bool
+
+    @property
+    def total_power_w(self) -> float:
+        return self.power.total_w
+
+
+def clos_design(config: RouterConfig, stages: int = 3) -> ClosDesign:
+    """Price a ``stages``-stage Clos built from the same HBM switches.
+
+    Each packet crosses every stage, so every stage's switches carry the
+    full traffic and every stage boundary is an OEO conversion: OEO
+    power scales by ``stages``, and processing/memory power by the
+    stage count too (the same total traffic is processed ``stages``
+    times).  Per-packet load balancing also requires resequencing at the
+    outputs (the reorder-buffer cost SS 4 charges the statistical
+    approach).
+    """
+    if stages < 1:
+        raise ValueError(f"stages must be >= 1, got {stages}")
+    per_switch = hbm_switch_power(config.switch, oeo_stages=1)
+    # H switches per stage carry the full load; `stages` stages of them.
+    total = per_switch.scaled(config.n_switches * stages)
+    return ClosDesign(
+        stages=stages,
+        oeo_stages=stages,
+        switches_per_stage=config.n_switches,
+        power=total,
+        needs_reorder_buffer=stages > 1,
+    )
+
+
+def sps_vs_clos_power_ratio(config: RouterConfig) -> float:
+    """Clos power over SPS power for the same capacity (about 3x)."""
+    sps = hbm_switch_power(config.switch).scaled(config.n_switches)
+    clos = clos_design(config).power
+    return clos.total_w / sps.total_w

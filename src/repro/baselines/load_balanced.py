@@ -1,0 +1,188 @@
+"""A load-balanced two-stage switch (Design 3, [38, 47, 48]).
+
+The classic load-balanced router: a first cyclic crossbar spreads
+arriving cells round-robin over N intermediate VOQ buffers (perfect
+electronic per-packet load balancing), a second cyclic crossbar connects
+the middles to the outputs.  It guarantees 100% throughput for
+admissible traffic with no scheduler -- but:
+
+- it needs **electronic** per-cell spreading at every input and a
+  **resequencing buffer** at every output (cells of one flow take
+  different paths and arrive out of order), which is exactly why the
+  paper rules it out for the optical splitting stage (Challenge 3); and
+- as a three-stage package organisation it pays 3 OEO conversions
+  (priced in :mod:`repro.baselines.clos`).
+
+The simulation is cell-slotted (cells of ``cell_bytes`` at line rate)
+and measures what SPS avoids: the resequencing buffer and delay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..traffic.packet import Packet
+from ..units import bytes_per_ns_to_rate, rate_to_bytes_per_ns
+
+
+@dataclass
+class LoadBalancedResult:
+    """Outcome of a load-balanced switch run."""
+
+    delivered_bytes: int
+    delivered_packets: int
+    elapsed_ns: float
+    cells_switched: int
+    reorder_buffer_peak_bytes: int
+    resequencing_delay_mean_ns: float
+    resequencing_delay_max_ns: float
+    out_of_order_packets: int
+
+    @property
+    def throughput_bps(self) -> float:
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return bytes_per_ns_to_rate(self.delivered_bytes / self.elapsed_ns)
+
+
+class LoadBalancedSwitch:
+    """Two cyclic crossbars around N intermediate VOQ buffers."""
+
+    def __init__(self, n_ports: int, port_rate_bps: float, cell_bytes: int = 64):
+        if n_ports <= 0:
+            raise ConfigError(f"n_ports must be positive, got {n_ports}")
+        if port_rate_bps <= 0:
+            raise ConfigError(f"port rate must be positive, got {port_rate_bps}")
+        if cell_bytes <= 0:
+            raise ConfigError(f"cell size must be positive, got {cell_bytes}")
+        self.n = n_ports
+        self.rate = rate_to_bytes_per_ns(port_rate_bps)
+        self.cell_bytes = cell_bytes
+        self.cell_time = cell_bytes / self.rate
+
+    def run(self, packets: Sequence[Packet], max_slots: int = 10_000_000) -> LoadBalancedResult:
+        """Push a packet sequence through both stages.
+
+        Packets are cut into cells; input queues release one cell per
+        slot toward the middle the first crossbar currently faces; each
+        middle releases one cell per slot toward the output the second
+        crossbar currently faces.  A packet completes when its last cell
+        reaches the output; the resequencer then holds it until all
+        earlier packets of its output have completed.
+        """
+        n = self.n
+        # Input queues of (packet, cells_remaining, is_last-aware) cells.
+        input_queues: List[Deque[Tuple[Packet, int]]] = [deque() for _ in range(n)]
+        arrivals = deque(
+            (p.arrival_ns, p) for p in sorted(packets, key=lambda p: p.arrival_ns)
+        )
+        # Middle VOQs: middle m, output j -> deque of packets (one entry
+        # per cell).
+        voqs: List[List[Deque[Packet]]] = [
+            [deque() for _ in range(n)] for _ in range(n)
+        ]
+        # A packet completes when ALL its cells reached the output --
+        # cells take different middles and arrive out of order.
+        cells_to_deliver: Dict[int, int] = {
+            p.pid: max(1, -(-p.size_bytes // self.cell_bytes)) for p in packets
+        }
+        completion: Dict[int, float] = {}
+        cells_switched = 0
+        slot = 0
+        pending = len(packets)
+        while pending > 0:
+            if slot >= max_slots:
+                raise ConfigError("load-balanced simulation exceeded max_slots")
+            now = slot * self.cell_time
+            # Admit arrivals whose time has come.
+            while arrivals and arrivals[0][0] <= now:
+                _, packet = arrivals.popleft()
+                input_queues[packet.input_port].append(
+                    (packet, cells_to_deliver[packet.pid])
+                )
+            # Stage 1: input i -> middle (i + slot) mod n, one cell.
+            for i in range(n):
+                if not input_queues[i]:
+                    continue
+                middle = (i + slot) % n
+                packet, cells_left = input_queues[i][0]
+                cells_left -= 1
+                if cells_left == 0:
+                    input_queues[i].popleft()
+                else:
+                    input_queues[i][0] = (packet, cells_left)
+                voqs[middle][packet.output_port].append(packet)
+                cells_switched += 1
+            # Stage 2: middle m -> output (m + slot) mod n, one cell.
+            for m in range(n):
+                j = (m + slot) % n
+                if not voqs[m][j]:
+                    continue
+                packet = voqs[m][j].popleft()
+                cells_switched += 1
+                cells_to_deliver[packet.pid] -= 1
+                if cells_to_deliver[packet.pid] == 0:
+                    completion[packet.pid] = (slot + 1) * self.cell_time
+                    pending -= 1
+            slot += 1
+            if not arrivals and all(not q for q in input_queues) and all(
+                not voq for row in voqs for voq in row
+            ):
+                break
+        return self._resequence(packets, completion, cells_switched)
+
+    def _resequence(
+        self, packets: Sequence[Packet], completion: Dict[int, float], cells_switched: int
+    ) -> LoadBalancedResult:
+        """In-order delivery per output: departure = prefix max."""
+        watermark = [0.0] * self.n
+        hold: List[Tuple[float, float, int]] = []
+        delays: List[float] = []
+        out_of_order = 0
+        elapsed = 0.0
+        delivered_bytes = 0
+        for packet in sorted(packets, key=lambda p: p.pid):
+            done = completion.get(packet.pid)
+            if done is None:
+                continue
+            j = packet.output_port
+            depart = max(done, watermark[j])
+            if depart > done:
+                out_of_order += 1
+                hold.append((done, depart, packet.size_bytes))
+            watermark[j] = depart
+            packet.departure_ns = depart
+            delays.append(depart - done)
+            elapsed = max(elapsed, depart)
+            delivered_bytes += packet.size_bytes
+        peak = _peak_bytes(hold)
+        delays_arr = np.asarray(delays) if delays else np.zeros(1)
+        return LoadBalancedResult(
+            delivered_bytes=delivered_bytes,
+            delivered_packets=len(delays),
+            elapsed_ns=elapsed,
+            cells_switched=cells_switched,
+            reorder_buffer_peak_bytes=peak,
+            resequencing_delay_mean_ns=float(delays_arr.mean()),
+            resequencing_delay_max_ns=float(delays_arr.max()),
+            out_of_order_packets=out_of_order,
+        )
+
+
+def _peak_bytes(intervals: List[Tuple[float, float, int]]) -> int:
+    """Peak concurrent bytes across (start, end, size) hold intervals."""
+    events: List[Tuple[float, int]] = []
+    for start, end, size in intervals:
+        events.append((start, size))
+        events.append((end, -size))
+    events.sort(key=lambda e: (e[0], e[1]))
+    held = peak = 0
+    for _, delta in events:
+        held += delta
+        peak = max(peak, held)
+    return peak

@@ -1,0 +1,126 @@
+"""Design 2: organising the H switches as a 2-D mesh.
+
+Challenge 2 (citing [61]): multi-hop forwarding through intermediate
+switches wastes link capacity and power; for an n x n mesh under
+arbitrary admissible traffic the guaranteed capacity is at most 2/n of
+the total -- 20% for a 10 x 10 mesh.
+
+Two views are provided:
+
+- the closed-form bound :func:`mesh_guaranteed_capacity` (a bisection
+  argument: up to half the traffic must cross the n-link middle cut in
+  each direction);
+- a constructive check :func:`mesh_link_loads_uniform` that routes a
+  worst-case admissible pattern with dimension-ordered routing (XY) and
+  reports per-link loads, showing the middle-cut saturation directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import ConfigError
+
+
+def mesh_guaranteed_capacity(n: int) -> float:
+    """Worst-case throughput fraction guaranteed by an n x n mesh.
+
+    Bisection argument: an adversarial admissible pattern sends all
+    traffic across the vertical middle cut, which has only n links per
+    direction while n^2/2 nodes (half the total capacity n^2) inject
+    toward it; the sustainable fraction is 2n/n^2 = 2/n (the [61]
+    worst-case bound the paper quotes: 20% at n = 10).
+    """
+    if n <= 0:
+        raise ConfigError(f"mesh edge must be positive, got {n}")
+    if n == 1:
+        return 1.0
+    return min(1.0, 2.0 / n)
+
+
+def mesh_wasted_fraction(n: int) -> float:
+    """Capacity (and power) fraction wasted in the worst case: 1 - 2/n."""
+    return 1.0 - mesh_guaranteed_capacity(n)
+
+
+def mesh_hop_count(n: int) -> float:
+    """Mean hop count of XY routing under uniform traffic (~2n/3).
+
+    Every hop is switch capacity and link power spent on transit, which
+    is the "waste" Challenge 2 objects to; SPS packets take exactly one
+    hop regardless of H.
+    """
+    if n <= 0:
+        raise ConfigError(f"mesh edge must be positive, got {n}")
+    # Expected |x1 - x2| for uniform x in [0, n): (n^2 - 1) / (3n), twice.
+    per_dim = (n * n - 1) / (3.0 * n)
+    return 2.0 * per_dim
+
+
+def mesh_link_loads_uniform(
+    n: int, cross_pattern: bool = True
+) -> Dict[Tuple[Tuple[int, int], Tuple[int, int]], float]:
+    """Per-link load of XY routing at injection rate 1 per node.
+
+    With ``cross_pattern`` (the adversarial case) every node on the left
+    half sends to its mirror on the right half and vice versa -- an
+    admissible permutation that slams the middle cut.  Returns directed
+    link -> load; max load / injection shows how little of the injection
+    rate is sustainable (the 2/n effect).
+    """
+    if n <= 1:
+        raise ConfigError(f"need n >= 2, got {n}")
+    loads: Dict[Tuple[Tuple[int, int], Tuple[int, int]], float] = {}
+
+    def _route(src: Tuple[int, int], dst: Tuple[int, int], demand: float) -> None:
+        x, y = src
+        # X first.
+        while x != dst[0]:
+            nxt = x + (1 if dst[0] > x else -1)
+            key = ((x, y), (nxt, y))
+            loads[key] = loads.get(key, 0.0) + demand
+            x = nxt
+        while y != dst[1]:
+            nxt = y + (1 if dst[1] > y else -1)
+            key = ((x, y), (x, nxt))
+            loads[key] = loads.get(key, 0.0) + demand
+            y = nxt
+
+    if cross_pattern:
+        for x in range(n):
+            for y in range(n):
+                mirror = (n - 1 - x, y)
+                if mirror != (x, y):
+                    _route((x, y), mirror, 1.0)
+    else:
+        demand = 1.0 / (n * n - 1)
+        for sx in range(n):
+            for sy in range(n):
+                for dx in range(n):
+                    for dy in range(n):
+                        if (sx, sy) != (dx, dy):
+                            _route((sx, sy), (dx, dy), demand)
+    return loads
+
+
+def mesh_sustainable_fraction(n: int, cross_pattern: bool = True) -> float:
+    """Injection fraction sustainable given the max link load of XY routing.
+
+    Links have capacity 1 (one injection's worth).  For the adversarial
+    cross pattern this lands at O(1/n), consistent with (and tighter
+    than) the 2/n bound.
+    """
+    loads = mesh_link_loads_uniform(n, cross_pattern)
+    peak = max(loads.values())
+    return min(1.0, 1.0 / peak)
+
+
+def mesh_transit_power_factor(n: int) -> float:
+    """Power multiplier from multi-hop OEO relative to a single hop.
+
+    Every hop in a photonics-interconnected mesh is an O/E/O crossing
+    (or an extra chiplet I/O [10]); mean hops ~ 2n/3 means the mesh
+    spends that factor more conversion energy per delivered bit than
+    SPS's single conversion.
+    """
+    return max(1.0, mesh_hop_count(n))

@@ -1,0 +1,126 @@
+"""HBM used obliviously to its timing rules (Challenge 6).
+
+Prior shared-memory and spraying designs "are oblivious to the specific
+HBM memory rules and assume worst-case random access times": every
+packet access pays a full activate + precharge (~30 ns) around a tiny
+data transfer.  The paper quantifies the damage:
+
+- 1,500-byte packets, leveraging parallel channels: **2.6x** reduction;
+- 64-byte packets: **39x**;
+- without leveraging parallel channels: up to **~1,250x**.
+
+:func:`random_access_reduction` is the closed-form model (reduction =
+(overhead + transfer) / transfer, times the parallelism left unused);
+:func:`simulate_random_access_channel` reproduces the same number by
+actually issuing ACT/RD/PRE per packet on the timing-checked bank model,
+so the analytic and executable views agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import HBMStackConfig
+from ..errors import ConfigError
+from ..hbm.bank import Bank
+from ..hbm.commands import Command, Op
+from ..hbm.timing import HBMTiming
+
+
+@dataclass(frozen=True)
+class RandomAccessModel:
+    """Outcome of the random-access throughput analysis."""
+
+    packet_bytes: int
+    transfer_ns: float
+    overhead_ns: float
+    channels_used: int
+    channels_total: int
+
+    @property
+    def per_channel_reduction(self) -> float:
+        """(overhead + transfer) / transfer on the channels actually used."""
+        return (self.overhead_ns + self.transfer_ns) / self.transfer_ns
+
+    @property
+    def parallelism_penalty(self) -> float:
+        """Extra loss from leaving channels idle."""
+        return self.channels_total / self.channels_used
+
+    @property
+    def total_reduction(self) -> float:
+        """Throughput reduction versus peak rate."""
+        return self.per_channel_reduction * self.parallelism_penalty
+
+    @property
+    def efficiency(self) -> float:
+        return 1.0 / self.total_reduction
+
+
+def random_access_reduction(
+    packet_bytes: int,
+    timing: HBMTiming = HBMTiming(),
+    stack: HBMStackConfig = HBMStackConfig(),
+    leverage_parallel_channels: bool = True,
+) -> RandomAccessModel:
+    """The paper's throughput-reduction factors, from first principles.
+
+    With parallel channels, each packet still lands on *one* channel
+    (random placement), but all channels work concurrently, so the
+    reduction is just the per-access inefficiency.  Without them, a
+    single channel serves everything while the other 31 idle.
+    """
+    if packet_bytes <= 0:
+        raise ConfigError(f"packet size must be positive, got {packet_bytes}")
+    transfer = packet_bytes / stack.channel_bytes_per_ns
+    overhead = timing.random_access_overhead_ns
+    channels_used = stack.channels if leverage_parallel_channels else 1
+    return RandomAccessModel(
+        packet_bytes=packet_bytes,
+        transfer_ns=transfer,
+        overhead_ns=overhead,
+        channels_used=channels_used,
+        channels_total=stack.channels,
+    )
+
+
+def simulate_random_access_channel(
+    packet_bytes: int,
+    n_packets: int = 200,
+    timing: HBMTiming = HBMTiming(),
+    stack: HBMStackConfig = HBMStackConfig(),
+    n_banks: int = 4,
+) -> float:
+    """Measured throughput reduction on the real bank state machine.
+
+    Serves ``n_packets`` accesses with the oblivious designs' worst-case
+    discipline: a strictly serial closed-page controller -- activate,
+    wait tRCD, transfer, precharge, wait tRP, only then start the next
+    access.  Banks rotate so per-bank rules (tRC, tRAS) are also
+    satisfied, but the controller never pipelines, which is exactly the
+    "about 30 ns just to activate and close banks" per access the paper
+    charges.  Measures achieved bytes/ns versus the channel peak.
+    """
+    if n_packets <= 0:
+        raise ConfigError(f"n_packets must be positive, got {n_packets}")
+    if n_banks < 2:
+        raise ConfigError("bank rotation needs n_banks >= 2 to satisfy tRC")
+    banks = [Bank(timing, channel=0, index=b) for b in range(n_banks)]
+    rate = stack.channel_bytes_per_ns
+    now = 0.0
+    for i in range(n_packets):
+        bank = banks[i % n_banks]
+        act_at = max(now, bank.earliest_activate())
+        bank.apply(Command(Op.ACT, 0, i % n_banks, 0, act_at))
+        rd_at = act_at + timing.t_rcd
+        transfer = timing.quantise_to_bursts(packet_bytes, stack.channel_width_bits) / rate
+        bank.apply(Command(Op.RD, 0, i % n_banks, 0, rd_at, size_bytes=packet_bytes), transfer)
+        data_end = rd_at + transfer
+        pre_at = max(act_at + timing.t_ras, data_end)
+        bank.apply(Command(Op.PRE, 0, i % n_banks, 0, pre_at))
+        # Serial turnaround: the controller charges the precharge time
+        # before starting the next access (on the next bank).
+        now = data_end + timing.t_rp
+    elapsed = now
+    achieved = n_packets * packet_bytes / elapsed
+    return rate / achieved

@@ -1,0 +1,274 @@
+"""Random packet spraying with an output reordering buffer.
+
+The alternative to frames (Challenge 6, citing [59] and the datacenter
+packet-spraying line [14, 26, 45, 68]): spray each packet to a random
+memory module, then resequence at the output [57, 62, 66].  Two costs,
+both quantified here by simulation:
+
+- **throughput**: every access is random, paying the ~30 ns
+  activate/precharge overhead around its transfer (the E3 reductions);
+- **memory**: the resequencer must hold every packet that completed
+  before an earlier packet of its output -- the buffer the paper calls
+  "an order of magnitude higher" than PFI's 14.5 MB of frame-assembly
+  SRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..config import HBMStackConfig
+from ..errors import ConfigError
+from ..hbm.timing import HBMTiming
+from ..traffic.packet import Packet
+from ..units import bytes_per_ns_to_rate
+
+
+@dataclass
+class SprayResult:
+    """Outcome of a spraying-switch run."""
+
+    delivered_bytes: int
+    elapsed_ns: float
+    reorder_buffer_peak_bytes: int
+    reorder_delay_mean_ns: float
+    reorder_delay_max_ns: float
+    channel_busy_fraction: float
+
+    @property
+    def throughput_bps(self) -> float:
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return bytes_per_ns_to_rate(self.delivered_bytes / self.elapsed_ns)
+
+
+class SpraySwitch:
+    """T parallel memory channels, random placement, output resequencing."""
+
+    def __init__(
+        self,
+        n_channels: int,
+        n_outputs: int,
+        timing: HBMTiming = HBMTiming(),
+        stack: HBMStackConfig = HBMStackConfig(),
+        seed: int = 0,
+    ) -> None:
+        if n_channels <= 0 or n_outputs <= 0:
+            raise ConfigError(
+                f"need positive counts, got T={n_channels}, N={n_outputs}"
+            )
+        self.n_channels = n_channels
+        self.n_outputs = n_outputs
+        self.timing = timing
+        self.stack = stack
+        self._rng = np.random.default_rng(seed)
+
+    def run(self, packets: Sequence[Packet]) -> SprayResult:
+        """Spray ``packets`` (arrival-sorted) and resequence per output.
+
+        Each packet's memory completion is its channel's FCFS service at
+        the worst-case random access cost; its departure is held until
+        all earlier packets of its output have completed (in-order
+        delivery).  The resequencing buffer holds completed-but-held
+        packets.
+        """
+        channel_free = np.zeros(self.n_channels)
+        busy_time = 0.0
+        completion: List[float] = []
+        rate = self.stack.channel_bytes_per_ns
+        overhead = self.timing.random_access_overhead_ns
+        for packet in packets:
+            channel = int(self._rng.integers(self.n_channels))
+            transfer = (
+                self.timing.quantise_to_bursts(
+                    packet.size_bytes, self.stack.channel_width_bits
+                )
+                / rate
+            )
+            service = overhead + transfer
+            start = max(packet.arrival_ns, channel_free[channel])
+            done = start + service
+            channel_free[channel] = done
+            busy_time += service
+            completion.append(done)
+
+        # Resequence per output: departure = prefix max of completions.
+        per_output_watermark = [0.0] * self.n_outputs
+        departures: List[float] = []
+        hold_intervals: List[Tuple[float, float, int]] = []
+        delays: List[float] = []
+        for packet, done in zip(packets, completion):
+            j = packet.output_port
+            depart = max(done, per_output_watermark[j])
+            per_output_watermark[j] = depart
+            departures.append(depart)
+            delays.append(depart - done)
+            if depart > done:
+                hold_intervals.append((done, depart, packet.size_bytes))
+
+        peak = _peak_held_bytes(hold_intervals)
+        elapsed = max(departures) if departures else 0.0
+        delivered = sum(p.size_bytes for p in packets)
+        busy_fraction = (
+            busy_time / (elapsed * self.n_channels) if elapsed > 0 else 0.0
+        )
+        delays_arr = np.asarray(delays)
+        return SprayResult(
+            delivered_bytes=delivered,
+            elapsed_ns=elapsed,
+            reorder_buffer_peak_bytes=peak,
+            reorder_delay_mean_ns=float(delays_arr.mean()) if len(delays_arr) else 0.0,
+            reorder_delay_max_ns=float(delays_arr.max()) if len(delays_arr) else 0.0,
+            channel_busy_fraction=busy_fraction,
+        )
+
+
+def _peak_held_bytes(intervals: List[Tuple[float, float, int]]) -> int:
+    """Peak concurrent bytes across (start, end, size) hold intervals."""
+    if not intervals:
+        return 0
+    events: List[Tuple[float, int]] = []
+    for start, end, size in intervals:
+        events.append((start, size))
+        events.append((end, -size))
+    events.sort(key=lambda e: (e[0], e[1]))
+    held = 0
+    peak = 0
+    for _, delta in events:
+        held += delta
+        peak = max(peak, held)
+    return peak
+
+
+def reorder_stats_by_flow(
+    packets: Sequence[Packet], completions: Sequence[float]
+) -> Dict[str, float]:
+    """Fraction of packets that completed out of flow order.
+
+    The "reordering rate" knob of [57, 62, 66]: per flow, a packet is
+    reordered if an earlier packet of its flow completes later.
+    """
+    last_completion: Dict[tuple, float] = {}
+    reordered = 0
+    for packet, done in zip(packets, completions):
+        key = (
+            packet.flow.src_ip,
+            packet.flow.dst_ip,
+            packet.flow.src_port,
+            packet.flow.dst_port,
+            packet.flow.protocol,
+        )
+        previous = last_completion.get(key)
+        if previous is not None and done < previous:
+            reordered += 1
+        last_completion[key] = max(previous or 0.0, done)
+    total = max(len(packets), 1)
+    return {"reordered_fraction": reordered / total, "count": float(len(packets))}
+
+
+@dataclass
+class BoundedResequencingResult:
+    """Outcome of resequencing with a finite buffer."""
+
+    buffer_bytes: int
+    delivered_packets: int
+    reordered_packets: int
+    peak_held_bytes: int
+    mean_hold_ns: float
+
+    @property
+    def reordering_rate(self) -> float:
+        """Fraction of packets delivered out of order."""
+        if self.delivered_packets == 0:
+            return 0.0
+        return self.reordered_packets / self.delivered_packets
+
+
+def bounded_resequencing(
+    packets: Sequence[Packet],
+    completions: Sequence[float],
+    buffer_bytes: int,
+) -> BoundedResequencingResult:
+    """Resequence with a finite buffer, evicting when it overflows.
+
+    The SS 4 trade the paper cites [57, 62, 66]: a spraying design's
+    reordering buffer can be shrunk only by accepting a reordering rate
+    -- when the buffer fills, the earliest-completed held packet is
+    released out of order.  Sweeping ``buffer_bytes`` produces the
+    buffer-vs-reordering-rate curve (ablation bench A3).
+    """
+    if buffer_bytes < 0:
+        raise ConfigError(f"buffer must be >= 0, got {buffer_bytes}")
+    # Per-output in-order pid sequences (arrival order = pid order).
+    order: Dict[int, List[int]] = {}
+    for packet in sorted(packets, key=lambda p: p.pid):
+        order.setdefault(packet.output_port, []).append(packet.pid)
+    next_index = {output: 0 for output in order}
+    sizes = {p.pid: p.size_bytes for p in packets}
+    outputs = {p.pid: p.output_port for p in packets}
+
+    # Process completions in time order.
+    events = sorted(zip(completions, (p.pid for p in packets)))
+    held: Dict[int, float] = {}  # pid -> completion time
+    held_bytes = 0
+    delivered: set = set()
+    reordered = 0
+    peak = 0
+    hold_time_total = 0.0
+    held_count = 0
+
+    def advance(output: int, now: float) -> None:
+        nonlocal held_bytes, hold_time_total, held_count
+        sequence = order[output]
+        while next_index[output] < len(sequence):
+            pid = sequence[next_index[output]]
+            if pid in delivered:
+                next_index[output] += 1
+            elif pid in held:
+                hold_time_total += now - held.pop(pid)
+                held_count += 1
+                held_bytes -= sizes[pid]
+                delivered.add(pid)
+                next_index[output] += 1
+            else:
+                break
+
+    for time, pid in events:
+        output = outputs[pid]
+        sequence = order[output]
+        # Skip already-delivered (evicted) heads.
+        advance(output, time)
+        if (
+            next_index[output] < len(sequence)
+            and sequence[next_index[output]] == pid
+        ):
+            delivered.add(pid)
+            next_index[output] += 1
+            advance(output, time)
+            continue
+        # Out of order: hold it, evicting if the buffer overflows.
+        held[pid] = time
+        held_bytes += sizes[pid]
+        peak = max(peak, held_bytes)
+        while held_bytes > buffer_bytes:
+            evict = min(held, key=lambda k: held[k])
+            hold_time_total += time - held.pop(evict)
+            held_count += 1
+            held_bytes -= sizes[evict]
+            delivered.add(evict)
+            reordered += 1
+    # Drain anything still held (deliverable in order at the end).
+    final_time = events[-1][0] if events else 0.0
+    for output in list(next_index):
+        advance(output, final_time)
+    mean_hold = hold_time_total / held_count if held_count else 0.0
+    return BoundedResequencingResult(
+        buffer_bytes=buffer_bytes,
+        delivered_packets=len(delivered),
+        reordered_packets=reordered,
+        peak_held_bytes=peak,
+        mean_hold_ns=mean_hold,
+    )

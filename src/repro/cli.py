@@ -1,0 +1,280 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``analyze``     -- print the SS 4 design analysis of the reference design
+                     (or a scaled one with ``--scaled``).
+- ``simulate``    -- run one HBM switch simulation and print its report.
+- ``sweep``       -- sweep offered load on one switch; print a row per load.
+- ``experiments`` -- list the experiment index (E1..E16 and ablations)
+                     with the bench that regenerates each.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    capacity_vs_reference,
+    hbm_switch_power,
+    router_area,
+    router_buffering,
+    router_power,
+    sram_sizing,
+)
+from .config import reference_router, scaled_router
+from .core import HBMSwitch, PFIOptions
+from .reporting import Table
+from .traffic import (
+    ArrivalProcess,
+    FixedSize,
+    ImixSize,
+    TrafficGenerator,
+    uniform_matrix,
+)
+from .units import format_rate, format_size, format_time
+
+#: The experiment index (mirrors DESIGN.md SS 4).
+EXPERIMENTS = [
+    ("E1", "Package I/O budget (655 Tb/s / 1.31 Pb/s)", "benchmarks/test_e01_io_budget.py"),
+    ("E2", "Mesh guaranteed capacity (2/n bound)", "benchmarks/test_e02_mesh_capacity.py"),
+    ("E3", "Random-access HBM reductions (2.6x/39x/1250x)", "benchmarks/test_e03_random_access.py"),
+    ("E4", "PFI peak rate, 2% transitions, hidden refresh", "benchmarks/test_e04_pfi_peak_rate.py"),
+    ("E5", "OQ mimicry with small speedup", "benchmarks/test_e05_oq_mimicry.py"),
+    ("E6", "Buffer sizing (4 TB / ~51 ms)", "benchmarks/test_e06_buffer_sizing.py"),
+    ("E7", "SRAM sizing (14.5 MB)", "benchmarks/test_e07_sram_sizing.py"),
+    ("E8", "Power (794 W/switch, 12.7 kW)", "benchmarks/test_e08_power.py"),
+    ("E9", "Area (20,544 mm^2, <10% panel)", "benchmarks/test_e09_area.py"),
+    ("E10", "Fiber-split load balance & adversary", "benchmarks/test_e10_fiber_split.py"),
+    ("E11", "Capacity increase (>50x Cisco 8201)", "benchmarks/test_e11_capacity.py"),
+    ("E12", "Padding + bypass latency", "benchmarks/test_e12_latency_bypass.py"),
+    ("E13", "HBM roadmap projections", "benchmarks/test_e13_roadmap.py"),
+    ("E14", "Datacenter small-frame variant", "benchmarks/test_e14_datacenter_frames.py"),
+    ("E15", "Interface-width arithmetic", "benchmarks/test_e15_interface_widths.py"),
+    ("E16", "S and gamma derivation + ablation", "benchmarks/test_e16_gamma_derivation.py"),
+    ("A1", "Static regions vs dynamic pages", "benchmarks/test_a01_dynamic_paging.py"),
+    ("A2", "Load-balanced spreading vs PFI", "benchmarks/test_a02_load_balanced.py"),
+    ("A3", "Reorder buffer vs reordering rate", "benchmarks/test_a03_reorder_buffer.py"),
+    ("A4", "Modularity & fault isolation", "benchmarks/test_a04_modularity.py"),
+    ("A5", "Scheduler work: iSLIP vs PFI", "benchmarks/test_a05_scheduling_work.py"),
+    ("A6", "Buffer sharing scarcity vs glut", "benchmarks/test_a06_buffer_sharing.py"),
+    ("A7", "PFI constants across memory generations", "benchmarks/test_a07_generation_scaling.py"),
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Petabit Router-in-a-Package (HotNets '25) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="print the SS4 design analysis")
+    analyze.add_argument("--scaled", action="store_true", help="use the test-scale config")
+
+    simulate = sub.add_parser("simulate", help="simulate one HBM switch")
+    simulate.add_argument("--load", type=float, default=0.8, help="offered load in [0, 1]")
+    simulate.add_argument("--duration-us", type=float, default=50.0, help="arrival window")
+    simulate.add_argument("--packet-size", type=int, default=0, help="fixed size; 0 = IMIX")
+    simulate.add_argument(
+        "--process", choices=[p.value for p in ArrivalProcess], default="poisson"
+    )
+    simulate.add_argument("--speedup", type=float, default=1.0)
+    simulate.add_argument("--no-padding", action="store_true")
+    simulate.add_argument("--no-bypass", action="store_true")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON instead of a table",
+    )
+
+    sweep = sub.add_parser("sweep", help="sweep offered load")
+    sweep.add_argument("--loads", type=str, default="0.3,0.5,0.7,0.9,1.0")
+    sweep.add_argument("--duration-us", type=float, default=40.0)
+    sweep.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("experiments", help="list the experiment index")
+
+    timeline = sub.add_parser(
+        "timeline", help="render Fig. 4: PFI's staggered schedule as ASCII"
+    )
+    timeline.add_argument("--frames", type=int, default=2, help="frames to draw")
+    timeline.add_argument("--width", type=int, default=72, help="columns")
+    return parser
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    config = scaled_router() if args.scaled else reference_router()
+    table = Table("Design analysis", ["quantity", "value"])
+    table.add("ingress", format_rate(config.io_per_direction_bps))
+    table.add("total I/O", format_rate(config.total_io_bps))
+    table.add("switches (H)", config.n_switches)
+    table.add("per-switch memory I/O", format_rate(config.per_switch_io_bps))
+    table.add("frame size K", format_size(config.switch.frame_bytes))
+    power = hbm_switch_power(config.switch)
+    table.add("power / switch", f"{power.total_w:.0f} W")
+    table.add("router power", f"{router_power(config).total_w / 1e3:.2f} kW")
+    table.add("router area", f"{router_area(config).total_mm2:.0f} mm^2")
+    buffering = router_buffering(config)
+    table.add("buffering", f"{format_size(buffering.total_buffer_bytes)} ({buffering.buffer_ms:.1f} ms)")
+    table.add("SRAM / switch", f"{sram_sizing(config.switch).total_mb:.1f} MB")
+    table.add("vs Cisco 8201-32FH", f"{capacity_vs_reference(config).speedup:.1f}x")
+    table.show()
+    return 0
+
+
+def _simulate_once(config, load, duration_ns, size_dist, process, options, seed):
+    generator = TrafficGenerator(
+        n_ports=config.n_ports,
+        port_rate_bps=config.port_rate_bps,
+        matrix=uniform_matrix(config.n_ports, load),
+        size_dist=size_dist,
+        process=process,
+        seed=seed,
+    )
+    packets = generator.generate(duration_ns)
+    switch = HBMSwitch(config, options)
+    return switch.run(packets, duration_ns)
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    config = dataclasses.replace(scaled_router().switch, speedup=args.speedup)
+    size_dist = FixedSize(args.packet_size) if args.packet_size > 0 else ImixSize()
+    options = PFIOptions(padding=not args.no_padding, bypass=not args.no_bypass)
+    report = _simulate_once(
+        config,
+        args.load,
+        args.duration_us * 1e3,
+        size_dist,
+        ArrivalProcess(args.process),
+        options,
+        args.seed,
+    )
+    if args.json:
+        from .reporting import report_to_json
+
+        print(report_to_json(report))
+        return 0
+    table = Table("Switch simulation", ["metric", "value"])
+    table.add("offered", format_size(report.offered_bytes))
+    table.add("delivered", f"{report.delivery_fraction:.2%}")
+    table.add("normalized throughput", f"{report.normalized_throughput:.3f}")
+    table.add("dropped bytes", report.dropped_bytes)
+    table.add("reorderings", report.ordering_violations)
+    table.add("mean latency", format_time(report.latency["mean_ns"]))
+    table.add("p99 latency", format_time(report.latency["p99_ns"]))
+    table.add("frames written / read", f"{report.pfi.frames_written} / {report.pfi.frames_read}")
+    table.add("padded / bypassed", f"{report.pfi.padded_frames} / {report.pfi.bypassed_frames}")
+    table.show()
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    config = scaled_router().switch
+    try:
+        loads = [float(x) for x in args.loads.split(",") if x.strip()]
+    except ValueError:
+        print(f"bad --loads value: {args.loads!r}", file=sys.stderr)
+        return 2
+    table = Table(
+        "Load sweep", ["load", "throughput", "delivered", "mean latency", "p99 latency"]
+    )
+    for load in loads:
+        report = _simulate_once(
+            config,
+            load,
+            args.duration_us * 1e3,
+            ImixSize(),
+            ArrivalProcess.POISSON,
+            PFIOptions(padding=True, bypass=True),
+            args.seed,
+        )
+        table.add(
+            f"{load:.2f}",
+            f"{report.normalized_throughput:.3f}",
+            f"{report.delivery_fraction:.2%}",
+            format_time(report.latency["mean_ns"]),
+            format_time(report.latency["p99_ns"]),
+        )
+    table.show()
+    return 0
+
+
+def cmd_experiments(_args: argparse.Namespace) -> int:
+    table = Table("Experiment index", ["id", "claim", "bench"])
+    for exp_id, claim, bench in EXPERIMENTS:
+        table.add(exp_id, claim, bench)
+    table.show()
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from .config import HBMSwitchConfig
+    from .hbm import (
+        BankGroup,
+        HBMTiming,
+        Op,
+        bank_group_for_frame,
+        first_legal_start,
+        generate_frame_schedule,
+    )
+    from .reporting import render_bank_timeline, render_bus_utilisation
+
+    if args.frames <= 0:
+        print("--frames must be positive", file=sys.stderr)
+        return 2
+    config = HBMSwitchConfig()
+    timing = HBMTiming()
+    commands = []
+    start = first_legal_start(timing)
+    for i in range(args.frames):
+        sched = generate_frame_schedule(
+            Op.WR if i % 2 == 0 else Op.RD,
+            [0],
+            BankGroup(bank_group_for_frame(i, config.n_bank_groups), config.gamma),
+            config.segment_bytes,
+            row=i,
+            data_start=start,
+            timing=timing,
+            channel_bytes_per_ns=config.stack.channel_bytes_per_ns,
+        )
+        commands.extend(sched.commands)
+        start = sched.data_end
+    print(render_bank_timeline(
+        commands, timing, channel=0,
+        bytes_per_ns=config.stack.channel_bytes_per_ns, width=args.width,
+    ))
+    print()
+    print(render_bus_utilisation(
+        commands, timing, channel=0,
+        bytes_per_ns=config.stack.channel_bytes_per_ns, width=args.width,
+    ))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "analyze": cmd_analyze,
+        "simulate": cmd_simulate,
+        "sweep": cmd_sweep,
+        "experiments": cmd_experiments,
+        "timeline": cmd_timeline,
+    }[args.command]
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,410 @@
+"""Validated configuration objects for the router, HBM switch and HBM stacks.
+
+The paper's reference design is one point in a parameter space it is
+careful to keep symbolic (N, F, W, R, H, B, k, K, S, gamma, T, L...).
+These dataclasses carry the symbols, validate the divisibility and timing
+relationships the paper states in prose, and derive every aggregate the
+paper computes (I/O budgets, interface widths, frame geometry).
+
+Three factories cover the common cases:
+
+- :func:`reference_router` -- the petabit reference design of SS 2.2/SS 3.2.
+- :func:`scaled_router` -- a small, fast configuration for tests, shrunk
+  along the scale-invariant axes (fewer ports, smaller frames).
+- :func:`datacenter_switch_config` -- the SS 5 datacenter variant with
+  smaller frames for lower latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .constants import (
+    HBM4_BANKS_PER_CHANNEL,
+    HBM4_CHANNEL_WIDTH_BITS,
+    HBM4_CHANNELS_PER_STACK,
+    HBM4_GBPS_PER_BIT,
+    HBM4_ROW_BYTES,
+    HBM4_STACK_CAPACITY_BYTES,
+    SRAM_GBPS_PER_BIT,
+)
+from .errors import ConfigError
+from .units import KB, gbps, rate_to_bytes_per_ns
+
+
+def _require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class HBMStackConfig:
+    """Geometry and rate of one HBM stack.
+
+    Defaults are the HBM4 values the reference design uses: a 2048-bit
+    ultra-wide interface organised as 32 channels of 64 bits, over
+    10 Gb/s per pin, 64 banks per channel, 64 GB capacity.
+    """
+
+    channels: int = HBM4_CHANNELS_PER_STACK
+    channel_width_bits: int = HBM4_CHANNEL_WIDTH_BITS
+    gbps_per_bit: float = HBM4_GBPS_PER_BIT
+    banks_per_channel: int = HBM4_BANKS_PER_CHANNEL
+    capacity_bytes: int = HBM4_STACK_CAPACITY_BYTES
+    row_bytes: int = HBM4_ROW_BYTES
+
+    def __post_init__(self) -> None:
+        _require(self.channels > 0, f"channels must be positive, got {self.channels}")
+        _require(
+            self.channel_width_bits > 0 and self.channel_width_bits % 8 == 0,
+            f"channel width must be a positive multiple of 8 bits, "
+            f"got {self.channel_width_bits}",
+        )
+        _require(self.gbps_per_bit > 0, "per-pin rate must be positive")
+        _require(self.banks_per_channel > 0, "banks_per_channel must be positive")
+        _require(self.capacity_bytes > 0, "capacity must be positive")
+        _require(self.row_bytes > 0, "row_bytes must be positive")
+
+    @property
+    def interface_width_bits(self) -> int:
+        """Total interface width: 32 x 64 = 2048 bits for HBM4."""
+        return self.channels * self.channel_width_bits
+
+    @property
+    def channel_bandwidth_bps(self) -> float:
+        """Peak bandwidth of one channel (64 bits x 10 Gb/s = 640 Gb/s)."""
+        return self.channel_width_bits * self.gbps_per_bit
+
+    @property
+    def stack_bandwidth_bps(self) -> float:
+        """Peak bandwidth of the whole stack (20.48 Tb/s for HBM4)."""
+        return self.interface_width_bits * self.gbps_per_bit
+
+    @property
+    def channel_bytes_per_ns(self) -> float:
+        """Peak channel rate in bytes/ns (80 B/ns for HBM4)."""
+        return rate_to_bytes_per_ns(self.channel_bandwidth_bps)
+
+
+@dataclass(frozen=True)
+class HBMSwitchConfig:
+    """One N x N shared-memory HBM switch (Fig. 3).
+
+    Parameters follow the paper's symbols:
+
+    - ``n_ports`` (N): switch ports = fiber ribbons of the router.
+    - ``n_stacks`` (B): HBM stacks grouped per switch.
+    - ``batch_bytes`` (k): fixed batch size formed at input ports.
+    - ``segment_bytes`` (S): per-channel per-bank write/read unit.
+    - ``gamma``: banks per interleaving group.
+    - ``port_rate_bps`` (P): data rate of one switch port.
+    - ``speedup``: internal speedup of the memory phases relative to the
+      line rate (Design 6 (6): "with a small speedup ... can mimic an
+      ideal OQ shared-memory switch").
+    """
+
+    n_ports: int = 16
+    n_stacks: int = 4
+    batch_bytes: int = 4 * KB
+    segment_bytes: int = 1 * KB
+    gamma: int = 4
+    port_rate_bps: float = gbps(2560)
+    speedup: float = 1.0
+    stack: HBMStackConfig = field(default_factory=HBMStackConfig)
+    sram_gbps_per_bit: float = SRAM_GBPS_PER_BIT
+
+    def __post_init__(self) -> None:
+        _require(self.n_ports > 0, f"n_ports must be positive, got {self.n_ports}")
+        _require(self.n_stacks > 0, f"n_stacks must be positive, got {self.n_stacks}")
+        _require(self.batch_bytes > 0, "batch_bytes must be positive")
+        _require(
+            self.batch_bytes % self.n_ports == 0,
+            f"batch size {self.batch_bytes} must split into n_ports="
+            f"{self.n_ports} equal slices",
+        )
+        _require(self.segment_bytes > 0, "segment_bytes must be positive")
+        _require(
+            self.stack.row_bytes % self.segment_bytes == 0,
+            f"segment ({self.segment_bytes} B) must be a unit fraction of a "
+            f"row ({self.stack.row_bytes} B)",
+        )
+        _require(self.gamma > 0, f"gamma must be positive, got {self.gamma}")
+        _require(
+            self.stack.banks_per_channel % self.gamma == 0,
+            f"banks per channel ({self.stack.banks_per_channel}) must "
+            f"partition into groups of gamma={self.gamma}",
+        )
+        _require(self.port_rate_bps > 0, "port_rate_bps must be positive")
+        _require(self.speedup >= 1.0, f"speedup must be >= 1, got {self.speedup}")
+        _require(
+            self.frame_bytes % self.batch_bytes == 0,
+            f"frame ({self.frame_bytes} B) must hold an integer number of "
+            f"batches ({self.batch_bytes} B)",
+        )
+
+    # -- memory geometry ----------------------------------------------------
+
+    @property
+    def total_channels(self) -> int:
+        """T: parallel HBM channels across the group (4 x 32 = 128)."""
+        return self.n_stacks * self.stack.channels
+
+    @property
+    def frame_bytes(self) -> int:
+        """K = gamma * T * S: frame size (512 KB in the reference design)."""
+        return self.gamma * self.total_channels * self.segment_bytes
+
+    @property
+    def batches_per_frame(self) -> int:
+        """K/k: batches aggregated into one frame (128 in the reference)."""
+        return self.frame_bytes // self.batch_bytes
+
+    @property
+    def n_bank_groups(self) -> int:
+        """L/gamma: disjoint bank interleaving groups per channel (16)."""
+        return self.stack.banks_per_channel // self.gamma
+
+    @property
+    def memory_bandwidth_bps(self) -> float:
+        """Peak bandwidth of the HBM group (81.92 Tb/s in the reference)."""
+        return self.n_stacks * self.stack.stack_bandwidth_bps
+
+    @property
+    def memory_capacity_bytes(self) -> int:
+        """Total buffering of the HBM group (256 GB in the reference)."""
+        return self.n_stacks * self.stack.capacity_bytes
+
+    # -- line-side geometry ---------------------------------------------------
+
+    @property
+    def aggregate_port_rate_bps(self) -> float:
+        """N * P: total one-direction line rate of the switch."""
+        return self.n_ports * self.port_rate_bps
+
+    @property
+    def total_io_bps(self) -> float:
+        """2 * N * P: combined in+out traffic the memory must support."""
+        return 2.0 * self.aggregate_port_rate_bps
+
+    @property
+    def slice_bytes(self) -> int:
+        """k/N: size of one batch slice sent across the cyclical crossbar."""
+        return self.batch_bytes // self.n_ports
+
+    @property
+    def batch_time_ns(self) -> float:
+        """Time for one port to receive/emit a full batch at line rate."""
+        return self.batch_bytes / rate_to_bytes_per_ns(self.port_rate_bps)
+
+    @property
+    def frame_write_time_ns(self) -> float:
+        """Time to write (or read) one frame at peak HBM rate, pre-speedup."""
+        return self.frame_bytes / rate_to_bytes_per_ns(self.memory_bandwidth_bps)
+
+    @property
+    def channels_per_module(self) -> int:
+        """T/N: HBM channels fed by one tail-SRAM module (8 in reference)."""
+        _require(
+            self.total_channels % self.n_ports == 0,
+            f"channels ({self.total_channels}) must spread evenly over "
+            f"{self.n_ports} SRAM modules",
+        )
+        return self.total_channels // self.n_ports
+
+    # -- SRAM interface arithmetic (SS 3.2, *Batch size* / *Memory width*) --
+
+    @property
+    def port_sram_interface_bits(self) -> int:
+        """Interface width of one input-port SRAM.
+
+        Must sustain 2P (simultaneous write and read): 5.12 Tb/s over
+        2.5 Gb/s per bit = 2048 bits in the reference design.
+        """
+        width = 2.0 * self.port_rate_bps / self.sram_gbps_per_bit
+        return int(round(width))
+
+    @property
+    def derived_batch_bytes(self) -> int:
+        """The paper's batch-size rule: k = N x interface width (in bytes)."""
+        return self.n_ports * self.port_sram_interface_bits // 8
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """The top-level Split-Parallel Switch package (Fig. 1).
+
+    Symbols match SS 2.2: ``n_ribbons`` (N) fiber-ribbon arrays,
+    ``fibers_per_ribbon`` (F), ``wavelengths_per_fiber`` (W) WDM channels
+    at ``wavelength_rate_bps`` (R) each, split across ``n_switches`` (H)
+    parallel HBM switches.
+    """
+
+    n_ribbons: int = 16
+    fibers_per_ribbon: int = 64
+    wavelengths_per_fiber: int = 16
+    wavelength_rate_bps: float = gbps(40)
+    n_switches: int = 16
+    switch: HBMSwitchConfig = field(default_factory=HBMSwitchConfig)
+
+    def __post_init__(self) -> None:
+        _require(self.n_ribbons > 0, "n_ribbons must be positive")
+        _require(self.fibers_per_ribbon > 0, "fibers_per_ribbon must be positive")
+        _require(self.wavelengths_per_fiber > 0, "wavelengths must be positive")
+        _require(self.wavelength_rate_bps > 0, "wavelength rate must be positive")
+        _require(self.n_switches > 0, "n_switches must be positive")
+        _require(
+            self.fibers_per_ribbon % self.n_switches == 0,
+            f"F={self.fibers_per_ribbon} fibers must split evenly across "
+            f"H={self.n_switches} switches",
+        )
+        _require(
+            self.switch.n_ports == self.n_ribbons,
+            f"each HBM switch must be N x N with N={self.n_ribbons} ribbons, "
+            f"got {self.switch.n_ports} ports",
+        )
+        expected_port_rate = self.fibers_per_switch * self.per_fiber_rate_bps
+        _require(
+            abs(self.switch.port_rate_bps - expected_port_rate)
+            <= 1e-6 * expected_port_rate,
+            f"switch port rate {self.switch.port_rate_bps:g} b/s does not "
+            f"match alpha*W*R = {expected_port_rate:g} b/s",
+        )
+
+    # -- fiber plumbing -------------------------------------------------------
+
+    @property
+    def fibers_per_switch(self) -> int:
+        """alpha = F/H: waveguides from each ribbon to each switch (4)."""
+        return self.fibers_per_ribbon // self.n_switches
+
+    @property
+    def total_fibers(self) -> int:
+        """N * F: fibers entering the package (1024 in the reference)."""
+        return self.n_ribbons * self.fibers_per_ribbon
+
+    @property
+    def per_fiber_rate_bps(self) -> float:
+        """W * R: one fiber's aggregate WDM rate (640 Gb/s)."""
+        return self.wavelengths_per_fiber * self.wavelength_rate_bps
+
+    # -- I/O budget (SS 2.2, *Modules*) --------------------------------------
+
+    @property
+    def io_per_direction_bps(self) -> float:
+        """N*F*W*R: package ingress (= egress) rate, 655.36 Tb/s."""
+        return self.total_fibers * self.per_fiber_rate_bps
+
+    @property
+    def total_io_bps(self) -> float:
+        """Both directions: 1.31 Pb/s in the reference design."""
+        return 2.0 * self.io_per_direction_bps
+
+    @property
+    def per_switch_io_bps(self) -> float:
+        """2*N*F*W*R/H: memory I/O each HBM switch must support, 81.92 Tb/s."""
+        return self.total_io_bps / self.n_switches
+
+    @property
+    def switch_port_rate_bps(self) -> float:
+        """P = alpha*W*R: rate of one HBM-switch port, 2.56 Tb/s."""
+        return self.fibers_per_switch * self.per_fiber_rate_bps
+
+    # -- buffering ------------------------------------------------------------
+
+    @property
+    def total_buffer_bytes(self) -> int:
+        """H * B * stack capacity: total package buffering (4 TiB-class)."""
+        return self.n_switches * self.switch.memory_capacity_bytes
+
+    def with_switch(self, **overrides) -> "RouterConfig":
+        """Return a copy whose switch config has ``overrides`` applied."""
+        return replace(self, switch=replace(self.switch, **overrides))
+
+
+# --------------------------------------------------------------------------
+# Factories
+# --------------------------------------------------------------------------
+
+
+def reference_router() -> RouterConfig:
+    """The paper's petabit reference design (SS 2.2 and SS 3.2).
+
+    N = 16 ribbons, F = 64 fibers, W = 16 wavelengths at R = 40 Gb/s,
+    H = 16 HBM switches each with B = 4 HBM4 stacks, k = 4 KB batches,
+    S = 1 KB segments, gamma = 4, K = 512 KB frames.
+    """
+    return RouterConfig()
+
+
+def scaled_router(
+    n_ribbons: int = 4,
+    fibers_per_ribbon: int = 8,
+    wavelengths_per_fiber: int = 4,
+    wavelength_rate_bps: float = gbps(10),
+    n_switches: int = 2,
+    n_stacks: int = 1,
+    stack_channels: int = 8,
+    stack_gbps_per_bit: float = gbps(2.5),
+    banks_per_channel: int = 16,
+    batch_bytes: int = 1 * KB,
+    segment_bytes: int = 256,
+    gamma: int = 4,
+    speedup: float = 1.0,
+) -> RouterConfig:
+    """A shrunk configuration for fast simulation in tests.
+
+    Shrinks only scale-invariant axes (port count, channel count, frame
+    geometry); the *structure* -- batches sliced N ways, frames of
+    gamma*T segments, bank groups of gamma -- is identical to the
+    reference design, so correctness properties proven at this scale
+    carry over.  The HBM pin rate is scaled down with the segment size
+    so the per-bank segment time stays at the reference 12.8 ns,
+    keeping every DRAM timing relationship (tRC coverage, tFAW cadence,
+    gamma = 4 minimal) identical to the full design.
+    """
+    stack = HBMStackConfig(
+        channels=stack_channels,
+        gbps_per_bit=stack_gbps_per_bit,
+        banks_per_channel=banks_per_channel,
+        capacity_bytes=HBM4_STACK_CAPACITY_BYTES // 64,
+        row_bytes=max(segment_bytes, 256),
+    )
+    alpha = fibers_per_ribbon // n_switches
+    port_rate = alpha * wavelengths_per_fiber * wavelength_rate_bps
+    switch = HBMSwitchConfig(
+        n_ports=n_ribbons,
+        n_stacks=n_stacks,
+        batch_bytes=batch_bytes,
+        segment_bytes=segment_bytes,
+        gamma=gamma,
+        port_rate_bps=port_rate,
+        speedup=speedup,
+        stack=stack,
+    )
+    return RouterConfig(
+        n_ribbons=n_ribbons,
+        fibers_per_ribbon=fibers_per_ribbon,
+        wavelengths_per_fiber=wavelengths_per_fiber,
+        wavelength_rate_bps=wavelength_rate_bps,
+        n_switches=n_switches,
+        switch=switch,
+    )
+
+
+def datacenter_switch_config(frame_shrink: int = 8) -> HBMSwitchConfig:
+    """The SS 5 datacenter variant: smaller frames for lower latency.
+
+    ``frame_shrink`` divides the per-frame segment count by shrinking the
+    segment size, trading peak-rate headroom (segments shorter than a row
+    pay relatively more per-bank overhead) for a smaller fill-and-wait
+    delay.  E14 sweeps this knob.
+    """
+    base = HBMSwitchConfig()
+    _require(
+        base.segment_bytes % frame_shrink == 0,
+        f"frame_shrink {frame_shrink} must divide the {base.segment_bytes}-B "
+        f"segment",
+    )
+    small_segment = base.segment_bytes // frame_shrink
+    return replace(base, segment_bytes=small_segment)

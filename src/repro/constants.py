@@ -1,0 +1,155 @@
+"""Reference hardware datapoints quoted by the paper.
+
+Every constant here is a number the paper takes from a citation (HBM4
+standard, Broadcom Tomahawk 5, Cisco 8201-32FH, Cerebras WSE-3, silicon
+photonics energy).  They are collected in one module so that the design
+analysis (``repro.analysis``) reads like the paper's SS 4 and every bench
+can cite the same inputs.
+
+Units follow ``repro.units``: rates in b/s, sizes in bytes, power in W,
+energy in J, area in mm^2, time in ns.
+"""
+
+from __future__ import annotations
+
+from .units import GB, KB, gbps, tbps
+
+# --------------------------------------------------------------------------
+# HBM4 (JEDEC JESD270-4 plus announced commercial parts [3, 19, 27, 34, 39])
+# --------------------------------------------------------------------------
+
+#: Channels per HBM4 stack (the 2048-bit interface is 32 x 64-bit channels).
+HBM4_CHANNELS_PER_STACK = 32
+
+#: Width of one HBM4 channel in bits.
+HBM4_CHANNEL_WIDTH_BITS = 64
+
+#: Per-pin data rate of announced HBM4 parts (paper: "over 10 Gb/s per bit").
+HBM4_GBPS_PER_BIT = gbps(10)
+
+#: Peak bandwidth of one stack: 2048 bits x 10 Gb/s = 20.48 Tb/s.
+HBM4_STACK_BANDWIDTH = (
+    HBM4_CHANNELS_PER_STACK * HBM4_CHANNEL_WIDTH_BITS * HBM4_GBPS_PER_BIT
+)
+
+#: Capacity of one HBM4 stack (paper SS 4 cites 64 GB [65]).
+HBM4_STACK_CAPACITY_BYTES = 64 * GB
+
+#: Banks per channel used by the reference design (L = 64, SS 3.1 Design 6).
+HBM4_BANKS_PER_CHANNEL = 64
+
+#: Row length per bank per channel; S = 1 KB is a "unit fraction of a row
+#: length" -- the reference model uses 1 KB rows so one segment fills one row.
+HBM4_ROW_BYTES = 1 * KB
+
+#: Footprint of one HBM stack (11 mm x 11 mm [21]).
+HBM_STACK_AREA_MM2 = 11.0 * 11.0
+
+#: Power of one HBM4 stack (paper SS 4 cites about 75 W [52]).
+HBM4_STACK_POWER_W = 75.0
+
+#: Worst-case random-access overhead: "about 30 ns just to activate and
+#: close (precharge) banks" (SS 3.1 Challenge 6, citing [34]).
+HBM4_RANDOM_ACCESS_OVERHEAD_NS = 30.0
+
+#: Write<->read phase transition overhead, "about 2% of the cycle
+#: duration" (SS 4, *Frame interleaving cycle*).
+HBM4_PHASE_TRANSITION_FRACTION = 0.02
+
+# --------------------------------------------------------------------------
+# In-package photonics [12, 22, 42, 43, 56]
+# --------------------------------------------------------------------------
+
+#: OEO conversion energy for commercially available silicon photonics
+#: (paper SS 4: "about 1.15 pJ/bit" [16-18, 20, 25, 49]).
+OEO_ENERGY_PJ_PER_BIT = 1.15
+
+#: Demonstrated photonics I/O today: 16 ribbons x 16 fibers x 8 wavelengths.
+DEMONSTRATED_OPTICAL_IO = tbps(114)
+
+#: Expected fiber-ribbon width (fibers per ribbon array) [22].
+EXPECTED_FIBERS_PER_RIBBON = 64
+
+#: Expected WDM channels per fiber [12, 56].
+EXPECTED_WAVELENGTHS_PER_FIBER = 32
+
+#: PAM4 per-wavelength rate already possible (SS 5 conclusion, [42]).
+PAM4_WAVELENGTH_RATE = gbps(112)
+
+# --------------------------------------------------------------------------
+# Commercial comparators
+# --------------------------------------------------------------------------
+
+#: Broadcom Tomahawk 5 BCM78900 switching capacity [8].
+TOMAHAWK5_CAPACITY = tbps(51.2)
+
+#: Broadcom Tomahawk 5 power dissipation [9].
+TOMAHAWK5_POWER_W = 500.0
+
+#: Broadcom Tomahawk 5 estimated die size [8].
+TOMAHAWK5_DIE_AREA_MM2 = 800.0
+
+#: Cisco 8201-32FH: 32 x 400 Gb/s = 12.8 Tb/s in 1 RU (SS 5).
+CISCO_8201_32FH_CAPACITY = tbps(12.8)
+
+#: Cisco 8201-32FH buffering (SS 4: "5 ms for Cisco's 8201-32FH").
+CISCO_8201_32FH_BUFFER_MS = 5.0
+
+#: Cisco Q100 linecard buffering (SS 4: "up to 18 ms").
+CISCO_Q100_BUFFER_MS = 18.0
+
+#: Cisco Q200 linecard buffering (SS 4: "13 ms of buffering").
+CISCO_Q200_BUFFER_MS = 13.0
+
+#: Cisco white-paper recommendation for core-router buffering (SS 4).
+CISCO_RECOMMENDED_BUFFER_MS = (5.0, 10.0)
+
+#: Cerebras WSE-3 wafer-scale processor power (SS 4: 23 kW [36]).
+CEREBRAS_WSE3_POWER_W = 23_000.0
+
+# --------------------------------------------------------------------------
+# Packaging
+# --------------------------------------------------------------------------
+
+#: Typical package edge today (SS 1: 200 mm x 200 mm).
+TYPICAL_PACKAGE_EDGE_MM = 200.0
+
+#: Demonstrated panel-scale glass substrate edge (SS 1: 500 mm [28]).
+PANEL_EDGE_MM = 500.0
+
+#: Panel-scale substrate area, 500 mm x 500 mm = 250,000 mm^2 (SS 4).
+PANEL_AREA_MM2 = PANEL_EDGE_MM * PANEL_EDGE_MM
+
+# --------------------------------------------------------------------------
+# SRAM technology assumptions (SS 3.2, *Batch size*)
+# --------------------------------------------------------------------------
+
+#: SRAM clock assumed by the paper.
+SRAM_CLOCK_GHZ = 2.5
+
+#: Deliverable SRAM rate per interface bit: 2.5 Gb/s per bit at 2.5 GHz.
+SRAM_GBPS_PER_BIT = gbps(2.5)
+
+# --------------------------------------------------------------------------
+# Roadmap multipliers (SS 5, *Router evolution*)
+# --------------------------------------------------------------------------
+
+#: Future HBM generations: 4x capacity and bandwidth vs HBM4 [52].
+HBM_ROADMAP_FACTOR = 4.0
+
+#: Monolithic 3D stackable DRAM: 10x capacity and bandwidth vs HBM4 [23, 24].
+MONOLITHIC_3D_FACTOR = 10.0
+
+#: HBM share of reference-design power (SS 5: "HBM accounts for 40%").
+HBM_POWER_SHARE = 0.40
+
+#: Processing-chiplet share of reference-design power (SS 5: "50% of power").
+PROCESSING_POWER_SHARE = 0.50
+
+# --------------------------------------------------------------------------
+# Mesh baseline (SS 2.1 Challenge 2, citing [61])
+# --------------------------------------------------------------------------
+
+#: Guaranteed-capacity fraction of a 10x10 mesh under arbitrary admissible
+#: traffic: "at most 20% of the total capacity".
+MESH_10X10_GUARANTEED_FRACTION = 0.20

@@ -1,0 +1,106 @@
+"""The N x N cyclical crossbar (and its SDM-mesh alternative).
+
+PFI inherits the key trick of load-balanced switches [37, 38, 44, 67]:
+the crossbar between input ports and tail-SRAM modules follows a fixed
+cyclic rotation, so it needs **no scheduler**.  At slot ``t``, input
+``i`` connects to module ``(i + t) mod N`` -- a permutation at every
+slot, so there is never contention.  Over any N consecutive slots every
+input visits every module exactly once, which is how a batch's N slices
+spread across the N modules.
+
+The paper notes the rotation can be realised as simple 1-D multiplexors,
+or replaced by an N x N space-division mesh that transfers all N slices
+in one slot over 1/N-width lanes (:class:`SDMMesh`).  Both move one
+batch per batch-time; they differ only in wiring, which is why the
+simulator can treat "batch crossed the crossbar" as a single batch-time
+delay (validated structurally here, used temporally in
+:mod:`~repro.core.hbm_switch`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigError
+
+
+class CyclicalCrossbar:
+    """Fixed cyclic-rotation crossbar with no scheduling state."""
+
+    def __init__(self, n_ports: int):
+        if n_ports <= 0:
+            raise ConfigError(f"n_ports must be positive, got {n_ports}")
+        self.n_ports = n_ports
+
+    def module_for(self, input_port: int, slot: int) -> int:
+        """Module that ``input_port`` is wired to at ``slot``."""
+        self._check_port(input_port)
+        return (input_port + slot) % self.n_ports
+
+    def input_for(self, module: int, slot: int) -> int:
+        """Inverse: which input feeds ``module`` at ``slot``."""
+        self._check_port(module)
+        return (module - slot) % self.n_ports
+
+    def connection_pattern(self, slot: int) -> List[int]:
+        """The full permutation at ``slot``: ``pattern[i]`` = module of i."""
+        return [self.module_for(i, slot) for i in range(self.n_ports)]
+
+    def batch_slice_schedule(self, input_port: int, start_slot: int) -> List[Tuple[int, int, int]]:
+        """(slot, module, slice) triples that move one batch of N slices.
+
+        Slice ``s`` of every batch lands in module ``s`` ("always
+        starting from the first SRAM module"), so the slice sent at a
+        slot is simply the module the input happens to face.  The batch
+        needs exactly N slots; different inputs' transfers interleave
+        without conflict because every slot is a permutation.
+        """
+        self._check_port(input_port)
+        schedule = []
+        for offset in range(self.n_ports):
+            slot = start_slot + offset
+            module = self.module_for(input_port, slot)
+            schedule.append((slot, module, module))
+        return schedule
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.n_ports:
+            raise ConfigError(f"port {port} out of range [0, {self.n_ports})")
+
+
+class SDMMesh:
+    """Space-division alternative: all N slices move in parallel.
+
+    Each input's 2048-bit interface is split into N sets of 2048/N wires,
+    one set per module, so a batch's N slices transfer simultaneously
+    over one batch-time (at 1/N of the rate each).  Aggregate timing is
+    identical to the cyclic rotation; only the wiring differs.
+    """
+
+    def __init__(self, n_ports: int, interface_bits: int):
+        if n_ports <= 0:
+            raise ConfigError(f"n_ports must be positive, got {n_ports}")
+        if interface_bits % n_ports != 0:
+            raise ConfigError(
+                f"interface of {interface_bits} bits does not split into "
+                f"{n_ports} lane sets"
+            )
+        self.n_ports = n_ports
+        self.interface_bits = interface_bits
+
+    @property
+    def lane_width_bits(self) -> int:
+        """Wires per (input, module) lane: 2048/16 = 128 in the reference."""
+        return self.interface_bits // self.n_ports
+
+    def lanes(self) -> Dict[Tuple[int, int], int]:
+        """(input, module) -> lane width for the full mesh."""
+        return {
+            (i, m): self.lane_width_bits
+            for i in range(self.n_ports)
+            for m in range(self.n_ports)
+        }
+
+    def batch_transfer_slots(self) -> int:
+        """Slots to move one batch: 1 (all slices in parallel)."""
+        return 1

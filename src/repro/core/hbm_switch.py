@@ -1,0 +1,331 @@
+"""The HBM switch: a discrete-event simulation of Fig. 3's pipeline.
+
+Stages and their timing:
+
+1. Packets arrive at input ports (O/E already done); batches form.
+2. Each port sends one batch per batch-time over the cyclical crossbar;
+   a batch lands in the tail SRAM one batch-time after it leaves.
+3. The tail SRAM aggregates frames; the PFI engine alternates HBM write
+   and read phases (one frame each way per cycle).
+4. Read frames land in the head SRAM and drain onto the output line at
+   port rate, in FIFO order; padding is discarded before the wire.
+
+The simulation conserves bytes exactly: offered = delivered + dropped +
+residual (still queued), which :meth:`HBMSwitch.audit` verifies and the
+integration tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from ..config import HBMSwitchConfig
+from ..errors import SimulationError
+from ..hbm.timing import HBMTiming
+from ..sim.engine import Engine
+from ..sim.stats import LatencyRecorder
+from ..traffic.packet import Packet
+from ..units import bytes_per_ns_to_rate
+from .address import HBMAddressMap
+from .frames import Frame
+from .head_sram import HeadSRAM
+from .input_port import InputPort
+from .output_port import OutputPort
+from .pfi import PFICounters, PFIEngine, PFIOptions
+from .tail_sram import TailSRAM
+
+
+@dataclass
+class SwitchReport:
+    """Everything a bench needs from one simulation run."""
+
+    duration_ns: float
+    offered_bytes: int
+    offered_packets: int
+    delivered_bytes: int
+    delivered_packets: int
+    dropped_bytes: int
+    residual_bytes: int
+    throughput_bps: float
+    capacity_bps: float
+    latency: Dict[str, float]
+    latency_breakdown: Dict[str, float]
+    ordering_violations: int
+    pfi: PFICounters
+    input_sram_peak_bytes: int
+    tail_sram_peak_bytes: int
+    head_sram_peak_bytes: int
+    hbm_peak_frames: int
+    drops_by_reason: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def normalized_throughput(self) -> float:
+        """Delivered rate over aggregate port capacity."""
+        if self.capacity_bps <= 0:
+            return 0.0
+        return self.throughput_bps / self.capacity_bps
+
+    @property
+    def delivery_fraction(self) -> float:
+        """Delivered bytes over offered bytes (1.0 = lossless + drained)."""
+        if self.offered_bytes <= 0:
+            return 1.0
+        return self.delivered_bytes / self.offered_bytes
+
+
+class HBMSwitch:
+    """One N x N shared-memory HBM switch running PFI."""
+
+    def __init__(
+        self,
+        config: HBMSwitchConfig,
+        options: PFIOptions = PFIOptions(),
+        timing: Optional[HBMTiming] = None,
+        input_sram_capacity: Optional[int] = None,
+        tail_sram_capacity: Optional[int] = None,
+        n_egress_fibers: int = 4,
+        n_egress_wavelengths: int = 16,
+        address_map=None,
+        trace=None,
+        fib=None,
+    ) -> None:
+        self.config = config
+        self.options = options
+        self.timing = timing if timing is not None else HBMTiming()
+        self.engine = Engine()
+        self.inputs = [
+            InputPort(config, i, input_sram_capacity) for i in range(config.n_ports)
+        ]
+        self.tail = TailSRAM(config, tail_sram_capacity)
+        self.head = HeadSRAM(config)
+        self.outputs = [
+            OutputPort(config, j, n_egress_fibers, n_egress_wavelengths)
+            for j in range(config.n_ports)
+        ]
+        # Static per-output regions by default; pass a
+        # DynamicPageAllocator for the SS 3.2 dynamic-paging option.
+        self.address_map = address_map if address_map is not None else HBMAddressMap(config)
+        self.trace = trace
+        #: Optional FIB: when set, the input-port processing chiplet
+        #: classifies each packet by destination address (SS 3.2 step 1)
+        #: instead of trusting the pre-set output.
+        self.fib = fib
+        self.pfi = PFIEngine(
+            config=config,
+            engine=self.engine,
+            tail=self.tail,
+            deliver=self._deliver_frame,
+            address_map=self.address_map,
+            options=options,
+            timing=self.timing,
+            trace=trace,
+        )
+        self._draining = [False] * config.n_ports
+        self._inflight_batch_payload = 0
+        self._offered_bytes = 0
+        self._offered_packets = 0
+        self._hbm_peak_frames = 0
+
+    # -- stage plumbing -------------------------------------------------------
+
+    def _on_packet(self, packet: Packet) -> None:
+        now = self.engine.now
+        if self.fib is not None:
+            output = self.fib.classify(packet)
+            if output is None or not 0 <= output < self.config.n_ports:
+                self.inputs[packet.input_port].drops.record(
+                    packet.size_bytes, reason="no-route"
+                )
+                return
+            packet.output_port = output
+        port = self.inputs[packet.input_port]
+        emitted = port.on_packet(packet, now)
+        if emitted and not self._draining[packet.input_port]:
+            self._schedule_drain(packet.input_port, now)
+
+    def _schedule_drain(self, port_index: int, at: float) -> None:
+        self._draining[port_index] = True
+        self.engine.schedule(at, lambda: self._drain(port_index))
+
+    def _drain(self, port_index: int) -> None:
+        """Send one batch across the crossbar; self-reschedules."""
+        now = self.engine.now
+        port = self.inputs[port_index]
+        batch = port.pop_batch(now)
+        if batch is None:
+            self._draining[port_index] = False
+            return
+        self._inflight_batch_payload += batch.payload_bytes
+        arrival = now + self.config.batch_time_ns
+        self.engine.schedule(arrival, lambda: self._batch_arrives(batch))
+        self.engine.schedule(
+            now + self.config.batch_time_ns, lambda: self._drain(port_index)
+        )
+
+    def _batch_arrives(self, batch) -> None:
+        self._inflight_batch_payload -= batch.payload_bytes
+        if self.trace is not None:
+            self.trace.record(
+                self.engine.now, "switch", "batch",
+                output=batch.output, payload=batch.payload_bytes,
+            )
+        self.tail.on_batch(batch, self.engine.now)
+        peak = self.pfi.hbm_occupancy_frames()
+        if peak > self._hbm_peak_frames:
+            self._hbm_peak_frames = peak
+
+    def _deliver_frame(self, frame: Frame, at: float) -> None:
+        """Read-phase (or bypass) completion: frame reaches the head SRAM."""
+        self.head.on_frame(frame, at)
+        queued = self.head.pop_frame(frame.output, at)
+        if queued is None:
+            raise SimulationError("head SRAM lost a frame it just accepted")
+        finish = self.outputs[frame.output].transmit_frame(queued, at)
+        if self.trace is not None:
+            self.trace.record(
+                at, "switch", "deliver",
+                output=frame.output, frame=frame.index,
+                bypassed=frame.bypassed, wire_done=finish,
+            )
+
+    # -- accounting --------------------------------------------------------------
+
+    def residual_payload_bytes(self) -> int:
+        """Payload still inside the switch (queues + flight)."""
+        input_bytes = sum(p.partial_bytes for p in self.inputs)
+        input_fifo = sum(
+            batch.payload_bytes for p in self.inputs for batch in p.fifo
+        )
+        tail_pending = sum(
+            batch.payload_bytes
+            for assembler in self.tail._assemblers
+            for batch in assembler._pending
+        )
+        tail_fifo = sum(frame.payload_bytes for frame in self.tail.frame_fifo)
+        hbm = self.pfi.hbm_payload_bytes()
+        head = self.head.payload_backlog_bytes()
+        return (
+            input_bytes
+            + input_fifo
+            + self._inflight_batch_payload
+            + tail_pending
+            + tail_fifo
+            + hbm
+            + head
+        )
+
+    def dropped_bytes(self) -> int:
+        return sum(p.drops.dropped_bytes for p in self.inputs) + self.tail.drops.dropped_bytes
+
+    def audit(self) -> Dict[str, int]:
+        """Byte-conservation snapshot: offered = delivered + dropped + residual."""
+        delivered = sum(o.throughput.total_bytes for o in self.outputs)
+        snapshot = {
+            "offered": self._offered_bytes,
+            "delivered": delivered,
+            "dropped": self.dropped_bytes(),
+            "residual": self.residual_payload_bytes(),
+        }
+        snapshot["balance"] = (
+            snapshot["offered"]
+            - snapshot["delivered"]
+            - snapshot["dropped"]
+            - snapshot["residual"]
+        )
+        return snapshot
+
+    # -- the run loop -------------------------------------------------------------
+
+    def run(
+        self,
+        packets: Sequence[Packet],
+        duration_ns: float,
+        drain: bool = True,
+        max_drain_ns: Optional[float] = None,
+    ) -> SwitchReport:
+        """Simulate ``packets`` over ``[0, duration_ns)`` and report.
+
+        With ``drain=True`` the simulation keeps running (no new
+        arrivals) until the switch empties or ``max_drain_ns`` passes,
+        so latency statistics cover every delivered packet.
+        """
+        for packet in packets:
+            if packet.arrival_ns >= duration_ns:
+                continue
+            self._offered_bytes += packet.size_bytes
+            self._offered_packets += 1
+            self.engine.schedule(packet.arrival_ns, lambda p=packet: self._on_packet(p))
+        self.pfi.start()
+        self.engine.run(until=duration_ns)
+
+        if drain:
+            self._run_drain(duration_ns, max_drain_ns)
+        self.pfi.stop()
+        # Let already-scheduled deliveries and transfers land.
+        self.engine.run()
+        return self._report(duration_ns)
+
+    def _run_drain(self, duration_ns: float, max_drain_ns: Optional[float]) -> None:
+        if max_drain_ns is None:
+            # Worst case the whole backlog drains at the slowest stage;
+            # a generous default that still terminates.
+            max_drain_ns = 50.0 * duration_ns + 1e6
+        if self.options.padding:
+            for port in self.inputs:
+                batches = port.flush_partials(self.engine.now)
+                if batches and not self._draining[port.port]:
+                    self._schedule_drain(port.port, self.engine.now)
+        deadline = duration_ns + max_drain_ns
+        check_every = max(self.pfi.cycle_duration * 4, self.config.batch_time_ns * 8)
+        while self.engine.now < deadline and self.residual_payload_bytes() > 0:
+            before = self.residual_payload_bytes()
+            self.engine.run(until=self.engine.now + check_every)
+            if self.residual_payload_bytes() == before and not self.options.padding:
+                # Without padding, sub-frame residue can never drain.
+                break
+
+    def _report(self, duration_ns: float) -> SwitchReport:
+        latency = LatencyRecorder()
+        delivered_packets = 0
+        for output in self.outputs:
+            for sample in output.latency.samples:
+                latency.record(sample)
+            delivered_packets += len(output.latency)
+        # Count-weighted mean of each pipeline-stage component.
+        breakdown: Dict[str, float] = {}
+        for stage in ("batch_fill", "frame_fill", "hbm_wait", "egress"):
+            total = sum(
+                o.breakdown[stage].mean * len(o.breakdown[stage]) for o in self.outputs
+            )
+            count = sum(len(o.breakdown[stage]) for o in self.outputs)
+            breakdown[stage] = total / count if count else 0.0
+        delivered_bytes = sum(o.throughput.total_bytes for o in self.outputs)
+        drops_by_reason: Dict[str, int] = {}
+        for port in self.inputs:
+            for reason, count in port.drops.by_reason.items():
+                drops_by_reason[reason] = drops_by_reason.get(reason, 0) + count
+        for reason, count in self.tail.drops.by_reason.items():
+            drops_by_reason[reason] = drops_by_reason.get(reason, 0) + count
+        return SwitchReport(
+            duration_ns=duration_ns,
+            offered_bytes=self._offered_bytes,
+            offered_packets=self._offered_packets,
+            delivered_bytes=delivered_bytes,
+            delivered_packets=delivered_packets,
+            dropped_bytes=self.dropped_bytes(),
+            residual_bytes=self.residual_payload_bytes(),
+            throughput_bps=bytes_per_ns_to_rate(delivered_bytes / duration_ns)
+            if duration_ns > 0
+            else 0.0,
+            capacity_bps=self.config.aggregate_port_rate_bps,
+            latency=latency.summary(),
+            latency_breakdown=breakdown,
+            ordering_violations=sum(o.ordering_violations for o in self.outputs),
+            pfi=self.pfi.counters,
+            input_sram_peak_bytes=int(max(p.occupancy.peak for p in self.inputs)),
+            tail_sram_peak_bytes=int(self.tail.occupancy.peak),
+            head_sram_peak_bytes=int(self.head.occupancy.peak),
+            hbm_peak_frames=self._hbm_peak_frames,
+            drops_by_reason=drops_by_reason,
+        )

@@ -1,0 +1,103 @@
+"""Input port SRAM (Fig. 3, stage 1).
+
+After O/E conversion, a processing chiplet classifies each packet to an
+HBM-switch output, queues it in one of N per-output SRAM queues, and
+packs queues into fixed k-byte batches (packets may straddle two
+batches).  Completed batches enter a FIFO awaiting their turn on the
+cyclical crossbar.
+
+The SRAM is finite: when a packet would push the port's occupancy past
+``sram_capacity_bytes`` it is dropped (tail-drop), which is how the
+simulator surfaces overload instead of buffering infinitely.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..config import HBMSwitchConfig
+from ..sim.stats import DropCounter, OccupancyTracker
+from ..traffic.packet import Packet
+from .frames import Batch, BatchAssembler
+
+
+class InputPort:
+    """One of the N input ports of an HBM switch."""
+
+    def __init__(
+        self,
+        config: HBMSwitchConfig,
+        port: int,
+        sram_capacity_bytes: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.port = port
+        # Default capacity: a generous multiple of the structural need
+        # (one batch forming per output plus a FIFO of in-flight batches).
+        if sram_capacity_bytes is None:
+            sram_capacity_bytes = 64 * config.n_ports * config.batch_bytes
+        self.sram_capacity_bytes = sram_capacity_bytes
+        self._assemblers = [
+            BatchAssembler(output, config.batch_bytes) for output in range(config.n_ports)
+        ]
+        self.fifo: Deque[Batch] = deque()
+        self.drops = DropCounter()
+        self.occupancy = OccupancyTracker()
+        self._fifo_bytes = 0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def partial_bytes(self) -> int:
+        """Bytes sitting in not-yet-complete batches."""
+        return sum(assembler.fill_bytes for assembler in self._assemblers)
+
+    @property
+    def occupancy_bytes(self) -> int:
+        return self.partial_bytes + self._fifo_bytes
+
+    @property
+    def fifo_bytes(self) -> int:
+        return self._fifo_bytes
+
+    # -- dataplane ---------------------------------------------------------------
+
+    def on_packet(self, packet: Packet, now: float) -> List[Batch]:
+        """Accept one packet; returns batches completed by it.
+
+        Completed batches are also appended to :attr:`fifo`; the switch
+        schedules the crossbar drain.  An overflowing packet is dropped
+        whole (no partial admission).
+        """
+        if packet.size_bytes + self.occupancy_bytes > self.sram_capacity_bytes:
+            self.drops.record(packet.size_bytes, reason="input-sram-overflow")
+            return []
+        emitted = self._assemblers[packet.output_port].add(packet, now)
+        for batch in emitted:
+            self.fifo.append(batch)
+            self._fifo_bytes += batch.size_bytes
+        self.occupancy.observe(self.occupancy_bytes, now)
+        return emitted
+
+    def pop_batch(self, now: float) -> Optional[Batch]:
+        """Remove the head-of-line batch for transmission."""
+        if not self.fifo:
+            return None
+        batch = self.fifo.popleft()
+        self._fifo_bytes -= batch.size_bytes
+        self.occupancy.observe(self.occupancy_bytes, now)
+        return batch
+
+    def flush_partials(self, now: float) -> List[Batch]:
+        """Pad out all partial batches (used at drain time with padding on)."""
+        flushed = []
+        for assembler in self._assemblers:
+            batch = assembler.flush(now)
+            if batch is not None:
+                self.fifo.append(batch)
+                self._fifo_bytes += batch.size_bytes
+                flushed.append(batch)
+        if flushed:
+            self.occupancy.observe(self.occupancy_bytes, now)
+        return flushed

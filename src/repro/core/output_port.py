@@ -1,0 +1,130 @@
+"""Output port (Fig. 3, stage 6).
+
+Received batches are cut back into variable-length packets, converted to
+optical signals, and hashed across the ribbon's alpha fibers x W
+wavelengths by flow 5-tuple, as in ECMP/LAG (SS 3.2 step 6).
+
+Transmission is modelled analytically: the port is a single server at
+the line rate; a frame's packets depart back-to-back in batch order
+(padding is discarded in the cut-back step and consumes no wire time).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..config import HBMSwitchConfig
+from ..errors import OrderingViolation
+from ..sim.stats import LatencyRecorder, ThroughputMeter
+from ..traffic.ecmp import EcmpSelector
+from ..traffic.packet import Packet
+from ..units import rate_to_bytes_per_ns
+from .frames import Frame
+
+
+class OutputPort:
+    """One of the N output ports of an HBM switch."""
+
+    def __init__(self, config: HBMSwitchConfig, port: int, n_fibers: int = 4, n_wavelengths: int = 16):
+        self.config = config
+        self.port = port
+        self._rate = rate_to_bytes_per_ns(config.port_rate_bps)
+        self._busy_until = 0.0
+        self.ecmp = EcmpSelector(n_fibers, n_wavelengths)
+        self.throughput = ThroughputMeter()
+        self.latency = LatencyRecorder()
+        #: Where the nanoseconds go, per delivered packet: time to fill
+        #: its batch, to fill its frame, the HBM round-trip wait, and the
+        #: egress drain.  Components sum to the total latency.
+        self.breakdown = {
+            "batch_fill": LatencyRecorder(),
+            "frame_fill": LatencyRecorder(),
+            "hbm_wait": LatencyRecorder(),
+            "egress": LatencyRecorder(),
+        }
+        self._flow_last_pid: Dict[Tuple[int, int, int, int, int], int] = {}
+        self.ordering_violations = 0
+        self.padding_discarded_bytes = 0
+        #: Bytes sent per (fiber, wavelength) egress lane -- the ECMP
+        #: spreading that E10/SS 4 relies on, observable per port.
+        self.lane_bytes: Dict[Tuple[int, int], int] = {}
+
+    @property
+    def busy_until(self) -> float:
+        """When the port finishes everything handed to it so far."""
+        return self._busy_until
+
+    def transmit_frame(self, frame: Frame, ready_ns: float) -> float:
+        """Send a frame's payload onto the wire; returns its finish time.
+
+        Packets depart at the instant their last byte leaves.  Padding
+        (batch filler and missing batches of padded frames) is dropped
+        at the cut-back step and takes no wire time.
+        """
+        start = max(ready_ns, self._busy_until)
+        cursor = start
+        for batch in frame.batches:
+            if batch.payload_bytes > 0:
+                cursor = self._transmit_batch(batch, cursor, frame, ready_ns)
+            self.padding_discarded_bytes += batch.padding_bytes
+        # Whole missing batches of a padded frame: pure filler.
+        missing = frame.size_bytes - sum(b.size_bytes for b in frame.batches)
+        self.padding_discarded_bytes += max(0, missing)
+        self._busy_until = cursor
+        return cursor
+
+    def _transmit_batch(self, batch, start_ns: float, frame: Frame, ready_ns: float) -> float:
+        """Transmit one batch's payload; finalise its completing packets."""
+        finish = start_ns + batch.payload_bytes / self._rate
+        # Packets complete in arrival (pid) order within the batch; model
+        # their last bytes as spread to the batch end in order.
+        for packet in batch.completing:
+            packet.departure_ns = finish
+            packet.fiber, packet.wavelength = self.ecmp.select(packet.flow)
+            lane = (packet.fiber, packet.wavelength)
+            self.lane_bytes[lane] = self.lane_bytes.get(lane, 0) + packet.size_bytes
+            self.latency.record(packet.departure_ns - packet.arrival_ns)
+            self._record_breakdown(packet, batch, frame, ready_ns, finish)
+            self._check_order(packet)
+        self.throughput.record(batch.payload_bytes, finish)
+        return finish
+
+    def _record_breakdown(self, packet, batch, frame: Frame, ready_ns: float, finish: float) -> None:
+        """Decompose the packet's latency along the pipeline stages.
+
+        Stage boundaries are the timestamps the objects already carry:
+        batch completion, frame completion, frame arrival at the head
+        SRAM (``ready_ns``), and wire departure.  Clamped at zero for
+        the rare bypass/padding paths where a later stage's timestamp
+        precedes an earlier one's bookkeeping time.
+        """
+        t_arrival = packet.arrival_ns
+        t_batch = max(batch.created_ns, t_arrival)
+        t_frame = max(frame.created_ns, t_batch)
+        t_ready = max(ready_ns, t_frame)
+        self.breakdown["batch_fill"].record(t_batch - t_arrival)
+        self.breakdown["frame_fill"].record(t_frame - t_batch)
+        self.breakdown["hbm_wait"].record(t_ready - t_frame)
+        self.breakdown["egress"].record(max(0.0, finish - t_ready))
+
+    def _check_order(self, packet: Packet) -> None:
+        """Flows must not reorder: pids within a flow are monotonic."""
+        key = (
+            packet.flow.src_ip,
+            packet.flow.dst_ip,
+            packet.flow.src_port,
+            packet.flow.dst_port,
+            packet.flow.protocol,
+        )
+        last = self._flow_last_pid.get(key)
+        if last is not None and packet.pid < last:
+            self.ordering_violations += 1
+        else:
+            self._flow_last_pid[key] = packet.pid
+
+    def raise_on_reorder(self) -> None:
+        """Escalate recorded reorderings (used by integration tests)."""
+        if self.ordering_violations:
+            raise OrderingViolation(
+                f"output {self.port} saw {self.ordering_violations} reordered packets"
+            )

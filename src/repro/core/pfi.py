@@ -1,0 +1,322 @@
+"""The Parallel Frame Interleaving engine (Design 6 / SS 3.2 steps 3-5).
+
+PFI alternates HBM **write phases** and **read phases**.  Each write
+phase moves one frame (the head of the tail SRAM's shared FIFO) into the
+HBM across all T channels with staggered bank interleaving; each read
+phase moves one frame out, cycling over the N outputs.  Because the
+memory bandwidth is twice the aggregate line rate, one frame written and
+one read per cycle exactly sustains 100% load.
+
+Optional behaviours (the SS 4 latency optimisations and ablation knobs):
+
+- ``padding``: when a write phase finds no full frame, the output with
+  the oldest pending batch is flushed as a padded frame [33, 37].
+- ``bypass``: when a read phase's output has nothing in the HBM, the
+  tail SRAM sends its head-of-line (possibly padded) frame directly to
+  the head SRAM, skipping the memory round-trip.
+- ``work_conserving_reads``: instead of the paper's strict cycle, skip
+  to the next output that has a frame (ablation; strict is the default).
+- ``validate_hbm_timing``: execute the real command schedule of every
+  phase on the timing-checked controller -- any violation raises.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
+
+from ..config import HBMSwitchConfig
+from ..constants import HBM4_PHASE_TRANSITION_FRACTION
+from ..errors import ConfigError
+from ..hbm.controller import HBMController
+from ..hbm.interleaving import first_legal_start, generate_frame_schedule
+from ..hbm.commands import Op
+from ..hbm.timing import HBMTiming
+from ..sim.engine import Engine
+from .address import HBMAddressMap
+from .frames import Frame
+from .tail_sram import TailSRAM
+
+
+@dataclass(frozen=True)
+class PFIOptions:
+    """Behavioural knobs of the PFI engine.
+
+    ``padding_max_wait_ns`` guards *write-phase* padding: a partial frame
+    is only padded and written once its oldest batch has waited this
+    long.  ``None`` (the default) auto-derives one strict-cyclic service
+    round (N x cycle): padding then acts as a latency deadline without
+    flooding the HBM with mostly-filler frames at load -- a padded frame
+    written during load burns future read slots of its output, whereas a
+    *bypass* pad is free (it uses a read slot that would otherwise be
+    wasted), so bypass pads unconditionally.
+    """
+
+    padding: bool = False
+    bypass: bool = False
+    work_conserving_reads: bool = False
+    validate_hbm_timing: bool = False
+    transition_fraction: float = HBM4_PHASE_TRANSITION_FRACTION
+    padding_max_wait_ns: Optional[float] = None
+
+
+@dataclass
+class PFICounters:
+    """Observable phase statistics."""
+
+    frames_written: int = 0
+    frames_read: int = 0
+    padded_frames: int = 0
+    bypassed_frames: int = 0
+    idle_write_phases: int = 0
+    wasted_read_slots: int = 0
+    write_phases: int = 0
+    read_phases: int = 0
+    payload_written_bytes: int = 0
+    padding_written_bytes: int = 0
+
+
+class PFIEngine:
+    """Drives the alternating write/read phases of one HBM switch."""
+
+    def __init__(
+        self,
+        config: HBMSwitchConfig,
+        engine: Engine,
+        tail: TailSRAM,
+        deliver: Callable[[Frame, float], None],
+        address_map: Optional[HBMAddressMap] = None,
+        options: PFIOptions = PFIOptions(),
+        timing: Optional[HBMTiming] = None,
+        controller: Optional[HBMController] = None,
+        trace=None,
+    ) -> None:
+        self.config = config
+        self.engine = engine
+        self.tail = tail
+        self.deliver = deliver
+        self.options = options
+        self.timing = timing if timing is not None else HBMTiming()
+        self.address_map = (
+            address_map if address_map is not None else HBMAddressMap(config)
+        )
+        if options.validate_hbm_timing:
+            if config.speedup != 1.0:
+                raise ConfigError(
+                    "command-level validation assumes the physical HBM rate; "
+                    "it is only meaningful at speedup 1.0"
+                )
+            self.controller = (
+                controller
+                if controller is not None
+                else HBMController(config.stack, config.n_stacks, self.timing)
+            )
+        else:
+            self.controller = controller
+        self.counters = PFICounters()
+        self.trace = trace
+        self._hbm_content: List[Deque[Frame]] = [
+            deque() for _ in range(config.n_ports)
+        ]
+        self._read_ptr = 0
+        self._stopped = False
+        # Phase geometry: with speedup s the memory moves a frame in
+        # frame_time/s; each phase is followed by a transition gap.
+        self.phase_duration = config.frame_write_time_ns / config.speedup
+        self.transition = self.phase_duration * options.transition_fraction
+        if options.padding_max_wait_ns is None:
+            # Auto: several natural frame-fill times (K/P is how long a
+            # fully loaded output takes to fill a frame).  Below this
+            # age the frame would have filled by itself at moderate
+            # load, and padding it early would burn read slots on
+            # filler; above it, the output is genuinely light and
+            # padding is the right latency cut.
+            from ..units import rate_to_bytes_per_ns
+
+            fill_time = config.frame_bytes / rate_to_bytes_per_ns(config.port_rate_bps)
+            self.padding_wait_ns = max(
+                config.n_ports * self.cycle_duration, 4.0 * fill_time
+            )
+        else:
+            self.padding_wait_ns = options.padding_max_wait_ns
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, at: float = 0.0) -> None:
+        """Schedule the first write phase."""
+        start = max(at, first_legal_start(self.timing))
+        self.engine.schedule(start, self._write_phase)
+
+    def stop(self) -> None:
+        """Stop scheduling further phases (end of simulation)."""
+        self._stopped = True
+
+    @property
+    def cycle_duration(self) -> float:
+        """One full write+read cycle including transitions."""
+        return 2.0 * (self.phase_duration + self.transition)
+
+    def hbm_occupancy_frames(self) -> int:
+        return sum(len(q) for q in self._hbm_content)
+
+    def hbm_frames_for(self, output: int) -> int:
+        return len(self._hbm_content[output])
+
+    def hbm_payload_bytes(self) -> int:
+        return sum(f.payload_bytes for q in self._hbm_content for f in q)
+
+    # -- write phase -------------------------------------------------------------
+
+    def _write_phase(self) -> None:
+        if self._stopped:
+            return
+        now = self.engine.now
+        self.counters.write_phases += 1
+        frame = self.tail.pop_frame(now)
+        if frame is None and self.options.padding:
+            frame = self._pad_oldest_output(now)
+        if frame is not None:
+            self._write_frame(frame, now)
+        else:
+            self.counters.idle_write_phases += 1
+            if self.trace is not None:
+                self.trace.record(now, "pfi", "idle_write")
+        self.engine.schedule(
+            now + self.phase_duration + self.transition, self._read_phase
+        )
+
+    def _pad_oldest_output(self, now: float) -> Optional[Frame]:
+        """Padding policy: flush the output whose pending batch is oldest."""
+        oldest_output = None
+        oldest_time = float("inf")
+        for output in range(self.config.n_ports):
+            pending = self.tail.pending_batches(output)
+            if pending == 0:
+                continue
+            first = self.tail._assemblers[output]._pending[0].created_ns
+            if first < oldest_time:
+                oldest_time = first
+                oldest_output = output
+        if oldest_output is None:
+            return None
+        if now - oldest_time < self.padding_wait_ns:
+            return None
+        frame = self.tail.padded_frame_for(oldest_output, now)
+        if frame is not None:
+            self.counters.padded_frames += 1
+        return frame
+
+    def _write_frame(self, frame: Frame, now: float) -> None:
+        address = self.address_map.region(frame.output).push()
+        if self.options.validate_hbm_timing:
+            self._execute_schedule(Op.WR, address, now)
+        self.counters.frames_written += 1
+        self.counters.payload_written_bytes += frame.payload_bytes
+        self.counters.padding_written_bytes += frame.padding_bytes
+        if self.trace is not None:
+            self.trace.record(
+                now, "pfi", "write",
+                output=frame.output, frame=frame.index,
+                group=address.group.index, row=address.row,
+                payload=frame.payload_bytes,
+            )
+        # Content becomes readable when the write phase completes.
+        self.engine.schedule(
+            now + self.phase_duration,
+            lambda: self._hbm_content[frame.output].append(frame),
+        )
+
+    # -- read phase --------------------------------------------------------------
+
+    def _read_phase(self) -> None:
+        if self._stopped:
+            return
+        now = self.engine.now
+        self.counters.read_phases += 1
+        output = self._select_read_output()
+        served = False
+        if output is not None:
+            served = self._serve_output(output, now)
+        if not served:
+            self.counters.wasted_read_slots += 1
+            if self.trace is not None:
+                self.trace.record(now, "pfi", "wasted_read", output=output)
+        self.engine.schedule(
+            now + self.phase_duration + self.transition, self._write_phase
+        )
+
+    def _select_read_output(self) -> Optional[int]:
+        """Strict cyclic pointer, or first ready output when work-conserving."""
+        n = self.config.n_ports
+        if not self.options.work_conserving_reads:
+            output = self._read_ptr
+            self._read_ptr = (self._read_ptr + 1) % n
+            return output
+        for offset in range(n):
+            candidate = (self._read_ptr + offset) % n
+            if self._hbm_content[candidate] or (
+                self.options.bypass and self.tail.has_data_for(candidate)
+            ):
+                self._read_ptr = (candidate + 1) % n
+                return candidate
+        self._read_ptr = (self._read_ptr + 1) % n
+        return None
+
+    def _serve_output(self, output: int, now: float) -> bool:
+        if self._hbm_content[output]:
+            frame = self._hbm_content[output].popleft()
+            # Writes push and reads pop the region FIFO exactly once per
+            # frame, so the popped address is this frame's by induction.
+            address = self.address_map.region(output).pop()
+            if self.options.validate_hbm_timing:
+                self._execute_schedule(Op.RD, address, now)
+            self.counters.frames_read += 1
+            if self.trace is not None:
+                self.trace.record(
+                    now, "pfi", "read",
+                    output=output, frame=frame.index,
+                    group=address.group.index, row=address.row,
+                )
+            done = now + self.phase_duration
+            self.engine.schedule(done, lambda: self.deliver(frame, done))
+            return True
+        if self.options.bypass:
+            return self._bypass(output, now)
+        return False
+
+    def _bypass(self, output: int, now: float) -> bool:
+        """HBM bypass (SS 4): tail sends directly to head for this output."""
+        frame = self.tail.pop_frame_for(output, now)
+        if frame is None and self.options.padding:
+            frame = self.tail.padded_frame_for(output, now)
+            if frame is not None:
+                self.counters.padded_frames += 1
+        if frame is None:
+            return False
+        frame.bypassed = True
+        self.counters.bypassed_frames += 1
+        if self.trace is not None:
+            self.trace.record(
+                now, "pfi", "bypass", output=output, frame=frame.index,
+                payload=frame.payload_bytes,
+            )
+        done = now + self.phase_duration
+        self.engine.schedule(done, lambda: self.deliver(frame, done))
+        return True
+
+    # -- command-level validation ---------------------------------------------------
+
+    def _execute_schedule(self, op: Op, address, now: float) -> None:
+        """Run this phase's real command schedule on the checked controller."""
+        schedule = generate_frame_schedule(
+            op=op,
+            channels=range(self.controller.n_channels),
+            group=address.group,
+            segment_bytes=self.config.segment_bytes,
+            row=address.row,
+            data_start=max(now, first_legal_start(self.timing)),
+            timing=self.timing,
+            channel_bytes_per_ns=self.config.stack.channel_bytes_per_ns,
+        )
+        self.controller.execute(schedule.commands)

@@ -1,0 +1,220 @@
+"""The Split-Parallel Switch: the top-level router (Fig. 1).
+
+SPS spatially splits each ribbon's F fibers across H *independent* HBM
+switches -- no electronic load balancing, no inter-switch coordination,
+one O/E/O conversion per packet.  Because the switches share nothing,
+the router simulation is H independent switch simulations plus the
+(passive) fiber-to-switch assignment, which is exactly how the real
+device would behave.
+
+Upstream routers hash flows across the fibers of a bundle (ECMP/LAG), so
+a flow arrives on one fiber, lands in one switch, and can never be
+reordered by the split -- a property :func:`assign_fibers` preserves by
+hashing on the 5-tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import RouterConfig
+from ..errors import ConfigError
+from ..hbm.timing import HBMTiming
+from ..photonics.oeo import OEOConverter
+from ..traffic.ecmp import hash_to_choice
+from ..traffic.packet import Packet
+from ..units import bytes_per_ns_to_rate
+from .fiber_split import FiberSplitter, PseudoRandomSplitter, split_imbalance
+from .hbm_switch import HBMSwitch, SwitchReport
+from .pfi import PFIOptions
+
+
+def assign_fibers(packets: Sequence[Packet], n_fibers: int, salt: int = 0xECA) -> List[int]:
+    """Pick the arrival fiber of each packet by upstream ECMP/LAG hash.
+
+    Flow-stable: all packets of a flow use the same fiber, so the split
+    cannot reorder a flow.
+    """
+    if n_fibers <= 0:
+        raise ConfigError(f"n_fibers must be positive, got {n_fibers}")
+    return [hash_to_choice(p.flow, n_fibers, salt) for p in packets]
+
+
+@dataclass
+class RouterReport:
+    """Aggregate of the H independent switch runs.
+
+    ``failed_switches`` lists switches injected as dead for this run
+    (SS 2.2 *Modularity*: switches share nothing, so a failure costs
+    exactly the traffic of its fibers -- 1/H of capacity -- and nothing
+    else).  ``failed_offered_bytes`` is the traffic that arrived on a
+    dead switch's fibers and was lost.
+    """
+
+    switch_reports: List[SwitchReport]
+    per_switch_offered_bytes: List[int]
+    duration_ns: float
+    failed_switches: List[int] = None  # set in __post_init__
+    failed_offered_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.failed_switches is None:
+            self.failed_switches = []
+
+    @property
+    def offered_bytes(self) -> int:
+        """All traffic that reached the package, including failed fibers."""
+        return sum(r.offered_bytes for r in self.switch_reports) + self.failed_offered_bytes
+
+    @property
+    def delivered_bytes(self) -> int:
+        return sum(r.delivered_bytes for r in self.switch_reports)
+
+    @property
+    def dropped_bytes(self) -> int:
+        return sum(r.dropped_bytes for r in self.switch_reports)
+
+    @property
+    def throughput_bps(self) -> float:
+        if self.duration_ns <= 0:
+            return 0.0
+        return bytes_per_ns_to_rate(self.delivered_bytes / self.duration_ns)
+
+    @property
+    def delivery_fraction(self) -> float:
+        if self.offered_bytes <= 0:
+            return 1.0
+        return self.delivered_bytes / self.offered_bytes
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max-over-mean of per-switch offered load (1.0 = perfect)."""
+        return split_imbalance(np.asarray(self.per_switch_offered_bytes, dtype=float))
+
+    @property
+    def ordering_violations(self) -> int:
+        return sum(r.ordering_violations for r in self.switch_reports)
+
+    def latency_summary(self) -> Dict[str, float]:
+        """Combined latency view: exact for mean/max (count-weighted),
+        approximate for percentiles (reports carry summaries, not raw
+        samples; benches that need exact percentiles read per switch)."""
+        counts = sum(r.latency["count"] for r in self.switch_reports)
+        if counts == 0:
+            return {"count": 0.0, "mean_ns": 0.0, "p50_ns": 0.0, "p99_ns": 0.0, "max_ns": 0.0}
+        mean = (
+            sum(r.latency["mean_ns"] * r.latency["count"] for r in self.switch_reports)
+            / counts
+        )
+        return {
+            "count": counts,
+            "mean_ns": mean,
+            "p50_ns": float(np.median([r.latency["p50_ns"] for r in self.switch_reports])),
+            "p99_ns": max(r.latency["p99_ns"] for r in self.switch_reports),
+            "max_ns": max(r.latency["max_ns"] for r in self.switch_reports),
+        }
+
+
+class SplitParallelSwitch:
+    """The petabit router: H parallel HBM switches behind a fiber split."""
+
+    def __init__(
+        self,
+        config: RouterConfig,
+        splitter: Optional[FiberSplitter] = None,
+        options: PFIOptions = PFIOptions(),
+        timing: Optional[HBMTiming] = None,
+    ) -> None:
+        self.config = config
+        self.options = options
+        self.timing = timing
+        self.splitter = (
+            splitter
+            if splitter is not None
+            else PseudoRandomSplitter(config.fibers_per_ribbon, config.n_switches)
+        )
+        if self.splitter.n_fibers != config.fibers_per_ribbon:
+            raise ConfigError(
+                f"splitter covers {self.splitter.n_fibers} fibers, router has "
+                f"{config.fibers_per_ribbon}"
+            )
+        if self.splitter.n_switches != config.n_switches:
+            raise ConfigError(
+                f"splitter targets {self.splitter.n_switches} switches, router "
+                f"has {config.n_switches}"
+            )
+        self.oeo = OEOConverter()
+        # Cache assignments: ribbon -> fiber -> switch.
+        self._assignments = [
+            self.splitter.assignment(r) for r in range(config.n_ribbons)
+        ]
+
+    def switch_for(self, ribbon: int, fiber: int) -> int:
+        """Which HBM switch serves (ribbon, fiber)."""
+        if not 0 <= ribbon < self.config.n_ribbons:
+            raise ConfigError(f"ribbon {ribbon} out of range")
+        if not 0 <= fiber < self.config.fibers_per_ribbon:
+            raise ConfigError(f"fiber {fiber} out of range")
+        return self._assignments[ribbon][fiber]
+
+    def partition_packets(
+        self, packets: Sequence[Packet], fibers: Sequence[int]
+    ) -> List[List[Packet]]:
+        """Split a packet stream into per-switch streams by arrival fiber."""
+        if len(packets) != len(fibers):
+            raise ConfigError("packets and fibers must align")
+        per_switch: List[List[Packet]] = [[] for _ in range(self.config.n_switches)]
+        for packet, fiber in zip(packets, fibers):
+            per_switch[self.switch_for(packet.input_port, fiber)].append(packet)
+        return per_switch
+
+    def run(
+        self,
+        packets: Sequence[Packet],
+        duration_ns: float,
+        fibers: Optional[Sequence[int]] = None,
+        drain: bool = True,
+        failed_switches: Optional[Sequence[int]] = None,
+    ) -> RouterReport:
+        """Simulate the whole router.
+
+        ``fibers[i]`` is packet i's arrival fiber within its ribbon; by
+        default fibers are chosen by upstream ECMP hash.  The H switches
+        are simulated independently (they share nothing), each fed its
+        split of the traffic.
+
+        ``failed_switches`` injects dead switches: their traffic is lost
+        at the (passive) split, the survivors run exactly as before --
+        the modularity/fault-isolation property of SS 2.2.
+        """
+        failed = frozenset(failed_switches or ())
+        for h in failed:
+            if not 0 <= h < self.config.n_switches:
+                raise ConfigError(f"failed switch {h} out of range")
+        if fibers is None:
+            fibers = assign_fibers(packets, self.config.fibers_per_ribbon)
+        per_switch = self.partition_packets(packets, fibers)
+        reports: List[SwitchReport] = []
+        offered: List[int] = []
+        failed_bytes = 0
+        for h in range(self.config.n_switches):
+            arrived = sum(p.size_bytes for p in per_switch[h])
+            offered.append(arrived)
+            if h in failed:
+                failed_bytes += arrived
+                continue
+            switch = HBMSwitch(self.config.switch, self.options, self.timing)
+            report = switch.run(per_switch[h], duration_ns, drain=drain)
+            reports.append(report)
+            # One O/E + one E/O per bit through a switch (the SPS property).
+            self.oeo.convert(8.0 * (report.offered_bytes + report.delivered_bytes))
+        return RouterReport(
+            switch_reports=reports,
+            per_switch_offered_bytes=offered,
+            duration_ns=duration_ns,
+            failed_switches=sorted(failed),
+            failed_offered_bytes=failed_bytes,
+        )

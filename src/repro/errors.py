@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Timing violations carry enough
+context (command, bank, earliest legal time) to debug an illegal HBM
+schedule, because the whole point of PFI is that its schedule is legal at
+peak rate -- a violation is a bug in the scheduler, not a runtime
+condition to paper over.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all repro errors."""
+
+
+class ConfigError(ReproError):
+    """A configuration is internally inconsistent or out of range."""
+
+
+class TimingViolation(ReproError):
+    """An HBM command was issued before its earliest legal time.
+
+    Attributes
+    ----------
+    command:
+        Human-readable description of the offending command.
+    issued_at:
+        Time (ns) at which the command was issued.
+    legal_at:
+        Earliest time (ns) at which it would have been legal.
+    rule:
+        Name of the violated timing rule (e.g. ``"tRC"``, ``"tFAW"``).
+    """
+
+    def __init__(self, command: str, issued_at: float, legal_at: float, rule: str):
+        self.command = command
+        self.issued_at = issued_at
+        self.legal_at = legal_at
+        self.rule = rule
+        super().__init__(
+            f"{rule} violation: {command} issued at {issued_at:.3f} ns, "
+            f"legal at {legal_at:.3f} ns"
+        )
+
+
+class CapacityExceeded(ReproError):
+    """A buffer or memory region was asked to hold more than it can."""
+
+
+class AdmissibilityError(ReproError):
+    """A traffic matrix is not admissible (a row or column sum exceeds 1)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an inconsistent state."""
+
+
+class OrderingViolation(ReproError):
+    """Packets of the same flow departed out of order where order is guaranteed."""

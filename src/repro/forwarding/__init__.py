@@ -1,0 +1,29 @@
+"""Packet forwarding: the processing chiplet's lookup step.
+
+"A processing chiplet determines the HBM switch output for incoming
+variable-length packets" (SS 3.2 step 1).  This package implements that
+determination as a real longest-prefix-match FIB:
+
+- :mod:`trie` -- a binary (unibit) trie with longest-prefix-match
+  lookup, insertion and deletion;
+- :mod:`table` -- route-table synthesis (core-router-like prefix-length
+  mix) and the FIB wrapper that maps packets to output ports;
+- :mod:`cost` -- the lookups/second arithmetic behind the SS 5
+  conclusion that processing, not memory, becomes the scaling
+  bottleneck, and the source-routing alternative that eliminates it.
+"""
+
+from .cost import LookupBudget, lookup_budget, source_routing_budget
+from .table import Fib, RouteTable, fib_matching_generator, synthesize_route_table
+from .trie import PrefixTrie
+
+__all__ = [
+    "PrefixTrie",
+    "RouteTable",
+    "Fib",
+    "synthesize_route_table",
+    "fib_matching_generator",
+    "LookupBudget",
+    "lookup_budget",
+    "source_routing_budget",
+]

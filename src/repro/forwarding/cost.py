@@ -1,0 +1,69 @@
+"""Lookup-rate arithmetic (SS 5 conclusion).
+
+The processing chiplets are ~50% of the router's power; the paper asks
+whether operators could simplify processing (e.g. SD-WAN source routing
+[40]) to scale further.  The load-bearing numbers are lookups/second:
+
+- an LPM lookup per packet at 2.56 Tb/s of 64-byte packets is 5 G
+  lookups/s *per switch port* -- 80 G/s per HBM switch;
+- source routing replaces the LPM with reading a label: ~O(1) and far
+  cheaper per bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import HBMSwitchConfig
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LookupBudget:
+    """Forwarding-lookup demand of one HBM switch."""
+
+    lookups_per_s_per_port: float
+    ports: int
+    mean_packet_bytes: float
+
+    @property
+    def lookups_per_s(self) -> float:
+        return self.lookups_per_s_per_port * self.ports
+
+    def sram_accesses_per_s(self, accesses_per_lookup: float = 24.0) -> float:
+        """Memory touches/s for a trie-walk of ~prefix-length depth.
+
+        Real pipelines compress the trie, but the per-lookup work still
+        scales with lookup depth; 24 is a unibit-trie mean depth for a
+        BGP-like mix.
+        """
+        if accesses_per_lookup <= 0:
+            raise ConfigError("accesses_per_lookup must be positive")
+        return self.lookups_per_s * accesses_per_lookup
+
+
+def lookup_budget(
+    config: HBMSwitchConfig, mean_packet_bytes: float = 64.0
+) -> LookupBudget:
+    """LPM demand at a switch's line rate and a packet-size assumption."""
+    if mean_packet_bytes <= 0:
+        raise ConfigError(f"packet size must be positive, got {mean_packet_bytes}")
+    per_port = config.port_rate_bps / (8.0 * mean_packet_bytes)
+    return LookupBudget(
+        lookups_per_s_per_port=per_port,
+        ports=config.n_ports,
+        mean_packet_bytes=mean_packet_bytes,
+    )
+
+
+def source_routing_budget(
+    config: HBMSwitchConfig, mean_packet_bytes: float = 64.0
+) -> LookupBudget:
+    """The SD-WAN-style alternative: one label read per packet.
+
+    Same packet rate, but the per-lookup work collapses to a single
+    access (``sram_accesses_per_s(1.0)``), which is the processing
+    simplification SS 5 floats.
+    """
+    budget = lookup_budget(config, mean_packet_bytes)
+    return budget  # identical rate; the saving is per-lookup work

@@ -1,0 +1,123 @@
+"""A binary trie with longest-prefix-match semantics.
+
+The canonical IP-lookup structure: one node per prefix bit, next-hop
+stored at the node where a prefix ends, lookup walks the address bits
+remembering the deepest next-hop seen.  Unibit tries are not how ASICs
+do it (they compress), but they define the *semantics* every compressed
+scheme must match, which is what a reference implementation is for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ConfigError
+
+
+class _Node:
+    __slots__ = ("children", "next_hop")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_Node"]] = [None, None]
+        self.next_hop: Optional[int] = None
+
+
+def _check_prefix(prefix: int, length: int, width: int) -> None:
+    if not 0 <= length <= width:
+        raise ConfigError(f"prefix length must be in [0, {width}], got {length}")
+    if not 0 <= prefix < (1 << width):
+        raise ConfigError(f"prefix must be a {width}-bit value")
+    if length < width and prefix & ((1 << (width - length)) - 1):
+        raise ConfigError(
+            f"prefix {prefix:#x}/{length} has bits set beyond its length"
+        )
+
+
+class PrefixTrie:
+    """Longest-prefix-match over ``width``-bit addresses (IPv4 default)."""
+
+    def __init__(self, width: int = 32):
+        if width <= 0:
+            raise ConfigError(f"width must be positive, got {width}")
+        self.width = width
+        self._root = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- updates -----------------------------------------------------------------
+
+    def insert(self, prefix: int, length: int, next_hop: int) -> None:
+        """Insert (or replace) ``prefix/length -> next_hop``."""
+        _check_prefix(prefix, length, self.width)
+        node = self._root
+        for depth in range(length):
+            bit = (prefix >> (self.width - 1 - depth)) & 1
+            if node.children[bit] is None:
+                node.children[bit] = _Node()
+            node = node.children[bit]
+        if node.next_hop is None:
+            self._size += 1
+        node.next_hop = next_hop
+
+    def remove(self, prefix: int, length: int) -> bool:
+        """Remove a prefix; returns whether it existed.
+
+        Empty branches are pruned so deletions do not leak nodes.
+        """
+        _check_prefix(prefix, length, self.width)
+        path: List[Tuple[_Node, int]] = []
+        node = self._root
+        for depth in range(length):
+            bit = (prefix >> (self.width - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                return False
+            path.append((node, bit))
+            node = child
+        if node.next_hop is None:
+            return False
+        node.next_hop = None
+        self._size -= 1
+        # Prune childless, hopless tail nodes.
+        for parent, bit in reversed(path):
+            child = parent.children[bit]
+            if child.next_hop is None and child.children == [None, None]:
+                parent.children[bit] = None
+            else:
+                break
+        return True
+
+    # -- lookup ------------------------------------------------------------------
+
+    def lookup(self, address: int) -> Optional[int]:
+        """Longest-prefix-match next hop for ``address`` (None = no route)."""
+        if not 0 <= address < (1 << self.width):
+            raise ConfigError(f"address must be a {self.width}-bit value")
+        node = self._root
+        best = node.next_hop
+        for depth in range(self.width):
+            bit = (address >> (self.width - 1 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.next_hop is not None:
+                best = node.next_hop
+        return best
+
+    def items(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield every (prefix, length, next_hop), sorted by prefix bits."""
+
+        def walk(node: _Node, prefix: int, depth: int):
+            if node.next_hop is not None:
+                yield (prefix << (self.width - depth), depth, node.next_hop)
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    yield from walk(child, (prefix << 1) | bit, depth + 1)
+
+        yield from walk(self._root, 0, 0)
+
+    def as_dict(self) -> Dict[Tuple[int, int], int]:
+        return {(p, l): nh for p, l, nh in self.items()}

@@ -1,0 +1,116 @@
+"""Per-channel DRAM state: data bus occupancy and the tFAW window.
+
+Each HBM channel has its own 64-bit data bus, its own bank array, and its
+own four-activation window.  Channels are fully independent of each other
+-- that independence is exactly the parallelism PFI stripes frames
+across.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from ..errors import TimingViolation
+from .bank import Bank
+from .commands import Command, Op
+from .timing import HBMTiming
+
+#: Tolerance (ns) for floating-point drift when comparing command times.
+TIMING_EPSILON_NS = 1e-6
+
+
+class Channel:
+    """One 64-bit HBM channel with ``n_banks`` banks."""
+
+    def __init__(
+        self,
+        timing: HBMTiming,
+        index: int,
+        n_banks: int,
+        width_bits: int,
+        bytes_per_ns: float,
+    ) -> None:
+        if n_banks <= 0:
+            raise ValueError(f"n_banks must be positive, got {n_banks}")
+        if bytes_per_ns <= 0:
+            raise ValueError(f"bytes_per_ns must be positive, got {bytes_per_ns}")
+        self._timing = timing
+        self._index = index
+        self._width_bits = width_bits
+        self._bytes_per_ns = bytes_per_ns
+        self.banks: List[Bank] = [Bank(timing, index, b) for b in range(n_banks)]
+        self._bus_free_at = -float("inf")
+        self._last_column_at = -float("inf")
+        self._act_history: Deque[float] = deque(maxlen=4)
+        self._bytes_moved = 0
+        self._data_end = -float("inf")
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def index(self) -> int:
+        return self._index
+
+    @property
+    def n_banks(self) -> int:
+        return len(self.banks)
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total payload bytes transferred over this channel's bus."""
+        return self._bytes_moved
+
+    @property
+    def data_end_time(self) -> float:
+        """Completion time of the last data transfer on this channel."""
+        return self._data_end
+
+    def transfer_time_ns(self, size_bytes: int) -> float:
+        """Bus occupancy of ``size_bytes``, quantised to whole bursts."""
+        quantised = self._timing.quantise_to_bursts(size_bytes, self._width_bits)
+        return quantised / self._bytes_per_ns
+
+    # -- command application ---------------------------------------------------
+
+    def apply(self, cmd: Command) -> None:
+        """Validate channel-level rules, then delegate bank-level rules."""
+        if not 0 <= cmd.bank < self.n_banks:
+            raise TimingViolation(
+                cmd.describe(), cmd.time, float("inf"), f"bank-out-of-range(<{self.n_banks})"
+            )
+        if cmd.op is Op.ACT:
+            self._check_faw(cmd)
+        data_time = 0.0
+        if cmd.op in (Op.WR, Op.RD):
+            data_time = self._claim_bus(cmd)
+        self.banks[cmd.bank].apply(cmd, data_time)
+        if cmd.op is Op.ACT:
+            self._act_history.append(cmd.time)
+
+    def _check_faw(self, cmd: Command) -> None:
+        """Enforce the four-activation window (tFAW).
+
+        With the deque holding the last four ACT times, a new ACT is
+        illegal before ``oldest + t_faw`` once four are in the window.
+        """
+        if len(self._act_history) == 4:
+            oldest = self._act_history[0]
+            legal = oldest + self._timing.t_faw
+            if cmd.time < legal - TIMING_EPSILON_NS:
+                raise TimingViolation(cmd.describe(), cmd.time, legal, "tFAW")
+
+    def _claim_bus(self, cmd: Command) -> float:
+        """Reserve the data bus for a WR/RD payload; returns its duration."""
+        if cmd.time < self._last_column_at + self._timing.t_ccd - TIMING_EPSILON_NS:
+            raise TimingViolation(
+                cmd.describe(), cmd.time, self._last_column_at + self._timing.t_ccd, "tCCD"
+            )
+        if cmd.time < self._bus_free_at - TIMING_EPSILON_NS:
+            raise TimingViolation(cmd.describe(), cmd.time, self._bus_free_at, "bus-busy")
+        data_time = self.transfer_time_ns(cmd.size_bytes)
+        self._bus_free_at = cmd.time + data_time
+        self._last_column_at = cmd.time
+        self._bytes_moved += cmd.size_bytes
+        self._data_end = max(self._data_end, cmd.time + data_time)
+        return data_time

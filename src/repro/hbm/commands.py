@@ -1,0 +1,62 @@
+"""HBM command records.
+
+A :class:`Command` is a fully resolved memory operation: which channel
+(flat index across the stack group), which bank, which row, how many
+bytes, and the absolute issue time.  PFI emits streams of these; the
+controller validates them against the timing rules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Op(enum.Enum):
+    """DRAM command opcodes used by the model."""
+
+    ACT = "ACT"  # activate (open) a row in a bank
+    WR = "WR"  # write a column burst sequence
+    RD = "RD"  # read a column burst sequence
+    PRE = "PRE"  # precharge (close) a bank
+    REF = "REF"  # single-bank refresh
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Command:
+    """One timed DRAM command.
+
+    ``size_bytes`` is meaningful only for :attr:`Op.WR` / :attr:`Op.RD`;
+    it is the payload moved over the channel data bus starting at
+    ``time`` (the model treats column command and data phase as one unit
+    whose bus occupancy is ``size / channel rate``).
+    """
+
+    op: Op
+    channel: int
+    bank: int
+    row: int
+    time: float
+    size_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.channel < 0:
+            raise ValueError(f"channel must be >= 0, got {self.channel}")
+        if self.bank < 0:
+            raise ValueError(f"bank must be >= 0, got {self.bank}")
+        if self.row < 0:
+            raise ValueError(f"row must be >= 0, got {self.row}")
+        if self.op in (Op.WR, Op.RD) and self.size_bytes <= 0:
+            raise ValueError(f"{self.op} needs a positive size, got {self.size_bytes}")
+        if self.op in (Op.ACT, Op.PRE, Op.REF) and self.size_bytes != 0:
+            raise ValueError(f"{self.op} carries no data")
+
+    def describe(self) -> str:
+        """Compact human-readable form for error messages."""
+        base = f"{self.op} ch{self.channel} bank{self.bank} row{self.row}"
+        if self.size_bytes:
+            base += f" {self.size_bytes}B"
+        return base

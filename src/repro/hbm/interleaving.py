@@ -1,0 +1,191 @@
+"""Bank interleaving groups and the staggered frame schedule (PFI step 3).
+
+This module is the heart of the paper's memory-access contribution:
+
+- Banks are partitioned into disjoint *bank interleaving groups* of
+  ``gamma`` consecutive banks.
+- A frame is written 1/gamma at a time: segment into bank ``l`` across
+  all T channels, then bank ``l+1``, ... with each bank's activate and
+  the previous bank's precharge overlapped with the current bank's data
+  transfer ("perfectly staggered bank interleaving").
+- The n-th frame of an output goes to group ``n mod (L/gamma)``
+  deterministically -- no bookkeeping (PFI step 4).
+
+:func:`derive_gamma` reproduces the paper's derivation of gamma = 4: the
+smallest group size whose per-bank cycle (gamma segment-times) covers the
+row cycle tRC, subject to the four-activation limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import ConfigError
+from .commands import Command, Op
+from .timing import HBMTiming
+
+#: The current-draw limit the paper cites: "at most four concurrent bank
+#: activations, to prevent the memory from drawing too much instantaneous
+#: current" (SS 3.2 step 3).
+FOUR_ACTIVATION_LIMIT = 4
+
+
+def derive_gamma(
+    timing: HBMTiming,
+    segment_time_ns: float,
+    max_activations: int = FOUR_ACTIVATION_LIMIT,
+) -> int:
+    """Smallest legal interleaving group size for a given segment time.
+
+    Condition (i) of the paper: the precharge of the first bank in one
+    group must complete before that bank (or its successor group's first
+    bank) is activated again, i.e. the group must spread a bank's reuse
+    over at least one row cycle: ``gamma * segment_time >= t_rc``.
+
+    Condition (ii): at most ``max_activations`` banks may be activated
+    concurrently, bounding gamma from above.
+
+    >>> derive_gamma(HBMTiming(), segment_time_ns=12.8)
+    4
+    """
+    if segment_time_ns <= 0:
+        raise ConfigError(f"segment time must be positive, got {segment_time_ns}")
+    gamma = 1
+    while gamma * segment_time_ns < timing.t_rc:
+        gamma += 1
+        if gamma > max_activations:
+            raise ConfigError(
+                f"no legal gamma <= {max_activations}: segment time "
+                f"{segment_time_ns:.3f} ns is too short to hide "
+                f"t_rc = {timing.t_rc:.3f} ns"
+            )
+    return gamma
+
+
+def max_concurrent_activations(timing: HBMTiming, segment_time_ns: float) -> int:
+    """Banks simultaneously open under the staggered schedule.
+
+    A bank is open from its ACT (t_rcd before its data phase) until its
+    precharge completes (t_rp after PRE).  With one ACT per segment time,
+    the number of overlapping open intervals is ``ceil(open_span /
+    segment_time)``.
+    """
+    if segment_time_ns <= 0:
+        raise ConfigError(f"segment time must be positive, got {segment_time_ns}")
+    open_span = timing.t_rcd + max(timing.t_ras - timing.t_rcd, segment_time_ns) + timing.t_rp
+    import math
+
+    return math.ceil(open_span / segment_time_ns)
+
+
+def bank_group_for_frame(frame_index: int, n_groups: int) -> int:
+    """PFI step 4, the no-bookkeeping rule: h = n mod (L / gamma)."""
+    if n_groups <= 0:
+        raise ConfigError(f"n_groups must be positive, got {n_groups}")
+    if frame_index < 0:
+        raise ConfigError(f"frame_index must be >= 0, got {frame_index}")
+    return frame_index % n_groups
+
+
+@dataclass(frozen=True)
+class BankGroup:
+    """Group ``index`` of ``gamma`` consecutive banks."""
+
+    index: int
+    gamma: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigError(f"group index must be >= 0, got {self.index}")
+        if self.gamma <= 0:
+            raise ConfigError(f"gamma must be positive, got {self.gamma}")
+
+    @property
+    def first_bank(self) -> int:
+        return self.index * self.gamma
+
+    @property
+    def banks(self) -> List[int]:
+        """The consecutive banks l .. l + gamma - 1 of this group."""
+        return list(range(self.first_bank, self.first_bank + self.gamma))
+
+
+@dataclass(frozen=True)
+class FrameSchedule:
+    """A complete timed command sequence moving one frame.
+
+    ``data_start``/``data_end`` delimit the bus-occupancy window; the
+    first ACT precedes ``data_start`` by tRCD (pipelined into the
+    previous phase) and the last PRE trails ``data_end``.
+    """
+
+    commands: List[Command]
+    data_start: float
+    data_end: float
+    payload_bytes: int
+
+    @property
+    def duration_ns(self) -> float:
+        """Length of the data phase (what the frame costs in bus time)."""
+        return self.data_end - self.data_start
+
+
+def first_legal_start(timing: HBMTiming) -> float:
+    """Earliest data-phase start so the leading ACT is at t >= 0."""
+    return timing.t_rcd
+
+
+def generate_frame_schedule(
+    op: Op,
+    channels: Sequence[int],
+    group: BankGroup,
+    segment_bytes: int,
+    row: int,
+    data_start: float,
+    timing: HBMTiming,
+    channel_bytes_per_ns: float,
+) -> FrameSchedule:
+    """Emit the staggered-interleaved command stream for one frame.
+
+    For each of the ``gamma`` banks in ``group``, and on every channel in
+    ``channels`` in parallel:
+
+    - ACT is issued tRCD before the bank's data slot so the row is open
+      exactly when its segment's transfer begins;
+    - the WR/RD column command starts the segment transfer;
+    - PRE closes the bank as soon as tRAS and the data transfer allow.
+
+    Segments on consecutive banks butt against each other on the data
+    bus, so the bus never idles inside a frame -- that is the "peak data
+    rate" property E4 measures.
+    """
+    if op not in (Op.WR, Op.RD):
+        raise ConfigError(f"frame schedules move data; got {op}")
+    if segment_bytes <= 0:
+        raise ConfigError(f"segment_bytes must be positive, got {segment_bytes}")
+    if channel_bytes_per_ns <= 0:
+        raise ConfigError(f"channel rate must be positive, got {channel_bytes_per_ns}")
+
+    segment_time = segment_bytes / channel_bytes_per_ns
+    commands: List[Command] = []
+    for position, bank in enumerate(group.banks):
+        slot_start = data_start + position * segment_time
+        act_time = slot_start - timing.t_rcd
+        pre_time = max(act_time + timing.t_ras, slot_start + segment_time)
+        for channel in channels:
+            commands.append(Command(Op.ACT, channel, bank, row, act_time))
+            commands.append(
+                Command(op, channel, bank, row, slot_start, size_bytes=segment_bytes)
+            )
+            commands.append(Command(Op.PRE, channel, bank, row, pre_time))
+
+    data_end = data_start + group.gamma * segment_time
+    payload = group.gamma * segment_bytes * len(channels)
+    commands.sort(key=lambda c: (c.time, c.op is not Op.PRE, c.op is not Op.ACT))
+    return FrameSchedule(
+        commands=commands,
+        data_start=data_start,
+        data_end=data_end,
+        payload_bytes=payload,
+    )

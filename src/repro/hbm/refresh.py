@@ -1,0 +1,158 @@
+"""Hidden single-bank refresh (SS 4, *Frame interleaving cycle*).
+
+"HBM4 provides single-bank refresh operations that can be hidden without
+affecting the cycle time."  Under PFI, a bank is busy only while its
+interleaving group is being written or read -- one group out of
+L/gamma = 16 -- so every bank spends most of its life idle, and refresh
+slots into the gaps.
+
+:func:`busy_intervals` reconstructs each bank's occupancy from an actual
+command schedule; :func:`plan_refreshes` greedily places one REF per
+refresh interval in the free gaps; the caller merges the REFs with the
+frame train and executes the union on the timing-checked controller --
+if the plan overlapped a frame access, the bank state machine would
+raise, and because REF moves no data the measured frame bandwidth is
+unchanged.  That is the "hidden" claim, made executable (bench E4c).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import ConfigError
+from .commands import Command, Op
+from .timing import HBMTiming
+
+BankKey = Tuple[int, int]  # (channel, bank)
+Interval = Tuple[float, float]
+
+
+def busy_intervals(
+    commands: Iterable[Command], timing: HBMTiming
+) -> Dict[BankKey, List[Interval]]:
+    """Per-bank busy windows implied by a command schedule.
+
+    A bank is busy from its ACT until its PRE completes (PRE time +
+    tRP).  Unpaired ACTs (schedule ends with the bank open) extend to
+    +inf so no refresh is planned inside them.
+    """
+    open_at: Dict[BankKey, float] = {}
+    result: Dict[BankKey, List[Interval]] = defaultdict(list)
+    ordered = sorted(commands, key=lambda c: c.time)
+    for cmd in ordered:
+        key = (cmd.channel, cmd.bank)
+        if cmd.op is Op.ACT:
+            open_at[key] = cmd.time
+        elif cmd.op is Op.PRE:
+            start = open_at.pop(key, cmd.time)
+            result[key].append((start, cmd.time + timing.t_rp))
+    for key, start in open_at.items():
+        result[key].append((start, float("inf")))
+    for intervals in result.values():
+        intervals.sort()
+    return dict(result)
+
+
+def free_gaps(
+    intervals: List[Interval], horizon_ns: float
+) -> List[Interval]:
+    """Complement of the busy intervals within [0, horizon]."""
+    gaps: List[Interval] = []
+    cursor = 0.0
+    for start, end in intervals:
+        if start > cursor:
+            gaps.append((cursor, min(start, horizon_ns)))
+        cursor = max(cursor, end)
+        if cursor >= horizon_ns:
+            break
+    if cursor < horizon_ns:
+        gaps.append((cursor, horizon_ns))
+    return [(s, e) for s, e in gaps if e - s > 0]
+
+
+def plan_refreshes(
+    commands: Iterable[Command],
+    timing: HBMTiming,
+    n_channels: int,
+    n_banks: int,
+    horizon_ns: float,
+) -> List[Command]:
+    """One REF per bank per refresh interval, placed in free gaps.
+
+    Greedy: each bank's next refresh is due ``refresh_interval_ns`` after
+    the previous one; it is placed at the start of the earliest free gap
+    that fits ``refresh_duration_ns`` at or after the due time (a real
+    controller may also refresh early; placing late-but-hidden is the
+    conservative choice).  Raises :class:`ConfigError` if any bank cannot
+    meet a deadline within one extra interval -- which would mean refresh
+    is *not* hideable under this schedule.
+    """
+    if horizon_ns <= 0:
+        raise ConfigError(f"horizon must be positive, got {horizon_ns}")
+    busy = busy_intervals(commands, timing)
+    interval = timing.refresh_interval_ns
+    duration = timing.refresh_duration_ns
+    if interval <= 0:
+        return []
+    refreshes: List[Command] = []
+    for channel in range(n_channels):
+        for bank in range(n_banks):
+            # Gaps may extend one interval past the horizon: a refresh
+            # due just before the schedule ends can run right after it.
+            gaps = free_gaps(busy.get((channel, bank), []), horizon_ns + interval)
+            due = interval
+            gap_index = 0
+            while due < horizon_ns:
+                placed = None
+                while gap_index < len(gaps):
+                    gap_start, gap_end = gaps[gap_index]
+                    start = max(gap_start, due)
+                    if start + duration <= gap_end:
+                        placed = start
+                        # Consume the used slice; the rest of the gap can
+                        # host later refreshes.
+                        gaps[gap_index] = (start + duration, gap_end)
+                        break
+                    gap_index += 1
+                if placed is None:
+                    raise ConfigError(
+                        f"channel {channel} bank {bank}: no gap for refresh "
+                        f"due at {due:.0f} ns -- refresh is not hideable"
+                    )
+                if placed - due > interval:
+                    raise ConfigError(
+                        f"channel {channel} bank {bank}: refresh due at "
+                        f"{due:.0f} ns slipped {placed - due:.0f} ns"
+                    )
+                refreshes.append(Command(Op.REF, channel, bank, 0, placed))
+                due += interval
+    return refreshes
+
+
+def refresh_slack_report(
+    commands: Iterable[Command],
+    timing: HBMTiming,
+    n_channels: int,
+    n_banks: int,
+    horizon_ns: float,
+) -> Dict[str, float]:
+    """Aggregate headroom: how much idle time banks have vs refresh need."""
+    busy = busy_intervals(commands, timing)
+    total_busy = 0.0
+    for intervals in busy.values():
+        for start, end in intervals:
+            total_busy += min(end, horizon_ns) - min(start, horizon_ns)
+    bank_count = n_channels * n_banks
+    total_time = bank_count * horizon_ns
+    idle_fraction = 1.0 - total_busy / total_time if total_time else 0.0
+    need = (
+        timing.refresh_duration_ns / timing.refresh_interval_ns
+        if timing.refresh_interval_ns > 0
+        else 0.0
+    )
+    return {
+        "idle_fraction": idle_fraction,
+        "refresh_duty": need,
+        "headroom": idle_fraction / need if need else float("inf"),
+    }

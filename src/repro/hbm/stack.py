@@ -1,0 +1,43 @@
+"""One HBM stack: a set of independent channels.
+
+The stack is mostly a container; the interesting state lives in the
+channels and banks.  It also exposes the capacity/bandwidth arithmetic
+used by the design analysis.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..config import HBMStackConfig
+from .channel import Channel
+from .timing import HBMTiming
+
+
+class HBMStack:
+    """A 3D HBM stack with ``config.channels`` independent channels."""
+
+    def __init__(self, config: HBMStackConfig, timing: HBMTiming, base_channel: int = 0):
+        self.config = config
+        self.timing = timing
+        self.base_channel = base_channel
+        self.channels: List[Channel] = [
+            Channel(
+                timing=timing,
+                index=base_channel + c,
+                n_banks=config.banks_per_channel,
+                width_bits=config.channel_width_bits,
+                bytes_per_ns=config.channel_bytes_per_ns,
+            )
+            for c in range(config.channels)
+        ]
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total payload moved across all channels of this stack."""
+        return sum(channel.bytes_moved for channel in self.channels)
+
+    @property
+    def peak_bandwidth_bps(self) -> float:
+        """Peak stack bandwidth (20.48 Tb/s for HBM4)."""
+        return self.config.stack_bandwidth_bps

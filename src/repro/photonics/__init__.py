@@ -1,0 +1,42 @@
+"""In-package photonics substrate.
+
+The paper uses optics for three things, all modelled here:
+
+1. **Getting petabits in and out of the package** -- fiber ribbons with
+   WDM wavelengths (:mod:`fiber`, :mod:`wavelength`).
+2. **Passive spatial splitting** -- couplers map each incoming fiber onto
+   an internal waveguide with *no processing and no O/E conversion*
+   (:mod:`coupler`, :mod:`waveguide`); this is what makes SPS's one-OEO
+   property possible.
+3. **O/E and E/O conversion energy** -- the only place photons become
+   electrons and back, charged at ~1.15 pJ/bit (:mod:`oeo`).
+"""
+
+from .coupler import OpticalCoupler
+from .fiber import Fiber, FiberRibbon
+from .layout import (
+    Placement,
+    WaveguideBudget,
+    place_reference_layout,
+    propagation_delay_ns,
+    waveguide_budget,
+)
+from .oeo import OEOConverter, oeo_power_watts
+from .waveguide import Waveguide
+from .wavelength import WDMChannel, wavelength_grid_nm
+
+__all__ = [
+    "WDMChannel",
+    "wavelength_grid_nm",
+    "Fiber",
+    "FiberRibbon",
+    "Waveguide",
+    "OpticalCoupler",
+    "OEOConverter",
+    "oeo_power_watts",
+    "Placement",
+    "WaveguideBudget",
+    "place_reference_layout",
+    "waveguide_budget",
+    "propagation_delay_ns",
+]

@@ -1,0 +1,67 @@
+"""Fibers and fiber-ribbon arrays.
+
+A :class:`FiberRibbon` is one of the N = 16 arrays on the package edge;
+it carries F = 64 fibers, each with W input wavelengths and (for better
+packaging) a separate set of W output wavelengths (SS 2.2, *Modules*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .wavelength import WDMChannel, make_channels
+
+
+@dataclass(frozen=True)
+class Fiber:
+    """One fiber: W ingress channels and W egress channels."""
+
+    index: int
+    ingress: List[WDMChannel] = field(default_factory=list)
+    egress: List[WDMChannel] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"fiber index must be >= 0, got {self.index}")
+
+    @property
+    def ingress_rate_bps(self) -> float:
+        """Aggregate ingress rate: W * R (640 Gb/s in the reference)."""
+        return sum(channel.rate_bps for channel in self.ingress)
+
+    @property
+    def egress_rate_bps(self) -> float:
+        return sum(channel.rate_bps for channel in self.egress)
+
+
+class FiberRibbon:
+    """One ribbon array of F fibers (both ingress and egress)."""
+
+    def __init__(self, index: int, n_fibers: int, n_wavelengths: int, rate_bps: float):
+        if index < 0:
+            raise ValueError(f"ribbon index must be >= 0, got {index}")
+        if n_fibers <= 0:
+            raise ValueError(f"n_fibers must be positive, got {n_fibers}")
+        self.index = index
+        self.fibers: List[Fiber] = [
+            Fiber(
+                f,
+                ingress=make_channels(n_wavelengths, rate_bps),
+                egress=make_channels(n_wavelengths, rate_bps),
+            )
+            for f in range(n_fibers)
+        ]
+
+    @property
+    def n_fibers(self) -> int:
+        return len(self.fibers)
+
+    @property
+    def ingress_rate_bps(self) -> float:
+        """F * W * R: one ribbon's ingress (40.96 Tb/s in the reference)."""
+        return sum(fiber.ingress_rate_bps for fiber in self.fibers)
+
+    @property
+    def egress_rate_bps(self) -> float:
+        return sum(fiber.egress_rate_bps for fiber in self.fibers)

@@ -1,0 +1,158 @@
+"""Packaging layout on the 2.5D photonics interposer (Fig. 2).
+
+Fig. 2 sketches the reference floorplan: the N = 16 fiber ribbons
+organised as 4 arrays per package edge, the H = 16 HBM switches as a
+4 x 4 matrix in the middle, and WDM waveguides fanning out from every
+ribbon to every switch.  This module makes the sketch executable:
+
+- it places ribbons and switches on a panel of the configured edge;
+- it routes every (ribbon, switch) waveguide bundle as a Manhattan path
+  and reports total/maximum waveguide length -- the quantity that decides
+  optical loss budgets;
+- it checks that the switch matrix plus keep-outs actually fits the
+  panel (the executable version of the SS 4 area argument).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..config import RouterConfig
+from ..constants import PANEL_EDGE_MM
+from ..errors import ConfigError
+
+Point = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Positions (mm) of ribbons and switches on the interposer."""
+
+    panel_edge_mm: float
+    ribbon_positions: List[Point]
+    switch_positions: List[Point]
+    switch_pitch_mm: float
+
+    @property
+    def n_ribbons(self) -> int:
+        return len(self.ribbon_positions)
+
+    @property
+    def n_switches(self) -> int:
+        return len(self.switch_positions)
+
+
+def place_reference_layout(
+    config: RouterConfig,
+    panel_edge_mm: float = PANEL_EDGE_MM,
+    switch_edge_mm: float = 40.0,
+) -> Placement:
+    """The Fig. 2 floorplan: ribbons on 4 edges, switches in a matrix.
+
+    ``switch_edge_mm`` is the keep-out square of one HBM switch
+    (chiplet + 4 HBM stacks + controller area; 40 mm comfortably holds
+    the ~1,284 mm^2 of silicon plus routing).
+    """
+    n_ribbons = config.n_ribbons
+    n_switches = config.n_switches
+    side = math.isqrt(n_switches)
+    if side * side != n_switches:
+        raise ConfigError(
+            f"H = {n_switches} switches do not form a square matrix"
+        )
+    per_edge, remainder = divmod(n_ribbons, 4)
+    if remainder != 0:
+        raise ConfigError(f"N = {n_ribbons} ribbons do not split over 4 edges")
+
+    # Switch matrix centred on the panel.
+    pitch = switch_edge_mm * 1.5  # half an edge of routing space between
+    matrix_span = (side - 1) * pitch
+    if matrix_span + switch_edge_mm > panel_edge_mm:
+        raise ConfigError(
+            f"switch matrix ({matrix_span + switch_edge_mm:.0f} mm) exceeds "
+            f"panel edge ({panel_edge_mm:.0f} mm)"
+        )
+    origin = (panel_edge_mm - matrix_span) / 2.0
+    switches = [
+        (origin + col * pitch, origin + row * pitch)
+        for row in range(side)
+        for col in range(side)
+    ]
+
+    # Ribbons evenly spaced along each edge: bottom, top, left, right.
+    ribbons: List[Point] = []
+    step = panel_edge_mm / (per_edge + 1)
+    for k in range(per_edge):
+        ribbons.append(((k + 1) * step, 0.0))  # bottom
+    for k in range(per_edge):
+        ribbons.append(((k + 1) * step, panel_edge_mm))  # top
+    for k in range(per_edge):
+        ribbons.append((0.0, (k + 1) * step))  # left
+    for k in range(per_edge):
+        ribbons.append((panel_edge_mm, (k + 1) * step))  # right
+
+    return Placement(
+        panel_edge_mm=panel_edge_mm,
+        ribbon_positions=ribbons,
+        switch_positions=switches,
+        switch_pitch_mm=pitch,
+    )
+
+
+def manhattan_mm(a: Point, b: Point) -> float:
+    """Manhattan distance -- waveguides route on an orthogonal grid."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+@dataclass(frozen=True)
+class WaveguideBudget:
+    """Waveguide routing statistics for a placement."""
+
+    n_bundles: int
+    waveguides_per_bundle: int
+    total_length_mm: float
+    max_length_mm: float
+    mean_length_mm: float
+
+    @property
+    def total_waveguide_mm(self) -> float:
+        """Length x waveguides: the total drawn waveguide."""
+        return self.total_length_mm * self.waveguides_per_bundle
+
+
+def waveguide_budget(config: RouterConfig, placement: Placement) -> WaveguideBudget:
+    """Route every (ribbon, switch) bundle and aggregate lengths.
+
+    Every ribbon sends alpha waveguides to every switch (and receives
+    alpha back); the bundle length is the Manhattan distance between
+    ribbon landing and switch position.
+    """
+    lengths = [
+        manhattan_mm(r, s)
+        for r in placement.ribbon_positions
+        for s in placement.switch_positions
+    ]
+    if not lengths:
+        raise ConfigError("placement has no ribbon-switch pairs")
+    return WaveguideBudget(
+        n_bundles=len(lengths),
+        waveguides_per_bundle=2 * config.fibers_per_switch,  # in + out
+        total_length_mm=sum(lengths),
+        max_length_mm=max(lengths),
+        mean_length_mm=sum(lengths) / len(lengths),
+    )
+
+
+def propagation_delay_ns(length_mm: float, group_index: float = 2.0) -> float:
+    """Waveguide propagation delay: length / (c / n_g).
+
+    With n_g ~ 2 (silicon nitride waveguides), light covers 150 mm/ns --
+    the on-package optical path is nanoseconds, negligible next to the
+    frame cycle, which is why the simulator folds it into zero.
+    """
+    if length_mm < 0:
+        raise ConfigError(f"length must be >= 0, got {length_mm}")
+    c_mm_per_ns = 299.792458
+    return length_mm * group_index / c_mm_per_ns

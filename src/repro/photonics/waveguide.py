@@ -1,0 +1,42 @@
+"""Internal WDM waveguides.
+
+Inside the package, each incoming fiber's wavelengths are coupled into a
+WDM waveguide that propagates the still-optical signal to one HBM switch
+(and symmetrically from switches to egress fibers).  A waveguide is a
+pure conduit -- it has endpoints and a rate, and nothing else, because
+the optical path does no processing (that is the architectural point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Waveguide:
+    """One internal waveguide: (ribbon, fiber) <-> (switch, lane).
+
+    ``lane`` is the waveguide's position among the alpha waveguides that
+    connect this ribbon to this switch.
+    """
+
+    ribbon: int
+    fiber: int
+    switch: int
+    lane: int
+    n_wavelengths: int
+    rate_bps: float
+
+    def __post_init__(self) -> None:
+        for name in ("ribbon", "fiber", "switch", "lane"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.n_wavelengths <= 0:
+            raise ValueError(f"n_wavelengths must be positive, got {self.n_wavelengths}")
+        if self.rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate_bps}")
+
+    @property
+    def total_rate_bps(self) -> float:
+        """Aggregate WDM rate carried by this waveguide."""
+        return self.n_wavelengths * self.rate_bps

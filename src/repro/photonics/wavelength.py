@@ -1,0 +1,45 @@
+"""WDM wavelengths.
+
+Each fiber carries ``W`` wavelength-division-multiplexing channels of
+``R`` b/s each (W = 16, R = 40 Gb/s in the reference design).  The grid
+helper lays channels on a DWDM-style spacing purely for reporting --
+nothing downstream depends on the physical wavelength values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class WDMChannel:
+    """One wavelength channel on a fiber."""
+
+    index: int
+    rate_bps: float
+    wavelength_nm: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"channel index must be >= 0, got {self.index}")
+        if self.rate_bps <= 0:
+            raise ValueError(f"channel rate must be positive, got {self.rate_bps}")
+
+
+#: C-band DWDM anchor and spacing used for the cosmetic grid.
+_GRID_START_NM = 1530.0
+_GRID_SPACING_NM = 0.8
+
+
+def wavelength_grid_nm(n_channels: int) -> List[float]:
+    """A C-band-style wavelength grid for ``n_channels`` channels."""
+    if n_channels <= 0:
+        raise ValueError(f"n_channels must be positive, got {n_channels}")
+    return [_GRID_START_NM + i * _GRID_SPACING_NM for i in range(n_channels)]
+
+
+def make_channels(n_channels: int, rate_bps: float) -> List[WDMChannel]:
+    """Build ``n_channels`` channels at ``rate_bps`` on the grid."""
+    grid = wavelength_grid_nm(n_channels)
+    return [WDMChannel(i, rate_bps, grid[i]) for i in range(n_channels)]

@@ -1,0 +1,15 @@
+"""Paper-style table rendering and schedule timelines."""
+
+from .export import report_to_dict, report_to_json
+from .tables import Table, format_row, render_comparison
+from .timeline import render_bank_timeline, render_bus_utilisation
+
+__all__ = [
+    "Table",
+    "format_row",
+    "render_comparison",
+    "render_bank_timeline",
+    "render_bus_utilisation",
+    "report_to_dict",
+    "report_to_json",
+]

@@ -1,0 +1,46 @@
+"""Report serialisation: switch/router reports as plain dicts and JSON.
+
+Benches print tables for humans; pipelines want structured output.
+``report_to_dict`` flattens a :class:`~repro.core.hbm_switch.SwitchReport`
+(or :class:`~repro.core.sps.RouterReport`) into JSON-safe primitives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict
+
+from ..core.hbm_switch import SwitchReport
+from ..core.sps import RouterReport
+
+
+def report_to_dict(report) -> Dict[str, Any]:
+    """A JSON-safe dict of a switch or router report."""
+    if isinstance(report, SwitchReport):
+        data = dataclasses.asdict(report)
+        data["pfi"] = dataclasses.asdict(report.pfi)
+        data["normalized_throughput"] = report.normalized_throughput
+        data["delivery_fraction"] = report.delivery_fraction
+        return data
+    if isinstance(report, RouterReport):
+        return {
+            "duration_ns": report.duration_ns,
+            "offered_bytes": report.offered_bytes,
+            "delivered_bytes": report.delivered_bytes,
+            "dropped_bytes": report.dropped_bytes,
+            "failed_switches": list(report.failed_switches),
+            "failed_offered_bytes": report.failed_offered_bytes,
+            "delivery_fraction": report.delivery_fraction,
+            "load_imbalance": report.load_imbalance,
+            "ordering_violations": report.ordering_violations,
+            "latency": report.latency_summary(),
+            "per_switch_offered_bytes": list(report.per_switch_offered_bytes),
+            "switches": [report_to_dict(r) for r in report.switch_reports],
+        }
+    raise TypeError(f"cannot export {type(report).__name__}")
+
+
+def report_to_json(report, indent: int = 2) -> str:
+    """The JSON text of a report."""
+    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)

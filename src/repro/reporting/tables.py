@@ -1,0 +1,69 @@
+"""Minimal ASCII tables.
+
+Benches print the same rows the paper reports; this keeps the rendering
+in one place so every experiment's output looks the same.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell) -> str:
+    """Format a cell: floats get 4 significant digits."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_row(cells: Sequence[Cell], widths: Sequence[int]) -> str:
+    return "  ".join(
+        format_cell(cell).ljust(width) for cell, width in zip(cells, widths)
+    )
+
+
+class Table:
+    """Fixed-header ASCII table accumulated row by row."""
+
+    def __init__(self, title: str, headers: Sequence[str]):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add(self, *cells: Cell) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([format_cell(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [f"== {self.title} =="]
+        lines.append(format_row(self.headers, widths))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(format_row(row, widths))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render())
+
+
+def render_comparison(
+    title: str,
+    rows: Iterable[Sequence[Cell]],
+    headers: Sequence[str] = ("metric", "paper", "measured"),
+) -> str:
+    """A paper-vs-measured table in one call."""
+    table = Table(title, headers)
+    for row in rows:
+        table.add(*row)
+    return table.render()

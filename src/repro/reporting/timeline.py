@@ -1,0 +1,122 @@
+"""ASCII bank-occupancy timelines -- Fig. 4, rendered from real schedules.
+
+Given a command schedule, :func:`render_bank_timeline` draws one
+channel's banks over time:
+
+- ``a`` activation window (ACT issued, row opening),
+- ``W`` / ``R`` data transfer,
+- ``p`` precharging,
+- ``.`` idle.
+
+The staggered-interleaving picture of Fig. 4 -- each bank's transfer
+butting against the next, with opens and closes hidden underneath --
+becomes directly visible (see ``examples/hbm_timing_demo.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ConfigError
+from ..hbm.commands import Command, Op
+from ..hbm.timing import HBMTiming
+
+
+def _channel_spans(
+    commands: Iterable[Command], timing: HBMTiming, channel: int, bytes_per_ns: float
+) -> Dict[int, List[Tuple[float, float, str]]]:
+    """Per-bank (start, end, glyph) spans for one channel."""
+    spans: Dict[int, List[Tuple[float, float, str]]] = {}
+    for cmd in sorted(commands, key=lambda c: c.time):
+        if cmd.channel != channel:
+            continue
+        bank_spans = spans.setdefault(cmd.bank, [])
+        if cmd.op is Op.ACT:
+            bank_spans.append((cmd.time, cmd.time + timing.t_rcd, "a"))
+        elif cmd.op in (Op.WR, Op.RD):
+            quantised = timing.quantise_to_bursts(cmd.size_bytes, 64)
+            duration = quantised / bytes_per_ns
+            glyph = "W" if cmd.op is Op.WR else "R"
+            bank_spans.append((cmd.time, cmd.time + duration, glyph))
+        elif cmd.op is Op.PRE:
+            bank_spans.append((cmd.time, cmd.time + timing.t_rp, "p"))
+        elif cmd.op is Op.REF:
+            bank_spans.append(
+                (cmd.time, cmd.time + timing.refresh_duration_ns, "F")
+            )
+    return spans
+
+
+def render_bank_timeline(
+    commands: Iterable[Command],
+    timing: HBMTiming,
+    channel: int = 0,
+    bytes_per_ns: float = 80.0,
+    width: int = 72,
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+) -> str:
+    """Render one channel's bank activity as fixed-width ASCII rows.
+
+    ``width`` columns span ``[t0, t1]`` (auto-fitted to the schedule by
+    default); overlapping glyphs resolve in priority order data >
+    activate > precharge > refresh, so the data stream reads cleanly.
+    """
+    if width <= 0:
+        raise ConfigError(f"width must be positive, got {width}")
+    spans = _channel_spans(commands, timing, channel, bytes_per_ns)
+    if not spans:
+        return f"(channel {channel}: no commands)"
+    all_spans = [span for bank in spans.values() for span in bank]
+    start = min(s for s, _, _ in all_spans) if t0 is None else t0
+    end = max(e for _, e, _ in all_spans) if t1 is None else t1
+    if end <= start:
+        raise ConfigError("empty time window")
+    scale = width / (end - start)
+    priority = {"W": 3, "R": 3, "a": 2, "p": 1, "F": 1, ".": 0}
+
+    lines = [
+        f"channel {channel}: {start:.1f}..{end:.1f} ns "
+        f"({(end - start) / width:.2f} ns/col)  a=activate W/R=data p=precharge"
+    ]
+    for bank in sorted(spans):
+        row = ["."] * width
+        for s, e, glyph in spans[bank]:
+            lo = max(0, int((s - start) * scale))
+            hi = min(width, max(lo + 1, int((e - start) * scale)))
+            for col in range(lo, hi):
+                if priority[glyph] > priority[row[col]]:
+                    row[col] = glyph
+        lines.append(f"bank {bank:>3} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def render_bus_utilisation(
+    commands: Iterable[Command],
+    timing: HBMTiming,
+    channel: int = 0,
+    bytes_per_ns: float = 80.0,
+    width: int = 72,
+) -> str:
+    """One line: the channel data bus over time (# = busy, . = idle).
+
+    Under PFI this renders as an unbroken bar -- the peak-rate property
+    at a glance.
+    """
+    spans = _channel_spans(commands, timing, channel, bytes_per_ns)
+    data = [
+        (s, e) for bank in spans.values() for (s, e, glyph) in bank if glyph in "WR"
+    ]
+    if not data:
+        return "(no data transfers)"
+    start = min(s for s, _ in data)
+    end = max(e for _, e in data)
+    scale = width / (end - start)
+    row = ["."] * width
+    for s, e in data:
+        lo = max(0, int((s - start) * scale))
+        hi = min(width, max(lo + 1, int((e - start) * scale)))
+        for col in range(lo, hi):
+            row[col] = "#"
+    busy = sum(1 for c in row if c == "#") / width
+    return f"bus |{''.join(row)}| {busy:.0%} busy"

@@ -1,0 +1,31 @@
+"""Discrete-event simulation substrate.
+
+A minimal, deterministic event engine shared by the HBM switch, the
+baselines and the benches:
+
+- :class:`~repro.sim.engine.Engine` -- an event queue with a monotonic
+  clock; events at equal times fire in scheduling order, which keeps runs
+  reproducible.
+- :mod:`~repro.sim.stats` -- throughput meters, latency recorders with
+  percentiles, queue-occupancy trackers and drop counters.
+"""
+
+from .engine import Engine, Event
+from .stats import (
+    DropCounter,
+    LatencyRecorder,
+    OccupancyTracker,
+    ThroughputMeter,
+)
+from .trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "Engine",
+    "Event",
+    "ThroughputMeter",
+    "LatencyRecorder",
+    "OccupancyTracker",
+    "DropCounter",
+    "TraceRecorder",
+    "TraceRecord",
+]

@@ -1,0 +1,195 @@
+"""Measurement instruments for simulations.
+
+All recorders are passive: simulation components call ``record`` /
+``add`` / ``observe`` and the benches read summary properties afterwards.
+Latency percentiles use numpy's linear interpolation; throughput is
+bytes-over-wallclock with an explicit observation window so partially
+warm runs do not skew rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..units import bytes_per_ns_to_rate
+
+
+class ThroughputMeter:
+    """Counts bytes delivered and converts to a rate over a window."""
+
+    def __init__(self) -> None:
+        self._bytes = 0
+        self._count = 0
+        self._first_time: Optional[float] = None
+        self._last_time: Optional[float] = None
+
+    def record(self, size_bytes: int, time_ns: float) -> None:
+        """Record ``size_bytes`` delivered at ``time_ns``."""
+        self._bytes += size_bytes
+        self._count += 1
+        if self._first_time is None:
+            self._first_time = time_ns
+        self._last_time = time_ns
+
+    @property
+    def total_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def count(self) -> int:
+        """Number of delivery events (packets, batches, frames...)."""
+        return self._count
+
+    def rate_bps(self, window_ns: Optional[float] = None) -> float:
+        """Average delivery rate in bits/s.
+
+        ``window_ns`` overrides the denominator; by default the span from
+        first to last recorded event is used (zero-span -> 0.0).
+        """
+        if window_ns is None:
+            if self._first_time is None or self._last_time is None:
+                return 0.0
+            window_ns = self._last_time - self._first_time
+        if window_ns <= 0:
+            return 0.0
+        return bytes_per_ns_to_rate(self._bytes / window_ns)
+
+
+class LatencyRecorder:
+    """Collects per-item latencies and reports distribution summaries."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def record(self, latency_ns: float) -> None:
+        """Record one latency sample (ns).  Negative latency is a bug."""
+        if latency_ns < 0:
+            raise ValueError(f"negative latency {latency_ns:.3f} ns")
+        self._samples.append(latency_ns)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[float]:
+        """The raw samples (read-only by convention)."""
+        return self._samples
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self._samples)) if self._samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return float(np.max(self._samples)) if self._samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return float(np.min(self._samples)) if self._samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) of recorded latencies."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        return float(np.percentile(self._samples, q)) if self._samples else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Mean / p50 / p99 / max in one dict, for table rows."""
+        return {
+            "count": float(len(self._samples)),
+            "mean_ns": self.mean,
+            "p50_ns": self.percentile(50),
+            "p99_ns": self.percentile(99),
+            "max_ns": self.maximum,
+        }
+
+
+class OccupancyTracker:
+    """Tracks a queue's occupancy over time (time-weighted average + peak)."""
+
+    def __init__(self) -> None:
+        self._current = 0.0
+        self._peak = 0.0
+        self._weighted_sum = 0.0
+        self._last_time = 0.0
+        self._started = False
+
+    def observe(self, occupancy: float, time_ns: float) -> None:
+        """Record that occupancy became ``occupancy`` at ``time_ns``."""
+        if self._started and time_ns >= self._last_time:
+            self._weighted_sum += self._current * (time_ns - self._last_time)
+        self._current = occupancy
+        self._peak = max(self._peak, occupancy)
+        self._last_time = time_ns
+        self._started = True
+
+    @property
+    def peak(self) -> float:
+        return self._peak
+
+    @property
+    def current(self) -> float:
+        return self._current
+
+    def time_average(self, until_ns: Optional[float] = None) -> float:
+        """Time-weighted average occupancy up to ``until_ns`` (or last obs)."""
+        if not self._started:
+            return 0.0
+        end = self._last_time if until_ns is None else until_ns
+        if end <= 0:
+            return 0.0
+        tail = self._current * max(0.0, end - self._last_time)
+        return (self._weighted_sum + tail) / end
+
+
+@dataclass
+class DropCounter:
+    """Counts dropped items and bytes, split by reason."""
+
+    dropped_items: int = 0
+    dropped_bytes: int = 0
+    by_reason: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, size_bytes: int, reason: str = "overflow") -> None:
+        self.dropped_items += 1
+        self.dropped_bytes += size_bytes
+        self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
+
+    @property
+    def any(self) -> bool:
+        return self.dropped_items > 0
+
+    def loss_fraction(self, offered_bytes: int) -> float:
+        """Fraction of offered bytes that were dropped."""
+        if offered_bytes <= 0:
+            return 0.0
+        return self.dropped_bytes / offered_bytes
+
+
+def batch_means_ci(
+    samples: List[float], n_batches: int = 10, z: float = 1.96
+) -> "Tuple[float, float]":
+    """Batch-means confidence interval for autocorrelated sim output.
+
+    Simulation latency samples are serially correlated, so a naive
+    standard error understates uncertainty.  The batch-means method
+    splits the series into ``n_batches`` consecutive batches, treats
+    the batch averages as (approximately) independent, and builds the
+    CI from their spread.  Returns ``(mean, halfwidth)``.
+    """
+    if n_batches < 2:
+        raise ValueError(f"need at least 2 batches, got {n_batches}")
+    if len(samples) < n_batches:
+        raise ValueError(
+            f"{len(samples)} samples cannot form {n_batches} batches"
+        )
+    data = np.asarray(samples, dtype=np.float64)
+    size = len(data) // n_batches
+    trimmed = data[: size * n_batches].reshape(n_batches, size)
+    means = trimmed.mean(axis=1)
+    grand = float(means.mean())
+    stderr = float(means.std(ddof=1) / np.sqrt(n_batches))
+    return grand, z * stderr

@@ -1,0 +1,104 @@
+"""Event tracing for simulations.
+
+A :class:`TraceRecorder` collects typed, timestamped records from the
+switch pipeline (batch formed, frame written, frame bypassed, drop, ...)
+for debugging and for offline analysis.  Recording is opt-in and cheap:
+components call :meth:`TraceRecorder.record` only when a recorder is
+attached, and the recorder can cap its memory with a ring buffer.
+
+Export formats: JSON-lines (one record per line) and CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time_ns: float
+    category: str
+    event: str
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        flat: Dict[str, object] = {
+            "time_ns": self.time_ns,
+            "category": self.category,
+            "event": self.event,
+        }
+        flat.update(self.fields)
+        return flat
+
+
+class TraceRecorder:
+    """Bounded in-memory trace sink.
+
+    ``capacity`` caps retained records (oldest dropped first); ``None``
+    keeps everything.  ``categories`` restricts recording to a set of
+    categories (others are counted but not stored).
+    """
+
+    def __init__(self, capacity: Optional[int] = 100_000, categories: Optional[List[str]] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self._categories = set(categories) if categories is not None else None
+        self.counts: Counter = Counter()
+        self.dropped_records = 0
+
+    def record(self, time_ns: float, category: str, event: str, **fields) -> None:
+        """Record one event (cheap no-op for filtered categories)."""
+        self.counts[f"{category}.{event}"] += 1
+        if self._categories is not None and category not in self._categories:
+            return
+        if self._records.maxlen is not None and len(self._records) == self._records.maxlen:
+            self.dropped_records += 1
+        self._records.append(TraceRecord(time_ns, category, event, fields))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def filter(self, category: Optional[str] = None, event: Optional[str] = None) -> List[TraceRecord]:
+        """Records matching the given category and/or event."""
+        return [
+            r
+            for r in self._records
+            if (category is None or r.category == category)
+            and (event is None or r.event == event)
+        ]
+
+    # -- export ----------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line."""
+        return "\n".join(json.dumps(r.as_dict(), sort_keys=True) for r in self._records)
+
+    def to_csv(self) -> str:
+        """CSV with the union of all field names as columns."""
+        records = [r.as_dict() for r in self._records]
+        if not records:
+            return ""
+        columns: List[str] = ["time_ns", "category", "event"]
+        extra = sorted({k for r in records for k in r} - set(columns))
+        columns += extra
+        out = io.StringIO()
+        writer = csv.DictWriter(out, fieldnames=columns)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record)
+        return out.getvalue()
+
+    def summary(self) -> Dict[str, int]:
+        """Event counts by 'category.event' (including filtered ones)."""
+        return dict(self.counts)

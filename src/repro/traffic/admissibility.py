@@ -1,0 +1,43 @@
+"""Admissibility: the traffic regime of the paper's 100%-throughput claim.
+
+A matrix of per-pair loads (fractions of a port rate) is admissible when
+no input line or output line is oversubscribed: all row sums and column
+sums are at most 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AdmissibilityError
+
+#: Numerical slack for float row/column sums.
+_TOLERANCE = 1e-9
+
+
+def max_line_load(matrix: np.ndarray) -> float:
+    """The largest row or column sum -- the busiest line's load."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise AdmissibilityError(f"traffic matrix must be square, got {matrix.shape}")
+    return float(max(matrix.sum(axis=1).max(), matrix.sum(axis=0).max()))
+
+
+def is_admissible(matrix: np.ndarray, tolerance: float = _TOLERANCE) -> bool:
+    """Whether every input and output line load is at most 1."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if (matrix < -tolerance).any():
+        return False
+    return max_line_load(matrix) <= 1.0 + tolerance
+
+
+def assert_admissible(matrix: np.ndarray, tolerance: float = _TOLERANCE) -> None:
+    """Raise :class:`AdmissibilityError` if the matrix oversubscribes a line."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if (matrix < -tolerance).any():
+        raise AdmissibilityError("traffic matrix has negative entries")
+    load = max_line_load(matrix)
+    if load > 1.0 + tolerance:
+        raise AdmissibilityError(
+            f"matrix is not admissible: max line load {load:.6f} exceeds 1"
+        )

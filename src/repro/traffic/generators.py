@@ -1,0 +1,230 @@
+"""Arrival processes and the traffic generator.
+
+The generator turns (traffic matrix, packet-size distribution, arrival
+process) into a time-sorted packet list for a switch simulation.  Three
+processes cover the paper's regimes:
+
+- ``POISSON``: memoryless arrivals, the standard admissible-traffic
+  benchmark.
+- ``DETERMINISTIC``: evenly spaced arrivals, the smoothest case (isolates
+  algorithmic delay from burstiness).
+- ``ONOFF``: bursty arrivals -- packets arrive in back-to-back bursts at
+  the full pair rate with idle gaps, stressing frame aggregation.
+
+It also provides :func:`fiber_load_profile`, the per-fiber load shapes
+used by the SPS splitting experiment (E10): the "first fiber connected
+first, therefore more loaded" skew of Challenge 4, the ECMP/LAG-hashed
+even profile of SS 4, and an adversarial profile that concentrates load
+on the fibers feeding one internal switch.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..units import rate_to_bytes_per_ns
+from .admissibility import assert_admissible
+from .flows import FlowGenerator
+from .packet import Packet
+from .sizes import PacketSizeDistribution
+
+
+class ArrivalProcess(enum.Enum):
+    """Supported arrival processes."""
+
+    POISSON = "poisson"
+    DETERMINISTIC = "deterministic"
+    ONOFF = "onoff"
+
+
+class TrafficGenerator:
+    """Generates packet arrivals for an N-port switch.
+
+    Parameters
+    ----------
+    n_ports:
+        Switch port count (N).
+    port_rate_bps:
+        Line rate of one port; matrix entries are fractions of it.
+    matrix:
+        N x N admissible load matrix.
+    size_dist:
+        Packet-size distribution shared by all pairs.
+    process:
+        Arrival process, see :class:`ArrivalProcess`.
+    burst_packets:
+        Mean burst length (packets) for the ON/OFF process.
+    seed:
+        RNG seed; identical seeds give identical packet sequences, which
+        the OQ-mimicry experiment relies on.
+    """
+
+    def __init__(
+        self,
+        n_ports: int,
+        port_rate_bps: float,
+        matrix: np.ndarray,
+        size_dist: PacketSizeDistribution,
+        process: ArrivalProcess = ArrivalProcess.POISSON,
+        burst_packets: int = 16,
+        flows_per_pair: int = 64,
+        seed: int = 0,
+    ) -> None:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.shape != (n_ports, n_ports):
+            raise ConfigError(
+                f"matrix shape {matrix.shape} does not match n_ports={n_ports}"
+            )
+        assert_admissible(matrix)
+        if port_rate_bps <= 0:
+            raise ConfigError(f"port rate must be positive, got {port_rate_bps}")
+        if burst_packets <= 0:
+            raise ConfigError(f"burst_packets must be positive, got {burst_packets}")
+        self.n_ports = n_ports
+        self.port_rate_bps = port_rate_bps
+        self.matrix = matrix
+        self.size_dist = size_dist
+        self.process = process
+        self.burst_packets = burst_packets
+        self._rng = np.random.default_rng(seed)
+        self._flows = FlowGenerator(np.random.default_rng(seed + 1), flows_per_pair)
+
+    def generate(self, duration_ns: float) -> List[Packet]:
+        """All packets arriving in ``[0, duration_ns)``, time-sorted.
+
+        Packet ids are assigned in global arrival order.
+        """
+        if duration_ns <= 0:
+            raise ConfigError(f"duration must be positive, got {duration_ns}")
+        streams = []
+        for i in range(self.n_ports):
+            for j in range(self.n_ports):
+                load = self.matrix[i, j]
+                if load <= 0:
+                    continue
+                streams.append(self._pair_stream(i, j, load, duration_ns))
+        merged = list(heapq.merge(*streams, key=lambda item: item[0]))
+        packets: List[Packet] = []
+        for pid, (time_ns, size, i, j) in enumerate(merged):
+            flow = self._flows.flow_for(i, j)
+            packets.append(Packet(pid, size, i, j, flow, time_ns))
+        return packets
+
+    # -- per-pair streams -------------------------------------------------------
+
+    def _pair_stream(self, i: int, j: int, load: float, duration_ns: float):
+        """Yield (time, size, i, j) tuples for one (input, output) pair."""
+        pair_rate = load * rate_to_bytes_per_ns(self.port_rate_bps)  # bytes/ns
+        if self.process is ArrivalProcess.POISSON:
+            return self._poisson(i, j, pair_rate, duration_ns)
+        if self.process is ArrivalProcess.DETERMINISTIC:
+            return self._deterministic(i, j, pair_rate, duration_ns)
+        return self._onoff(i, j, pair_rate, duration_ns)
+
+    def _poisson(self, i, j, pair_rate, duration_ns):
+        mean_gap = self.size_dist.mean_bytes / pair_rate
+        time = float(self._rng.exponential(mean_gap))
+        out = []
+        while time < duration_ns:
+            out.append((time, self.size_dist.sample(self._rng), i, j))
+            time += float(self._rng.exponential(mean_gap))
+        return out
+
+    def _deterministic(self, i, j, pair_rate, duration_ns):
+        mean_gap = self.size_dist.mean_bytes / pair_rate
+        # Random phase so pairs do not arrive in lockstep.
+        time = float(self._rng.uniform(0, mean_gap))
+        out = []
+        while time < duration_ns:
+            out.append((time, self.size_dist.sample(self._rng), i, j))
+            time += mean_gap
+        return out
+
+    def _onoff(self, i, j, pair_rate, duration_ns):
+        """Bursts at full line rate, geometric burst lengths, idle gaps
+        sized so the long-run rate equals ``pair_rate``."""
+        line_rate = rate_to_bytes_per_ns(self.port_rate_bps)
+        out = []
+        time = float(self._rng.exponential(self.size_dist.mean_bytes / pair_rate))
+        while time < duration_ns:
+            burst_len = 1 + int(self._rng.geometric(1.0 / self.burst_packets))
+            burst_bytes = 0
+            for _ in range(burst_len):
+                if time >= duration_ns:
+                    break
+                size = self.size_dist.sample(self._rng)
+                out.append((time, size, i, j))
+                time += size / line_rate  # back-to-back at line rate
+                burst_bytes += size
+            # Idle long enough that the average rate is pair_rate.
+            on_time = burst_bytes / line_rate
+            target_cycle = burst_bytes / pair_rate
+            off_mean = max(target_cycle - on_time, 1e-9)
+            time += float(self._rng.exponential(off_mean))
+        return out
+
+    def offered_bytes(self, duration_ns: float) -> float:
+        """Expected offered load in bytes over ``duration_ns``."""
+        total_load = float(self.matrix.sum())
+        return total_load * rate_to_bytes_per_ns(self.port_rate_bps) * duration_ns
+
+
+# --------------------------------------------------------------------------
+# Per-fiber load profiles for the SPS splitting experiment (E10)
+# --------------------------------------------------------------------------
+
+
+def fiber_load_profile(
+    n_fibers: int,
+    kind: str = "ecmp",
+    total_load: float = 1.0,
+    skew: float = 2.0,
+    target_fibers: Optional[Sequence[int]] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Per-fiber load shares for one ribbon, summing to ``total_load``.
+
+    Kinds:
+
+    - ``"ecmp"``: hashed even spread (SS 4's typical case) with small
+      multiplicative noise.
+    - ``"first-connected"``: Challenge 4's skew -- operators populate the
+      first fibers first, so load decays geometrically (ratio given by
+      ``skew`` between the first and last fiber).
+    - ``"adversarial"``: all load on ``target_fibers`` (the attacker who
+      knows a contiguous split can pick the fibers of one internal
+      switch).
+    """
+    if n_fibers <= 0:
+        raise ConfigError(f"n_fibers must be positive, got {n_fibers}")
+    if total_load < 0:
+        raise ConfigError(f"total_load must be >= 0, got {total_load}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    if kind == "ecmp":
+        weights = 1.0 + 0.02 * rng.standard_normal(n_fibers)
+        weights = np.clip(weights, 0.5, 1.5)
+    elif kind == "first-connected":
+        if skew <= 0:
+            raise ConfigError(f"skew must be positive, got {skew}")
+        # Geometric decay: fiber 0 carries `skew` times fiber F-1's load.
+        ratio = skew ** (-1.0 / max(n_fibers - 1, 1))
+        weights = ratio ** np.arange(n_fibers)
+    elif kind == "adversarial":
+        if not target_fibers:
+            raise ConfigError("adversarial profile needs target_fibers")
+        weights = np.zeros(n_fibers)
+        for f in target_fibers:
+            if not 0 <= f < n_fibers:
+                raise ConfigError(f"target fiber {f} out of range")
+            weights[f] = 1.0
+    else:
+        raise ConfigError(f"unknown fiber load profile kind: {kind!r}")
+
+    weights = np.asarray(weights, dtype=np.float64)
+    return total_load * weights / weights.sum()

@@ -1,0 +1,115 @@
+"""Traffic matrices.
+
+A traffic matrix ``M`` is an N x N numpy array where ``M[i, j]`` is the
+load from input ``i`` to output ``j`` as a *fraction of one port's rate*.
+Admissibility (no oversubscription) means every row sum and column sum is
+at most 1 -- the regime in which the paper claims 100% throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from .admissibility import assert_admissible
+
+
+def uniform_matrix(n: int, load: float = 1.0) -> np.ndarray:
+    """Every input spreads ``load`` evenly over all outputs.
+
+    ``uniform_matrix(16, 1.0)`` is the full-load admissible benchmark
+    pattern: every entry is ``1/16``.
+    """
+    _check(n, load)
+    matrix = np.full((n, n), load / n, dtype=np.float64)
+    assert_admissible(matrix)
+    return matrix
+
+
+def permutation_matrix(n: int, load: float = 1.0, shift: int = 1) -> np.ndarray:
+    """Input ``i`` sends all of ``load`` to output ``(i + shift) mod n``.
+
+    The hardest admissible pattern for many fabrics: zero aggregation
+    opportunity across inputs per output... except that PFI's frames
+    *can* still fill, because all of an input's traffic shares one output.
+    """
+    _check(n, load)
+    matrix = np.zeros((n, n), dtype=np.float64)
+    for i in range(n):
+        matrix[i, (i + shift) % n] = load
+    assert_admissible(matrix)
+    return matrix
+
+
+def diagonal_matrix(n: int, load: float = 1.0, fraction_diag: float = 0.5) -> np.ndarray:
+    """A classic 2-diagonal pattern: ``fraction_diag`` of the load to
+    output ``i``, the rest to output ``i+1``."""
+    _check(n, load)
+    if not 0 <= fraction_diag <= 1:
+        raise ConfigError(f"fraction_diag must be in [0, 1], got {fraction_diag}")
+    matrix = np.zeros((n, n), dtype=np.float64)
+    for i in range(n):
+        matrix[i, i] = load * fraction_diag
+        matrix[i, (i + 1) % n] = load * (1 - fraction_diag)
+    assert_admissible(matrix)
+    return matrix
+
+
+def hotspot_matrix(
+    n: int, load: float = 1.0, hot_output: int = 0, hot_fraction: float = 0.5
+) -> np.ndarray:
+    """One output runs hotter than the rest, as hot as admissibility allows.
+
+    ``hot_fraction`` interpolates the hot output's column load between the
+    uniform share (``load``, fraction 0) and full line utilisation (1.0,
+    fraction 1): each input sends ``(load + hot_fraction*(1 - load)) / n``
+    to the hot output and spreads the rest evenly.  Rows stay at ``load``
+    and every column stays admissible; note that at ``load = 1`` there is
+    no headroom, so the matrix degenerates to uniform -- a hotspot is
+    only possible below full load.
+    """
+    _check(n, load)
+    if not 0 <= hot_fraction <= 1:
+        raise ConfigError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+    if not 0 <= hot_output < n:
+        raise ConfigError(f"hot_output must be in [0, {n}), got {hot_output}")
+    matrix = np.zeros((n, n), dtype=np.float64)
+    hot_per_input = (load + hot_fraction * (1.0 - load)) / n
+    cold_per_input = (load - hot_per_input) / (n - 1) if n > 1 else 0.0
+    for i in range(n):
+        matrix[i, hot_output] = hot_per_input
+        for j in range(n):
+            if j != hot_output:
+                matrix[i, j] = cold_per_input
+    assert_admissible(matrix)
+    return matrix
+
+
+def random_admissible_matrix(
+    n: int, load: float = 1.0, rng: Optional[np.random.Generator] = None, iterations: int = 50
+) -> np.ndarray:
+    """A random doubly-substochastic matrix at the given peak line load.
+
+    Uses Sinkhorn-style alternating row/column normalisation of a random
+    positive matrix, then scales so the largest row/column sum equals
+    ``load``.  Always admissible by construction.
+    """
+    _check(n, load)
+    rng = rng if rng is not None else np.random.default_rng(0)
+    matrix = rng.random((n, n)) + 1e-9
+    for _ in range(iterations):
+        matrix /= matrix.sum(axis=1, keepdims=True)
+        matrix /= matrix.sum(axis=0, keepdims=True)
+    peak = max(matrix.sum(axis=1).max(), matrix.sum(axis=0).max())
+    matrix *= load / peak
+    assert_admissible(matrix)
+    return matrix
+
+
+def _check(n: int, load: float) -> None:
+    if n <= 0:
+        raise ConfigError(f"matrix order must be positive, got {n}")
+    if not 0 <= load <= 1 + 1e-12:
+        raise ConfigError(f"load must be in [0, 1], got {load}")

@@ -1,0 +1,150 @@
+"""Packet-trace I/O: save simulator workloads, replay external ones.
+
+The synthetic generators cover the paper's analysis, but a production
+library must also ingest real workloads (anonymised router traces,
+testbed captures).  The format is deliberately plain CSV --
+``arrival_ns,size_bytes,input_port,output_port,src_ip,dst_ip,src_port,
+dst_port,protocol`` -- so traces can come from anywhere.
+
+:func:`save_trace` / :func:`load_trace` round-trip exactly;
+:func:`replay` re-times a trace (offsetting and/or speed-scaling it) so
+one capture drives experiments at several loads.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import List, Sequence, TextIO, Union
+
+from ..errors import ConfigError
+from .flows import FiveTuple
+from .packet import Packet
+
+_COLUMNS = [
+    "arrival_ns",
+    "size_bytes",
+    "input_port",
+    "output_port",
+    "src_ip",
+    "dst_ip",
+    "src_port",
+    "dst_port",
+    "protocol",
+]
+
+
+def save_trace(packets: Sequence[Packet], destination: Union[str, Path, TextIO]) -> None:
+    """Write packets as CSV (header + one row per packet, arrival order)."""
+    own = isinstance(destination, (str, Path))
+    handle: TextIO = open(destination, "w", newline="") if own else destination
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(_COLUMNS)
+        for packet in packets:
+            writer.writerow(
+                [
+                    repr(packet.arrival_ns),
+                    packet.size_bytes,
+                    packet.input_port,
+                    packet.output_port,
+                    packet.flow.src_ip,
+                    packet.flow.dst_ip,
+                    packet.flow.src_port,
+                    packet.flow.dst_port,
+                    packet.flow.protocol,
+                ]
+            )
+    finally:
+        if own:
+            handle.close()
+
+
+def load_trace(source: Union[str, Path, TextIO]) -> List[Packet]:
+    """Read a CSV trace; returns packets with fresh sequential pids.
+
+    Rows must be sorted by arrival time (the simulators assume it);
+    violations raise :class:`ConfigError` with the offending line.
+    """
+    own = isinstance(source, (str, Path))
+    handle: TextIO = open(source, "r", newline="") if own else source
+    try:
+        reader = csv.DictReader(handle)
+        missing = set(_COLUMNS) - set(reader.fieldnames or [])
+        if missing:
+            raise ConfigError(f"trace is missing columns: {sorted(missing)}")
+        packets: List[Packet] = []
+        last_time = -float("inf")
+        for line_no, row in enumerate(reader, start=2):
+            try:
+                arrival = float(row["arrival_ns"])
+                size = int(row["size_bytes"])
+                flow = FiveTuple(
+                    src_ip=int(row["src_ip"]),
+                    dst_ip=int(row["dst_ip"]),
+                    src_port=int(row["src_port"]),
+                    dst_port=int(row["dst_port"]),
+                    protocol=int(row["protocol"]),
+                )
+                packet = Packet(
+                    pid=len(packets),
+                    size_bytes=size,
+                    input_port=int(row["input_port"]),
+                    output_port=int(row["output_port"]),
+                    flow=flow,
+                    arrival_ns=arrival,
+                )
+            except (KeyError, ValueError) as error:
+                raise ConfigError(f"trace line {line_no}: {error}") from error
+            if arrival < last_time:
+                raise ConfigError(
+                    f"trace line {line_no}: arrivals not sorted "
+                    f"({arrival} after {last_time})"
+                )
+            last_time = arrival
+            packets.append(packet)
+        return packets
+    finally:
+        if own:
+            handle.close()
+
+
+def replay(
+    packets: Sequence[Packet],
+    time_scale: float = 1.0,
+    offset_ns: float = 0.0,
+) -> List[Packet]:
+    """Fresh packets with re-timed arrivals.
+
+    ``time_scale`` stretches inter-arrival gaps (2.0 = half the load),
+    ``offset_ns`` shifts the start.  Flows and sizes are preserved, so
+    ECMP pinning and ordering semantics carry over.
+    """
+    if time_scale <= 0:
+        raise ConfigError(f"time_scale must be positive, got {time_scale}")
+    if offset_ns < 0:
+        raise ConfigError(f"offset must be >= 0, got {offset_ns}")
+    if not packets:
+        return []
+    base = packets[0].arrival_ns
+    out: List[Packet] = []
+    for pid, original in enumerate(packets):
+        out.append(
+            Packet(
+                pid=pid,
+                size_bytes=original.size_bytes,
+                input_port=original.input_port,
+                output_port=original.output_port,
+                flow=original.flow,
+                arrival_ns=offset_ns + (original.arrival_ns - base) * time_scale,
+            )
+        )
+    return out
+
+
+def trace_to_string(packets: Sequence[Packet]) -> str:
+    """The CSV text of a trace (convenience for tests and small dumps)."""
+    buffer = io.StringIO()
+    save_trace(packets, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,100 @@
+"""Packet size distributions.
+
+The paper's worst case is 64-byte packets and its typical case 1500-byte
+ones (Challenge 6).  Realistic internet mixes sit in between; the classic
+"Simple IMIX" (7:4:1 at 40/576/1500 B) and a trimodal core-router mix are
+provided for the example workloads.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+class PacketSizeDistribution(ABC):
+    """Interface: sample a packet size in bytes."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one packet size."""
+
+    @property
+    @abstractmethod
+    def mean_bytes(self) -> float:
+        """Expected packet size, used to convert load to packet rate."""
+
+
+class FixedSize(PacketSizeDistribution):
+    """Every packet has the same size (the paper's 64 B / 1500 B cases)."""
+
+    def __init__(self, size_bytes: int):
+        if size_bytes <= 0:
+            raise ValueError(f"size must be positive, got {size_bytes}")
+        self._size = size_bytes
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self._size
+
+    @property
+    def mean_bytes(self) -> float:
+        return float(self._size)
+
+
+class _WeightedSizes(PacketSizeDistribution):
+    """Base for discrete weighted mixes."""
+
+    def __init__(self, sizes: Sequence[int], weights: Sequence[float]):
+        if len(sizes) != len(weights) or not sizes:
+            raise ValueError("sizes and weights must be equal-length, non-empty")
+        if any(s <= 0 for s in sizes):
+            raise ValueError("all sizes must be positive")
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ValueError("weights must be non-negative and sum > 0")
+        total = float(sum(weights))
+        self._sizes = np.asarray(sizes, dtype=np.int64)
+        self._probs = np.asarray([w / total for w in weights], dtype=np.float64)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.choice(self._sizes, p=self._probs))
+
+    @property
+    def mean_bytes(self) -> float:
+        return float(np.dot(self._sizes, self._probs))
+
+    @property
+    def support(self) -> Tuple[int, ...]:
+        return tuple(int(s) for s in self._sizes)
+
+
+class ImixSize(_WeightedSizes):
+    """Simple IMIX: 7 x 40 B, 4 x 576 B, 1 x 1500 B."""
+
+    def __init__(self) -> None:
+        super().__init__(sizes=(40, 576, 1500), weights=(7, 4, 1))
+
+
+class TrimodalSize(_WeightedSizes):
+    """A core-router-style trimodal mix (small ACKs, medium, MTU-size)."""
+
+    def __init__(self) -> None:
+        super().__init__(sizes=(64, 594, 1500), weights=(0.55, 0.2, 0.25))
+
+
+class UniformSize(PacketSizeDistribution):
+    """Uniform over [lo, hi] bytes -- a stress pattern for batch packing."""
+
+    def __init__(self, lo: int = 64, hi: int = 1500):
+        if not 0 < lo <= hi:
+            raise ValueError(f"need 0 < lo <= hi, got [{lo}, {hi}]")
+        self._lo = lo
+        self._hi = hi
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self._lo, self._hi + 1))
+
+    @property
+    def mean_bytes(self) -> float:
+        return (self._lo + self._hi) / 2.0

@@ -1,0 +1,174 @@
+"""Units and conversions used throughout the package.
+
+Conventions (documented once here, used everywhere):
+
+- **Data sizes** are in **bytes** (``int`` where exact, ``float`` for
+  aggregates).  Helpers exist for KB/MB/GB/TB (binary, powers of two,
+  matching the paper's usage: a 4 KB batch is 4096 bytes, a 64 GB HBM
+  stack is ``64 * 2**30`` bytes).
+- **Data rates** are in **bits per second** (``float``).  The paper
+  quotes decimal rates (40 Gb/s = ``40e9`` b/s), so rate helpers are
+  decimal.
+- **Time** is in **nanoseconds** (``float``).
+- **Power** is in **watts**, **energy** in **joules**, **area** in
+  **mm^2**.
+
+The mixed binary/decimal convention mirrors the paper's own arithmetic
+(e.g. 2048 bits * 10 Gb/s = 20.48 Tb/s uses decimal rates, while the
+512 KB frame is 2**19 bytes).
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Data sizes (bytes, binary prefixes)
+# --------------------------------------------------------------------------
+
+KB = 2**10
+MB = 2**20
+GB = 2**30
+TB = 2**40
+
+
+def kilobytes(n: float) -> float:
+    """Return ``n`` KiB expressed in bytes."""
+    return n * KB
+
+
+def megabytes(n: float) -> float:
+    """Return ``n`` MiB expressed in bytes."""
+    return n * MB
+
+
+def gigabytes(n: float) -> float:
+    """Return ``n`` GiB expressed in bytes."""
+    return n * GB
+
+
+def terabytes(n: float) -> float:
+    """Return ``n`` TiB expressed in bytes."""
+    return n * TB
+
+
+# --------------------------------------------------------------------------
+# Data rates (bits per second, decimal prefixes)
+# --------------------------------------------------------------------------
+
+GBPS = 1e9
+TBPS = 1e12
+PBPS = 1e15
+
+
+def gbps(n: float) -> float:
+    """Return ``n`` Gb/s expressed in bits per second."""
+    return n * GBPS
+
+
+def tbps(n: float) -> float:
+    """Return ``n`` Tb/s expressed in bits per second."""
+    return n * TBPS
+
+
+def pbps(n: float) -> float:
+    """Return ``n`` Pb/s expressed in bits per second."""
+    return n * PBPS
+
+
+# --------------------------------------------------------------------------
+# Time (nanoseconds)
+# --------------------------------------------------------------------------
+
+NS = 1.0
+US = 1e3
+MS = 1e6
+S = 1e9
+
+
+def microseconds(n: float) -> float:
+    """Return ``n`` microseconds expressed in nanoseconds."""
+    return n * US
+
+
+def milliseconds(n: float) -> float:
+    """Return ``n`` milliseconds expressed in nanoseconds."""
+    return n * MS
+
+
+def seconds(n: float) -> float:
+    """Return ``n`` seconds expressed in nanoseconds."""
+    return n * S
+
+
+# --------------------------------------------------------------------------
+# Cross-dimension conversions
+# --------------------------------------------------------------------------
+
+
+def rate_to_bytes_per_ns(rate_bps: float) -> float:
+    """Convert a rate in bits/second to bytes/nanosecond.
+
+    >>> rate_to_bytes_per_ns(8e9)   # 8 Gb/s = 1 byte per ns
+    1.0
+    """
+    return rate_bps / 8.0 / S
+
+
+def bytes_per_ns_to_rate(bytes_per_ns: float) -> float:
+    """Convert bytes/nanosecond to bits/second (inverse of the above)."""
+    return bytes_per_ns * 8.0 * S
+
+
+def transfer_time_ns(size_bytes: float, rate_bps: float) -> float:
+    """Time (ns) to move ``size_bytes`` at ``rate_bps``.
+
+    >>> transfer_time_ns(1.0, 8e9)
+    1.0
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    return size_bytes / rate_to_bytes_per_ns(rate_bps)
+
+
+def buffering_time_ns(capacity_bytes: float, drain_rate_bps: float) -> float:
+    """How long (ns) a buffer of ``capacity_bytes`` lasts at ``drain_rate_bps``.
+
+    This is the paper's buffer-depth metric: 4.096 TB drained at
+    655.36 Tb/s lasts about 51.2 ms (SS 4, *Router buffer sizing*).
+    """
+    return transfer_time_ns(capacity_bytes, drain_rate_bps)
+
+
+# --------------------------------------------------------------------------
+# Pretty-printing
+# --------------------------------------------------------------------------
+
+
+def format_rate(rate_bps: float) -> str:
+    """Human-readable rate: ``format_rate(655.36e12) == '655.36 Tb/s'``."""
+    for unit, name in ((PBPS, "Pb/s"), (TBPS, "Tb/s"), (GBPS, "Gb/s"), (1e6, "Mb/s")):
+        if abs(rate_bps) >= unit:
+            return f"{rate_bps / unit:.4g} {name}"
+    return f"{rate_bps:.4g} b/s"
+
+
+def format_size(size_bytes: float) -> str:
+    """Human-readable size: ``format_size(4096) == '4 KB'``."""
+    for unit, name in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if abs(size_bytes) >= unit:
+            return f"{size_bytes / unit:.4g} {name}"
+    return f"{size_bytes:.4g} B"
+
+
+def format_time(time_ns: float) -> str:
+    """Human-readable duration: ``format_time(51.2e6) == '51.2 ms'``."""
+    for unit, name in ((S, "s"), (MS, "ms"), (US, "us")):
+        if abs(time_ns) >= unit:
+            return f"{time_ns / unit:.4g} {name}"
+    return f"{time_ns:.4g} ns"
+
+
+def format_power(watts: float) -> str:
+    """Human-readable power: ``format_power(12700) == '12.7 kW'``."""
+    if abs(watts) >= 1e3:
+        return f"{watts / 1e3:.4g} kW"
+    return f"{watts:.4g} W"

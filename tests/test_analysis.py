@@ -1,0 +1,184 @@
+"""Design analysis (SS 4): power, area, buffering, SRAM, capacity, roadmap."""
+
+import pytest
+
+from repro.analysis import (
+    capacity_vs_reference,
+    hbm_switch_area,
+    hbm_switch_power,
+    roadmap_projection,
+    router_area,
+    router_buffering,
+    router_power,
+    sram_sizing,
+)
+from repro.analysis.capacity import wan_interconnect_savings
+from repro.analysis.power import cerebras_power_ratio
+from repro.analysis.roadmap import higher_capacity_variant
+from repro.analysis.sram import router_sram_bytes, spraying_reorder_buffer_bytes
+from repro.config import HBMSwitchConfig, reference_router
+from repro.units import MB, gbps
+
+
+CFG = reference_router()
+
+
+class TestPower:
+    def test_paper_breakdown(self):
+        p = hbm_switch_power(CFG.switch)
+        assert p.processing_w == pytest.approx(400, abs=1)
+        assert p.hbm_w == pytest.approx(300)
+        assert p.oeo_w == pytest.approx(94, abs=1)
+        assert p.total_w == pytest.approx(794, abs=2)
+
+    def test_router_is_12_7_kw(self):
+        assert router_power(CFG).total_w == pytest.approx(12_700, rel=0.01)
+
+    def test_power_shares_match_section5(self):
+        p = hbm_switch_power(CFG.switch)
+        assert p.processing_share == pytest.approx(0.50, abs=0.02)
+        assert p.hbm_share == pytest.approx(0.40, abs=0.03)
+
+    def test_half_a_cerebras(self):
+        ratio = cerebras_power_ratio(CFG)
+        assert 0.5 < ratio < 0.6  # "just above half"
+
+    def test_scaling(self):
+        p = hbm_switch_power(CFG.switch)
+        assert p.scaled(2.0).total_w == pytest.approx(2 * p.total_w)
+
+
+class TestArea:
+    def test_paper_values(self):
+        a = hbm_switch_area(CFG.switch)
+        assert a.total_mm2 == pytest.approx(1284)
+        total = router_area(CFG)
+        assert total.total_mm2 == pytest.approx(20_544)
+
+    def test_under_ten_percent_of_panel(self):
+        assert router_area(CFG).panel_fraction() < 0.10
+
+    def test_components(self):
+        a = hbm_switch_area(CFG.switch)
+        assert a.processing_mm2 == 800
+        assert a.hbm_mm2 == pytest.approx(484)
+
+
+class TestBuffering:
+    def test_total_capacity(self):
+        b = router_buffering(CFG)
+        assert b.total_buffer_bytes == 16 * 4 * 64 * 2**30
+
+    def test_buffer_depth_about_50ms(self):
+        # Paper: ~51.2 ms (decimal GB); 53.7 ms with binary GiB.
+        b = router_buffering(CFG)
+        assert 48 < b.buffer_ms < 56
+
+    def test_far_beyond_cisco(self):
+        b = router_buffering(CFG)
+        assert b.vs_cisco_8201 > 10
+        assert b.exceeds_cisco_recommendation()
+
+    def test_vj_rule_comparison(self):
+        b = router_buffering(CFG)
+        # One BDP at ~50 ms RTT is about what we have (VJ rule).
+        vj = b.van_jacobson_buffer_bytes(rtt_ms=b.buffer_ms)
+        assert vj == pytest.approx(b.total_buffer_bytes, rel=0.01)
+
+    def test_stanford_rule_is_tiny_by_comparison(self):
+        b = router_buffering(CFG)
+        stanford = b.stanford_buffer_bytes(rtt_ms=100, n_flows=100_000)
+        assert stanford < b.total_buffer_bytes / 50
+
+    def test_stanford_validates_flows(self):
+        with pytest.raises(ValueError):
+            router_buffering(CFG).stanford_buffer_bytes(100, 0)
+
+
+class TestSRAM:
+    def test_total_is_14_5_mb(self):
+        s = sram_sizing(CFG.switch)
+        assert s.total_mb == pytest.approx(14.5)
+
+    def test_components(self):
+        s = sram_sizing(CFG.switch)
+        assert s.input_ports_bytes == 2 * MB
+        assert s.tail_bytes == 8 * MB
+        assert s.head_bytes == 4 * MB
+
+    def test_orders_of_magnitude_below_oq_bookkeeping(self):
+        s = sram_sizing(CFG.switch)
+        assert s.vs_oq_bookkeeping() > 100
+
+    def test_router_total(self):
+        assert router_sram_bytes(CFG) == 16 * sram_sizing(CFG.switch).total_bytes
+
+    def test_spray_buffer_an_order_higher(self):
+        spray = spraying_reorder_buffer_bytes(CFG.switch)
+        assert spray == pytest.approx(10 * sram_sizing(CFG.switch).total_bytes)
+
+
+class TestCapacity:
+    def test_over_50x_cisco(self):
+        c = capacity_vs_reference(CFG)
+        assert c.speedup == pytest.approx(51.2)
+        assert 1.0 < c.orders_of_magnitude < 2.0
+
+    def test_wan_savings(self):
+        assert wan_interconnect_savings(51.2) == pytest.approx(0.5 * 50.2 / 51.2)
+        with pytest.raises(ValueError):
+            wan_interconnect_savings(0.5)
+        with pytest.raises(ValueError):
+            wan_interconnect_savings(2.0, interconnect_fraction=1.5)
+
+
+class TestRoadmap:
+    def test_reference_needs_4_stacks(self):
+        points = roadmap_projection(CFG.switch)
+        reference = points[0]
+        assert reference.stacks_per_switch == 4
+        assert reference.hbm_power_w_per_switch == 300
+
+    def test_4x_roadmap_needs_1_stack(self):
+        points = roadmap_projection(CFG.switch)
+        assert points[1].stacks_per_switch == 1
+        assert points[1].hbm_power_w_per_switch == 75
+
+    def test_monolithic_3d(self):
+        points = roadmap_projection(CFG.switch)
+        mono = points[2]
+        assert mono.stacks_per_switch == 1
+        # 10x capacity per stack: more buffering with fewer stacks.
+        assert mono.buffer_bytes_per_switch > points[0].buffer_bytes_per_switch
+
+    def test_total_stacks(self):
+        assert roadmap_projection(CFG.switch)[0].total_stacks(16) == 64
+
+    def test_pam4_variant(self):
+        faster = higher_capacity_variant(CFG, 112 / 40)
+        assert faster.io_per_direction_bps == pytest.approx(
+            CFG.io_per_direction_bps * 112 / 40
+        )
+        with pytest.raises(ValueError):
+            higher_capacity_variant(CFG, 0.0)
+
+
+class TestEnergyPerBit:
+    def test_sps_switch_is_about_19_pj_per_bit(self):
+        from repro.analysis.power import efficiency_comparison
+
+        comparison = efficiency_comparison(CFG)
+        assert comparison["sps_hbm_switch"] == pytest.approx(19.4, abs=0.5)
+
+    def test_tomahawk_reference_point(self):
+        from repro.analysis.power import efficiency_comparison
+
+        comparison = efficiency_comparison(CFG)
+        assert comparison["tomahawk5_processing_only"] == pytest.approx(9.77, abs=0.1)
+        assert comparison["sps_hbm_switch"] > comparison["tomahawk5_processing_only"]
+
+    def test_energy_per_bit_validation(self):
+        from repro.analysis.power import energy_per_bit_pj, hbm_switch_power
+
+        with pytest.raises(ValueError):
+            energy_per_bit_pj(hbm_switch_power(CFG.switch), 0.0)

@@ -1,0 +1,88 @@
+"""Datacenter designs and processing projections (SS 5)."""
+
+import pytest
+
+from repro.analysis.datacenter import (
+    chiplet_sps_design,
+    datacenter_hbm_switch,
+    datacenter_power_saving,
+    processing_reduction_projection,
+)
+from repro.analysis.power import router_power
+from repro.config import HBMSwitchConfig, reference_router
+from repro.errors import ConfigError
+from repro.units import tbps
+
+CFG = reference_router()
+
+
+class TestChipletSPS:
+    def test_sizing_for_petabit(self):
+        design = chiplet_sps_design(CFG.io_per_direction_bps)
+        # 655.36 / 51.2 = 12.8 -> 13 Tomahawk-5-class chiplets.
+        assert design.n_chiplets == 13
+        assert design.total_capacity_bps >= CFG.io_per_direction_bps
+
+    def test_single_chiplet_for_small_fabric(self):
+        design = chiplet_sps_design(tbps(40))
+        assert design.n_chiplets == 1
+
+    def test_power_accounting(self):
+        design = chiplet_sps_design(tbps(102.4))
+        assert design.n_chiplets == 2
+        assert design.total_power_w == pytest.approx(
+            2 * 500 + design.oeo_power_w
+        )
+        assert design.power_per_bps > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            chiplet_sps_design(0.0)
+
+
+class TestDatacenterHBMSwitch:
+    def test_shrinks_buffer_and_frames(self):
+        base = HBMSwitchConfig()
+        dc = datacenter_hbm_switch(base, buffer_fraction=0.1, frame_shrink=4)
+        assert dc.stack.capacity_bytes == pytest.approx(base.stack.capacity_bytes * 0.1)
+        assert dc.frame_bytes == base.frame_bytes // 4
+        # Bandwidth (and hence throughput structure) is unchanged.
+        assert dc.memory_bandwidth_bps == base.memory_bandwidth_bps
+
+    def test_validation(self):
+        base = HBMSwitchConfig()
+        with pytest.raises(ConfigError):
+            datacenter_hbm_switch(base, buffer_fraction=0.0)
+        with pytest.raises(ConfigError):
+            datacenter_hbm_switch(base, frame_shrink=7)
+
+    def test_power_saving_is_modest(self):
+        # Buffer shrinkage alone cannot slash power: bandwidth still
+        # needs the stacks (that is the E13 lever instead).
+        saving = datacenter_power_saving(CFG, buffer_fraction=0.1)
+        assert 0.0 < saving < 0.10
+
+    def test_power_saving_validation(self):
+        with pytest.raises(ConfigError):
+            datacenter_power_saving(CFG, buffer_fraction=2.0)
+
+
+class TestProcessingProjection:
+    def test_baseline_matches_router_power(self):
+        projections = processing_reduction_projection(CFG)
+        assert projections[0].total_w == pytest.approx(router_power(CFG).total_w)
+
+    def test_halving_processing_cuts_about_a_quarter(self):
+        # Processing is ~50% of power, so halving it cuts ~25%.
+        projections = processing_reduction_projection(CFG, [1.0, 0.5])
+        full, half = projections
+        saving = 1 - half.total_w / full.total_w
+        assert saving == pytest.approx(0.25, abs=0.03)
+
+    def test_hbm_becomes_dominant_as_processing_shrinks(self):
+        projections = processing_reduction_projection(CFG, [0.25])
+        assert projections[0].hbm_share > projections[0].processing_share
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            processing_reduction_projection(CFG, [0.0])

@@ -1,0 +1,102 @@
+"""Design-process baselines: centralized, mesh, Clos."""
+
+import pytest
+
+from repro.baselines import (
+    CentralizedFeasibility,
+    centralized_feasibility,
+    clos_design,
+    mesh_guaranteed_capacity,
+    mesh_hop_count,
+    mesh_link_loads_uniform,
+    mesh_wasted_fraction,
+)
+from repro.baselines.clos import sps_vs_clos_power_ratio
+from repro.baselines.mesh import mesh_sustainable_fraction, mesh_transit_power_factor
+from repro.config import reference_router
+from repro.errors import ConfigError
+
+
+class TestCentralized:
+    def test_reference_design_is_infeasible_centralized(self):
+        f = centralized_feasibility(reference_router())
+        assert not f.feasible
+        # 1.31 Pb/s of memory I/O vs one stack's 20.48 Tb/s: 64x short.
+        assert f.memory_shortfall == pytest.approx(64.0)
+        assert f.switching_shortfall > 10.0
+
+    def test_decision_rate(self):
+        f = centralized_feasibility(reference_router(), min_packet_bytes=64)
+        # 655.36 Tb/s / 512 bits = 1.28 Tpps.
+        assert f.required_decisions_per_s == pytest.approx(1.28e12)
+
+    def test_small_system_is_feasible(self):
+        from repro.config import scaled_router
+
+        f = centralized_feasibility(scaled_router())
+        assert isinstance(f, CentralizedFeasibility)
+        assert f.memory_shortfall < 1.0
+
+
+class TestMesh:
+    def test_paper_bound_10x10(self):
+        # Challenge 2: "guaranteed capacity is at most 20% ... wasting
+        # 80% of the capacity and power" [61].
+        assert mesh_guaranteed_capacity(10) == pytest.approx(0.20)
+        assert mesh_wasted_fraction(10) == pytest.approx(0.80)
+
+    def test_bound_shrinks_with_size(self):
+        assert mesh_guaranteed_capacity(4) > mesh_guaranteed_capacity(16)
+
+    def test_trivial_meshes(self):
+        assert mesh_guaranteed_capacity(1) == 1.0
+        assert mesh_guaranteed_capacity(2) == 1.0
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigError):
+            mesh_guaranteed_capacity(0)
+
+    def test_hop_count_grows_with_n(self):
+        # SPS's point: mesh hops grow with the mesh edge, SPS stays at 1.
+        assert mesh_hop_count(4) < mesh_hop_count(10)
+        assert mesh_hop_count(10) == pytest.approx(2 * 99 / 30)
+
+    def test_cross_pattern_saturates_middle_cut(self):
+        loads = mesh_link_loads_uniform(6, cross_pattern=True)
+        peak = max(loads.values())
+        # n/2 rows of n nodes each cross n middle links: peak ~ n/2 * ...
+        assert peak >= 3.0
+
+    def test_sustainable_fraction_is_order_2_over_n(self):
+        n = 10
+        sustainable = mesh_sustainable_fraction(n)
+        assert sustainable <= mesh_guaranteed_capacity(n) + 1e-9
+        assert sustainable >= 0.5 / n
+
+    def test_uniform_pattern_loads(self):
+        loads = mesh_link_loads_uniform(4, cross_pattern=False)
+        assert all(v > 0 for v in loads.values())
+
+    def test_transit_power_grows(self):
+        assert mesh_transit_power_factor(10) > mesh_transit_power_factor(4) > 1.0
+
+
+class TestClos:
+    def test_three_stages_three_oeo(self):
+        design = clos_design(reference_router())
+        assert design.stages == 3
+        assert design.oeo_stages == 3
+        assert design.needs_reorder_buffer
+
+    def test_power_is_three_times_sps(self):
+        assert sps_vs_clos_power_ratio(reference_router()) == pytest.approx(3.0)
+
+    def test_single_stage_degenerates_to_sps(self):
+        design = clos_design(reference_router(), stages=1)
+        assert not design.needs_reorder_buffer
+        # One stage = the SPS power budget (~12.7 kW).
+        assert design.total_power_w == pytest.approx(12_700, rel=0.01)
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(ValueError):
+            clos_design(reference_router(), stages=0)

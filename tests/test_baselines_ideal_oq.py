@@ -1,0 +1,74 @@
+"""Ideal OQ switch and the relative-delay (mimicry) metric."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import IdealOQSwitch, relative_delays
+from repro.errors import ConfigError
+from tests.conftest import make_traffic
+from tests.test_traffic_basics import make_packet
+
+
+class TestIdealOQ:
+    def test_uncontended_packet_departs_after_transmission(self, small_switch):
+        oq = IdealOQSwitch(small_switch)
+        packet = make_packet(pid=0, size=1600, dst=0, t=100.0)
+        result = oq.run([packet])
+        rate = small_switch.port_rate_bps / 8e9  # bytes/ns
+        assert result.departure_of(packet) == pytest.approx(100.0 + 1600 / rate)
+
+    def test_fifo_per_output(self, small_switch):
+        oq = IdealOQSwitch(small_switch)
+        first = make_packet(pid=0, size=2000, dst=0, t=0.0)
+        second = make_packet(pid=1, size=2000, dst=0, t=1.0)
+        result = oq.run([first, second])
+        rate = small_switch.port_rate_bps / 8e9
+        assert result.departure_of(second) == pytest.approx(2 * 2000 / rate)
+
+    def test_outputs_are_independent(self, small_switch):
+        oq = IdealOQSwitch(small_switch)
+        a = make_packet(pid=0, size=2000, dst=0, t=0.0)
+        b = make_packet(pid=1, size=2000, dst=1, t=0.0)
+        result = oq.run([a, b])
+        assert result.departure_of(a) == pytest.approx(result.departure_of(b))
+
+    def test_work_conservation(self, small_switch):
+        """Output busy time equals total service demand when one output
+        is continuously backlogged."""
+        rate = small_switch.port_rate_bps / 8e9
+        packets = [make_packet(pid=i, size=1000, dst=0, t=0.0) for i in range(10)]
+        result = oq_run = IdealOQSwitch(small_switch).run(packets)
+        assert result.per_output_busy_until[0] == pytest.approx(10 * 1000 / rate)
+
+    def test_unsorted_arrivals_rejected(self, small_switch):
+        oq = IdealOQSwitch(small_switch)
+        packets = [make_packet(pid=0, t=10.0), make_packet(pid=1, t=5.0)]
+        with pytest.raises(ConfigError):
+            oq.run(packets)
+
+    def test_total_bytes(self, small_switch):
+        packets = [make_packet(pid=i, size=500, dst=0, t=float(i)) for i in range(4)]
+        assert IdealOQSwitch(small_switch).run(packets).total_bytes == 2000
+
+
+class TestRelativeDelays:
+    def test_oq_departures_lower_bound_real_switch(self, small_switch):
+        """No real switch beats the ideal by more than a frame's worth of
+        numerical slack; overwhelmingly delays are positive."""
+        from repro.core import HBMSwitch, PFIOptions
+
+        packets = make_traffic(small_switch, 0.8, 40_000.0, seed=5)
+        oq = IdealOQSwitch(small_switch).run(packets)
+        switch = HBMSwitch(small_switch, PFIOptions(padding=True, bypass=True))
+        switch.run(packets, 40_000.0)
+        delays = relative_delays(packets, oq)
+        assert len(delays) == len(packets)
+        assert np.mean(delays) > 0
+        assert delays.max() > 0
+
+    def test_undeparted_packets_excluded(self, small_switch):
+        packets = [make_packet(pid=0, t=0.0), make_packet(pid=1, t=1.0)]
+        oq = IdealOQSwitch(small_switch).run(packets)
+        packets[0].departure_ns = 100.0
+        delays = relative_delays(packets, oq)
+        assert len(delays) == 1

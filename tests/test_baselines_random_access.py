@@ -1,0 +1,70 @@
+"""The Challenge 6 throughput-reduction factors: 2.6x, 39x, ~1250x."""
+
+import pytest
+
+from repro.baselines import random_access_reduction, simulate_random_access_channel
+from repro.errors import ConfigError
+from repro.hbm import HBMTiming
+
+
+class TestAnalyticModel:
+    def test_1500_byte_packets_reduce_2_6x(self):
+        model = random_access_reduction(1500)
+        assert model.total_reduction == pytest.approx(2.6, abs=0.05)
+
+    def test_64_byte_packets_reduce_39x(self):
+        model = random_access_reduction(64)
+        # Paper: "39x for worst-case 64-byte ones" (38.5 exactly with
+        # 30 ns overhead and 0.8 ns transfer).
+        assert model.total_reduction == pytest.approx(38.5, abs=1.0)
+
+    def test_no_parallel_channels_approaches_1250x(self):
+        model = random_access_reduction(64, leverage_parallel_channels=False)
+        assert model.total_reduction == pytest.approx(1232, rel=0.02)
+        assert 1100 < model.total_reduction < 1300
+
+    def test_parallelism_penalty(self):
+        with_channels = random_access_reduction(64)
+        without = random_access_reduction(64, leverage_parallel_channels=False)
+        assert without.total_reduction / with_channels.total_reduction == pytest.approx(32.0)
+
+    def test_efficiency_inverse(self):
+        model = random_access_reduction(1500)
+        assert model.efficiency == pytest.approx(1 / model.total_reduction)
+
+    def test_bigger_packets_hurt_less(self):
+        small = random_access_reduction(64).total_reduction
+        large = random_access_reduction(4096).total_reduction
+        assert large < small
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigError):
+            random_access_reduction(0)
+
+
+class TestMicrosim:
+    def test_sim_matches_analytic_1500(self):
+        analytic = random_access_reduction(1500).total_reduction
+        simulated = simulate_random_access_channel(1500)
+        assert simulated == pytest.approx(analytic, rel=0.02)
+
+    def test_sim_matches_analytic_64(self):
+        analytic = random_access_reduction(64).total_reduction
+        simulated = simulate_random_access_channel(64)
+        assert simulated == pytest.approx(analytic, rel=0.05)
+
+    def test_sim_respects_bank_rules(self):
+        # Running the sim *is* the assertion: every command goes through
+        # the timing-checked bank model; an illegal schedule raises.
+        simulate_random_access_channel(256, n_packets=100)
+
+    def test_sim_validation(self):
+        with pytest.raises(ConfigError):
+            simulate_random_access_channel(64, n_packets=0)
+        with pytest.raises(ConfigError):
+            simulate_random_access_channel(64, n_banks=1)
+
+    def test_custom_timing_scales_overhead(self):
+        slow = HBMTiming(t_rcd=30.0, t_rp=30.0, t_ras=60.0)
+        reduction = simulate_random_access_channel(1500, timing=slow)
+        assert reduction > simulate_random_access_channel(1500)

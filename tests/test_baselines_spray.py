@@ -1,0 +1,68 @@
+"""Packet spraying + reorder buffer baseline."""
+
+import pytest
+
+from repro.baselines import SpraySwitch
+from repro.baselines.spray import reorder_stats_by_flow
+from repro.errors import ConfigError
+from tests.conftest import make_traffic
+
+
+class TestSpraySwitch:
+    def test_all_bytes_delivered(self, small_switch):
+        packets = make_traffic(small_switch, 0.5, 20_000.0)
+        spray = SpraySwitch(n_channels=8, n_outputs=small_switch.n_ports)
+        result = spray.run(packets)
+        assert result.delivered_bytes == sum(p.size_bytes for p in packets)
+
+    def test_throughput_suffers_from_overhead(self, small_switch):
+        # With 64 B packets the 30 ns overhead dominates: the spraying
+        # switch cannot absorb even moderate load in real time.
+        packets = make_traffic(small_switch, 0.5, 20_000.0, size=64)
+        spray = SpraySwitch(n_channels=8, n_outputs=small_switch.n_ports)
+        result = spray.run(packets)
+        # Finishing long after the 20 us of arrivals = throughput loss.
+        assert result.elapsed_ns > 2 * 20_000.0
+
+    def test_reorder_buffer_grows_with_contention(self, small_switch):
+        packets = make_traffic(small_switch, 0.7, 20_000.0, size=1500)
+        spray = SpraySwitch(n_channels=8, n_outputs=small_switch.n_ports, seed=1)
+        result = spray.run(packets)
+        assert result.reorder_buffer_peak_bytes > 0
+        assert result.reorder_delay_max_ns > 0
+
+    def test_determinism(self, small_switch):
+        packets = make_traffic(small_switch, 0.4, 10_000.0)
+        a = SpraySwitch(8, small_switch.n_ports, seed=7).run(packets)
+        b = SpraySwitch(8, small_switch.n_ports, seed=7).run(packets)
+        assert a.reorder_buffer_peak_bytes == b.reorder_buffer_peak_bytes
+        assert a.elapsed_ns == b.elapsed_ns
+
+    def test_empty_run(self, small_switch):
+        result = SpraySwitch(4, 4).run([])
+        assert result.delivered_bytes == 0
+        assert result.reorder_buffer_peak_bytes == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SpraySwitch(0, 4)
+
+    def test_busy_fraction_bounded(self, small_switch):
+        packets = make_traffic(small_switch, 0.3, 10_000.0)
+        result = SpraySwitch(16, small_switch.n_ports).run(packets)
+        assert 0.0 < result.channel_busy_fraction <= 1.0
+
+
+class TestReorderStats:
+    def test_in_order_completions_have_no_reordering(self, small_switch):
+        packets = make_traffic(small_switch, 0.3, 5_000.0)
+        completions = [p.arrival_ns + 10.0 for p in packets]
+        stats = reorder_stats_by_flow(packets, completions)
+        assert stats["reordered_fraction"] == 0.0
+
+    def test_scrambled_completions_detected(self, small_switch):
+        # Few flows -> many packets per flow -> reversal reorders most.
+        packets = make_traffic(small_switch, 0.5, 5_000.0, flows_per_pair=2)
+        completions = [1e6 - p.arrival_ns for p in packets]  # reversed
+        stats = reorder_stats_by_flow(packets, completions)
+        assert stats["reordered_fraction"] > 0.5

@@ -1,0 +1,132 @@
+"""Shared-buffer policies and the memory-glut argument (SS 5)."""
+
+import pytest
+
+from repro.core.buffer_sharing import (
+    CompleteSharing,
+    DynamicThreshold,
+    SharedBufferSim,
+    StaticPartition,
+    hotspot_burst_trace,
+)
+from repro.errors import ConfigError
+from repro.units import gbps
+
+RATE = gbps(160)
+
+
+def trace(duration=50_000.0, **kwargs):
+    return hotspot_burst_trace(4, RATE, duration, **kwargs)
+
+
+class TestPolicies:
+    def test_static_partition_caps_each_queue(self):
+        policy = StaticPartition()
+        assert policy.admits(0, 0, 1000, 4, 250)
+        assert not policy.admits(200, 200, 1000, 4, 100)  # 300 > 250
+
+    def test_complete_sharing_only_checks_total(self):
+        policy = CompleteSharing()
+        assert policy.admits(900, 900, 1000, 4, 100)
+        assert not policy.admits(0, 950, 1000, 4, 100)
+
+    def test_dynamic_threshold_scales_with_free_space(self):
+        policy = DynamicThreshold(alpha=1.0)
+        # Free = 500: queue may grow to 500.
+        assert policy.admits(100, 500, 1000, 4, 100)
+        # Free = 100: queue of 200 may not take more.
+        assert not policy.admits(200, 900, 1000, 4, 50)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigError):
+            DynamicThreshold(alpha=0.0)
+
+    def test_names(self):
+        assert "alpha=0.5" in DynamicThreshold(0.5).name
+        assert StaticPartition().name == "StaticPartition"
+
+
+class TestSharedBufferSim:
+    def test_no_loss_with_big_buffer(self):
+        sim = SharedBufferSim(4, RATE, buffer_bytes=1 << 30)
+        result = sim.run(trace(), CompleteSharing())
+        # Even a 3x hog cannot exhaust a glut-sized buffer in 50 us.
+        assert result.loss_fraction == 0.0
+
+    def test_hog_loses_under_static_partition(self):
+        sim = SharedBufferSim(4, RATE, buffer_bytes=256 * 1024)
+        result = sim.run(trace(), StaticPartition())
+        # The hog overflows its 1/4 share; background outputs do not.
+        assert result.per_output_dropped[0] > 0
+        assert sum(result.per_output_dropped[1:]) == 0
+
+    def test_complete_sharing_lets_hog_hurt_others(self):
+        buffer_bytes = 128 * 1024
+        sim = SharedBufferSim(4, RATE, buffer_bytes)
+        cs = sim.run(trace(seed=3), CompleteSharing())
+        dt = SharedBufferSim(4, RATE, buffer_bytes).run(
+            trace(seed=3), DynamicThreshold(alpha=1.0)
+        )
+        # DT protects background outputs better than complete sharing.
+        cs_background = sum(cs.per_output_dropped[1:])
+        dt_background = sum(dt.per_output_dropped[1:])
+        assert dt_background <= cs_background
+
+    def test_peak_respects_buffer(self):
+        buffer_bytes = 64 * 1024
+        sim = SharedBufferSim(4, RATE, buffer_bytes)
+        result = sim.run(trace(), CompleteSharing())
+        assert result.peak_total_bytes <= buffer_bytes
+
+    def test_unsorted_arrivals_rejected(self):
+        sim = SharedBufferSim(2, RATE, 1000)
+        with pytest.raises(ConfigError):
+            sim.run([(10.0, 0, 100), (5.0, 1, 100)], CompleteSharing())
+
+    def test_output_bounds_checked(self):
+        sim = SharedBufferSim(2, RATE, 1000)
+        with pytest.raises(ConfigError):
+            sim.run([(0.0, 5, 100)], CompleteSharing())
+
+    def test_construction_validation(self):
+        with pytest.raises(ConfigError):
+            SharedBufferSim(0, RATE, 1000)
+        with pytest.raises(ConfigError):
+            SharedBufferSim(4, RATE, 0)
+
+
+class TestMemoryGlut:
+    def test_policies_diverge_under_scarcity_converge_under_glut(self):
+        """The SS 5 claim in one test: scarcity makes the algorithm
+        matter; glut makes every policy lossless."""
+        policies = [StaticPartition(), CompleteSharing(), DynamicThreshold(1.0)]
+        scarce, glut = 32 * 1024, 1 << 28
+        scarce_losses = []
+        glut_losses = []
+        for policy in policies:
+            scarce_losses.append(
+                SharedBufferSim(4, RATE, scarce).run(trace(seed=7), policy).loss_fraction
+            )
+            glut_losses.append(
+                SharedBufferSim(4, RATE, glut).run(trace(seed=7), policy).loss_fraction
+            )
+        assert max(scarce_losses) > 0.0
+        assert max(scarce_losses) - min(scarce_losses) > 0.0
+        assert all(loss == 0.0 for loss in glut_losses)
+
+
+class TestTrace:
+    def test_hog_dominates_trace(self):
+        events = trace()
+        hog = sum(1 for _, output, _ in events if output == 0)
+        other = sum(1 for _, output, _ in events if output == 1)
+        assert hog > 2 * other
+
+    def test_sorted(self):
+        events = trace()
+        times = [t for t, _, _ in events]
+        assert times == sorted(times)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            hotspot_burst_trace(4, RATE, 1000.0, hog_overload=0.0)

@@ -1,0 +1,111 @@
+"""CLI commands: every subcommand runs and prints sensible output."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.load == 0.8
+        assert args.process == "poisson"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestAnalyze:
+    def test_reference_analysis(self, capsys):
+        assert main(["analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "655.4 Tb/s" in out
+        assert "12.71 kW" in out
+        assert "14.5 MB" in out
+        assert "51.2x" in out
+
+    def test_scaled_analysis(self, capsys):
+        assert main(["analyze", "--scaled"]) == 0
+        out = capsys.readouterr().out
+        assert "Design analysis" in out
+
+
+class TestSimulate:
+    def test_default_simulation(self, capsys):
+        assert main(["simulate", "--duration-us", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "delivered" in out
+        assert "100.0" in out  # lossless at default load
+
+    def test_fixed_size_and_flags(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--duration-us", "8",
+                "--packet-size", "1500",
+                "--load", "0.5",
+                "--no-bypass",
+                "--process", "onoff",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "frames written" in out
+
+    def test_speedup_flag(self, capsys):
+        assert main(["simulate", "--duration-us", "8", "--speedup", "2.0"]) == 0
+
+
+class TestSweep:
+    def test_sweep_rows(self, capsys):
+        assert main(["sweep", "--loads", "0.4,0.8", "--duration-us", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "0.40" in out
+        assert "0.80" in out
+
+    def test_bad_loads_return_error(self, capsys):
+        assert main(["sweep", "--loads", "abc"]) == 2
+
+
+class TestExperiments:
+    def test_index_lists_all(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for exp_id, _, _ in EXPERIMENTS:
+            assert exp_id in out
+        assert "E16" in out and "A4" in out
+
+    def test_index_matches_bench_files(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        for _, _, bench in EXPERIMENTS:
+            assert (root / bench).exists(), bench
+
+
+class TestTimeline:
+    def test_renders_banks_and_bus(self, capsys):
+        assert main(["timeline", "--frames", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "bank" in out
+        assert "bus |" in out
+        assert "100% busy" in out
+
+    def test_bad_frames(self, capsys):
+        assert main(["timeline", "--frames", "0"]) == 2
+
+
+class TestJsonExport:
+    def test_simulate_json_output(self, capsys):
+        import json
+
+        assert main(["simulate", "--duration-us", "6", "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["delivery_fraction"] == pytest.approx(1.0)
+        assert "latency_breakdown" in parsed
+        assert parsed["pfi"]["frames_written"] >= 0

@@ -1,0 +1,154 @@
+"""Configuration validation and the reference design's derived values."""
+
+import pytest
+
+from repro.config import (
+    HBMStackConfig,
+    HBMSwitchConfig,
+    RouterConfig,
+    datacenter_switch_config,
+    reference_router,
+    scaled_router,
+)
+from repro.errors import ConfigError
+from repro.units import KB, gbps, tbps
+
+
+class TestHBMStackConfig:
+    def test_defaults_match_hbm4(self):
+        stack = HBMStackConfig()
+        assert stack.interface_width_bits == 2048
+        assert stack.stack_bandwidth_bps == pytest.approx(tbps(20.48))
+        assert stack.channel_bandwidth_bps == pytest.approx(gbps(640))
+        assert stack.channel_bytes_per_ns == pytest.approx(80.0)
+
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ConfigError):
+            HBMStackConfig(channels=0)
+
+    def test_rejects_non_byte_width(self):
+        with pytest.raises(ConfigError):
+            HBMStackConfig(channel_width_bits=12)
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ConfigError):
+            HBMStackConfig(capacity_bytes=-1)
+
+
+class TestHBMSwitchConfig:
+    def test_reference_frame_geometry(self):
+        sw = HBMSwitchConfig()
+        assert sw.total_channels == 128
+        assert sw.frame_bytes == 512 * KB
+        assert sw.batches_per_frame == 128
+        assert sw.n_bank_groups == 16
+        assert sw.slice_bytes == 256
+
+    def test_reference_rates(self):
+        sw = HBMSwitchConfig()
+        assert sw.memory_bandwidth_bps == pytest.approx(tbps(81.92))
+        assert sw.aggregate_port_rate_bps == pytest.approx(tbps(40.96))
+        assert sw.total_io_bps == pytest.approx(tbps(81.92))
+
+    def test_memory_bandwidth_covers_total_io(self):
+        # The defining sizing rule: B stacks cover 2NP exactly.
+        sw = HBMSwitchConfig()
+        assert sw.memory_bandwidth_bps >= sw.total_io_bps
+
+    def test_reference_times(self):
+        sw = HBMSwitchConfig()
+        assert sw.batch_time_ns == pytest.approx(12.8)
+        assert sw.frame_write_time_ns == pytest.approx(51.2)
+
+    def test_sram_interface_is_2048_bits(self):
+        # SS 3.2 Batch size: 2P / 2.5 Gb/s-per-bit = 2048 bits.
+        sw = HBMSwitchConfig()
+        assert sw.port_sram_interface_bits == 2048
+
+    def test_batch_size_rule(self):
+        # k = N x interface width: 16 x 2048 bits = 4 KB.
+        sw = HBMSwitchConfig()
+        assert sw.derived_batch_bytes == sw.batch_bytes == 4 * KB
+
+    def test_channels_per_module(self):
+        assert HBMSwitchConfig().channels_per_module == 8
+
+    def test_rejects_unsliceable_batch(self):
+        with pytest.raises(ConfigError):
+            HBMSwitchConfig(n_ports=3, batch_bytes=1000)
+
+    def test_rejects_segment_not_unit_fraction_of_row(self):
+        with pytest.raises(ConfigError):
+            HBMSwitchConfig(segment_bytes=600)
+
+    def test_rejects_gamma_not_dividing_banks(self):
+        with pytest.raises(ConfigError):
+            HBMSwitchConfig(gamma=7)
+
+    def test_rejects_sub_unity_speedup(self):
+        with pytest.raises(ConfigError):
+            HBMSwitchConfig(speedup=0.5)
+
+    def test_memory_capacity(self):
+        sw = HBMSwitchConfig()
+        assert sw.memory_capacity_bytes == 4 * 64 * 2**30
+
+
+class TestRouterConfig:
+    def test_reference_io_budget(self):
+        cfg = reference_router()
+        assert cfg.total_fibers == 1024
+        assert cfg.per_fiber_rate_bps == pytest.approx(gbps(640))
+        assert cfg.io_per_direction_bps == pytest.approx(tbps(655.36))
+        assert cfg.total_io_bps == pytest.approx(tbps(1310.72))
+        assert cfg.per_switch_io_bps == pytest.approx(tbps(81.92))
+        assert cfg.switch_port_rate_bps == pytest.approx(tbps(2.56))
+        assert cfg.fibers_per_switch == 4
+
+    def test_switch_port_rate_must_match_fiber_share(self):
+        with pytest.raises(ConfigError):
+            RouterConfig(wavelength_rate_bps=gbps(50))  # switch still at 40G sizing
+
+    def test_fibers_must_split_evenly(self):
+        with pytest.raises(ConfigError):
+            RouterConfig(fibers_per_ribbon=60)
+
+    def test_switch_ports_must_match_ribbons(self):
+        with pytest.raises(ConfigError):
+            RouterConfig(n_ribbons=8)
+
+    def test_total_buffering(self):
+        cfg = reference_router()
+        assert cfg.total_buffer_bytes == 16 * 4 * 64 * 2**30
+
+    def test_with_switch_override(self):
+        cfg = reference_router().with_switch(speedup=2.0)
+        assert cfg.switch.speedup == 2.0
+        assert cfg.switch.n_ports == 16
+
+
+class TestFactories:
+    def test_scaled_router_is_structurally_consistent(self):
+        cfg = scaled_router()
+        sw = cfg.switch
+        assert sw.n_ports == cfg.n_ribbons
+        assert sw.batch_bytes % sw.n_ports == 0
+        assert sw.frame_bytes % sw.batch_bytes == 0
+        assert sw.stack.banks_per_channel % sw.gamma == 0
+        # Memory bandwidth covers both directions, like the reference.
+        assert sw.memory_bandwidth_bps >= sw.total_io_bps
+
+    def test_scaled_router_custom_dims(self):
+        cfg = scaled_router(n_ribbons=8, fibers_per_ribbon=16, n_switches=4)
+        assert cfg.n_switches == 4
+        assert cfg.fibers_per_switch == 4
+
+    def test_datacenter_config_shrinks_frames(self):
+        base = HBMSwitchConfig()
+        dc = datacenter_switch_config(frame_shrink=8)
+        assert dc.frame_bytes == base.frame_bytes // 8
+        assert dc.batches_per_frame >= 1
+
+    def test_datacenter_rejects_bad_shrink(self):
+        with pytest.raises(ConfigError):
+            datacenter_switch_config(frame_shrink=7)

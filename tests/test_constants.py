@@ -1,0 +1,54 @@
+"""The reference datapoints must match the paper's citations."""
+
+import pytest
+
+from repro import constants
+from repro.units import tbps
+
+
+class TestHBM4:
+    def test_interface_is_2048_bits(self):
+        assert constants.HBM4_CHANNELS_PER_STACK * constants.HBM4_CHANNEL_WIDTH_BITS == 2048
+
+    def test_stack_bandwidth_is_20_48_tbps(self):
+        assert constants.HBM4_STACK_BANDWIDTH == pytest.approx(tbps(20.48))
+
+    def test_four_stacks_give_81_92_tbps(self):
+        assert 4 * constants.HBM4_STACK_BANDWIDTH == pytest.approx(tbps(81.92))
+
+    def test_random_access_overhead_about_30ns(self):
+        assert constants.HBM4_RANDOM_ACCESS_OVERHEAD_NS == pytest.approx(30.0)
+
+    def test_transition_fraction_about_2_percent(self):
+        assert constants.HBM4_PHASE_TRANSITION_FRACTION == pytest.approx(0.02)
+
+
+class TestComparators:
+    def test_tomahawk5(self):
+        assert constants.TOMAHAWK5_CAPACITY == pytest.approx(tbps(51.2))
+        assert constants.TOMAHAWK5_POWER_W == 500.0
+
+    def test_cisco(self):
+        assert constants.CISCO_8201_32FH_CAPACITY == pytest.approx(tbps(12.8))
+        assert constants.CISCO_8201_32FH_BUFFER_MS == 5.0
+        assert constants.CISCO_Q100_BUFFER_MS > constants.CISCO_Q200_BUFFER_MS
+
+    def test_cerebras(self):
+        assert constants.CEREBRAS_WSE3_POWER_W == 23_000.0
+
+
+class TestPackaging:
+    def test_panel_area(self):
+        assert constants.PANEL_AREA_MM2 == 250_000.0
+
+    def test_hbm_stack_area(self):
+        assert constants.HBM_STACK_AREA_MM2 == 121.0
+
+
+class TestShares:
+    def test_power_shares_sum_below_one(self):
+        # HBM 40% + processing 50% leaves ~10% for OEO.
+        assert constants.HBM_POWER_SHARE + constants.PROCESSING_POWER_SHARE < 1.0
+
+    def test_mesh_bound(self):
+        assert constants.MESH_10X10_GUARANTEED_FRACTION == pytest.approx(2.0 / 10.0)

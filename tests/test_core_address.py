@@ -1,0 +1,168 @@
+"""No-bookkeeping addressing: the counter-only FIFO regions."""
+
+import pytest
+
+from repro.config import HBMStackConfig, HBMSwitchConfig
+from repro.core.address import HBMAddressMap, OutputRegionFifo
+from repro.errors import CapacityExceeded, ConfigError
+from repro.units import gbps
+
+
+def region(rows=2, groups=4, gamma=4):
+    return OutputRegionFifo(output=0, n_groups=groups, gamma=gamma, rows_per_bank=rows)
+
+
+class TestOutputRegionFifo:
+    def test_push_follows_group_rule(self):
+        r = region(groups=4)
+        groups = [r.push().group.index for _ in range(8)]
+        # h = n mod (L/gamma): 0,1,2,3,0,1,2,3.
+        assert groups == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_rows_advance_after_group_wrap(self):
+        r = region(rows=2, groups=4)
+        addresses = [r.push() for _ in range(8)]
+        assert [a.row for a in addresses[:4]] == [0, 0, 0, 0]
+        assert [a.row for a in addresses[4:]] == [1, 1, 1, 1]
+
+    def test_pop_replays_push_sequence(self):
+        r = region(rows=2, groups=4)
+        pushed = [r.push() for _ in range(6)]
+        popped = [r.pop() for _ in range(6)]
+        assert [(a.group.index, a.row) for a in pushed] == [
+            (a.group.index, a.row) for a in popped
+        ]
+
+    def test_capacity_is_groups_times_rows(self):
+        r = region(rows=3, groups=4)
+        assert r.capacity_frames == 12
+        for _ in range(12):
+            r.push()
+        with pytest.raises(CapacityExceeded):
+            r.push()
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(CapacityExceeded):
+            region().pop()
+
+    def test_peek_does_not_consume(self):
+        r = region()
+        r.push()
+        assert r.peek().frame_index == 0
+        assert r.occupancy == 1
+
+    def test_occupancy_tracks_flow(self):
+        r = region()
+        assert r.empty
+        r.push()
+        r.push()
+        assert r.occupancy == 2
+        r.pop()
+        assert r.occupancy == 1
+
+    def test_base_row_offsets_addresses(self):
+        r = OutputRegionFifo(0, n_groups=2, gamma=4, rows_per_bank=2, base_row=10)
+        assert r.push().row == 10
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            OutputRegionFifo(0, 0, 4, 2)
+
+
+def small_config():
+    stack = HBMStackConfig(
+        channels=8, gbps_per_bit=gbps(2.5), banks_per_channel=16,
+        capacity_bytes=2**20, row_bytes=256,
+    )
+    return HBMSwitchConfig(
+        n_ports=4, n_stacks=1, batch_bytes=1024, segment_bytes=256,
+        gamma=4, port_rate_bps=gbps(160), stack=stack,
+    )
+
+
+class TestHBMAddressMap:
+    def test_regions_are_disjoint(self):
+        amap = HBMAddressMap(small_config())
+        bases = [r.base_row for r in amap.regions]
+        rows = amap.rows_per_output
+        assert bases == [i * rows for i in range(4)]
+
+    def test_rows_derived_from_capacity(self):
+        cfg = small_config()
+        amap = HBMAddressMap(cfg)
+        # 1 MiB / (8 channels * 16 banks * 256 B rows) = 32 rows/bank.
+        assert amap.rows_per_output == 32 // 4
+
+    def test_explicit_row_budget(self):
+        amap = HBMAddressMap(small_config(), rows_per_bank_total=40)
+        assert amap.rows_per_output == 10
+
+    def test_occupancy_accounting(self):
+        amap = HBMAddressMap(small_config())
+        amap.region(0).push()
+        amap.region(2).push()
+        assert amap.occupancy_frames == 2
+        assert amap.occupancy_bytes() == 2 * small_config().frame_bytes
+
+    def test_region_bounds(self):
+        amap = HBMAddressMap(small_config())
+        with pytest.raises(ConfigError):
+            amap.region(4)
+
+    def test_too_few_rows_rejected(self):
+        with pytest.raises(ConfigError):
+            HBMAddressMap(small_config(), rows_per_bank_total=2)
+
+
+class TestSubRowPacking:
+    """SS 3.2 hierarchy: rows subdivide into segment-size sub-rows."""
+
+    def test_reference_design_has_one_segment_per_row(self):
+        amap = HBMAddressMap(small_config())
+        assert amap.segments_per_row == 1
+        assert amap.region(0).push().sub_row == 0
+
+    def test_small_segments_pack_into_rows(self):
+        region = OutputRegionFifo(
+            0, n_groups=4, gamma=4, rows_per_bank=2, segments_per_row=4
+        )
+        assert region.capacity_frames == 4 * 2 * 4
+        addresses = [region.push() for _ in range(16)]
+        # First 4 frames: groups 0..3 at row 0 / sub 0; next 4 at sub 1...
+        assert [a.sub_row for a in addresses[:4]] == [0, 0, 0, 0]
+        assert [a.sub_row for a in addresses[4:8]] == [1, 1, 1, 1]
+        # The row only advances after segments_per_row sub-rows fill.
+        assert all(a.row == 0 for a in addresses)
+
+    def test_row_advances_after_sub_rows_fill(self):
+        region = OutputRegionFifo(
+            0, n_groups=2, gamma=4, rows_per_bank=3, segments_per_row=2
+        )
+        addresses = [region.push() for _ in range(8)]
+        rows = [a.row for a in addresses]
+        assert rows == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_pop_replays_sub_rows(self):
+        region = OutputRegionFifo(
+            0, n_groups=2, gamma=4, rows_per_bank=2, segments_per_row=3
+        )
+        pushed = [region.push() for _ in range(10)]
+        popped = [region.pop() for _ in range(10)]
+        assert [(a.row, a.sub_row) for a in pushed] == [
+            (a.row, a.sub_row) for a in popped
+        ]
+
+    def test_datacenter_config_gains_capacity(self):
+        import dataclasses
+
+        base = small_config()
+        small_segment = dataclasses.replace(base, segment_bytes=64)
+        base_map = HBMAddressMap(base, rows_per_bank_total=16)
+        dc_map = HBMAddressMap(small_segment, rows_per_bank_total=16)
+        # 256 B rows / 64 B segments: 4 frames per row per bank.
+        assert dc_map.segments_per_row == 4
+        assert dc_map.total_capacity_frames == 4 * base_map.total_capacity_frames
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            OutputRegionFifo(0, 2, 4, 2, segments_per_row=0)

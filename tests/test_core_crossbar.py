@@ -1,0 +1,76 @@
+"""Cyclical crossbar: permutation property, contention freedom, SDM mesh."""
+
+import pytest
+
+from repro.core import CyclicalCrossbar, SDMMesh
+from repro.errors import ConfigError
+
+
+class TestCyclicalCrossbar:
+    def test_every_slot_is_a_permutation(self):
+        xbar = CyclicalCrossbar(16)
+        for slot in range(32):
+            pattern = xbar.connection_pattern(slot)
+            assert sorted(pattern) == list(range(16))
+
+    def test_rotation_advances_by_one(self):
+        xbar = CyclicalCrossbar(8)
+        assert xbar.module_for(3, 0) == 3
+        assert xbar.module_for(3, 1) == 4
+        assert xbar.module_for(7, 1) == 0
+
+    def test_inverse_lookup(self):
+        xbar = CyclicalCrossbar(8)
+        for slot in range(8):
+            for module in range(8):
+                i = xbar.input_for(module, slot)
+                assert xbar.module_for(i, slot) == module
+
+    def test_input_visits_every_module_in_n_slots(self):
+        xbar = CyclicalCrossbar(8)
+        modules = {xbar.module_for(5, t) for t in range(8)}
+        assert modules == set(range(8))
+
+    def test_batch_schedule_covers_all_slices(self):
+        xbar = CyclicalCrossbar(4)
+        schedule = xbar.batch_slice_schedule(input_port=2, start_slot=10)
+        assert len(schedule) == 4
+        # Each slice lands in its own module, slice index == module.
+        assert {(m, s) for _, m, s in schedule} == {(m, m) for m in range(4)}
+        slots = [slot for slot, _, _ in schedule]
+        assert slots == list(range(10, 14))
+
+    def test_no_contention_across_inputs(self):
+        # At every slot, the (input -> module) map is injective even with
+        # everyone transmitting.
+        xbar = CyclicalCrossbar(8)
+        for slot in range(16):
+            targets = [xbar.module_for(i, slot) for i in range(8)]
+            assert len(set(targets)) == 8
+
+    def test_port_bounds(self):
+        xbar = CyclicalCrossbar(4)
+        with pytest.raises(ConfigError):
+            xbar.module_for(4, 0)
+        with pytest.raises(ConfigError):
+            CyclicalCrossbar(0)
+
+
+class TestSDMMesh:
+    def test_reference_lane_width(self):
+        # 2048-bit interface over 16 modules: 128 wires each (SS 3.2).
+        mesh = SDMMesh(16, 2048)
+        assert mesh.lane_width_bits == 128
+        assert mesh.batch_transfer_slots() == 1
+
+    def test_full_mesh_lanes(self):
+        mesh = SDMMesh(4, 1024)
+        lanes = mesh.lanes()
+        assert len(lanes) == 16
+        assert all(width == 256 for width in lanes.values())
+
+    def test_indivisible_interface_rejected(self):
+        with pytest.raises(ConfigError):
+            SDMMesh(3, 2048)
+        with pytest.raises(ConfigError):
+            SDMMesh(0, 2048)

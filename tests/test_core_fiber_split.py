@@ -1,0 +1,133 @@
+"""Fiber splitting: balance, determinism, load skew, adversaries (E10)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fiber_split import (
+    ContiguousSplitter,
+    PseudoRandomSplitter,
+    overload_loss_fraction,
+    per_switch_loads,
+    per_switch_port_loads,
+    split_imbalance,
+)
+from repro.errors import ConfigError
+from repro.traffic.generators import fiber_load_profile
+
+
+class TestContiguousSplitter:
+    def test_blocks_of_alpha(self):
+        splitter = ContiguousSplitter(n_fibers=8, n_switches=2)
+        assert splitter.assignment(0) == [0, 0, 0, 0, 1, 1, 1, 1]
+        assert splitter.alpha == 4
+
+    def test_balanced(self):
+        splitter = ContiguousSplitter(64, 16)
+        for ribbon in range(4):
+            splitter.check_balanced(ribbon)
+
+    def test_fibers_to(self):
+        splitter = ContiguousSplitter(8, 4)
+        assert splitter.fibers_to(0, 1) == [2, 3]
+
+
+class TestPseudoRandomSplitter:
+    def test_balanced_for_every_ribbon(self):
+        splitter = PseudoRandomSplitter(64, 16, seed=99)
+        for ribbon in range(16):
+            splitter.check_balanced(ribbon)
+
+    def test_deterministic_per_seed(self):
+        a = PseudoRandomSplitter(16, 4, seed=5)
+        b = PseudoRandomSplitter(16, 4, seed=5)
+        assert a.assignment(3) == b.assignment(3)
+
+    def test_ribbons_differ(self):
+        splitter = PseudoRandomSplitter(64, 16, seed=1)
+        assert splitter.assignment(0) != splitter.assignment(1)
+
+    def test_seeds_differ(self):
+        a = PseudoRandomSplitter(64, 16, seed=1)
+        b = PseudoRandomSplitter(64, 16, seed=2)
+        assert a.assignment(0) != b.assignment(0)
+
+    def test_not_contiguous(self):
+        splitter = PseudoRandomSplitter(64, 16, seed=0)
+        contiguous = ContiguousSplitter(64, 16)
+        assert splitter.assignment(0) != contiguous.assignment(0)
+
+
+class TestValidation:
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ConfigError):
+            ContiguousSplitter(10, 4)
+
+    def test_positive_counts_required(self):
+        with pytest.raises(ConfigError):
+            ContiguousSplitter(0, 4)
+
+
+class TestLoadAccounting:
+    def test_even_profile_is_balanced_for_both(self):
+        profiles = [np.full(8, 1.0 / 8) for _ in range(4)]
+        for splitter in (ContiguousSplitter(8, 2), PseudoRandomSplitter(8, 2)):
+            loads = per_switch_loads(splitter, profiles)
+            assert loads.sum() == pytest.approx(4.0)
+            assert split_imbalance(loads) == pytest.approx(1.0, abs=1e-9)
+
+    def test_first_connected_skew_hurts_contiguous_more(self):
+        # Challenge 4 (1): operators load the first fibers first.
+        rng = np.random.default_rng(0)
+        profiles = [
+            fiber_load_profile(64, "first-connected", total_load=1.0, skew=8.0, rng=rng)
+            for _ in range(16)
+        ]
+        contiguous = split_imbalance(per_switch_loads(ContiguousSplitter(64, 16), profiles))
+        random = split_imbalance(per_switch_loads(PseudoRandomSplitter(64, 16), profiles))
+        assert contiguous > random
+        assert contiguous > 1.3  # the first switch is clearly overloaded
+
+    def test_adversary_saturates_contiguous_switch(self):
+        # Challenge 4 (2): an attacker who knows the pattern fills the
+        # fibers of one internal switch.
+        contiguous = ContiguousSplitter(64, 16)
+        target = contiguous.fibers_to(0, 0)  # fibers of switch 0
+        profiles = [
+            fiber_load_profile(64, "adversarial", total_load=1.0, target_fibers=target)
+            for _ in range(16)
+        ]
+        loads = per_switch_loads(contiguous, profiles)
+        # Everything lands on switch 0: worst possible imbalance.
+        assert loads[0] == pytest.approx(16.0)
+        assert split_imbalance(loads) == pytest.approx(16.0)
+        # The same attack against a secret pseudo-random split spreads out.
+        random = PseudoRandomSplitter(64, 16, seed=0xDEAD)
+        spread = split_imbalance(per_switch_loads(random, profiles))
+        assert spread < 4.0
+
+    def test_port_loads_shape(self):
+        splitter = ContiguousSplitter(8, 2)
+        profiles = [np.full(8, 0.125) for _ in range(4)]
+        port_loads = per_switch_port_loads(splitter, profiles)
+        assert port_loads.shape == (2, 4)
+        assert port_loads.sum() == pytest.approx(4.0)
+
+    def test_profile_shape_checked(self):
+        splitter = ContiguousSplitter(8, 2)
+        with pytest.raises(ConfigError):
+            per_switch_loads(splitter, [np.ones(7)])
+
+
+class TestOverloadLoss:
+    def test_no_loss_within_capacity(self):
+        assert overload_loss_fraction(np.array([0.9, 0.8]), 1.0) == 0.0
+
+    def test_excess_counts_as_loss(self):
+        loads = np.array([1.5, 0.5])
+        assert overload_loss_fraction(loads, 1.0) == pytest.approx(0.25)
+
+    def test_empty_loads(self):
+        assert overload_loss_fraction(np.zeros(4), 1.0) == 0.0
+
+    def test_imbalance_of_empty(self):
+        assert split_imbalance(np.zeros(4)) == 1.0

@@ -1,0 +1,151 @@
+"""Batch and frame assembly: byte conservation, straddling, padding."""
+
+import pytest
+
+from repro.core.frames import Batch, BatchAssembler, Frame, FrameAssembler
+from repro.errors import ConfigError
+from tests.test_traffic_basics import make_packet
+
+K = 1024  # batch size used throughout
+
+
+def assembler(output=1):
+    return BatchAssembler(output=output, batch_bytes=K)
+
+
+class TestBatchAssembler:
+    def test_small_packets_fill_one_batch(self):
+        asm = assembler()
+        emitted = []
+        for i in range(4):
+            emitted += asm.add(make_packet(pid=i, size=256, dst=1), now=float(i))
+        assert len(emitted) == 1
+        batch = emitted[0]
+        assert batch.size_bytes == K
+        assert batch.payload_bytes == K
+        assert batch.padding_bytes == 0
+        assert [p.pid for p in batch.completing] == [0, 1, 2, 3]
+
+    def test_packet_straddles_two_batches(self):
+        asm = assembler()
+        first = asm.add(make_packet(pid=0, size=800, dst=1), 0.0)
+        assert first == []
+        # 800 + 800 = 1600: first batch closes at 1024, the second packet
+        # straddles and completes in the (still partial) second batch.
+        second = asm.add(make_packet(pid=1, size=800, dst=1), 1.0)
+        assert len(second) == 1
+        assert [p.pid for p in second[0].completing] == [0]
+        assert asm.fill_bytes == 1600 - K
+
+    def test_packet_exactly_filling_batch_completes_in_it(self):
+        asm = assembler()
+        emitted = asm.add(make_packet(pid=0, size=K, dst=1), 0.0)
+        assert len(emitted) == 1
+        assert [p.pid for p in emitted[0].completing] == [0]
+        assert asm.fill_bytes == 0
+
+    def test_giant_packet_spans_many_batches(self):
+        asm = assembler()
+        emitted = asm.add(make_packet(pid=0, size=3 * K + 100, dst=1), 0.0)
+        assert len(emitted) == 3
+        # The packet completes only in the batch holding its last byte,
+        # which is still forming.
+        assert all(b.completing == [] for b in emitted)
+        assert asm.fill_bytes == 100
+
+    def test_flush_pads_partial(self):
+        asm = assembler()
+        asm.add(make_packet(pid=0, size=300, dst=1), 0.0)
+        batch = asm.flush(5.0)
+        assert batch is not None
+        assert batch.payload_bytes == 300
+        assert batch.padding_bytes == K - 300
+        assert asm.fill_bytes == 0
+
+    def test_flush_empty_returns_none(self):
+        assert assembler().flush(0.0) is None
+
+    def test_wrong_output_rejected(self):
+        with pytest.raises(ConfigError):
+            assembler(output=2).add(make_packet(dst=1), 0.0)
+
+    def test_sequence_numbers_increment(self):
+        asm = assembler()
+        batches = asm.add(make_packet(pid=0, size=2 * K, dst=1), 0.0)
+        assert [b.seq for b in batches] == [0, 1]
+        assert asm.batches_emitted == 2
+
+    def test_byte_conservation(self):
+        asm = assembler()
+        sizes = [137, 964, 2000, 41, 1024, 333]
+        batches = []
+        for i, size in enumerate(sizes):
+            batches += asm.add(make_packet(pid=i, size=size, dst=1), 0.0)
+        total_emitted = sum(b.payload_bytes for b in batches)
+        assert total_emitted + asm.fill_bytes == sum(sizes)
+
+
+class TestBatch:
+    def test_slice_bytes(self):
+        batch = Batch(0, 0, 1024, 1024, [], 0.0)
+        assert batch.slice_bytes(4) == 256
+
+    def test_unsliceable_rejected(self):
+        batch = Batch(0, 0, 1000, 1000, [], 0.0)
+        with pytest.raises(ConfigError):
+            batch.slice_bytes(3)
+
+
+class TestFrameAssembler:
+    def make_batches(self, count, output=0):
+        asm = BatchAssembler(output, K)
+        batches = []
+        pid = 0
+        while len(batches) < count:
+            batches += asm.add(make_packet(pid=pid, size=K, dst=output, src=0), float(pid))
+            pid += 1
+        return batches[:count]
+
+    def test_frame_completes_at_exact_batch_count(self):
+        fasm = FrameAssembler(0, K, batches_per_frame=4)
+        batches = self.make_batches(4)
+        results = [fasm.add(b, float(i)) for i, b in enumerate(batches)]
+        assert results[:3] == [None, None, None]
+        frame = results[3]
+        assert isinstance(frame, Frame)
+        assert frame.size_bytes == 4 * K
+        assert frame.payload_bytes == 4 * K
+        assert len(frame.completing_packets) == 4
+
+    def test_flush_builds_padded_frame(self):
+        fasm = FrameAssembler(0, K, 4)
+        for batch in self.make_batches(2):
+            fasm.add(batch, 0.0)
+        frame = fasm.flush(9.0)
+        assert frame.size_bytes == 4 * K
+        assert frame.payload_bytes == 2 * K
+        assert frame.padding_bytes == 2 * K
+
+    def test_flush_empty_is_none(self):
+        assert FrameAssembler(0, K, 4).flush(0.0) is None
+
+    def test_indices_increment(self):
+        fasm = FrameAssembler(0, K, 2)
+        frames = []
+        for batch in self.make_batches(4):
+            frame = fasm.add(batch, 0.0)
+            if frame:
+                frames.append(frame)
+        assert [f.index for f in frames] == [0, 1]
+
+    def test_wrong_output_rejected(self):
+        fasm = FrameAssembler(0, K, 4)
+        bad = Batch(3, 0, K, K, [], 0.0)
+        with pytest.raises(ConfigError):
+            fasm.add(bad, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FrameAssembler(0, K, 0)
+        with pytest.raises(ConfigError):
+            BatchAssembler(0, 0)

@@ -1,0 +1,141 @@
+"""Dynamic per-output page allocation (SS 3.2 dynamic option)."""
+
+import pytest
+
+from repro.core.address import HBMAddressMap
+from repro.core.paging import DynamicPageAllocator, OutputPageFifo, Page
+from repro.errors import CapacityExceeded, ConfigError
+
+
+@pytest.fixture
+def allocator(small_switch):
+    # 1 GiB stack / (8 ch x 16 banks x 256 B rows) = 32768 rows/bank;
+    # keep the pool small and observable for tests.
+    return DynamicPageAllocator(small_switch, rows_per_page=2, rows_per_bank_total=16)
+
+
+class TestAllocatorPool:
+    def test_pool_size(self, allocator):
+        assert allocator.total_pages == 8
+        assert allocator.free_pages == 8
+
+    def test_acquire_release_cycle(self, allocator):
+        page = allocator.acquire(output=1)
+        assert allocator.free_pages == 7
+        assert allocator.pages_of(1) == 1
+        allocator.release(page)
+        assert allocator.free_pages == 8
+        assert allocator.pages_of(1) == 0
+
+    def test_exhaustion_raises(self, allocator):
+        for _ in range(8):
+            allocator.acquire(0)
+        with pytest.raises(CapacityExceeded):
+            allocator.acquire(0)
+
+    def test_double_release_rejected(self, allocator):
+        page = allocator.acquire(0)
+        allocator.release(page)
+        with pytest.raises(ConfigError):
+            allocator.release(page)
+
+    def test_pool_must_cover_outputs(self, small_switch):
+        with pytest.raises(ConfigError):
+            DynamicPageAllocator(small_switch, rows_per_page=16, rows_per_bank_total=16)
+
+    def test_default_pool_from_capacity(self, small_switch):
+        allocator = DynamicPageAllocator(small_switch, rows_per_page=8)
+        assert allocator.total_pages > small_switch.n_ports
+
+    def test_page_table_sram_is_small(self, small_switch):
+        allocator = DynamicPageAllocator(small_switch, rows_per_page=8)
+        # "A small extra amount of SRAM": a few KB, not MB.
+        assert allocator.page_table_sram_bits() < 8 * 64 * 1024
+
+
+class TestOutputPageFifo:
+    def test_group_rule_unchanged(self, allocator):
+        fifo = allocator.region(0)
+        groups = [fifo.push().group.index for _ in range(8)]
+        assert groups == [g % allocator.config.n_bank_groups for g in range(8)]
+
+    def test_pop_replays_push(self, allocator):
+        fifo = allocator.region(2)
+        pushed = [fifo.push() for _ in range(10)]
+        popped = [fifo.pop() for _ in range(10)]
+        assert [(a.group.index, a.row) for a in pushed] == [
+            (a.group.index, a.row) for a in popped
+        ]
+
+    def test_pages_acquired_on_demand(self, allocator):
+        fifo = allocator.region(0)
+        n_groups = allocator.config.n_bank_groups
+        slots_per_page = allocator.rows_per_page * n_groups
+        for _ in range(slots_per_page):
+            fifo.push()
+        assert fifo.pages_held == 1
+        fifo.push()
+        assert fifo.pages_held == 2
+
+    def test_drained_pages_released(self, allocator):
+        fifo = allocator.region(0)
+        n_groups = allocator.config.n_bank_groups
+        slots_per_page = allocator.rows_per_page * n_groups
+        # Fill two pages, drain past the first.
+        for _ in range(slots_per_page + 1):
+            fifo.push()
+        before = allocator.free_pages
+        for _ in range(slots_per_page + 1):
+            fifo.pop()
+        assert allocator.free_pages > before
+
+    def test_pop_empty_raises(self, allocator):
+        with pytest.raises(CapacityExceeded):
+            allocator.region(0).pop()
+
+    def test_one_output_can_use_most_of_the_pool(self, allocator):
+        """The elasticity win over static regions: a hotspot output can
+        grow far beyond 1/N of the memory."""
+        fifo = allocator.region(3)
+        n_groups = allocator.config.n_bank_groups
+        slots_per_page = allocator.rows_per_page * n_groups
+        total_slots = allocator.total_pages * slots_per_page
+        for _ in range(total_slots):
+            fifo.push()
+        assert fifo.occupancy == total_slots
+        assert allocator.free_pages == 0
+        # A static map of the same row budget caps each output at 1/N.
+        static = HBMAddressMap(allocator.config, rows_per_bank_total=16)
+        assert fifo.occupancy > static.region(3).capacity_frames
+
+    def test_rows_never_collide_across_outputs(self, allocator):
+        """Pages give outputs disjoint rows at any instant."""
+        rows_in_use = {}
+        for output in range(allocator.config.n_ports):
+            fifo = allocator.region(output)
+            address = fifo.push()
+            owner = rows_in_use.setdefault(address.row // allocator.rows_per_page, output)
+            assert owner == output
+
+    def test_validation(self, allocator):
+        with pytest.raises(ConfigError):
+            allocator.region(99)
+        with pytest.raises(ConfigError):
+            DynamicPageAllocator(allocator.config, rows_per_page=0)
+
+
+class TestPagedSwitchIntegration:
+    def test_switch_runs_on_dynamic_paging(self, small_switch):
+        from repro.core import HBMSwitch, PFIOptions
+        from tests.conftest import make_traffic
+
+        allocator = DynamicPageAllocator(small_switch, rows_per_page=4)
+        packets = make_traffic(small_switch, 0.8, 30_000.0)
+        switch = HBMSwitch(
+            small_switch,
+            PFIOptions(padding=True, bypass=True),
+            address_map=allocator,
+        )
+        report = switch.run(packets, 30_000.0)
+        assert report.delivery_fraction == pytest.approx(1.0)
+        assert report.ordering_violations == 0

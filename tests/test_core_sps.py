@@ -1,0 +1,124 @@
+"""Split-Parallel Switch: partitioning, independence, aggregate reports."""
+
+import pytest
+
+from repro.core import PFIOptions, SplitParallelSwitch
+from repro.core.fiber_split import ContiguousSplitter
+from repro.core.sps import assign_fibers
+from repro.errors import ConfigError
+from repro.traffic import FixedSize, TrafficGenerator, uniform_matrix
+
+DURATION = 30_000.0
+
+
+def router_traffic(config, load=0.6, duration=DURATION, seed=0):
+    """Router-level traffic: matrix entries are fractions of the *ribbon*
+    rate; each switch sees its fiber share."""
+    gen = TrafficGenerator(
+        n_ports=config.n_ribbons,
+        port_rate_bps=config.fibers_per_ribbon * config.per_fiber_rate_bps,
+        matrix=uniform_matrix(config.n_ribbons, load),
+        size_dist=FixedSize(1500),
+        seed=seed,
+        flows_per_pair=256,
+    )
+    return gen.generate(duration)
+
+
+class TestFiberAssignment:
+    def test_assign_fibers_is_flow_stable(self, small_router):
+        packets = router_traffic(small_router)
+        fibers = assign_fibers(packets, small_router.fibers_per_ribbon)
+        by_flow = {}
+        for packet, fiber in zip(packets, fibers):
+            key = packet.flow
+            assert by_flow.setdefault(key, fiber) == fiber
+
+    def test_fiber_range(self, small_router):
+        packets = router_traffic(small_router)
+        fibers = assign_fibers(packets, small_router.fibers_per_ribbon)
+        assert all(0 <= f < small_router.fibers_per_ribbon for f in fibers)
+
+    def test_rejects_zero_fibers(self, small_router):
+        with pytest.raises(ConfigError):
+            assign_fibers([], 0)
+
+
+class TestPartitioning:
+    def test_partition_covers_everything(self, small_router):
+        sps = SplitParallelSwitch(small_router)
+        packets = router_traffic(small_router)
+        fibers = assign_fibers(packets, small_router.fibers_per_ribbon)
+        parts = sps.partition_packets(packets, fibers)
+        assert len(parts) == small_router.n_switches
+        assert sum(len(p) for p in parts) == len(packets)
+
+    def test_switch_for_follows_splitter(self, small_router):
+        splitter = ContiguousSplitter(
+            small_router.fibers_per_ribbon, small_router.n_switches
+        )
+        sps = SplitParallelSwitch(small_router, splitter=splitter)
+        alpha = small_router.fibers_per_switch
+        assert sps.switch_for(0, 0) == 0
+        assert sps.switch_for(0, alpha) == 1
+
+    def test_bounds_checked(self, small_router):
+        sps = SplitParallelSwitch(small_router)
+        with pytest.raises(ConfigError):
+            sps.switch_for(99, 0)
+        with pytest.raises(ConfigError):
+            sps.switch_for(0, 99)
+
+    def test_misaligned_inputs_rejected(self, small_router):
+        sps = SplitParallelSwitch(small_router)
+        packets = router_traffic(small_router)
+        with pytest.raises(ConfigError):
+            sps.partition_packets(packets, [0])
+
+    def test_splitter_shape_validated(self, small_router):
+        with pytest.raises(ConfigError):
+            SplitParallelSwitch(
+                small_router, splitter=ContiguousSplitter(16, 4)
+            )
+
+
+class TestRouterRun:
+    def test_full_router_delivers(self, small_router):
+        sps = SplitParallelSwitch(
+            small_router, options=PFIOptions(padding=True, bypass=True)
+        )
+        packets = router_traffic(small_router, load=0.6)
+        report = sps.run(packets, DURATION)
+        assert report.delivery_fraction == pytest.approx(1.0)
+        assert report.dropped_bytes == 0
+        assert report.ordering_violations == 0
+        assert len(report.switch_reports) == small_router.n_switches
+
+    def test_load_splits_roughly_evenly(self, small_router):
+        sps = SplitParallelSwitch(small_router, options=PFIOptions(padding=True, bypass=True))
+        packets = router_traffic(small_router, load=0.6)
+        report = sps.run(packets, DURATION)
+        assert report.load_imbalance < 1.5
+
+    def test_oeo_energy_accounted(self, small_router):
+        sps = SplitParallelSwitch(small_router, options=PFIOptions(padding=True, bypass=True))
+        packets = router_traffic(small_router, load=0.4)
+        report = sps.run(packets, DURATION)
+        # One O/E/O pair per bit in and out.
+        expected_bits = 8.0 * (report.offered_bytes + report.delivered_bytes)
+        assert sps.oeo.total_bits == pytest.approx(expected_bits)
+
+    def test_latency_summary_shape(self, small_router):
+        sps = SplitParallelSwitch(small_router, options=PFIOptions(padding=True, bypass=True))
+        packets = router_traffic(small_router, load=0.5)
+        report = sps.run(packets, DURATION)
+        summary = report.latency_summary()
+        assert summary["count"] > 0
+        assert summary["mean_ns"] > 0
+        assert summary["max_ns"] >= summary["p99_ns"]
+
+    def test_throughput_property(self, small_router):
+        sps = SplitParallelSwitch(small_router, options=PFIOptions(padding=True, bypass=True))
+        packets = router_traffic(small_router, load=0.5)
+        report = sps.run(packets, DURATION)
+        assert report.throughput_bps > 0

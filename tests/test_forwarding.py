@@ -1,0 +1,203 @@
+"""Forwarding substrate: trie, route tables, FIB, lookup budgets."""
+
+import pytest
+
+from repro.config import HBMSwitchConfig
+from repro.errors import ConfigError
+from repro.forwarding import (
+    Fib,
+    PrefixTrie,
+    lookup_budget,
+    source_routing_budget,
+    synthesize_route_table,
+)
+from repro.traffic import FiveTuple
+from repro.traffic.packet import Packet
+
+
+def ip(a, b, c, d):
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+class TestPrefixTrie:
+    def test_exact_and_longest_match(self):
+        trie = PrefixTrie()
+        trie.insert(ip(10, 0, 0, 0), 8, next_hop=1)
+        trie.insert(ip(10, 1, 0, 0), 16, next_hop=2)
+        trie.insert(ip(10, 1, 2, 0), 24, next_hop=3)
+        assert trie.lookup(ip(10, 9, 9, 9)) == 1
+        assert trie.lookup(ip(10, 1, 9, 9)) == 2
+        assert trie.lookup(ip(10, 1, 2, 9)) == 3
+
+    def test_no_route_returns_none(self):
+        trie = PrefixTrie()
+        trie.insert(ip(10, 0, 0, 0), 8, 1)
+        assert trie.lookup(ip(11, 0, 0, 0)) is None
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert(0, 0, next_hop=7)
+        assert trie.lookup(ip(1, 2, 3, 4)) == 7
+
+    def test_replace_updates_next_hop(self):
+        trie = PrefixTrie()
+        trie.insert(ip(10, 0, 0, 0), 8, 1)
+        trie.insert(ip(10, 0, 0, 0), 8, 9)
+        assert len(trie) == 1
+        assert trie.lookup(ip(10, 0, 0, 1)) == 9
+
+    def test_remove(self):
+        trie = PrefixTrie()
+        trie.insert(ip(10, 0, 0, 0), 8, 1)
+        trie.insert(ip(10, 1, 0, 0), 16, 2)
+        assert trie.remove(ip(10, 1, 0, 0), 16)
+        assert trie.lookup(ip(10, 1, 0, 1)) == 1
+        assert not trie.remove(ip(10, 1, 0, 0), 16)
+        assert len(trie) == 1
+
+    def test_remove_prunes_but_keeps_live_branches(self):
+        trie = PrefixTrie()
+        trie.insert(ip(10, 1, 0, 0), 16, 1)
+        trie.insert(ip(10, 1, 2, 0), 24, 2)
+        trie.remove(ip(10, 1, 0, 0), 16)
+        assert trie.lookup(ip(10, 1, 2, 1)) == 2
+        assert trie.lookup(ip(10, 1, 3, 1)) is None
+
+    def test_items_roundtrip(self):
+        trie = PrefixTrie()
+        routes = [(ip(10, 0, 0, 0), 8, 1), (ip(192, 168, 0, 0), 16, 2), (0, 0, 3)]
+        for prefix, length, hop in routes:
+            trie.insert(prefix, length, hop)
+        assert trie.as_dict() == {(p, l): h for p, l, h in routes}
+
+    def test_validation(self):
+        trie = PrefixTrie()
+        with pytest.raises(ConfigError):
+            trie.insert(ip(10, 0, 0, 1), 8, 1)  # host bits set
+        with pytest.raises(ConfigError):
+            trie.insert(0, 33, 1)
+        with pytest.raises(ConfigError):
+            trie.lookup(1 << 32)
+        with pytest.raises(ConfigError):
+            PrefixTrie(width=0)
+
+    def test_narrow_width_tries(self):
+        trie = PrefixTrie(width=8)
+        trie.insert(0b10100000, 3, 1)
+        assert trie.lookup(0b10111111) == 1
+        assert trie.lookup(0b11000000) is None
+
+
+class TestRouteTableSynthesis:
+    def test_requested_size_and_distinct_prefixes(self):
+        table = synthesize_route_table(5000, n_next_hops=16, seed=1)
+        assert len(table) == 5000
+        assert len({(p, l) for p, l, _ in table.routes}) == 5000
+
+    def test_next_hops_cover_all_outputs(self):
+        table = synthesize_route_table(100, n_next_hops=16, seed=2)
+        assert {h for _, _, h in table.routes} == set(range(16))
+
+    def test_length_mix_dominated_by_24s(self):
+        table = synthesize_route_table(5000, 16, seed=3)
+        lengths = [l for _, l, _ in table.routes]
+        assert lengths.count(24) > 0.3 * len(lengths)
+
+    def test_deterministic(self):
+        a = synthesize_route_table(200, 4, seed=9)
+        b = synthesize_route_table(200, 4, seed=9)
+        assert a.routes == b.routes
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            synthesize_route_table(0, 4)
+        with pytest.raises(ConfigError):
+            synthesize_route_table(10, 0)
+
+
+class TestFib:
+    def make_fib(self, default=None):
+        table = synthesize_route_table(2000, n_next_hops=16, seed=4)
+        return Fib(table, default_next_hop=default)
+
+    def test_classify_returns_valid_port(self):
+        fib = self.make_fib(default=0)
+        flow = FiveTuple(ip(1, 2, 3, 4), ip(10, 0, 0, 1), 1000, 443)
+        packet = Packet(0, 100, 0, 0, flow, 0.0)
+        port = fib.classify(packet)
+        assert 0 <= port < 16
+
+    def test_miss_uses_default(self):
+        table = synthesize_route_table(1, 1, seed=0)
+        fib = Fib(table, default_next_hop=5)
+        # An address almost surely not covered by the single route:
+        missed = fib.lookup(0xFFFFFFFF)
+        assert missed in (5, 0)
+        assert fib.lookups == 1
+
+    def test_miss_statistics(self):
+        fib = self.make_fib(default=0)
+        for address in range(0, 1 << 32, 1 << 27):
+            fib.lookup(address)
+        assert fib.lookups == 32
+        assert 0.0 <= fib.miss_fraction <= 1.0
+
+
+class TestLookupBudget:
+    def test_reference_switch_needs_5g_per_port(self):
+        budget = lookup_budget(HBMSwitchConfig(), mean_packet_bytes=64)
+        assert budget.lookups_per_s_per_port == pytest.approx(5e9)
+        assert budget.lookups_per_s == pytest.approx(80e9)
+
+    def test_trie_walk_multiplies_accesses(self):
+        budget = lookup_budget(HBMSwitchConfig())
+        assert budget.sram_accesses_per_s(24.0) == pytest.approx(
+            24 * budget.lookups_per_s
+        )
+
+    def test_source_routing_is_one_access(self):
+        lpm = lookup_budget(HBMSwitchConfig())
+        src = source_routing_budget(HBMSwitchConfig())
+        assert src.lookups_per_s == lpm.lookups_per_s
+        assert src.sram_accesses_per_s(1.0) == pytest.approx(lpm.lookups_per_s)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            lookup_budget(HBMSwitchConfig(), mean_packet_bytes=0)
+        with pytest.raises(ConfigError):
+            lookup_budget(HBMSwitchConfig()).sram_accesses_per_s(0)
+
+
+class TestFibInDatapath:
+    def test_fib_classification_matches_generator(self, small_switch):
+        """The full switch with real LPM lookups in the datapath
+        delivers exactly what the pre-classified run delivers."""
+        from repro.core import HBMSwitch, PFIOptions
+        from repro.forwarding.table import fib_matching_generator
+        from tests.conftest import make_traffic
+
+        packets = make_traffic(small_switch, 0.7, 20_000.0, seed=6)
+        intended = [p.output_port for p in packets]
+        fib = fib_matching_generator(small_switch.n_ports)
+        switch = HBMSwitch(
+            small_switch, PFIOptions(padding=True, bypass=True), fib=fib
+        )
+        report = switch.run(packets, 20_000.0)
+        assert [p.output_port for p in packets] == intended
+        assert report.delivery_fraction == pytest.approx(1.0)
+        assert fib.lookups == len(packets)
+        assert fib.miss_fraction == 0.0
+
+    def test_unroutable_packets_dropped_with_reason(self, small_switch):
+        from repro.core import HBMSwitch, PFIOptions
+        from repro.forwarding import Fib, RouteTable
+
+        empty_fib = Fib(RouteTable(routes=(), n_next_hops=1))
+        from tests.conftest import make_traffic
+
+        packets = make_traffic(small_switch, 0.3, 5_000.0)
+        switch = HBMSwitch(small_switch, PFIOptions(padding=True), fib=empty_fib)
+        report = switch.run(packets, 5_000.0)
+        assert report.delivered_packets == 0
+        assert report.drops_by_reason.get("no-route", 0) == len(packets)
+        assert report.dropped_bytes == report.offered_bytes

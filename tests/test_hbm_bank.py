@@ -1,0 +1,136 @@
+"""Bank state machine: every timing rule must bite."""
+
+import pytest
+
+from repro.errors import TimingViolation
+from repro.hbm import Bank, BankState, Command, HBMTiming, Op
+
+T = HBMTiming()
+
+
+def make_bank() -> Bank:
+    return Bank(T, channel=0, index=0)
+
+
+def act(bank, time, row=0):
+    bank.apply(Command(Op.ACT, 0, 0, row, time))
+
+
+def rd(bank, time, row=0, size=1024, data_time=12.8):
+    bank.apply(Command(Op.RD, 0, 0, row, time, size_bytes=size), data_time)
+
+
+def pre(bank, time, row=0):
+    bank.apply(Command(Op.PRE, 0, 0, row, time))
+
+
+class TestActivate:
+    def test_opens_row(self):
+        bank = make_bank()
+        act(bank, 10.0, row=7)
+        assert bank.state is BankState.OPEN
+        assert bank.open_row == 7
+
+    def test_act_on_open_bank_rejected(self):
+        bank = make_bank()
+        act(bank, 0.0)
+        with pytest.raises(TimingViolation) as excinfo:
+            act(bank, 100.0)
+        assert "open" in excinfo.value.rule
+
+    def test_trc_enforced(self):
+        bank = make_bank()
+        act(bank, 0.0)
+        pre(bank, T.t_ras)
+        # Same-bank reactivation before tRC is illegal.
+        with pytest.raises(TimingViolation) as excinfo:
+            act(bank, T.t_rc - 1.0)
+        assert excinfo.value.rule in ("tRC", "tRP")
+
+    def test_reactivation_at_trc_is_legal(self):
+        bank = make_bank()
+        act(bank, 0.0)
+        pre(bank, T.t_ras)
+        act(bank, T.t_rc)
+        assert bank.state is BankState.OPEN
+
+
+class TestColumnAccess:
+    def test_trcd_enforced(self):
+        bank = make_bank()
+        act(bank, 0.0)
+        with pytest.raises(TimingViolation) as excinfo:
+            rd(bank, T.t_rcd - 0.5)
+        assert excinfo.value.rule == "tRCD"
+
+    def test_access_at_trcd_legal(self):
+        bank = make_bank()
+        act(bank, 0.0)
+        rd(bank, T.t_rcd)
+
+    def test_closed_bank_rejected(self):
+        with pytest.raises(TimingViolation) as excinfo:
+            rd(make_bank(), 100.0)
+        assert "closed" in excinfo.value.rule
+
+    def test_row_mismatch_rejected(self):
+        bank = make_bank()
+        act(bank, 0.0, row=3)
+        with pytest.raises(TimingViolation) as excinfo:
+            rd(bank, T.t_rcd, row=4)
+        assert "row-mismatch" in excinfo.value.rule
+
+
+class TestPrecharge:
+    def test_tras_enforced(self):
+        bank = make_bank()
+        act(bank, 0.0)
+        with pytest.raises(TimingViolation) as excinfo:
+            pre(bank, T.t_ras - 1.0)
+        assert excinfo.value.rule == "tRAS"
+
+    def test_pre_cannot_cut_data_short(self):
+        bank = make_bank()
+        act(bank, 0.0)
+        rd(bank, T.t_rcd, data_time=100.0)  # data until t_rcd + 100
+        with pytest.raises(TimingViolation) as excinfo:
+            pre(bank, T.t_ras + 1.0)
+        assert excinfo.value.rule == "data-in-flight"
+
+    def test_pre_on_closed_rejected(self):
+        with pytest.raises(TimingViolation):
+            pre(make_bank(), 10.0)
+
+    def test_pre_closes_row(self):
+        bank = make_bank()
+        act(bank, 0.0, row=5)
+        pre(bank, T.t_ras)
+        assert bank.state is BankState.CLOSED
+        assert bank.open_row is None
+
+
+class TestRefresh:
+    def test_refresh_on_closed_bank(self):
+        bank = make_bank()
+        bank.apply(Command(Op.REF, 0, 0, 0, 10.0))
+        # Bank busy until the refresh completes.
+        assert bank.earliest_activate() >= 10.0 + T.refresh_duration_ns
+
+    def test_refresh_on_open_bank_rejected(self):
+        bank = make_bank()
+        act(bank, 0.0)
+        with pytest.raises(TimingViolation):
+            bank.apply(Command(Op.REF, 0, 0, 0, 50.0))
+
+
+class TestViolationMessages:
+    def test_violation_reports_legal_time(self):
+        bank = make_bank()
+        act(bank, 0.0)
+        try:
+            rd(bank, 1.0)
+        except TimingViolation as violation:
+            assert violation.issued_at == 1.0
+            assert violation.legal_at == pytest.approx(T.t_rcd)
+        else:  # pragma: no cover
+            pytest.fail("expected a violation")

@@ -1,0 +1,83 @@
+"""Channel-level rules: tFAW, bus occupancy, tCCD."""
+
+import pytest
+
+from repro.errors import TimingViolation
+from repro.hbm import Channel, Command, HBMTiming, Op
+
+T = HBMTiming()
+
+
+def make_channel(n_banks=8) -> Channel:
+    return Channel(T, index=0, n_banks=n_banks, width_bits=64, bytes_per_ns=80.0)
+
+
+class TestConstruction:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Channel(T, 0, n_banks=0, width_bits=64, bytes_per_ns=80.0)
+        with pytest.raises(ValueError):
+            Channel(T, 0, n_banks=4, width_bits=64, bytes_per_ns=0.0)
+
+    def test_transfer_time_quantised(self):
+        ch = make_channel()
+        # 1 KB at 80 B/ns = 12.8 ns.
+        assert ch.transfer_time_ns(1024) == pytest.approx(12.8)
+        # 1 byte still costs one 32 B burst.
+        assert ch.transfer_time_ns(1) == pytest.approx(32 / 80.0)
+
+
+class TestBankRange:
+    def test_out_of_range_bank(self):
+        ch = make_channel(n_banks=4)
+        with pytest.raises(TimingViolation):
+            ch.apply(Command(Op.ACT, 0, 4, 0, 0.0))
+
+
+class TestFourActivationWindow:
+    def test_fifth_act_within_window_rejected(self):
+        ch = make_channel()
+        for i in range(4):
+            ch.apply(Command(Op.ACT, 0, i, 0, float(i)))
+        with pytest.raises(TimingViolation) as excinfo:
+            ch.apply(Command(Op.ACT, 0, 4, 0, 3.5))
+        assert excinfo.value.rule == "tFAW"
+
+    def test_fifth_act_after_window_allowed(self):
+        ch = make_channel()
+        for i in range(4):
+            ch.apply(Command(Op.ACT, 0, i, 0, float(i)))
+        ch.apply(Command(Op.ACT, 0, 4, 0, T.t_faw + 0.1))
+
+    def test_pfi_act_cadence_is_legal(self):
+        # Steady PFI pattern: one ACT per 12.8 ns segment time.
+        ch = make_channel(n_banks=16)
+        for i in range(12):
+            ch.apply(Command(Op.ACT, 0, i, 0, 12.8 * i))
+
+
+class TestDataBus:
+    def test_overlapping_transfers_rejected(self):
+        ch = make_channel()
+        ch.apply(Command(Op.ACT, 0, 0, 0, 0.0))
+        ch.apply(Command(Op.ACT, 0, 1, 0, 1.0))
+        ch.apply(Command(Op.WR, 0, 0, 0, T.t_rcd, size_bytes=1024))
+        with pytest.raises(TimingViolation) as excinfo:
+            ch.apply(Command(Op.WR, 0, 1, 0, T.t_rcd + 5.0, size_bytes=1024))
+        assert excinfo.value.rule in ("bus-busy", "tCCD")
+
+    def test_back_to_back_transfers_allowed(self):
+        ch = make_channel()
+        ch.apply(Command(Op.ACT, 0, 0, 0, 0.0))
+        ch.apply(Command(Op.ACT, 0, 1, 0, 1.0))
+        first = T.t_rcd
+        ch.apply(Command(Op.WR, 0, 0, 0, first, size_bytes=1024))
+        ch.apply(Command(Op.WR, 0, 1, 0, first + 12.8, size_bytes=1024))
+        assert ch.bytes_moved == 2048
+
+    def test_bytes_moved_accumulates(self):
+        ch = make_channel()
+        ch.apply(Command(Op.ACT, 0, 0, 0, 0.0))
+        ch.apply(Command(Op.RD, 0, 0, 0, T.t_rcd, size_bytes=256))
+        assert ch.bytes_moved == 256
+        assert ch.data_end_time == pytest.approx(T.t_rcd + 256 / 80.0)

@@ -1,0 +1,40 @@
+"""Command record validation."""
+
+import pytest
+
+from repro.hbm import Command, Op
+
+
+class TestValidation:
+    def test_valid_write(self):
+        cmd = Command(Op.WR, channel=3, bank=7, row=1, time=10.0, size_bytes=1024)
+        assert cmd.size_bytes == 1024
+
+    def test_data_commands_need_size(self):
+        with pytest.raises(ValueError):
+            Command(Op.WR, 0, 0, 0, 0.0, size_bytes=0)
+        with pytest.raises(ValueError):
+            Command(Op.RD, 0, 0, 0, 0.0)
+
+    def test_control_commands_carry_no_data(self):
+        with pytest.raises(ValueError):
+            Command(Op.ACT, 0, 0, 0, 0.0, size_bytes=64)
+        with pytest.raises(ValueError):
+            Command(Op.PRE, 0, 0, 0, 0.0, size_bytes=64)
+
+    def test_negative_indices_rejected(self):
+        with pytest.raises(ValueError):
+            Command(Op.ACT, -1, 0, 0, 0.0)
+        with pytest.raises(ValueError):
+            Command(Op.ACT, 0, -1, 0, 0.0)
+        with pytest.raises(ValueError):
+            Command(Op.ACT, 0, 0, -1, 0.0)
+
+    def test_describe_mentions_everything(self):
+        text = Command(Op.RD, 5, 9, 2, 1.0, size_bytes=256).describe()
+        assert "RD" in text and "ch5" in text and "bank9" in text and "256B" in text
+
+    def test_commands_are_frozen(self):
+        cmd = Command(Op.ACT, 0, 0, 0, 0.0)
+        with pytest.raises(AttributeError):
+            cmd.time = 5.0

@@ -1,0 +1,134 @@
+"""Controller: schedule execution, auditing, bandwidth accounting."""
+
+import pytest
+
+from repro.config import HBMStackConfig
+from repro.errors import ConfigError, TimingViolation
+from repro.hbm import (
+    BankGroup,
+    Command,
+    HBMController,
+    HBMTiming,
+    Op,
+    first_legal_start,
+    generate_frame_schedule,
+)
+
+T = HBMTiming()
+
+
+def small_stack() -> HBMStackConfig:
+    # 2.5 Gb/s pins keep the 256 B segment at the reference 12.8 ns.
+    return HBMStackConfig(
+        channels=4,
+        gbps_per_bit=2.5e9,
+        banks_per_channel=16,
+        capacity_bytes=2**30,
+        row_bytes=256,
+    )
+
+
+def make_controller(n_stacks=1) -> HBMController:
+    return HBMController(small_stack(), n_stacks, T)
+
+
+def frame_commands(ctrl, group_index, row, start, segment=256):
+    sched = generate_frame_schedule(
+        op=Op.WR,
+        channels=range(ctrl.n_channels),
+        group=BankGroup(group_index, 4),
+        segment_bytes=segment,
+        row=row,
+        data_start=start,
+        timing=T,
+        channel_bytes_per_ns=ctrl.stack_config.channel_bytes_per_ns,
+    )
+    return sched
+
+
+class TestGeometry:
+    def test_flat_channel_count(self):
+        assert make_controller(n_stacks=2).n_channels == 8
+
+    def test_channel_lookup_bounds(self):
+        ctrl = make_controller()
+        with pytest.raises(ConfigError):
+            ctrl.channel(4)
+        with pytest.raises(ConfigError):
+            ctrl.channel(-1)
+
+    def test_rejects_zero_stacks(self):
+        with pytest.raises(ConfigError):
+            HBMController(small_stack(), 0, T)
+
+    def test_peak_bandwidth(self):
+        ctrl = make_controller(n_stacks=2)
+        assert ctrl.peak_bandwidth_bps == pytest.approx(2 * 4 * 64 * 2.5e9)
+
+
+class TestExecution:
+    def test_empty_schedule(self):
+        result = make_controller().execute([])
+        assert result.payload_bytes == 0
+        assert result.commands_executed == 0
+
+    def test_single_frame_moves_payload(self):
+        ctrl = make_controller()
+        sched = frame_commands(ctrl, 0, 0, first_legal_start(T))
+        result = ctrl.execute(sched.commands)
+        # gamma * channels * segment bytes.
+        assert result.payload_bytes == 4 * 4 * 256
+        assert result.peak_open_banks_per_channel <= 4
+
+    def test_violating_schedule_raises(self):
+        ctrl = make_controller()
+        bad = [
+            Command(Op.ACT, 0, 0, 0, 0.0),
+            Command(Op.WR, 0, 0, 0, 1.0, size_bytes=256),  # before tRCD
+        ]
+        with pytest.raises(TimingViolation):
+            ctrl.execute(bad)
+
+    def test_bytes_moved_accumulates_across_executes(self):
+        ctrl = make_controller()
+        start = first_legal_start(T)
+        s1 = frame_commands(ctrl, 0, 0, start)
+        ctrl.execute(s1.commands)
+        s2 = frame_commands(ctrl, 1, 0, s1.data_end)
+        ctrl.execute(s2.commands)
+        assert ctrl.bytes_moved == 2 * 4 * 4 * 256
+
+
+class TestPeakRate:
+    def test_back_to_back_frames_hit_peak_bandwidth(self):
+        """The E4 property at small scale: consecutive staggered frames
+        keep every channel's bus saturated."""
+        ctrl = make_controller()
+        start = first_legal_start(T)
+        commands = []
+        n_frames = 8
+        for i in range(n_frames):
+            sched = frame_commands(ctrl, group_index=i % 4, row=i // 4, start=start)
+            commands.extend(sched.commands)
+            start = sched.data_end
+        result = ctrl.execute(commands)
+        assert result.achieved_bandwidth_bps == pytest.approx(
+            ctrl.peak_bandwidth_bps, rel=1e-6
+        )
+        assert result.peak_open_banks_per_channel <= 4
+
+    def test_efficiency_accounting(self):
+        ctrl = make_controller()
+        sched = frame_commands(ctrl, 0, 0, first_legal_start(T))
+        ctrl.execute(sched.commands)
+        assert ctrl.efficiency(sched.duration_ns) == pytest.approx(1.0, rel=1e-6)
+        assert ctrl.efficiency(0.0) == 0.0
+
+
+class TestAudit:
+    def test_open_bank_audit_counts_live_banks(self):
+        ctrl = make_controller()
+        # Open two banks, never close them.
+        ctrl.apply(Command(Op.ACT, 0, 0, 0, 0.0))
+        ctrl.apply(Command(Op.ACT, 0, 1, 0, 1.0))
+        assert ctrl.peak_open_banks() == 2

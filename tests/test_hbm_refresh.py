@@ -1,0 +1,154 @@
+"""Hidden single-bank refresh: planning and executable validation."""
+
+import pytest
+
+from repro.config import HBMStackConfig
+from repro.errors import ConfigError
+from repro.hbm import (
+    BankGroup,
+    Command,
+    HBMController,
+    HBMTiming,
+    Op,
+    bank_group_for_frame,
+    first_legal_start,
+    generate_frame_schedule,
+)
+from repro.hbm.refresh import (
+    busy_intervals,
+    free_gaps,
+    plan_refreshes,
+    refresh_slack_report,
+)
+
+T = HBMTiming()
+
+
+def small_stack():
+    return HBMStackConfig(
+        channels=2, gbps_per_bit=2.5e9, banks_per_channel=16,
+        capacity_bytes=2**28, row_bytes=256,
+    )
+
+
+def frame_train(n_frames=20, channels=2, gamma=4, n_groups=4, segment=256):
+    start = first_legal_start(T)
+    commands = []
+    for i in range(n_frames):
+        sched = generate_frame_schedule(
+            Op.WR if i % 2 == 0 else Op.RD,
+            range(channels),
+            BankGroup(bank_group_for_frame(i, n_groups), gamma),
+            segment,
+            row=i // n_groups % 4,
+            data_start=start,
+            timing=T,
+            channel_bytes_per_ns=20.0,
+        )
+        commands.extend(sched.commands)
+        start = sched.data_end
+    return commands, start
+
+
+class TestBusyIntervals:
+    def test_act_pre_pairs_become_intervals(self):
+        cmds = [
+            Command(Op.ACT, 0, 3, 0, 100.0),
+            Command(Op.PRE, 0, 3, 0, 130.0),
+        ]
+        busy = busy_intervals(cmds, T)
+        assert busy[(0, 3)] == [(100.0, 130.0 + T.t_rp)]
+
+    def test_unclosed_bank_extends_to_infinity(self):
+        busy = busy_intervals([Command(Op.ACT, 0, 0, 0, 5.0)], T)
+        assert busy[(0, 0)][0][1] == float("inf")
+
+    def test_frame_train_touches_rotating_groups(self):
+        cmds, _ = frame_train(n_frames=8)
+        busy = busy_intervals(cmds, T)
+        banks_touched = {bank for (_, bank) in busy}
+        # 4 groups x gamma=4 banks = all 16.
+        assert banks_touched == set(range(16))
+
+
+class TestFreeGaps:
+    def test_complement(self):
+        gaps = free_gaps([(10.0, 20.0), (30.0, 40.0)], horizon_ns=50.0)
+        assert gaps == [(0.0, 10.0), (20.0, 30.0), (40.0, 50.0)]
+
+    def test_fully_free(self):
+        assert free_gaps([], 100.0) == [(0.0, 100.0)]
+
+    def test_busy_past_horizon(self):
+        assert free_gaps([(0.0, float("inf"))], 100.0) == []
+
+
+#: A compressed refresh cadence so short trains exercise the planner:
+#: one refresh due per bank every 400 ns, 30 ns each.
+FAST_REFRESH = HBMTiming(refresh_interval_ns=400.0, refresh_duration_ns=30.0)
+
+
+class TestPlanRefreshes:
+    def test_plan_meets_deadlines(self):
+        cmds, horizon = frame_train(n_frames=40)
+        refreshes = plan_refreshes(
+            cmds, FAST_REFRESH, n_channels=2, n_banks=16, horizon_ns=horizon
+        )
+        # Every bank gets floor(horizon / interval) refreshes.
+        expected_per_bank = int(horizon // FAST_REFRESH.refresh_interval_ns)
+        assert expected_per_bank >= 4  # the train is long enough to matter
+        assert len(refreshes) == 2 * 16 * expected_per_bank
+        for ref in refreshes:
+            assert ref.op is Op.REF
+
+    def test_refreshes_avoid_busy_windows(self):
+        cmds, horizon = frame_train(n_frames=40)
+        refreshes = plan_refreshes(cmds, FAST_REFRESH, 2, 16, horizon)
+        busy = busy_intervals(cmds, FAST_REFRESH)
+        for ref in refreshes:
+            for start, end in busy.get((ref.channel, ref.bank), []):
+                ref_end = ref.time + FAST_REFRESH.refresh_duration_ns
+                assert ref_end <= start or ref.time >= end
+
+    def test_plan_executes_cleanly_with_frames(self):
+        """The executable 'hidden' claim: frames + refreshes together
+        satisfy every timing rule and move the same payload."""
+        cmds, horizon = frame_train(n_frames=60)
+        refreshes = plan_refreshes(cmds, FAST_REFRESH, 2, 16, horizon)
+        assert refreshes, "the train must be long enough to need refreshes"
+        controller = HBMController(small_stack(), 1, FAST_REFRESH)
+        result = controller.execute(list(cmds) + refreshes)
+        bare = HBMController(small_stack(), 1, FAST_REFRESH).execute(list(cmds))
+        assert result.payload_bytes == bare.payload_bytes
+        assert result.achieved_bandwidth_bps == pytest.approx(
+            bare.achieved_bandwidth_bps
+        )
+
+    def test_disabled_refresh_plans_nothing(self):
+        cmds, horizon = frame_train(n_frames=4)
+        timing = HBMTiming(refresh_interval_ns=0.0)
+        assert plan_refreshes(cmds, timing, 2, 16, horizon) == []
+
+    def test_saturated_bank_is_flagged(self):
+        """A bank with no gaps must make the planner fail loudly."""
+        timing = HBMTiming(refresh_interval_ns=100.0, refresh_duration_ns=60.0)
+        cmds = [Command(Op.ACT, 0, 0, 0, 0.0)]  # open forever
+        with pytest.raises(ConfigError):
+            plan_refreshes(cmds, timing, 1, 1, horizon_ns=1000.0)
+
+    def test_bad_horizon(self):
+        with pytest.raises(ConfigError):
+            plan_refreshes([], T, 1, 1, horizon_ns=0.0)
+
+
+class TestSlackReport:
+    def test_pfi_leaves_large_headroom(self):
+        cmds, horizon = frame_train(n_frames=40)
+        report = refresh_slack_report(cmds, T, 2, 16, horizon)
+        assert report["idle_fraction"] > 0.5
+        assert report["headroom"] > 10
+
+    def test_keys(self):
+        report = refresh_slack_report([], T, 1, 1, 100.0)
+        assert set(report) == {"idle_fraction", "refresh_duty", "headroom"}
+        assert report["idle_fraction"] == pytest.approx(1.0)

@@ -1,0 +1,88 @@
+"""Packaging layout (Fig. 2) and waveguide budgets."""
+
+import pytest
+
+from repro.config import reference_router, scaled_router
+from repro.errors import ConfigError
+from repro.photonics.layout import (
+    Placement,
+    manhattan_mm,
+    place_reference_layout,
+    propagation_delay_ns,
+    waveguide_budget,
+)
+
+CFG = reference_router()
+
+
+class TestPlacement:
+    def test_reference_layout_fits(self):
+        placement = place_reference_layout(CFG)
+        assert placement.n_ribbons == 16
+        assert placement.n_switches == 16
+        assert placement.panel_edge_mm == 500.0
+
+    def test_four_ribbons_per_edge(self):
+        placement = place_reference_layout(CFG)
+        bottom = [p for p in placement.ribbon_positions if p[1] == 0.0]
+        top = [p for p in placement.ribbon_positions if p[1] == placement.panel_edge_mm]
+        left = [p for p in placement.ribbon_positions if p[0] == 0.0]
+        right = [p for p in placement.ribbon_positions if p[0] == placement.panel_edge_mm]
+        assert len(bottom) == len(top) == len(left) == len(right) == 4
+
+    def test_switch_matrix_is_4x4_and_inside_panel(self):
+        placement = place_reference_layout(CFG)
+        xs = sorted({p[0] for p in placement.switch_positions})
+        ys = sorted({p[1] for p in placement.switch_positions})
+        assert len(xs) == len(ys) == 4
+        for x, y in placement.switch_positions:
+            assert 0 < x < placement.panel_edge_mm
+            assert 0 < y < placement.panel_edge_mm
+
+    def test_non_square_switch_count_rejected(self):
+        config = scaled_router()  # H = 2: not a square matrix
+        with pytest.raises(ConfigError):
+            place_reference_layout(config)
+
+    def test_oversized_switches_rejected(self):
+        with pytest.raises(ConfigError):
+            place_reference_layout(CFG, panel_edge_mm=100.0, switch_edge_mm=40.0)
+
+
+class TestWaveguideBudget:
+    def test_manhattan(self):
+        assert manhattan_mm((0, 0), (3, 4)) == 7.0
+
+    def test_budget_counts_all_pairs(self):
+        placement = place_reference_layout(CFG)
+        budget = waveguide_budget(CFG, placement)
+        assert budget.n_bundles == 16 * 16
+        assert budget.waveguides_per_bundle == 2 * CFG.fibers_per_switch
+        assert budget.max_length_mm >= budget.mean_length_mm > 0
+
+    def test_lengths_bounded_by_panel(self):
+        placement = place_reference_layout(CFG)
+        budget = waveguide_budget(CFG, placement)
+        # Manhattan length across the panel is at most 2 edges.
+        assert budget.max_length_mm <= 2 * placement.panel_edge_mm
+
+    def test_total_waveguide(self):
+        placement = place_reference_layout(CFG)
+        budget = waveguide_budget(CFG, placement)
+        assert budget.total_waveguide_mm == pytest.approx(
+            budget.total_length_mm * 8
+        )
+
+
+class TestPropagation:
+    def test_delay_is_nanoseconds_across_panel(self):
+        # 500 mm at n_g = 2: ~3.3 ns -- negligible vs the 102 ns cycle.
+        delay = propagation_delay_ns(500.0)
+        assert 2.0 < delay < 5.0
+
+    def test_zero_length(self):
+        assert propagation_delay_ns(0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            propagation_delay_ns(-1.0)

@@ -1,0 +1,132 @@
+"""Photonics substrate: fibers, waveguides, couplers, OEO energy."""
+
+import pytest
+
+from repro.constants import OEO_ENERGY_PJ_PER_BIT
+from repro.errors import ConfigError
+from repro.photonics import (
+    Fiber,
+    FiberRibbon,
+    OEOConverter,
+    OpticalCoupler,
+    Waveguide,
+    WDMChannel,
+    oeo_power_watts,
+    wavelength_grid_nm,
+)
+from repro.photonics.coupler import validate_split
+from repro.photonics.wavelength import make_channels
+from repro.units import gbps, tbps
+
+
+class TestWavelengths:
+    def test_grid_is_monotonic(self):
+        grid = wavelength_grid_nm(16)
+        assert len(grid) == 16
+        assert all(b > a for a, b in zip(grid, grid[1:]))
+
+    def test_grid_rejects_zero(self):
+        with pytest.raises(ValueError):
+            wavelength_grid_nm(0)
+
+    def test_channel_validation(self):
+        with pytest.raises(ValueError):
+            WDMChannel(index=-1, rate_bps=gbps(40))
+        with pytest.raises(ValueError):
+            WDMChannel(index=0, rate_bps=0.0)
+
+
+class TestFibers:
+    def test_fiber_rates(self):
+        fiber = Fiber(0, ingress=make_channels(16, gbps(40)), egress=make_channels(16, gbps(40)))
+        assert fiber.ingress_rate_bps == pytest.approx(gbps(640))
+        assert fiber.egress_rate_bps == pytest.approx(gbps(640))
+
+    def test_ribbon_aggregate_is_40_96_tbps(self):
+        # One ribbon: 64 fibers x 16 x 40 Gb/s = 40.96 Tb/s (SS 2.2).
+        ribbon = FiberRibbon(0, n_fibers=64, n_wavelengths=16, rate_bps=gbps(40))
+        assert ribbon.n_fibers == 64
+        assert ribbon.ingress_rate_bps == pytest.approx(tbps(40.96))
+
+    def test_ribbon_validation(self):
+        with pytest.raises(ValueError):
+            FiberRibbon(-1, 4, 4, gbps(40))
+        with pytest.raises(ValueError):
+            FiberRibbon(0, 0, 4, gbps(40))
+
+
+class TestWaveguides:
+    def test_total_rate(self):
+        wg = Waveguide(ribbon=0, fiber=3, switch=2, lane=1, n_wavelengths=16, rate_bps=gbps(40))
+        assert wg.total_rate_bps == pytest.approx(gbps(640))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Waveguide(0, 0, -1, 0, 16, gbps(40))
+        with pytest.raises(ValueError):
+            Waveguide(0, 0, 0, 0, 0, gbps(40))
+
+
+class TestCoupler:
+    def test_materialises_assignment(self):
+        # 8 fibers, 2 switches, alpha = 4.
+        assignment = [0, 1, 0, 1, 0, 1, 0, 1]
+        coupler = OpticalCoupler(0, assignment, n_switches=2, n_wavelengths=4, rate_bps=gbps(40))
+        assert len(coupler.waveguides) == 8
+        assert coupler.lanes_per_switch() == {0: 4, 1: 4}
+        validate_split(coupler, n_switches=2, alpha=4)
+
+    def test_waveguides_to_switch(self):
+        assignment = [0, 0, 1, 1]
+        coupler = OpticalCoupler(0, assignment, 2, 4, gbps(40))
+        to_zero = coupler.waveguides_to(0)
+        assert [w.fiber for w in to_zero] == [0, 1]
+        assert [w.lane for w in to_zero] == [0, 1]
+
+    def test_fiber_inverse_lookup(self):
+        assignment = [1, 0, 1, 0]
+        coupler = OpticalCoupler(0, assignment, 2, 4, gbps(40))
+        assert coupler.fiber_of(switch=1, lane=0) == 0
+        assert coupler.fiber_of(switch=0, lane=1) == 3
+        with pytest.raises(ConfigError):
+            coupler.fiber_of(switch=0, lane=9)
+
+    def test_unbalanced_split_detected(self):
+        coupler = OpticalCoupler(0, [0, 0, 0, 1], 2, 4, gbps(40))
+        with pytest.raises(ConfigError):
+            validate_split(coupler, n_switches=2, alpha=2)
+
+    def test_out_of_range_switch_rejected(self):
+        with pytest.raises(ConfigError):
+            OpticalCoupler(0, [0, 5], n_switches=2, n_wavelengths=4, rate_bps=gbps(40))
+
+
+class TestOEO:
+    def test_energy_accumulates(self):
+        conv = OEOConverter()
+        joules = conv.convert(1e12)  # a terabit
+        assert joules == pytest.approx(1e12 * OEO_ENERGY_PJ_PER_BIT * 1e-12)
+        conv.convert(1e12)
+        assert conv.total_bits == 2e12
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            OEOConverter().convert(-1)
+        with pytest.raises(ValueError):
+            OEOConverter(energy_pj_per_bit=-0.1)
+
+    def test_paper_oeo_power(self):
+        # 81.92 Tb/s at 1.15 pJ/bit: ~94 W per HBM switch (SS 4).
+        power = oeo_power_watts(tbps(81.92), conversion_stages=1)
+        assert power == pytest.approx(94.2, rel=0.01)
+
+    def test_clos_pays_three_stages(self):
+        single = oeo_power_watts(tbps(81.92), 1)
+        triple = oeo_power_watts(tbps(81.92), 3)
+        assert triple == pytest.approx(3 * single)
+
+    def test_power_validation(self):
+        with pytest.raises(ValueError):
+            oeo_power_watts(-1.0)
+        with pytest.raises(ValueError):
+            oeo_power_watts(1.0, conversion_stages=-1)

@@ -1,0 +1,250 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ISLIPSwitch, LoadBalancedSwitch
+from repro.core.buffer_sharing import (
+    CompleteSharing,
+    DynamicThreshold,
+    SharedBufferSim,
+    StaticPartition,
+)
+from repro.core.paging import DynamicPageAllocator
+from repro.hbm.refresh import free_gaps
+from repro.traffic import FiveTuple
+from repro.traffic.packet import Packet
+from repro.units import gbps
+from tests.conftest import make_traffic
+
+
+def _small_switch():
+    from repro.config import HBMStackConfig, HBMSwitchConfig
+
+    stack = HBMStackConfig(
+        channels=8, gbps_per_bit=gbps(2.5), banks_per_channel=16,
+        capacity_bytes=2**30, row_bytes=256,
+    )
+    return HBMSwitchConfig(
+        n_ports=4, n_stacks=1, batch_bytes=1024, segment_bytes=256,
+        gamma=4, port_rate_bps=gbps(160), stack=stack,
+    )
+
+
+class TestPagingProperties:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.lists(st.booleans(), min_size=1, max_size=120),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fifo_pop_always_replays_push(self, rows_per_page, ops):
+        """For any interleaving of pushes and pops, addresses pop in
+        push order and pages never leak."""
+        allocator = DynamicPageAllocator(
+            _small_switch(), rows_per_page=rows_per_page, rows_per_bank_total=64
+        )
+        fifo = allocator.region(0)
+        pushed = []
+        popped = []
+        for do_push in ops:
+            if do_push:
+                try:
+                    pushed.append(fifo.push())
+                except Exception:
+                    break
+            elif fifo.occupancy > 0:
+                popped.append(fifo.pop())
+        while fifo.occupancy > 0:
+            popped.append(fifo.pop())
+        assert [(a.group.index, a.row) for a in popped] == [
+            (a.group.index, a.row) for a in pushed
+        ]
+        # Fully drained: every page except possibly the cursor page is back.
+        assert allocator.free_pages >= allocator.total_pages - 1
+
+    @given(st.integers(min_value=1, max_value=16))
+    @settings(max_examples=30, deadline=None)
+    def test_concurrent_outputs_never_share_pages(self, pushes):
+        allocator = DynamicPageAllocator(
+            _small_switch(), rows_per_page=1, rows_per_bank_total=64
+        )
+        rows_seen = {}
+        n_groups = allocator.config.n_bank_groups
+        for output in range(allocator.config.n_ports):
+            fifo = allocator.region(output)
+            for _ in range(min(pushes, 4)):
+                address = fifo.push()
+                owner = rows_seen.setdefault(address.row, output)
+                assert owner == output
+
+
+class TestFreeGapProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=900),
+                st.floats(min_value=1, max_value=100),
+            ),
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gaps_and_busy_partition_the_horizon(self, raw):
+        horizon = 1000.0
+        intervals = sorted((s, min(s + d, horizon)) for s, d in raw)
+        # Merge overlaps to get canonical busy time.
+        merged = []
+        for s, e in intervals:
+            if merged and s <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], e))
+            else:
+                merged.append((s, e))
+        gaps = free_gaps(merged, horizon)
+        busy_total = sum(e - s for s, e in merged)
+        gap_total = sum(e - s for s, e in gaps)
+        assert busy_total + gap_total == pytest.approx(horizon)
+        # Gaps never overlap busy intervals.
+        for gs, ge in gaps:
+            for bs, be in merged:
+                assert ge <= bs or gs >= be
+
+
+class TestFabricConservation:
+    @given(st.integers(min_value=0, max_value=2**31), st.floats(min_value=0.2, max_value=0.8))
+    @settings(max_examples=10, deadline=None)
+    def test_load_balanced_conserves_packets(self, seed, load):
+        config = _small_switch()
+        packets = make_traffic(config, load, 4_000.0, seed=seed % 1000)
+        switch = LoadBalancedSwitch(config.n_ports, config.port_rate_bps, cell_bytes=256)
+        result = switch.run(packets)
+        assert result.delivered_packets == len(packets)
+        assert result.delivered_bytes == sum(p.size_bytes for p in packets)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_islip_conserves_packets(self, seed):
+        config = _small_switch()
+        packets = make_traffic(config, 0.5, 4_000.0, seed=seed % 1000)
+        switch = ISLIPSwitch(config.n_ports, config.port_rate_bps, cell_bytes=256)
+        result = switch.run(packets)
+        assert result.delivered_packets == len(packets)
+
+
+class TestBufferSharingProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=10_000),
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=64, max_value=1500),
+            ),
+            min_size=1,
+            max_size=80,
+        ),
+        st.sampled_from(["static", "cs", "dt"]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_never_exceeds_buffer_and_conserves_bytes(self, raw, policy_name):
+        arrivals = sorted((t, o, s) for t, o, s in raw)
+        policy = {
+            "static": StaticPartition(),
+            "cs": CompleteSharing(),
+            "dt": DynamicThreshold(1.0),
+        }[policy_name]
+        buffer_bytes = 8 * 1024
+        sim = SharedBufferSim(4, gbps(160), buffer_bytes)
+        result = sim.run(arrivals, policy)
+        assert result.peak_total_bytes <= buffer_bytes
+        assert 0 <= result.dropped_bytes <= result.offered_bytes
+        assert sum(result.per_output_dropped) == result.dropped_bytes
+
+    @given(st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_bigger_buffers_never_lose_more(self, factor):
+        from repro.core.buffer_sharing import hotspot_burst_trace
+
+        trace = hotspot_burst_trace(4, gbps(160), 20_000.0, seed=5)
+        small = SharedBufferSim(4, gbps(160), 16 * 1024).run(trace, DynamicThreshold(1.0))
+        large = SharedBufferSim(4, gbps(160), 16 * 1024 * (1 + factor)).run(
+            trace, DynamicThreshold(1.0)
+        )
+        assert large.dropped_bytes <= small.dropped_bytes
+
+
+class TestTrieProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**32 - 1),
+                st.integers(min_value=0, max_value=32),
+                st.integers(min_value=0, max_value=15),
+            ),
+            max_size=40,
+        ),
+        st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lpm_matches_reference_model(self, raw_routes, addresses):
+        """The trie's LPM equals a brute-force scan over the route set."""
+        from repro.forwarding import PrefixTrie
+
+        trie = PrefixTrie()
+        routes = {}
+        for prefix, length, hop in raw_routes:
+            prefix &= ~((1 << (32 - length)) - 1) if length < 32 else prefix
+            trie.insert(prefix, length, hop)
+            routes[(prefix, length)] = hop
+        for address in addresses:
+            best = None
+            best_len = -1
+            for (prefix, length), hop in routes.items():
+                mask = ~((1 << (32 - length)) - 1) & 0xFFFFFFFF if length else 0
+                if (address & mask) == prefix and length > best_len:
+                    best, best_len = hop, length
+            assert trie.lookup(address) == best
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**32 - 1),
+                st.integers(min_value=0, max_value=32),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_insert_then_remove_leaves_empty_trie(self, raw):
+        from repro.forwarding import PrefixTrie
+
+        trie = PrefixTrie()
+        inserted = set()
+        for prefix, length in raw:
+            prefix &= ~((1 << (32 - length)) - 1) if length < 32 else prefix
+            trie.insert(prefix, length, 1)
+            inserted.add((prefix, length))
+        for prefix, length in inserted:
+            assert trie.remove(prefix, length)
+        assert len(trie) == 0
+        assert trie.lookup(0) is None
+
+
+class TestReplayProperties:
+    @given(st.integers(min_value=0, max_value=2**31), st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_preserves_bytes_and_flows(self, seed, scale):
+        import io
+
+        from repro.traffic import load_trace, replay, trace_to_string
+
+        packets = make_traffic(_small_switch(), 0.4, 5_000.0, seed=seed % 997)
+        again = replay(
+            load_trace(io.StringIO(trace_to_string(packets))), time_scale=scale
+        )
+        assert len(again) == len(packets)
+        assert sum(p.size_bytes for p in again) == sum(p.size_bytes for p in packets)
+        assert all(a.flow == b.flow for a, b in zip(packets, again))
+        times = [p.arrival_ns for p in again]
+        assert times == sorted(times)

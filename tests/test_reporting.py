@@ -1,0 +1,56 @@
+"""Table rendering."""
+
+import pytest
+
+from repro.reporting import Table, render_comparison
+from repro.reporting.tables import format_cell
+
+
+class TestFormatCell:
+    def test_floats_get_4_sig_figs(self):
+        assert format_cell(3.14159) == "3.142"
+        assert format_cell(51.2) == "51.2"
+
+    def test_ints_and_strings_pass_through(self):
+        assert format_cell(42) == "42"
+        assert format_cell("x") == "x"
+
+    def test_bools(self):
+        assert format_cell(True) == "True"
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        table = Table("Power", ["component", "watts"])
+        table.add("processing", 400)
+        table.add("hbm", 300.0)
+        text = table.render()
+        assert "Power" in text
+        assert "processing" in text
+        assert "400" in text
+        assert "300" in text
+
+    def test_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_columns_align(self):
+        table = Table("t", ["a", "b"])
+        table.add("longvalue", 1)
+        table.add("x", 22)
+        lines = table.render().splitlines()
+        # Data rows have the same column start for the second column.
+        first = lines[3]
+        second = lines[4]
+        assert first.index("1") == second.index("22")
+
+
+class TestRenderComparison:
+    def test_paper_vs_measured(self):
+        text = render_comparison(
+            "E8 power", [("total W", 794, 793.9), ("kW router", 12.7, 12.7)]
+        )
+        assert "E8 power" in text
+        assert "794" in text
+        assert "paper" in text

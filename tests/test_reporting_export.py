@@ -1,0 +1,47 @@
+"""Report export: dict/JSON round-trips for pipelines."""
+
+import json
+
+import pytest
+
+from repro.core import HBMSwitch, PFIOptions, SplitParallelSwitch
+from repro.reporting import report_to_dict, report_to_json
+from tests.conftest import make_traffic
+from tests.test_core_sps import router_traffic
+
+
+class TestSwitchReportExport:
+    @pytest.fixture
+    def report(self, small_switch):
+        packets = make_traffic(small_switch, 0.5, 10_000.0)
+        switch = HBMSwitch(small_switch, PFIOptions(padding=True, bypass=True))
+        return switch.run(packets, 10_000.0)
+
+    def test_dict_has_headline_fields(self, report):
+        data = report_to_dict(report)
+        assert data["offered_bytes"] == report.offered_bytes
+        assert data["delivery_fraction"] == report.delivery_fraction
+        assert data["pfi"]["frames_written"] == report.pfi.frames_written
+        assert "latency_breakdown" in data
+
+    def test_json_is_valid_and_round_trips(self, report):
+        parsed = json.loads(report_to_json(report))
+        assert parsed["delivered_bytes"] == report.delivered_bytes
+        assert parsed["latency"]["count"] == report.latency["count"]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            report_to_dict(object())
+
+
+class TestRouterReportExport:
+    def test_router_report_nests_switches(self, small_router):
+        sps = SplitParallelSwitch(
+            small_router, options=PFIOptions(padding=True, bypass=True)
+        )
+        packets = router_traffic(small_router, load=0.4)
+        report = sps.run(packets, 20_000.0)
+        data = report_to_dict(report)
+        assert len(data["switches"]) == small_router.n_switches
+        assert data["delivery_fraction"] == report.delivery_fraction
+        json.loads(report_to_json(report))  # valid JSON

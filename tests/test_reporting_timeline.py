@@ -1,0 +1,102 @@
+"""Timeline rendering and batch-means confidence intervals."""
+
+import pytest
+
+from repro.hbm import (
+    BankGroup,
+    HBMTiming,
+    Op,
+    first_legal_start,
+    generate_frame_schedule,
+)
+from repro.reporting import render_bank_timeline, render_bus_utilisation
+from repro.sim.stats import batch_means_ci
+from repro.errors import ConfigError
+
+T = HBMTiming()
+
+
+def frame_commands(channels=2):
+    sched = generate_frame_schedule(
+        Op.WR,
+        range(channels),
+        BankGroup(0, 4),
+        segment_bytes=1024,
+        row=0,
+        data_start=first_legal_start(T),
+        timing=T,
+        channel_bytes_per_ns=80.0,
+    )
+    return sched.commands
+
+
+class TestBankTimeline:
+    def test_renders_all_group_banks(self):
+        text = render_bank_timeline(frame_commands(), T, channel=0)
+        for bank in range(4):
+            assert f"bank   {bank}" in text
+
+    def test_glyphs_present(self):
+        text = render_bank_timeline(frame_commands(), T, channel=0)
+        assert "W" in text
+        assert "a" in text
+        assert "p" in text
+
+    def test_staggered_data_windows(self):
+        """Bank n's data glyphs start strictly after bank n-1's."""
+        text = render_bank_timeline(frame_commands(), T, channel=0, width=80)
+        rows = [line for line in text.splitlines() if line.startswith("bank")]
+        starts = [row.index("W") for row in rows]
+        assert starts == sorted(starts)
+        assert len(set(starts)) == len(starts)
+
+    def test_empty_channel(self):
+        text = render_bank_timeline(frame_commands(channels=1), T, channel=5)
+        assert "no commands" in text
+
+    def test_width_validation(self):
+        with pytest.raises(ConfigError):
+            render_bank_timeline(frame_commands(), T, width=0)
+
+
+class TestBusUtilisation:
+    def test_pfi_bus_is_solid(self):
+        """The peak-rate property at a glance: no idle columns inside
+        the frame's data window."""
+        text = render_bus_utilisation(frame_commands(), T, channel=0)
+        bar = text.split("|")[1]
+        assert "." not in bar
+        assert "100%" in text
+
+    def test_no_data(self):
+        from repro.hbm import Command
+
+        text = render_bus_utilisation([Command(Op.ACT, 0, 0, 0, 0.0)], T)
+        assert "no data" in text
+
+
+class TestBatchMeansCI:
+    def test_constant_series_has_zero_halfwidth(self):
+        mean, halfwidth = batch_means_ci([5.0] * 100)
+        assert mean == 5.0
+        assert halfwidth == 0.0
+
+    def test_mean_matches(self):
+        samples = list(range(1000))
+        mean, halfwidth = batch_means_ci(samples, n_batches=10)
+        assert mean == pytest.approx(499.5)
+        assert halfwidth > 0
+
+    def test_more_samples_tighten_iid_ci(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        small = batch_means_ci(list(rng.normal(0, 1, 200)), 10)[1]
+        large = batch_means_ci(list(rng.normal(0, 1, 20_000)), 10)[1]
+        assert large < small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_means_ci([1.0, 2.0], n_batches=1)
+        with pytest.raises(ValueError):
+            batch_means_ci([1.0], n_batches=2)

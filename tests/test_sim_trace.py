@@ -1,0 +1,98 @@
+"""Trace recorder: recording, filtering, export, switch integration."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core import HBMSwitch, PFIOptions
+from repro.sim import TraceRecorder
+from tests.conftest import make_traffic
+
+
+class TestRecorder:
+    def test_records_and_counts(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "pfi", "write", output=3)
+        trace.record(2.0, "pfi", "read", output=3)
+        assert len(trace) == 2
+        assert trace.summary() == {"pfi.write": 1, "pfi.read": 1}
+
+    def test_ring_buffer_caps_memory(self):
+        trace = TraceRecorder(capacity=3)
+        for i in range(10):
+            trace.record(float(i), "c", "e")
+        assert len(trace) == 3
+        assert trace.dropped_records == 7
+        assert [r.time_ns for r in trace] == [7.0, 8.0, 9.0]
+
+    def test_category_filtering_skips_storage_not_counts(self):
+        trace = TraceRecorder(categories=["pfi"])
+        trace.record(1.0, "pfi", "write")
+        trace.record(2.0, "switch", "batch")
+        assert len(trace) == 1
+        assert trace.summary()["switch.batch"] == 1
+
+    def test_filter_queries(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "pfi", "write", output=0)
+        trace.record(2.0, "pfi", "read", output=0)
+        trace.record(3.0, "switch", "batch", output=1)
+        assert len(trace.filter(category="pfi")) == 2
+        assert len(trace.filter(event="read")) == 1
+        assert len(trace.filter(category="pfi", event="write")) == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+
+class TestExport:
+    def test_jsonl_roundtrip(self):
+        trace = TraceRecorder()
+        trace.record(1.5, "pfi", "write", output=2, payload=1024)
+        lines = trace.to_jsonl().splitlines()
+        assert len(lines) == 1
+        parsed = json.loads(lines[0])
+        assert parsed["time_ns"] == 1.5
+        assert parsed["output"] == 2
+
+    def test_csv_has_union_of_columns(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "a", "x", foo=1)
+        trace.record(2.0, "a", "y", bar=2)
+        rows = list(csv.DictReader(io.StringIO(trace.to_csv())))
+        assert len(rows) == 2
+        assert "foo" in rows[0] and "bar" in rows[0]
+
+    def test_empty_exports(self):
+        trace = TraceRecorder()
+        assert trace.to_jsonl() == ""
+        assert trace.to_csv() == ""
+
+
+class TestSwitchIntegration:
+    def test_switch_emits_pipeline_events(self, small_switch):
+        trace = TraceRecorder()
+        packets = make_traffic(small_switch, 0.6, 20_000.0)
+        switch = HBMSwitch(
+            small_switch, PFIOptions(padding=True, bypass=True), trace=trace
+        )
+        report = switch.run(packets, 20_000.0)
+        summary = trace.summary()
+        assert summary["switch.batch"] > 0
+        assert summary["pfi.write"] == report.pfi.frames_written
+        assert summary["pfi.read"] == report.pfi.frames_read
+        assert summary.get("pfi.bypass", 0) == report.pfi.bypassed_frames
+        deliveries = trace.filter(category="switch", event="deliver")
+        assert len(deliveries) == report.pfi.frames_read + report.pfi.bypassed_frames
+
+    def test_trace_times_are_monotone(self, small_switch):
+        trace = TraceRecorder()
+        packets = make_traffic(small_switch, 0.4, 10_000.0)
+        HBMSwitch(small_switch, PFIOptions(padding=True, bypass=True), trace=trace).run(
+            packets, 10_000.0
+        )
+        times = [r.time_ns for r in trace]
+        assert times == sorted(times)

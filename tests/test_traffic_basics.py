@@ -1,0 +1,120 @@
+"""Packets, flows and size distributions."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import (
+    FiveTuple,
+    FixedSize,
+    FlowGenerator,
+    ImixSize,
+    Packet,
+    TrimodalSize,
+    UniformSize,
+)
+
+
+def make_packet(pid=0, size=1500, src=0, dst=1, t=0.0):
+    flow = FiveTuple(0x0A000001, 0xC0000001, 1234, 443)
+    return Packet(pid, size, src, dst, flow, t)
+
+
+class TestPacket:
+    def test_latency_requires_departure(self):
+        packet = make_packet(t=100.0)
+        with pytest.raises(ValueError):
+            _ = packet.latency_ns
+        packet.departure_ns = 250.0
+        assert packet.latency_ns == pytest.approx(150.0)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            make_packet(size=0)
+
+    def test_slots_prevent_arbitrary_attributes(self):
+        packet = make_packet()
+        with pytest.raises(AttributeError):
+            packet.color = "blue"
+
+
+class TestFiveTuple:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FiveTuple(2**32, 0, 0, 0)
+        with pytest.raises(ValueError):
+            FiveTuple(0, 0, 2**16, 0)
+        with pytest.raises(ValueError):
+            FiveTuple(0, 0, 0, 0, protocol=300)
+
+    def test_packed_is_13_bytes(self):
+        assert len(FiveTuple(1, 2, 3, 4).packed()) == 13
+
+    def test_stable_hash_is_deterministic(self):
+        flow = FiveTuple(1, 2, 3, 4)
+        assert flow.stable_hash() == flow.stable_hash()
+        assert flow.stable_hash(salt=1) != flow.stable_hash(salt=2)
+
+    def test_distinct_flows_differ(self):
+        a = FiveTuple(1, 2, 3, 4)
+        b = FiveTuple(1, 2, 3, 5)
+        assert a.stable_hash() != b.stable_hash()
+
+
+class TestFlowGenerator:
+    def test_flow_cache_is_stable(self):
+        gen = FlowGenerator(np.random.default_rng(0), flows_per_pair=8)
+        f1 = gen.flow_for(2, 5, index=3)
+        f2 = gen.flow_for(2, 5, index=3)
+        assert f1 == f2
+
+    def test_all_flows_are_distinct(self):
+        gen = FlowGenerator(flows_per_pair=16)
+        flows = list(gen.all_flows(0, 1))
+        assert len(set(flows)) == 16
+
+    def test_rejects_bad_pool(self):
+        with pytest.raises(ValueError):
+            FlowGenerator(flows_per_pair=0)
+
+
+class TestSizeDistributions:
+    def test_fixed(self):
+        dist = FixedSize(1500)
+        rng = np.random.default_rng(0)
+        assert dist.sample(rng) == 1500
+        assert dist.mean_bytes == 1500.0
+
+    def test_fixed_rejects_zero(self):
+        with pytest.raises(ValueError):
+            FixedSize(0)
+
+    def test_imix_support_and_mean(self):
+        dist = ImixSize()
+        # Classic simple IMIX mean: (7*40 + 4*576 + 1*1500)/12 = 340.33...
+        assert dist.mean_bytes == pytest.approx((7 * 40 + 4 * 576 + 1500) / 12)
+        rng = np.random.default_rng(0)
+        samples = {dist.sample(rng) for _ in range(200)}
+        assert samples <= {40, 576, 1500}
+        assert len(samples) == 3
+
+    def test_trimodal_samples_in_support(self):
+        dist = TrimodalSize()
+        rng = np.random.default_rng(1)
+        assert all(dist.sample(rng) in (64, 594, 1500) for _ in range(50))
+
+    def test_uniform_bounds(self):
+        dist = UniformSize(100, 200)
+        rng = np.random.default_rng(2)
+        samples = [dist.sample(rng) for _ in range(200)]
+        assert all(100 <= s <= 200 for s in samples)
+        assert dist.mean_bytes == 150.0
+
+    def test_uniform_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            UniformSize(200, 100)
+
+    def test_empirical_mean_tracks_declared_mean(self):
+        dist = ImixSize()
+        rng = np.random.default_rng(3)
+        samples = [dist.sample(rng) for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(dist.mean_bytes, rel=0.05)

@@ -1,0 +1,122 @@
+"""Traffic matrices and admissibility."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AdmissibilityError, ConfigError
+from repro.traffic import (
+    assert_admissible,
+    diagonal_matrix,
+    hotspot_matrix,
+    is_admissible,
+    max_line_load,
+    permutation_matrix,
+    random_admissible_matrix,
+    uniform_matrix,
+)
+
+
+class TestUniform:
+    def test_full_load_rows_and_columns(self):
+        m = uniform_matrix(16, 1.0)
+        assert m.shape == (16, 16)
+        np.testing.assert_allclose(m.sum(axis=1), 1.0)
+        np.testing.assert_allclose(m.sum(axis=0), 1.0)
+
+    def test_partial_load(self):
+        m = uniform_matrix(8, 0.5)
+        assert max_line_load(m) == pytest.approx(0.5)
+
+    def test_rejects_overload(self):
+        with pytest.raises(ConfigError):
+            uniform_matrix(4, 1.5)
+
+
+class TestPermutation:
+    def test_shifted_identity(self):
+        m = permutation_matrix(4, 1.0, shift=1)
+        assert m[0, 1] == 1.0
+        assert m[3, 0] == 1.0
+        assert m.sum() == pytest.approx(4.0)
+
+    def test_is_admissible_at_full_load(self):
+        assert is_admissible(permutation_matrix(8, 1.0))
+
+
+class TestDiagonal:
+    def test_two_diagonals(self):
+        m = diagonal_matrix(4, 1.0, fraction_diag=0.75)
+        assert m[0, 0] == pytest.approx(0.75)
+        assert m[0, 1] == pytest.approx(0.25)
+        np.testing.assert_allclose(m.sum(axis=1), 1.0)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            diagonal_matrix(4, 1.0, fraction_diag=1.5)
+
+
+class TestHotspot:
+    def test_hot_column_is_heaviest(self):
+        m = hotspot_matrix(8, 0.8, hot_output=3, hot_fraction=0.9)
+        col_sums = m.sum(axis=0)
+        assert col_sums[3] == col_sums.max()
+        assert col_sums[3] > col_sums.min() * 1.1
+        assert is_admissible(m)
+
+    def test_full_load_degenerates_to_uniform(self):
+        # Admissibility leaves no hotspot headroom at load 1.
+        m = hotspot_matrix(8, 1.0, hot_output=0, hot_fraction=1.0)
+        np.testing.assert_allclose(m, uniform_matrix(8, 1.0))
+
+    def test_rows_carry_full_load(self):
+        m = hotspot_matrix(8, 0.8, hot_output=0, hot_fraction=0.5)
+        np.testing.assert_allclose(m.sum(axis=1), 0.8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            hotspot_matrix(4, 1.0, hot_output=9)
+        with pytest.raises(ConfigError):
+            hotspot_matrix(4, 1.0, hot_fraction=-0.1)
+
+
+class TestRandomAdmissible:
+    def test_always_admissible(self):
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            m = random_admissible_matrix(8, 1.0, rng)
+            assert is_admissible(m)
+
+    def test_peak_line_hits_requested_load(self):
+        m = random_admissible_matrix(8, 0.9, np.random.default_rng(1))
+        assert max_line_load(m) == pytest.approx(0.9)
+
+    def test_deterministic_with_seed(self):
+        a = random_admissible_matrix(4, 1.0, np.random.default_rng(5))
+        b = random_admissible_matrix(4, 1.0, np.random.default_rng(5))
+        np.testing.assert_allclose(a, b)
+
+
+class TestAdmissibility:
+    def test_max_line_load(self):
+        m = np.array([[0.5, 0.2], [0.3, 0.6]])
+        # rows: 0.7, 0.9; cols: 0.8, 0.8.
+        assert max_line_load(m) == pytest.approx(0.9)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(AdmissibilityError):
+            max_line_load(np.ones((2, 3)))
+
+    def test_negative_entries_inadmissible(self):
+        m = np.array([[0.5, -0.1], [0.1, 0.2]])
+        assert not is_admissible(m)
+        with pytest.raises(AdmissibilityError):
+            assert_admissible(m)
+
+    def test_oversubscribed_column_detected(self):
+        m = np.array([[0.0, 0.9], [0.0, 0.9]])
+        assert not is_admissible(m)
+        with pytest.raises(AdmissibilityError):
+            assert_admissible(m)
+
+    def test_boundary_load_accepted(self):
+        assert_admissible(uniform_matrix(4, 1.0))

@@ -1,0 +1,94 @@
+"""Unit-conversion tests: the arithmetic every other module leans on."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestSizes:
+    def test_binary_prefixes(self):
+        assert units.KB == 1024
+        assert units.MB == 1024**2
+        assert units.GB == 1024**3
+        assert units.TB == 1024**4
+
+    def test_helpers(self):
+        assert units.kilobytes(4) == 4096
+        assert units.megabytes(1) == units.MB
+        assert units.gigabytes(2) == 2 * units.GB
+        assert units.terabytes(0.5) == units.TB / 2
+
+
+class TestRates:
+    def test_decimal_prefixes(self):
+        assert units.gbps(40) == 40e9
+        assert units.tbps(20.48) == 20.48e12
+        assert units.pbps(1.31) == 1.31e15
+
+    def test_paper_io_budget(self):
+        # N*F*W*R = 16*64*16*40 Gb/s = 655.36 Tb/s (SS 2.2).
+        total = 16 * 64 * 16 * units.gbps(40)
+        assert total == pytest.approx(units.tbps(655.36))
+
+
+class TestTime:
+    def test_scales(self):
+        assert units.microseconds(1) == 1e3
+        assert units.milliseconds(1) == 1e6
+        assert units.seconds(1) == 1e9
+
+
+class TestConversions:
+    def test_rate_to_bytes_per_ns(self):
+        assert units.rate_to_bytes_per_ns(8e9) == pytest.approx(1.0)
+        # HBM4 channel: 640 Gb/s = 80 B/ns.
+        assert units.rate_to_bytes_per_ns(640e9) == pytest.approx(80.0)
+
+    def test_roundtrip(self):
+        rate = units.tbps(2.56)
+        assert units.bytes_per_ns_to_rate(
+            units.rate_to_bytes_per_ns(rate)
+        ) == pytest.approx(rate)
+
+    def test_transfer_time(self):
+        # 1 KB segment over an 80 B/ns channel: 12.8 ns.
+        assert units.transfer_time_ns(1024, 640e9) == pytest.approx(12.8)
+
+    def test_transfer_time_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            units.transfer_time_ns(100, 0.0)
+        with pytest.raises(ValueError):
+            units.transfer_time_ns(100, -1.0)
+
+    def test_buffering_time_paper_value(self):
+        # 4 * 16 * 64 GiB drained at 655.36 Tb/s: ~53.7 ms (paper ~51.2 ms
+        # with decimal GB; same to within the unit convention).
+        capacity = 16 * 4 * 64 * units.GB
+        t = units.buffering_time_ns(capacity, units.tbps(655.36))
+        assert 45e6 < t < 60e6
+
+
+class TestFormatting:
+    def test_format_rate(self):
+        assert units.format_rate(655.36e12) == "655.4 Tb/s"
+        assert units.format_rate(1.31e15) == "1.31 Pb/s"
+        assert units.format_rate(40e9) == "40 Gb/s"
+
+    def test_format_size(self):
+        assert units.format_size(4096) == "4 KB"
+        assert units.format_size(512 * 1024) == "512 KB"
+        assert units.format_size(64 * units.GB) == "64 GB"
+
+    def test_format_time(self):
+        assert units.format_time(51.2e6) == "51.2 ms"
+        assert units.format_time(12.8) == "12.8 ns"
+
+    def test_format_power(self):
+        assert units.format_power(794) == "794 W"
+        assert units.format_power(12700) == "12.7 kW"
+
+    def test_format_small_values(self):
+        assert "b/s" in units.format_rate(10.0)
+        assert "B" in units.format_size(100)
