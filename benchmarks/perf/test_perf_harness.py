@@ -1,0 +1,67 @@
+"""Smoke benches for the perf harness (``repro bench``).
+
+These are not timing assertions -- wall clock varies wildly across
+hosts and CI runners.  They check that every bench runs, produces
+self-consistent metrics, and that the macro bench's byte-identity
+guarantee (parallel == sequential) actually holds at smoke scale.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf import (
+    bench_engine,
+    bench_router_parallel,
+    bench_switch,
+    bench_traffic,
+    run_benchmarks,
+    write_bench_json,
+)
+
+
+def test_bench_engine_counts_every_event():
+    result = bench_engine(n_events=4_000, n_chains=8)
+    assert result.name == "engine"
+    assert result.metrics["events"] == 4_000
+    assert result.metrics["events_per_sec"] > 0
+    assert result.wall_s > 0
+
+
+def test_bench_traffic_produces_packets():
+    result = bench_traffic(n_ports=4, duration_ns=2_000.0)
+    assert result.metrics["packets"] > 0
+    assert result.metrics["packets_per_sec"] > 0
+
+
+def test_bench_switch_delivers():
+    result = bench_switch(load=0.5, duration_ns=5_000.0)
+    assert result.metrics["events"] > 0
+    assert result.metrics["packets"] > 0
+    assert 0.0 < result.metrics["delivery_fraction"] <= 1.0
+
+
+def test_bench_router_parallel_is_byte_identical():
+    result = bench_router_parallel(n_switches=2, duration_ns=5_000.0, n_workers=2)
+    metrics = result.metrics
+    assert metrics["byte_identical"] is True
+    assert metrics["delivered_bytes"] > 0
+    assert metrics["sequential_wall_s"] > 0
+    assert metrics["parallel_wall_s"] > 0
+    assert metrics["speedup"] > 0
+
+
+def test_run_benchmarks_document_roundtrips(tmp_path):
+    document = run_benchmarks(rev="smoke", quick=True, n_switches=2, n_workers=1)
+    assert document["schema"] == "repro-bench-v1"
+    assert document["rev"] == "smoke"
+    assert set(document["results"]) == {
+        "engine",
+        "traffic",
+        "switch",
+        "router_parallel",
+    }
+    path = write_bench_json(document, str(tmp_path / "BENCH_smoke.json"))
+    with open(path, encoding="utf-8") as handle:
+        loaded = json.load(handle)
+    assert loaded == json.loads(json.dumps(document))

@@ -8,6 +8,7 @@ Commands:
 - ``sweep``       -- sweep offered load on one switch; print a row per load.
 - ``experiments`` -- list the experiment index (E1..E16 and ablations)
                      with the bench that regenerates each.
+- ``bench``       -- run the perf harness and write ``BENCH_<rev>.json``.
 """
 
 from __future__ import annotations
@@ -25,6 +26,7 @@ from .analysis import (
     sram_sizing,
 )
 from .config import reference_router, scaled_router
+from .errors import ConfigError
 from .core import HBMSwitch, PFIOptions
 from .reporting import Table
 from .traffic import (
@@ -102,6 +104,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     timeline.add_argument("--frames", type=int, default=2, help="frames to draw")
     timeline.add_argument("--width", type=int, default=72, help="columns")
+
+    bench = sub.add_parser(
+        "bench", help="run the perf harness and write BENCH_<rev>.json"
+    )
+    bench.add_argument("--rev", type=str, default="1", help="revision tag for the output file")
+    bench.add_argument(
+        "--out", type=str, default=None,
+        help="output path (default: BENCH_<rev>.json in the current directory)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="shrink workloads for a CI smoke run",
+    )
+    bench.add_argument(
+        "--switches", type=int, default=8,
+        help="H for the sequential-vs-parallel macro bench",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: all cores)",
+    )
     return parser
 
 
@@ -256,6 +279,37 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .perf import run_benchmarks, write_bench_json
+
+    document = run_benchmarks(
+        rev=args.rev,
+        quick=args.quick,
+        n_switches=args.switches,
+        n_workers=args.workers,
+    )
+    out = args.out if args.out else f"BENCH_{args.rev}.json"
+    write_bench_json(document, out)
+    table = Table("Benchmarks", ["bench", "wall", "key metrics"])
+    for name, result in document["results"].items():
+        metrics = result["metrics"]
+        if name == "router_parallel":
+            key = (
+                f"speedup {metrics['speedup']:.2f}x over {metrics['n_workers']} workers, "
+                f"byte_identical={metrics['byte_identical']}"
+            )
+        elif name == "engine":
+            key = f"{metrics['events_per_sec']:,.0f} events/s"
+        elif name == "traffic":
+            key = f"{metrics['packets_per_sec']:,.0f} packets/s"
+        else:
+            key = f"{metrics['events_per_sec']:,.0f} events/s, {metrics['packets_per_sec']:,.0f} packets/s"
+        table.add(name, f"{result['wall_s'] * 1e3:.1f} ms", key)
+    table.show()
+    print(f"wrote {out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -264,9 +318,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": cmd_sweep,
         "experiments": cmd_experiments,
         "timeline": cmd_timeline,
+        "bench": cmd_bench,
     }[args.command]
     try:
         return handler(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         try:

@@ -137,7 +137,7 @@ class BatchAssembler:
 class Frame:
     """One K-byte frame: ``batches_per_frame`` batches for one output."""
 
-    __slots__ = ("output", "index", "batches", "size_bytes", "created_ns", "bypassed")
+    __slots__ = ("output", "index", "batches", "size_bytes", "created_ns", "bypassed", "payload_bytes")
 
     def __init__(self, output: int, index: int, batches: List[Batch], size_bytes: int, created_ns: float):
         self.output = output
@@ -146,11 +146,10 @@ class Frame:
         self.size_bytes = size_bytes
         self.created_ns = created_ns
         self.bypassed = False
-
-    @property
-    def payload_bytes(self) -> int:
-        """Real (non-padding, non-filler) bytes in the frame."""
-        return sum(batch.payload_bytes for batch in self.batches)
+        #: Real (non-padding, non-filler) bytes; batches are fixed at
+        #: emission time, so this is computed once instead of per query
+        #: (residual accounting reads it on every enqueue/dequeue).
+        self.payload_bytes = sum(batch.payload_bytes for batch in batches)
 
     @property
     def padding_bytes(self) -> int:

@@ -126,6 +126,11 @@ class HBMSwitch:
         self._offered_bytes = 0
         self._offered_packets = 0
         self._hbm_peak_frames = 0
+        # Incremental residual: payload accepted into the switch but not
+        # yet on the wire.  Maintained at the three points where payload
+        # crosses the switch boundary (accept, drop, transmit) so the
+        # drain loop does not rescan every queue per iteration.
+        self._residual_payload = 0
 
     # -- stage plumbing -------------------------------------------------------
 
@@ -140,7 +145,10 @@ class HBMSwitch:
                 return
             packet.output_port = output
         port = self.inputs[packet.input_port]
+        dropped_before = port.drops.dropped_bytes
         emitted = port.on_packet(packet, now)
+        if port.drops.dropped_bytes == dropped_before:
+            self._residual_payload += packet.size_bytes
         if emitted and not self._draining[packet.input_port]:
             self._schedule_drain(packet.input_port, now)
 
@@ -159,9 +167,7 @@ class HBMSwitch:
         self._inflight_batch_payload += batch.payload_bytes
         arrival = now + self.config.batch_time_ns
         self.engine.schedule(arrival, lambda: self._batch_arrives(batch))
-        self.engine.schedule(
-            now + self.config.batch_time_ns, lambda: self._drain(port_index)
-        )
+        self.engine.schedule(arrival, lambda: self._drain(port_index))
 
     def _batch_arrives(self, batch) -> None:
         self._inflight_batch_payload -= batch.payload_bytes
@@ -170,7 +176,11 @@ class HBMSwitch:
                 self.engine.now, "switch", "batch",
                 output=batch.output, payload=batch.payload_bytes,
             )
+        dropped_before = self.tail.drops.dropped_bytes
         self.tail.on_batch(batch, self.engine.now)
+        dropped = self.tail.drops.dropped_bytes - dropped_before
+        if dropped:
+            self._residual_payload -= dropped
         peak = self.pfi.hbm_occupancy_frames()
         if peak > self._hbm_peak_frames:
             self._hbm_peak_frames = peak
@@ -182,6 +192,7 @@ class HBMSwitch:
         if queued is None:
             raise SimulationError("head SRAM lost a frame it just accepted")
         finish = self.outputs[frame.output].transmit_frame(queued, at)
+        self._residual_payload -= queued.payload_bytes
         if self.trace is not None:
             self.trace.record(
                 at, "switch", "deliver",
@@ -191,8 +202,17 @@ class HBMSwitch:
 
     # -- accounting --------------------------------------------------------------
 
+    @property
+    def tracked_residual_bytes(self) -> int:
+        """O(1) incremental residual, maintained at accept/drop/transmit.
+
+        Equals :meth:`residual_payload_bytes` whenever the engine is at
+        an event boundary; the full rescan stays the audit ground truth.
+        """
+        return self._residual_payload
+
     def residual_payload_bytes(self) -> int:
-        """Payload still inside the switch (queues + flight)."""
+        """Payload still inside the switch (queues + flight), by rescan."""
         input_bytes = sum(p.partial_bytes for p in self.inputs)
         input_fifo = sum(
             batch.payload_bytes for p in self.inputs for batch in p.fifo
@@ -277,13 +297,25 @@ class HBMSwitch:
                 if batches and not self._draining[port.port]:
                     self._schedule_drain(port.port, self.engine.now)
         deadline = duration_ns + max_drain_ns
-        check_every = max(self.pfi.cycle_duration * 4, self.config.batch_time_ns * 8)
-        while self.engine.now < deadline and self.residual_payload_bytes() > 0:
-            before = self.residual_payload_bytes()
+        check_every = self._drain_check_interval()
+        while self.engine.now < deadline and self._residual_payload > 0:
+            before = self._residual_payload
             self.engine.run(until=self.engine.now + check_every)
-            if self.residual_payload_bytes() == before and not self.options.padding:
+            if self._residual_payload == before and not self.options.padding:
                 # Without padding, sub-frame residue can never drain.
                 break
+
+    def _drain_check_interval(self) -> float:
+        """How often the drain loop re-checks the residual.
+
+        A few PFI cycles / batch times; guarded against degenerate
+        configurations whose cycle durations collapse to zero (the loop
+        would otherwise spin at a fixed ``engine.now`` forever).
+        """
+        interval = max(self.pfi.cycle_duration * 4, self.config.batch_time_ns * 8)
+        if interval <= 0.0:
+            return 1.0
+        return interval
 
     def _report(self, duration_ns: float) -> SwitchReport:
         latency = LatencyRecorder()

@@ -45,13 +45,17 @@ class InputPort:
         self.drops = DropCounter()
         self.occupancy = OccupancyTracker()
         self._fifo_bytes = 0
+        # Maintained at enqueue/dequeue time so the occupancy check in
+        # on_packet (and the switch's residual accounting) is O(1)
+        # instead of a sum over N assemblers per packet.
+        self._partial_bytes = 0
 
     # -- state ---------------------------------------------------------------
 
     @property
     def partial_bytes(self) -> int:
         """Bytes sitting in not-yet-complete batches."""
-        return sum(assembler.fill_bytes for assembler in self._assemblers)
+        return self._partial_bytes
 
     @property
     def occupancy_bytes(self) -> int:
@@ -73,7 +77,10 @@ class InputPort:
         if packet.size_bytes + self.occupancy_bytes > self.sram_capacity_bytes:
             self.drops.record(packet.size_bytes, reason="input-sram-overflow")
             return []
-        emitted = self._assemblers[packet.output_port].add(packet, now)
+        assembler = self._assemblers[packet.output_port]
+        fill_before = assembler.fill_bytes
+        emitted = assembler.add(packet, now)
+        self._partial_bytes += assembler.fill_bytes - fill_before
         for batch in emitted:
             self.fifo.append(batch)
             self._fifo_bytes += batch.size_bytes
@@ -93,8 +100,10 @@ class InputPort:
         """Pad out all partial batches (used at drain time with padding on)."""
         flushed = []
         for assembler in self._assemblers:
+            fill_before = assembler.fill_bytes
             batch = assembler.flush(now)
             if batch is not None:
+                self._partial_bytes -= fill_before
                 self.fifo.append(batch)
                 self._fifo_bytes += batch.size_bytes
                 flushed.append(batch)

@@ -119,6 +119,11 @@ class PFIEngine:
         self._hbm_content: List[Deque[Frame]] = [
             deque() for _ in range(config.n_ports)
         ]
+        # Incremental occupancy: the switch polls these per batch/frame,
+        # so they are maintained at enqueue/dequeue time rather than
+        # recomputed by scanning every per-output queue.
+        self._hbm_frames = 0
+        self._hbm_payload = 0
         self._read_ptr = 0
         self._stopped = False
         # Phase geometry: with speedup s the memory moves a frame in
@@ -158,13 +163,13 @@ class PFIEngine:
         return 2.0 * (self.phase_duration + self.transition)
 
     def hbm_occupancy_frames(self) -> int:
-        return sum(len(q) for q in self._hbm_content)
+        return self._hbm_frames
 
     def hbm_frames_for(self, output: int) -> int:
         return len(self._hbm_content[output])
 
     def hbm_payload_bytes(self) -> int:
-        return sum(f.payload_bytes for q in self._hbm_content for f in q)
+        return self._hbm_payload
 
     # -- write phase -------------------------------------------------------------
 
@@ -222,10 +227,13 @@ class PFIEngine:
                 payload=frame.payload_bytes,
             )
         # Content becomes readable when the write phase completes.
-        self.engine.schedule(
-            now + self.phase_duration,
-            lambda: self._hbm_content[frame.output].append(frame),
-        )
+        self.engine.schedule(now + self.phase_duration, lambda: self._land_frame(frame))
+
+    def _land_frame(self, frame: Frame) -> None:
+        """Write phase completed: the frame is now readable in the HBM."""
+        self._hbm_content[frame.output].append(frame)
+        self._hbm_frames += 1
+        self._hbm_payload += frame.payload_bytes
 
     # -- read phase --------------------------------------------------------------
 
@@ -266,6 +274,8 @@ class PFIEngine:
     def _serve_output(self, output: int, now: float) -> bool:
         if self._hbm_content[output]:
             frame = self._hbm_content[output].popleft()
+            self._hbm_frames -= 1
+            self._hbm_payload -= frame.payload_bytes
             # Writes push and reads pop the region FIFO exactly once per
             # frame, so the popped address is this frame's by induction.
             address = self.address_map.region(output).pop()

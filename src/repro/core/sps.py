@@ -15,7 +15,7 @@ hashing on the 5-tuple.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -24,12 +24,16 @@ from ..config import RouterConfig
 from ..errors import ConfigError
 from ..hbm.timing import HBMTiming
 from ..photonics.oeo import OEOConverter
+from ..sim.parallel import SwitchWorkUnit, run_work_units
 from ..traffic.ecmp import hash_to_choice
 from ..traffic.packet import Packet
 from ..units import bytes_per_ns_to_rate
 from .fiber_split import FiberSplitter, PseudoRandomSplitter, split_imbalance
 from .hbm_switch import HBMSwitch, SwitchReport
 from .pfi import PFIOptions
+
+#: Execution modes of :meth:`SplitParallelSwitch.run`.
+RUN_MODES = ("sequential", "parallel", "auto")
 
 
 def assign_fibers(packets: Sequence[Packet], n_fibers: int, salt: int = 0xECA) -> List[int]:
@@ -57,12 +61,8 @@ class RouterReport:
     switch_reports: List[SwitchReport]
     per_switch_offered_bytes: List[int]
     duration_ns: float
-    failed_switches: List[int] = None  # set in __post_init__
+    failed_switches: List[int] = field(default_factory=list)
     failed_offered_bytes: int = 0
-
-    def __post_init__(self) -> None:
-        if self.failed_switches is None:
-            self.failed_switches = []
 
     @property
     def offered_bytes(self) -> int:
@@ -178,6 +178,8 @@ class SplitParallelSwitch:
         fibers: Optional[Sequence[int]] = None,
         drain: bool = True,
         failed_switches: Optional[Sequence[int]] = None,
+        mode: str = "sequential",
+        n_workers: Optional[int] = None,
     ) -> RouterReport:
         """Simulate the whole router.
 
@@ -189,7 +191,21 @@ class SplitParallelSwitch:
         ``failed_switches`` injects dead switches: their traffic is lost
         at the (passive) split, the survivors run exactly as before --
         the modularity/fault-isolation property of SS 2.2.
+
+        ``mode`` selects how the H independent simulations execute:
+
+        - ``"sequential"`` (default): one after another in this process.
+        - ``"parallel"``: fanned out over a process pool of
+          ``n_workers`` (default: CPU count) via
+          :mod:`repro.sim.parallel`.  Reports are merged in switch-index
+          order, so the result is byte-identical to sequential mode; the
+          caller's packet objects are, however, simulated as copies
+          (``departure_ns`` is not written back).
+        - ``"auto"``: parallel when it can help (several switches and
+          several CPUs), sequential otherwise.
         """
+        if mode not in RUN_MODES:
+            raise ConfigError(f"mode must be one of {RUN_MODES}, got {mode!r}")
         failed = frozenset(failed_switches or ())
         for h in failed:
             if not 0 <= h < self.config.n_switches:
@@ -197,18 +213,28 @@ class SplitParallelSwitch:
         if fibers is None:
             fibers = assign_fibers(packets, self.config.fibers_per_ribbon)
         per_switch = self.partition_packets(packets, fibers)
-        reports: List[SwitchReport] = []
         offered: List[int] = []
         failed_bytes = 0
+        units: List[SwitchWorkUnit] = []
         for h in range(self.config.n_switches):
             arrived = sum(p.size_bytes for p in per_switch[h])
             offered.append(arrived)
             if h in failed:
                 failed_bytes += arrived
                 continue
-            switch = HBMSwitch(self.config.switch, self.options, self.timing)
-            report = switch.run(per_switch[h], duration_ns, drain=drain)
-            reports.append(report)
+            units.append(
+                SwitchWorkUnit(
+                    index=h,
+                    config=self.config.switch,
+                    options=self.options,
+                    timing=self.timing,
+                    packets=tuple(per_switch[h]),
+                    duration_ns=duration_ns,
+                    drain=drain,
+                )
+            )
+        reports = self._execute_units(units, mode, n_workers)
+        for report in reports:
             # One O/E + one E/O per bit through a switch (the SPS property).
             self.oeo.convert(8.0 * (report.offered_bytes + report.delivered_bytes))
         return RouterReport(
@@ -218,3 +244,35 @@ class SplitParallelSwitch:
             failed_switches=sorted(failed),
             failed_offered_bytes=failed_bytes,
         )
+
+    def _execute_units(
+        self,
+        units: List[SwitchWorkUnit],
+        mode: str,
+        n_workers: Optional[int],
+    ) -> List[SwitchReport]:
+        """Run the per-switch work units under the chosen mode.
+
+        The sequential path deliberately bypasses pickling and simulates
+        the caller's packet objects in place (preserving the historical
+        behaviour that ``departure_ns`` is observable after a run).
+        """
+        import os
+
+        if mode == "auto":
+            workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
+            mode = "parallel" if len(units) > 1 and workers > 1 else "sequential"
+        if mode == "parallel":
+            return run_work_units(units, n_workers=n_workers)
+        reports: List[SwitchReport] = []
+        for unit in units:
+            switch = HBMSwitch(unit.config, unit.options, unit.timing)
+            reports.append(
+                switch.run(
+                    list(unit.packets),
+                    unit.duration_ns,
+                    drain=unit.drain,
+                    max_drain_ns=unit.max_drain_ns,
+                )
+            )
+        return reports

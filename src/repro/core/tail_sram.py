@@ -46,13 +46,16 @@ class TailSRAM:
         self._fifo_bytes = 0
         self.drops = DropCounter()
         self.occupancy = OccupancyTracker()
+        # Maintained at enqueue/dequeue time: the capacity check in
+        # on_batch runs per batch and must not rescan N assemblers.
+        self._pending_bytes = 0
 
     # -- state ---------------------------------------------------------------
 
     @property
     def pending_bytes(self) -> int:
         """Bytes in not-yet-complete frames, across all outputs."""
-        return sum(assembler.pending_bytes for assembler in self._assemblers)
+        return self._pending_bytes
 
     @property
     def occupancy_bytes(self) -> int:
@@ -68,7 +71,10 @@ class TailSRAM:
         if batch.size_bytes + self.occupancy_bytes > self.capacity_bytes:
             self.drops.record(batch.payload_bytes, reason="tail-sram-overflow")
             return None
-        frame = self._assemblers[batch.output].add(batch, now)
+        assembler = self._assemblers[batch.output]
+        pending_before = assembler.pending_bytes
+        frame = assembler.add(batch, now)
+        self._pending_bytes += assembler.pending_bytes - pending_before
         if frame is not None:
             self.frame_fifo.append(frame)
             self._fifo_bytes += frame.size_bytes
@@ -107,8 +113,11 @@ class TailSRAM:
         wait latency at light load.  Returns ``None`` when the output
         has nothing pending.
         """
-        frame = self._assemblers[output].flush(now)
+        assembler = self._assemblers[output]
+        pending_before = assembler.pending_bytes
+        frame = assembler.flush(now)
         if frame is not None:
+            self._pending_bytes -= pending_before
             self.occupancy.observe(self.occupancy_bytes, now)
         return frame
 

@@ -1,0 +1,28 @@
+"""Performance benchmarking harness.
+
+Micro benches (event engine, traffic generation, single-switch run) and
+the macro sequential-vs-parallel router bench, with JSON export so the
+repo's performance trajectory is tracked revision over revision
+(``BENCH_<rev>.json``).  Run via ``repro bench`` or the pytest smoke
+benches under ``benchmarks/perf/``.
+"""
+
+from .harness import (
+    BenchResult,
+    bench_engine,
+    bench_router_parallel,
+    bench_switch,
+    bench_traffic,
+    run_benchmarks,
+    write_bench_json,
+)
+
+__all__ = [
+    "BenchResult",
+    "bench_engine",
+    "bench_traffic",
+    "bench_switch",
+    "bench_router_parallel",
+    "run_benchmarks",
+    "write_bench_json",
+]

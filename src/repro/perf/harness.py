@@ -1,0 +1,291 @@
+"""Micro and macro timing benchmarks with tracked JSON output.
+
+Four benches cover the simulator's cost centres:
+
+- :func:`bench_engine` -- raw event-engine throughput (events/sec) on a
+  self-rescheduling workload, the innermost loop of every simulation.
+- :func:`bench_traffic` -- packet generation throughput (packets/sec)
+  of the vectorized :class:`~repro.traffic.generators.TrafficGenerator`.
+- :func:`bench_switch` -- one HBM-switch run end to end: wall time,
+  events/sec and packets/sec through the full pipeline.
+- :func:`bench_router_parallel` -- the tentpole macro bench: the same
+  H-switch router run sequentially and fanned out over a process pool,
+  asserting byte-identical delivered/dropped/residual totals and
+  reporting the wall-clock speedup.
+
+:func:`run_benchmarks` bundles them and :func:`write_bench_json` emits
+``BENCH_<rev>.json`` so the perf trajectory is tracked from revision to
+revision (compare files, not absolute numbers -- hosts differ; each file
+records its CPU count and Python version for context).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..config import scaled_router
+from ..core import PFIOptions, SplitParallelSwitch
+from ..errors import ConfigError
+from ..core.hbm_switch import HBMSwitch
+from ..sim.engine import Engine
+from ..traffic import FixedSize, ImixSize, TrafficGenerator, uniform_matrix
+
+
+@dataclass
+class BenchResult:
+    """One bench's measurements, JSON-safe."""
+
+    name: str
+    wall_s: float
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+
+# -- micro: event engine -------------------------------------------------------
+
+
+def bench_engine(n_events: int = 200_000, n_chains: int = 16) -> BenchResult:
+    """Events/sec of the core engine on self-rescheduling chains.
+
+    ``n_chains`` concurrent chains keep the heap realistically mixed
+    (pure FIFO scheduling would never exercise sift-down).
+    """
+    engine = Engine()
+    per_chain = n_events // n_chains
+    fired = 0
+
+    def make_chain(period: float):
+        remaining = per_chain
+
+        def tick() -> None:
+            nonlocal remaining, fired
+            fired += 1
+            remaining -= 1
+            if remaining > 0:
+                engine.schedule(engine.now + period, tick)
+
+        return tick
+
+    for c in range(n_chains):
+        engine.schedule(0.1 * (c + 1), make_chain(1.0 + 0.13 * c))
+    start = time.perf_counter()
+    engine.run()
+    wall = time.perf_counter() - start
+    return BenchResult(
+        name="engine",
+        wall_s=wall,
+        metrics={
+            "events": fired,
+            "events_per_sec": fired / wall if wall > 0 else 0.0,
+        },
+    )
+
+
+# -- micro: traffic generation -------------------------------------------------
+
+
+def bench_traffic(
+    n_ports: int = 16,
+    load: float = 0.8,
+    duration_ns: float = 20_000.0,
+    seed: int = 0,
+) -> BenchResult:
+    """Packets/sec of vectorized traffic generation (IMIX, Poisson)."""
+    config = scaled_router().switch
+    generator = TrafficGenerator(
+        n_ports=n_ports,
+        port_rate_bps=config.port_rate_bps,
+        matrix=uniform_matrix(n_ports, load),
+        size_dist=ImixSize(),
+        seed=seed,
+    )
+    start = time.perf_counter()
+    packets = generator.generate(duration_ns)
+    wall = time.perf_counter() - start
+    return BenchResult(
+        name="traffic",
+        wall_s=wall,
+        metrics={
+            "packets": len(packets),
+            "packets_per_sec": len(packets) / wall if wall > 0 else 0.0,
+        },
+    )
+
+
+# -- micro: one switch ---------------------------------------------------------
+
+
+def bench_switch(
+    load: float = 0.8,
+    duration_ns: float = 40_000.0,
+    seed: int = 0,
+) -> BenchResult:
+    """One full HBM-switch simulation: wall, events/sec, packets/sec."""
+    config = scaled_router().switch
+    generator = TrafficGenerator(
+        n_ports=config.n_ports,
+        port_rate_bps=config.port_rate_bps,
+        matrix=uniform_matrix(config.n_ports, load),
+        size_dist=FixedSize(1500),
+        seed=seed,
+    )
+    packets = generator.generate(duration_ns)
+    switch = HBMSwitch(config, PFIOptions(padding=True, bypass=True))
+    start = time.perf_counter()
+    report = switch.run(packets, duration_ns)
+    wall = time.perf_counter() - start
+    events = switch.engine.events_fired
+    return BenchResult(
+        name="switch",
+        wall_s=wall,
+        metrics={
+            "events": events,
+            "events_per_sec": events / wall if wall > 0 else 0.0,
+            "packets": report.offered_packets,
+            "packets_per_sec": report.offered_packets / wall if wall > 0 else 0.0,
+            "delivery_fraction": report.delivery_fraction,
+        },
+    )
+
+
+# -- macro: sequential vs parallel router -------------------------------------
+
+
+def _router_traffic(config, load: float, duration_ns: float, seed: int):
+    generator = TrafficGenerator(
+        n_ports=config.n_ribbons,
+        port_rate_bps=config.fibers_per_ribbon * config.per_fiber_rate_bps,
+        matrix=uniform_matrix(config.n_ribbons, load),
+        size_dist=FixedSize(1500),
+        seed=seed,
+        flows_per_pair=256,
+    )
+    return generator.generate(duration_ns)
+
+
+def bench_router_parallel(
+    n_switches: int = 8,
+    load: float = 0.7,
+    duration_ns: float = 40_000.0,
+    n_workers: Optional[int] = None,
+    seed: int = 0,
+) -> BenchResult:
+    """Reference-style router run (H >= 8): sequential vs parallel.
+
+    Both modes consume identical traffic; the bench asserts the
+    delivered/dropped/residual byte totals match exactly before it
+    reports any timing, so a speedup can never be bought with a
+    correctness regression.
+    """
+    if n_switches <= 0:
+        raise ConfigError(f"n_switches must be positive, got {n_switches}")
+    config = scaled_router(
+        fibers_per_ribbon=4 * n_switches, n_switches=n_switches
+    )
+    options = PFIOptions(padding=True, bypass=True)
+    workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
+
+    packets = _router_traffic(config, load, duration_ns, seed)
+    sps_seq = SplitParallelSwitch(config, options=options)
+    start = time.perf_counter()
+    seq = sps_seq.run(packets, duration_ns, mode="sequential")
+    seq_wall = time.perf_counter() - start
+
+    packets = _router_traffic(config, load, duration_ns, seed)
+    sps_par = SplitParallelSwitch(config, options=options)
+    start = time.perf_counter()
+    par = sps_par.run(packets, duration_ns, mode="parallel", n_workers=workers)
+    par_wall = time.perf_counter() - start
+
+    identical = (
+        seq.delivered_bytes == par.delivered_bytes
+        and seq.dropped_bytes == par.dropped_bytes
+        and seq.offered_bytes == par.offered_bytes
+        and [r.residual_bytes for r in seq.switch_reports]
+        == [r.residual_bytes for r in par.switch_reports]
+    )
+    if not identical:
+        raise AssertionError(
+            "parallel run diverged from sequential: "
+            f"delivered {seq.delivered_bytes} vs {par.delivered_bytes}, "
+            f"dropped {seq.dropped_bytes} vs {par.dropped_bytes}"
+        )
+    return BenchResult(
+        name="router_parallel",
+        wall_s=seq_wall + par_wall,
+        metrics={
+            "n_switches": n_switches,
+            "n_workers": workers,
+            "sequential_wall_s": seq_wall,
+            "parallel_wall_s": par_wall,
+            "speedup": seq_wall / par_wall if par_wall > 0 else 0.0,
+            "delivered_bytes": seq.delivered_bytes,
+            "dropped_bytes": seq.dropped_bytes,
+            "offered_bytes": seq.offered_bytes,
+            "byte_identical": identical,
+        },
+    )
+
+
+# -- bundling ------------------------------------------------------------------
+
+
+def _git_rev() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def run_benchmarks(
+    rev: str = "1",
+    quick: bool = False,
+    n_switches: int = 8,
+    n_workers: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run every bench; returns the JSON-safe result document.
+
+    ``quick`` shrinks workloads for CI smoke runs (seconds, not
+    minutes) -- the numbers are then only good for "did it run".
+    """
+    scale = 0.25 if quick else 1.0
+    results: List[BenchResult] = [
+        bench_engine(n_events=int(200_000 * scale)),
+        bench_traffic(duration_ns=20_000.0 * scale),
+        bench_switch(duration_ns=40_000.0 * scale),
+        bench_router_parallel(
+            n_switches=n_switches,
+            duration_ns=40_000.0 * scale,
+            n_workers=n_workers,
+        ),
+    ]
+    return {
+        "schema": "repro-bench-v1",
+        "rev": rev,
+        "git_rev": _git_rev(),
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "results": {r.name: asdict(r) for r in results},
+    }
+
+
+def write_bench_json(document: Dict[str, Any], path: str) -> str:
+    """Write the bench document to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -8,9 +8,17 @@ baselines and the benches:
   reproducible.
 - :mod:`~repro.sim.stats` -- throughput meters, latency recorders with
   percentiles, queue-occupancy trackers and drop counters.
+- :mod:`~repro.sim.parallel` -- process-pool fan-out of independent
+  switch simulations with a deterministic, bit-identical merge.
 """
 
 from .engine import Engine, Event
+from .parallel import (
+    SwitchWorkUnit,
+    execute_work_unit,
+    resolve_worker_count,
+    run_work_units,
+)
 from .stats import (
     DropCounter,
     LatencyRecorder,
@@ -22,6 +30,10 @@ from .trace import TraceRecord, TraceRecorder
 __all__ = [
     "Engine",
     "Event",
+    "SwitchWorkUnit",
+    "execute_work_unit",
+    "resolve_worker_count",
+    "run_work_units",
     "ThroughputMeter",
     "LatencyRecorder",
     "OccupancyTracker",

@@ -82,6 +82,24 @@ class FlowGenerator:
             self._cache[key] = flow
         return flow
 
+    def flows_for_batch(self, inputs, outputs) -> list:
+        """Flows for aligned arrays of port pairs, one RNG draw total.
+
+        Vectorized counterpart of per-packet :meth:`flow_for`: the flow
+        *indices* for all packets are drawn in a single ``integers``
+        call, then mapped through the same cache, so every packet still
+        gets a deterministic member of its pair's pool.
+        """
+        n = len(inputs)
+        if n == 0:
+            return []
+        indices = self._rng.integers(self._flows_per_pair, size=n)
+        flow_for = self.flow_for
+        return [
+            flow_for(int(i), int(j), int(index))
+            for i, j, index in zip(inputs, outputs, indices)
+        ]
+
     def all_flows(self, input_port: int, output_port: int) -> Iterator[FiveTuple]:
         """Every flow in the (input, output) pool, in index order."""
         for index in range(self._flows_per_pair):

@@ -21,6 +21,19 @@ class PacketSizeDistribution(ABC):
     def sample(self, rng: np.random.Generator) -> int:
         """Draw one packet size."""
 
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` sizes as an int64 array.
+
+        The generator's hot path; subclasses override with a single
+        vectorized draw.  This fallback keeps third-party distributions
+        working unchanged (one :meth:`sample` call per packet).
+        """
+        if n <= 0:
+            return np.empty(0, dtype=np.int64)
+        return np.fromiter(
+            (self.sample(rng) for _ in range(n)), dtype=np.int64, count=n
+        )
+
     @property
     @abstractmethod
     def mean_bytes(self) -> float:
@@ -37,6 +50,9 @@ class FixedSize(PacketSizeDistribution):
 
     def sample(self, rng: np.random.Generator) -> int:
         return self._size
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(max(n, 0), self._size, dtype=np.int64)
 
     @property
     def mean_bytes(self) -> float:
@@ -59,6 +75,11 @@ class _WeightedSizes(PacketSizeDistribution):
 
     def sample(self, rng: np.random.Generator) -> int:
         return int(rng.choice(self._sizes, p=self._probs))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if n <= 0:
+            return np.empty(0, dtype=np.int64)
+        return rng.choice(self._sizes, size=n, p=self._probs).astype(np.int64)
 
     @property
     def mean_bytes(self) -> float:
@@ -94,6 +115,11 @@ class UniformSize(PacketSizeDistribution):
 
     def sample(self, rng: np.random.Generator) -> int:
         return int(rng.integers(self._lo, self._hi + 1))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if n <= 0:
+            return np.empty(0, dtype=np.int64)
+        return rng.integers(self._lo, self._hi + 1, size=n, dtype=np.int64)
 
     @property
     def mean_bytes(self) -> float:

@@ -115,3 +115,44 @@ class TestCancellation:
 
     def test_step_returns_false_when_empty(self):
         assert Engine().step() is False
+
+    def test_engine_cancel_method(self):
+        eng = Engine()
+        fired = []
+        event = eng.schedule(10.0, lambda: fired.append("x"))
+        eng.cancel(event)
+        eng.cancel(event)  # idempotent
+        eng.run()
+        assert fired == []
+
+    def test_mass_cancellation_compacts_and_stays_correct(self):
+        eng = Engine()
+        fired = []
+        keep = [eng.schedule(1000.0 + t, lambda t=t: fired.append(t)) for t in range(5)]
+        doomed = [eng.schedule(float(t), lambda: fired.append(-1)) for t in range(500)]
+        for event in doomed:
+            eng.cancel(event)
+        # Lazy deletion must not leave the heap full of corpses forever.
+        assert len(eng._queue) < 100
+        eng.run()
+        assert fired == [0, 1, 2, 3, 4]
+        assert keep[0].cancelled is False
+
+
+class TestCounters:
+    def test_events_fired_counts_only_fired(self):
+        eng = Engine()
+        event = eng.schedule(5.0, lambda: None)
+        eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        event.cancel()
+        eng.run()
+        assert eng.events_fired == 2
+
+    def test_run_return_matches_counter_delta(self):
+        eng = Engine()
+        for t in range(7):
+            eng.schedule(float(t), lambda: None)
+        before = eng.events_fired
+        count = eng.run()
+        assert count == eng.events_fired - before == 7
