@@ -15,7 +15,12 @@ from .datacenter import (
     datacenter_power_saving,
     processing_reduction_projection,
 )
-from .modularity import ModularDeployment, degradation_curve, modular_deployments
+from .modularity import (
+    ModularDeployment,
+    capacity_fraction_after_failures,
+    degradation_curve,
+    modular_deployments,
+)
 from .power import PowerBreakdown, hbm_switch_power, router_power
 from .queueing import PFILatencyModel, model_vs_simulation, pfi_latency_model
 from .sensitivity import (
@@ -42,6 +47,7 @@ __all__ = [
     "CapacityComparison",
     "capacity_vs_reference",
     "ModularDeployment",
+    "capacity_fraction_after_failures",
     "modular_deployments",
     "degradation_curve",
     "ChipletSPSDesign",

@@ -77,7 +77,24 @@ def modular_deployments(config: RouterConfig) -> List[ModularDeployment]:
     return deployments
 
 
+def capacity_fraction_after_failures(n_switches: int, n_failed: int) -> float:
+    """The closed form of SS 2.2: killing k of H share-nothing switches
+    leaves exactly (H - k)/H of capacity.
+
+    This is the analytic reference the fault-injection layer
+    (:mod:`repro.faults`) cross-checks its measured delivered capacity
+    against.
+    """
+    if n_switches <= 0:
+        raise ConfigError(f"n_switches must be positive, got {n_switches}")
+    if not 0 <= n_failed <= n_switches:
+        raise ConfigError(
+            f"n_failed must be in [0, {n_switches}], got {n_failed}"
+        )
+    return (n_switches - n_failed) / n_switches
+
+
 def degradation_curve(config: RouterConfig) -> List[float]:
     """Fraction of capacity remaining as 0..H switches fail."""
     h = config.n_switches
-    return [(h - k) / h for k in range(h + 1)]
+    return [capacity_fraction_after_failures(h, k) for k in range(h + 1)]

@@ -63,7 +63,16 @@ EXPERIMENTS = [
     ("A5", "Scheduler work: iSLIP vs PFI", "benchmarks/test_a05_scheduling_work.py"),
     ("A6", "Buffer sharing scarcity vs glut", "benchmarks/test_a06_buffer_sharing.py"),
     ("A7", "PFI constants across memory generations", "benchmarks/test_a07_generation_scaling.py"),
+    ("A8", "Graceful degradation: capacity vs failed switches", "benchmarks/test_a08_graceful_degradation.py"),
 ]
+
+
+def _parse_int_list(text: str) -> List[int]:
+    """``"0,3"`` -> ``[0, 3]`` (empty string -> empty list)."""
+    try:
+        return [int(x) for x in text.split(",") if x.strip()]
+    except ValueError:
+        raise ConfigError(f"bad integer list {text!r} (expected e.g. 0,3)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,6 +97,14 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--no-bypass", action="store_true")
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument(
+        "--switches", type=int, default=0,
+        help="simulate the full H-switch router instead of one switch",
+    )
+    simulate.add_argument(
+        "--failed-switches", type=str, default="",
+        help="comma list of dead switches, e.g. 0,3 (implies router mode)",
+    )
+    simulate.add_argument(
         "--json", action="store_true",
         help="emit the full report as JSON instead of a table",
     )
@@ -96,6 +113,57 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--loads", type=str, default="0.3,0.5,0.7,0.9,1.0")
     sweep.add_argument("--duration-us", type=float, default=40.0)
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--switches", type=int, default=0,
+        help="sweep the full H-switch router instead of one switch",
+    )
+    sweep.add_argument(
+        "--failed-switches", type=str, default="",
+        help="comma list of dead switches, e.g. 0,3 (implies router mode)",
+    )
+
+    faults = sub.add_parser(
+        "faults", help="fault injection & graceful degradation"
+    )
+    faults.add_argument(
+        "--fault", action="append", default=[],
+        help="fault spec: switch:H | channels:H:N | oeo:H:F | fiber:R:F, "
+             "optionally @START[-END] in us; repeatable or comma-separated",
+    )
+    faults.add_argument(
+        "--failed-switches", type=str, default="",
+        help="comma list of whole-run dead switches, e.g. 0,3",
+    )
+    faults.add_argument("--switches", type=int, default=4, help="router H")
+    faults.add_argument("--load", type=float, default=0.6)
+    faults.add_argument("--duration-us", type=float, default=40.0)
+    faults.add_argument("--intervals", type=int, default=8)
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument(
+        "--campaign", type=int, default=0,
+        help="draw and run N Monte-Carlo scenarios instead of one run",
+    )
+    faults.add_argument(
+        "--switch-mtbf-us", type=float, default=200.0,
+        help="campaign: per-component mean time between failures",
+    )
+    faults.add_argument(
+        "--switch-mttr-us", type=float, default=10.0,
+        help="campaign: mean time to repair",
+    )
+    faults.add_argument(
+        "--workers", type=int, default=None,
+        help="campaign: process-pool size (default: all cores)",
+    )
+    faults.add_argument(
+        "--json", action="store_true",
+        help="print the JSON report instead of tables",
+    )
+    faults.add_argument(
+        "--out", type=str, default=None,
+        help="also write the JSON report to this path "
+             "(campaigns default to FAULTS_CAMPAIGN.json)",
+    )
 
     sub.add_parser("experiments", help="list the experiment index")
 
@@ -162,9 +230,76 @@ def _simulate_once(config, load, duration_ns, size_dist, process, options, seed)
     return switch.run(packets, duration_ns)
 
 
+def _router_config(n_switches: int):
+    """The test-scale router grown to H switches (alpha stays 4)."""
+    if n_switches <= 0:
+        raise ConfigError(f"--switches must be positive, got {n_switches}")
+    return scaled_router(
+        fibers_per_ribbon=4 * n_switches, n_switches=n_switches
+    )
+
+
+def _router_simulate_once(
+    config, load, duration_ns, size_dist, process, options, seed, failed
+):
+    from .core.sps import SplitParallelSwitch
+
+    generator = TrafficGenerator(
+        n_ports=config.n_ribbons,
+        port_rate_bps=config.fibers_per_ribbon * config.per_fiber_rate_bps,
+        matrix=uniform_matrix(config.n_ribbons, load),
+        size_dist=size_dist,
+        process=process,
+        seed=seed,
+    )
+    packets = generator.generate(duration_ns)
+    router = SplitParallelSwitch(config, options=options)
+    return router.run(packets, duration_ns, failed_switches=failed)
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     import dataclasses
 
+    failed = _parse_int_list(args.failed_switches)
+    if args.switches > 0 or failed:
+        h = args.switches if args.switches > 0 else scaled_router().n_switches
+        config = _router_config(h)
+        config = dataclasses.replace(
+            config,
+            switch=dataclasses.replace(config.switch, speedup=args.speedup),
+        )
+        size_dist = FixedSize(args.packet_size) if args.packet_size > 0 else ImixSize()
+        options = PFIOptions(padding=not args.no_padding, bypass=not args.no_bypass)
+        report = _router_simulate_once(
+            config,
+            args.load,
+            args.duration_us * 1e3,
+            size_dist,
+            ArrivalProcess(args.process),
+            options,
+            args.seed,
+            failed,
+        )
+        if args.json:
+            from .reporting import report_to_json
+
+            print(report_to_json(report))
+            return 0
+        table = Table("Router simulation", ["metric", "value"])
+        table.add("switches (H)", config.n_switches)
+        table.add("failed switches", str(report.failed_switches) if report.failed_switches else "none")
+        table.add("offered", format_size(report.offered_bytes))
+        table.add("failed_offered_bytes", report.failed_offered_bytes)
+        table.add("delivered", f"{report.delivered_fraction:.2%}")
+        table.add("lost", format_size(report.lost_bytes))
+        table.add("loss fraction", f"{report.loss_fraction:.4f}")
+        table.add("load imbalance", f"{report.load_imbalance:.3f}")
+        table.add("reorderings", report.ordering_violations)
+        latency = report.latency_summary()
+        table.add("mean latency", format_time(latency["mean_ns"]))
+        table.add("p99 latency", format_time(latency["p99_ns"]))
+        table.show()
+        return 0
     config = dataclasses.replace(scaled_router().switch, speedup=args.speedup)
     size_dist = FixedSize(args.packet_size) if args.packet_size > 0 else ImixSize()
     options = PFIOptions(padding=not args.no_padding, bypass=not args.no_bypass)
@@ -197,12 +332,40 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    config = scaled_router().switch
     try:
         loads = [float(x) for x in args.loads.split(",") if x.strip()]
     except ValueError:
         print(f"bad --loads value: {args.loads!r}", file=sys.stderr)
         return 2
+    failed = _parse_int_list(args.failed_switches)
+    if args.switches > 0 or failed:
+        h = args.switches if args.switches > 0 else scaled_router().n_switches
+        config = _router_config(h)
+        table = Table(
+            "Router load sweep",
+            ["load", "delivered", "failed_offered_bytes", "loss fraction", "p99 latency"],
+        )
+        for load in loads:
+            report = _router_simulate_once(
+                config,
+                load,
+                args.duration_us * 1e3,
+                ImixSize(),
+                ArrivalProcess.POISSON,
+                PFIOptions(padding=True, bypass=True),
+                args.seed,
+                failed,
+            )
+            table.add(
+                f"{load:.2f}",
+                f"{report.delivered_fraction:.2%}",
+                report.failed_offered_bytes,
+                f"{report.loss_fraction:.4f}",
+                format_time(report.latency_summary()["p99_ns"]),
+            )
+        table.show()
+        return 0
+    config = scaled_router().switch
     table = Table(
         "Load sweep", ["load", "throughput", "delivered", "mean latency", "p99 latency"]
     )
@@ -224,6 +387,86 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             format_time(report.latency["p99_ns"]),
         )
     table.show()
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    import json
+
+    from .faults import (
+        CampaignParams,
+        measure_degradation,
+        parse_fault_specs,
+        run_campaign,
+    )
+    from .reporting import (
+        campaign_table,
+        degradation_summary_table,
+        degradation_table,
+    )
+
+    config = _router_config(args.switches)
+    schedule = parse_fault_specs(args.fault)
+    failed = _parse_int_list(args.failed_switches)
+    if failed:
+        schedule = schedule.with_failed_switches(failed)
+    schedule.validate(config)
+    duration_ns = args.duration_us * 1e3
+
+    if args.campaign > 0:
+        params = CampaignParams(
+            n_scenarios=args.campaign,
+            seed=args.seed,
+            load=args.load,
+            duration_ns=duration_ns,
+            n_intervals=args.intervals,
+            switch_mtbf_ns=args.switch_mtbf_us * 1e3,
+            switch_mttr_ns=args.switch_mttr_us * 1e3,
+            channel_mtbf_ns=args.switch_mtbf_us * 1e3,
+            channel_mttr_ns=args.switch_mttr_us * 1e3,
+            oeo_mtbf_ns=args.switch_mtbf_us * 1e3,
+            oeo_mttr_ns=args.switch_mttr_us * 1e3,
+        )
+        result = run_campaign(
+            config,
+            params,
+            base_schedule=None if schedule.is_empty else schedule,
+            n_workers=args.workers,
+        )
+        text = json.dumps(result.to_dict(), indent=2, sort_keys=True)
+        out = args.out if args.out else "FAULTS_CAMPAIGN.json"
+        with open(out, "w") as fh:
+            fh.write(text + "\n")
+        if args.json:
+            print(text)
+        else:
+            campaign_table(result).show()
+            print(
+                f"{result.n_faulted}/{params.n_scenarios} scenarios drew faults"
+            )
+        print(f"wrote {out}")
+        return 0
+
+    report = measure_degradation(
+        config,
+        schedule=None if schedule.is_empty else schedule,
+        load=args.load,
+        duration_ns=duration_ns,
+        seed=args.seed,
+        n_intervals=args.intervals,
+    )
+    if args.json or args.out:
+        text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.out}")
+        if args.json:
+            print(text)
+        if args.json:
+            return 0
+    degradation_summary_table(report).show()
+    degradation_table(report).show()
     return 0
 
 
@@ -316,6 +559,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": cmd_analyze,
         "simulate": cmd_simulate,
         "sweep": cmd_sweep,
+        "faults": cmd_faults,
         "experiments": cmd_experiments,
         "timeline": cmd_timeline,
         "bench": cmd_bench,

@@ -89,6 +89,7 @@ class HBMSwitch:
         address_map=None,
         trace=None,
         fib=None,
+        faults=None,
     ) -> None:
         self.config = config
         self.options = options
@@ -111,6 +112,13 @@ class HBMSwitch:
         #: classifies each packet by destination address (SS 3.2 step 1)
         #: instead of trusting the pre-set output.
         self.fib = fib
+        #: Optional :class:`~repro.faults.schedule.SwitchFaultView` --
+        #: this switch's slice of a fault schedule.  ``None`` (or a
+        #: trivial view) keeps every stage on the exact unfaulted path.
+        self.faults = faults if faults is not None and not faults.is_trivial else None
+        if self.faults is not None and self.faults.has_oeo_faults:
+            for output in self.outputs:
+                output.rate_factor_fn = self.faults.oeo_rate_factor
         self.pfi = PFIEngine(
             config=config,
             engine=self.engine,
@@ -120,6 +128,7 @@ class HBMSwitch:
             options=options,
             timing=self.timing,
             trace=trace,
+            faults=self.faults,
         )
         self._draining = [False] * config.n_ports
         self._inflight_batch_payload = 0
@@ -136,6 +145,14 @@ class HBMSwitch:
 
     def _on_packet(self, packet: Packet) -> None:
         now = self.engine.now
+        if self.faults is not None and self.faults.dead_at(now):
+            # The switch is down: the arrival is lost at the (dead)
+            # input port.  Recorded as a drop, never as residual, so
+            # offered = delivered + dropped + residual still holds.
+            self.inputs[packet.input_port].drops.record(
+                packet.size_bytes, reason="switch-dead"
+            )
+            return
         if self.fib is not None:
             output = self.fib.classify(packet)
             if output is None or not 0 <= output < self.config.n_ports:

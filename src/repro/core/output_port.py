@@ -43,6 +43,10 @@ class OutputPort:
             "egress": LatencyRecorder(),
         }
         self._flow_last_pid: Dict[Tuple[int, int, int, int, int], int] = {}
+        #: Optional fault hook (:mod:`repro.faults`): maps a timestamp to
+        #: the egress-rate factor in (0, 1] -- OEO/laser degradation.
+        #: ``None`` keeps the exact nominal-rate path.
+        self.rate_factor_fn = None
         self.ordering_violations = 0
         self.padding_discarded_bytes = 0
         #: Bytes sent per (fiber, wavelength) egress lane -- the ECMP
@@ -75,7 +79,12 @@ class OutputPort:
 
     def _transmit_batch(self, batch, start_ns: float, frame: Frame, ready_ns: float) -> float:
         """Transmit one batch's payload; finalise its completing packets."""
-        finish = start_ns + batch.payload_bytes / self._rate
+        rate = self._rate
+        if self.rate_factor_fn is not None:
+            # Degraded OEO: the factor is sampled at batch start (a batch
+            # is the atomic wire unit; windows are >> one batch time).
+            rate = self._rate * self.rate_factor_fn(start_ns)
+        finish = start_ns + batch.payload_bytes / rate
         # Packets complete in arrival (pid) order within the batch; model
         # their last bytes as spread to the batch end in order.
         for packet in batch.completing:

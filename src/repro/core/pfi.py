@@ -91,12 +91,18 @@ class PFIEngine:
         timing: Optional[HBMTiming] = None,
         controller: Optional[HBMController] = None,
         trace=None,
+        faults=None,
     ) -> None:
         self.config = config
         self.engine = engine
         self.tail = tail
         self.deliver = deliver
         self.options = options
+        #: Optional :class:`~repro.faults.schedule.SwitchFaultView`.  Lost
+        #: HBM channels stretch every phase by T / (T - lost) -- the frame
+        #: still stripes over the survivors, just more slowly -- and a
+        #: switch with zero surviving channels makes no memory progress.
+        self.faults = faults
         self.timing = timing if timing is not None else HBMTiming()
         self.address_map = (
             address_map if address_map is not None else HBMAddressMap(config)
@@ -171,6 +177,22 @@ class PFIEngine:
     def hbm_payload_bytes(self) -> int:
         return self._hbm_payload
 
+    def _memory_stretch(self, now: float) -> Optional[float]:
+        """Phase-duration multiplier under channel loss.
+
+        1.0 with no channel faults (bit-identical to the unfaulted
+        arithmetic); T / (T - lost) while ``lost`` channels are down;
+        ``None`` when no channel survives (the memory is offline and the
+        phase moves no data, though the cadence keeps ticking so
+        recovery is observed).
+        """
+        if self.faults is None or not self.faults.has_channel_faults:
+            return 1.0
+        fraction = self.faults.channel_fraction(now)
+        if fraction <= 0.0:
+            return None
+        return 1.0 / fraction
+
     # -- write phase -------------------------------------------------------------
 
     def _write_phase(self) -> None:
@@ -178,17 +200,22 @@ class PFIEngine:
             return
         now = self.engine.now
         self.counters.write_phases += 1
-        frame = self.tail.pop_frame(now)
-        if frame is None and self.options.padding:
-            frame = self._pad_oldest_output(now)
+        stretch = self._memory_stretch(now)
+        frame = None
+        if stretch is not None:
+            frame = self.tail.pop_frame(now)
+            if frame is None and self.options.padding:
+                frame = self._pad_oldest_output(now)
         if frame is not None:
-            self._write_frame(frame, now)
+            self._write_frame(frame, now, stretch)
         else:
             self.counters.idle_write_phases += 1
             if self.trace is not None:
                 self.trace.record(now, "pfi", "idle_write")
+        pace = stretch if stretch is not None else 1.0
         self.engine.schedule(
-            now + self.phase_duration + self.transition, self._read_phase
+            now + self.phase_duration * pace + self.transition * pace,
+            self._read_phase,
         )
 
     def _pad_oldest_output(self, now: float) -> Optional[Frame]:
@@ -212,7 +239,7 @@ class PFIEngine:
             self.counters.padded_frames += 1
         return frame
 
-    def _write_frame(self, frame: Frame, now: float) -> None:
+    def _write_frame(self, frame: Frame, now: float, stretch: float = 1.0) -> None:
         address = self.address_map.region(frame.output).push()
         if self.options.validate_hbm_timing:
             self._execute_schedule(Op.WR, address, now)
@@ -227,7 +254,9 @@ class PFIEngine:
                 payload=frame.payload_bytes,
             )
         # Content becomes readable when the write phase completes.
-        self.engine.schedule(now + self.phase_duration, lambda: self._land_frame(frame))
+        self.engine.schedule(
+            now + self.phase_duration * stretch, lambda: self._land_frame(frame)
+        )
 
     def _land_frame(self, frame: Frame) -> None:
         """Write phase completed: the frame is now readable in the HBM."""
@@ -242,16 +271,19 @@ class PFIEngine:
             return
         now = self.engine.now
         self.counters.read_phases += 1
+        stretch = self._memory_stretch(now)
         output = self._select_read_output()
         served = False
         if output is not None:
-            served = self._serve_output(output, now)
+            served = self._serve_output(output, now, stretch)
         if not served:
             self.counters.wasted_read_slots += 1
             if self.trace is not None:
                 self.trace.record(now, "pfi", "wasted_read", output=output)
+        pace = stretch if stretch is not None else 1.0
         self.engine.schedule(
-            now + self.phase_duration + self.transition, self._write_phase
+            now + self.phase_duration * pace + self.transition * pace,
+            self._write_phase,
         )
 
     def _select_read_output(self) -> Optional[int]:
@@ -271,8 +303,12 @@ class PFIEngine:
         self._read_ptr = (self._read_ptr + 1) % n
         return None
 
-    def _serve_output(self, output: int, now: float) -> bool:
-        if self._hbm_content[output]:
+    def _serve_output(
+        self, output: int, now: float, stretch: Optional[float] = 1.0
+    ) -> bool:
+        # stretch None = memory offline: the HBM cannot be read, but the
+        # bypass path (tail -> head, no memory round-trip) still can.
+        if stretch is not None and self._hbm_content[output]:
             frame = self._hbm_content[output].popleft()
             self._hbm_frames -= 1
             self._hbm_payload -= frame.payload_bytes
@@ -288,7 +324,7 @@ class PFIEngine:
                     output=output, frame=frame.index,
                     group=address.group.index, row=address.row,
                 )
-            done = now + self.phase_duration
+            done = now + self.phase_duration * stretch
             self.engine.schedule(done, lambda: self.deliver(frame, done))
             return True
         if self.options.bypass:
@@ -319,9 +355,14 @@ class PFIEngine:
 
     def _execute_schedule(self, op: Op, address, now: float) -> None:
         """Run this phase's real command schedule on the checked controller."""
+        n_channels = self.controller.n_channels
+        if self.faults is not None and self.faults.has_channel_faults:
+            # Stripe only over the surviving channels (at least one; the
+            # fully offline case never reaches a data phase).
+            n_channels = max(1, n_channels - self.faults.channels_lost(now))
         schedule = generate_frame_schedule(
             op=op,
-            channels=range(self.controller.n_channels),
+            channels=range(n_channels),
             group=address.group,
             segment_bytes=self.config.segment_bytes,
             row=address.row,

@@ -51,11 +51,13 @@ def assign_fibers(packets: Sequence[Packet], n_fibers: int, salt: int = 0xECA) -
 class RouterReport:
     """Aggregate of the H independent switch runs.
 
-    ``failed_switches`` lists switches injected as dead for this run
-    (SS 2.2 *Modularity*: switches share nothing, so a failure costs
+    ``failed_switches`` lists switches injected as dead for the whole
+    run (SS 2.2 *Modularity*: switches share nothing, so a failure costs
     exactly the traffic of its fibers -- 1/H of capacity -- and nothing
     else).  ``failed_offered_bytes`` is the traffic that arrived on a
-    dead switch's fibers and was lost.
+    dead switch's fibers and was lost; ``fault_lost_bytes`` is traffic
+    lost to other split-level faults (fiber cuts) and ``fault_events``
+    describes the injected schedule, if any.
     """
 
     switch_reports: List[SwitchReport]
@@ -63,11 +65,18 @@ class RouterReport:
     duration_ns: float
     failed_switches: List[int] = field(default_factory=list)
     failed_offered_bytes: int = 0
+    fault_lost_bytes: int = 0
+    fault_events: List[str] = field(default_factory=list)
 
     @property
     def offered_bytes(self) -> int:
-        """All traffic that reached the package, including failed fibers."""
-        return sum(r.offered_bytes for r in self.switch_reports) + self.failed_offered_bytes
+        """All traffic that reached the package, including traffic lost
+        on failed switches' fibers and on cut fibers."""
+        return (
+            sum(r.offered_bytes for r in self.switch_reports)
+            + self.failed_offered_bytes
+            + self.fault_lost_bytes
+        )
 
     @property
     def delivered_bytes(self) -> int:
@@ -76,6 +85,19 @@ class RouterReport:
     @property
     def dropped_bytes(self) -> int:
         return sum(r.dropped_bytes for r in self.switch_reports)
+
+    @property
+    def residual_bytes(self) -> int:
+        """Payload still queued inside the surviving switches."""
+        return sum(r.residual_bytes for r in self.switch_reports)
+
+    @property
+    def lost_bytes(self) -> int:
+        """Every byte that entered the package and will never leave it:
+        in-switch drops plus split-level losses (dead switches' fibers,
+        cut fibers).  Complements :attr:`residual_bytes`:
+        offered = delivered + lost + residual."""
+        return self.dropped_bytes + self.failed_offered_bytes + self.fault_lost_bytes
 
     @property
     def throughput_bps(self) -> float:
@@ -88,6 +110,28 @@ class RouterReport:
         if self.offered_bytes <= 0:
             return 1.0
         return self.delivered_bytes / self.offered_bytes
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Delivered bytes over *total* offered bytes.
+
+        The denominator is the symmetric total -- surviving-switch
+        offered + ``failed_offered_bytes`` + ``fault_lost_bytes`` --
+        i.e. exactly the byte population that :attr:`loss_fraction`
+        draws from, so ``delivered_fraction + loss_fraction +
+        residual/offered == 1`` holds by construction.
+        """
+        if self.offered_bytes <= 0:
+            return 1.0
+        return self.delivered_bytes / self.offered_bytes
+
+    @property
+    def loss_fraction(self) -> float:
+        """Lost bytes over total offered bytes (same denominator as
+        :attr:`delivered_fraction` -- the accounting is symmetric)."""
+        if self.offered_bytes <= 0:
+            return 0.0
+        return self.lost_bytes / self.offered_bytes
 
     @property
     def load_imbalance(self) -> float:
@@ -180,6 +224,7 @@ class SplitParallelSwitch:
         failed_switches: Optional[Sequence[int]] = None,
         mode: str = "sequential",
         n_workers: Optional[int] = None,
+        fault_schedule=None,
     ) -> RouterReport:
         """Simulate the whole router.
 
@@ -191,6 +236,17 @@ class SplitParallelSwitch:
         ``failed_switches`` injects dead switches: their traffic is lost
         at the (passive) split, the survivors run exactly as before --
         the modularity/fault-isolation property of SS 2.2.
+
+        ``fault_schedule`` (a :class:`~repro.faults.FaultSchedule`)
+        generalises that to timed faults: whole-run switch deaths take
+        the same split-level path as ``failed_switches`` (byte-identical
+        to the legacy API), windowed deaths / HBM channel losses / OEO
+        degradations are handed to the affected switches as per-switch
+        views, and fiber cuts filter their traffic at the split into
+        ``fault_lost_bytes``.  ``failed_switches`` and a schedule
+        compose: the listed switches are merged in as whole-run deaths.
+        An empty (or ``None``) schedule leaves every simulation path
+        bit-identical to an unfaulted run.
 
         ``mode`` selects how the H independent simulations execute:
 
@@ -210,18 +266,57 @@ class SplitParallelSwitch:
         for h in failed:
             if not 0 <= h < self.config.n_switches:
                 raise ConfigError(f"failed switch {h} out of range")
+        schedule = fault_schedule
+        if schedule is None and failed:
+            # Re-express the legacy API as its degenerate schedule, so
+            # both forms take literally the same path from here on.
+            from ..faults.schedule import FaultSchedule
+
+            schedule = FaultSchedule.from_failed_switches(failed)
+        elif schedule is not None and failed:
+            schedule = schedule.with_failed_switches(failed)
+        if schedule is not None:
+            schedule.validate(self.config)
+            if schedule.is_empty:
+                schedule = None
         if fibers is None:
             fibers = assign_fibers(packets, self.config.fibers_per_ribbon)
+        fault_lost = 0
+        if schedule is not None and schedule.has_fiber_cuts:
+            # A cut fiber's traffic never reaches the package: filter it
+            # at the (passive) split, before partitioning.
+            kept_packets: List[Packet] = []
+            kept_fibers: List[int] = []
+            for packet, fiber in zip(packets, fibers):
+                if schedule.fiber_cut_active(
+                    packet.input_port, fiber, packet.arrival_ns
+                ):
+                    fault_lost += packet.size_bytes
+                else:
+                    kept_packets.append(packet)
+                    kept_fibers.append(fiber)
+            packets, fibers = kept_packets, kept_fibers
         per_switch = self.partition_packets(packets, fibers)
+        # Whole-run deaths take the legacy split-level path; windowed
+        # faults ride along as per-switch views.
+        if schedule is not None:
+            dead = frozenset(schedule.whole_run_dead_switches())
+        else:
+            dead = failed
         offered: List[int] = []
         failed_bytes = 0
         units: List[SwitchWorkUnit] = []
         for h in range(self.config.n_switches):
             arrived = sum(p.size_bytes for p in per_switch[h])
             offered.append(arrived)
-            if h in failed:
+            if h in dead:
                 failed_bytes += arrived
                 continue
+            view = (
+                schedule.switch_view(h, self.config.switch.total_channels)
+                if schedule is not None
+                else None
+            )
             units.append(
                 SwitchWorkUnit(
                     index=h,
@@ -231,6 +326,7 @@ class SplitParallelSwitch:
                     packets=tuple(per_switch[h]),
                     duration_ns=duration_ns,
                     drain=drain,
+                    faults=view,
                 )
             )
         reports = self._execute_units(units, mode, n_workers)
@@ -241,8 +337,10 @@ class SplitParallelSwitch:
             switch_reports=reports,
             per_switch_offered_bytes=offered,
             duration_ns=duration_ns,
-            failed_switches=sorted(failed),
+            failed_switches=sorted(dead),
             failed_offered_bytes=failed_bytes,
+            fault_lost_bytes=fault_lost,
+            fault_events=schedule.describe() if schedule is not None else [],
         )
 
     def _execute_units(
@@ -266,7 +364,7 @@ class SplitParallelSwitch:
             return run_work_units(units, n_workers=n_workers)
         reports: List[SwitchReport] = []
         for unit in units:
-            switch = HBMSwitch(unit.config, unit.options, unit.timing)
+            switch = HBMSwitch(unit.config, unit.options, unit.timing, faults=unit.faults)
             reports.append(
                 switch.run(
                     list(unit.packets),

@@ -1,0 +1,210 @@
+"""Typed fault events: what can break, where, and when.
+
+The SPS reliability story (SS 2.2, *Modularity*) is that the H switches
+share nothing, so any failure is contained to the capacity it directly
+serves.  This module gives that story an executable vocabulary: each
+fault is a frozen dataclass with an *injection scope* (which switch,
+ribbon/fiber, or memory channels) and a *time window* ``[start_ns,
+end_ns)`` during which it is active.  ``end_ns = inf`` models a
+permanent failure; a finite window models repair/recovery (MTTR).
+
+Four fault classes cover the package's failure surfaces:
+
+- :class:`SwitchFailure` -- one HBM switch dies (power, HBM stack, or
+  logic die): traffic arriving on its fibers while it is down is lost.
+- :class:`HBMChannelLoss` -- some of a switch's T memory channels stop
+  responding: the interleave stripes over fewer channels, so the PFI
+  drain rate shrinks proportionally.
+- :class:`OEODegradation` -- a laser/modulator ages or an O/E/O stage
+  degrades: the affected switch's egress lanes run at a reduced rate.
+- :class:`FiberCut` -- one fiber of one ribbon is severed upstream of
+  the passive split: only that fiber's traffic is lost.
+
+Events carry no behaviour beyond window arithmetic; the simulation
+hooks live in :mod:`repro.faults.schedule` (per-switch projections) and
+the core (:class:`~repro.core.sps.SplitParallelSwitch`,
+:class:`~repro.core.hbm_switch.HBMSwitch`, the PFI engine and the HBM
+controller).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+#: Sentinel for a fault that never recovers.
+FOREVER_NS = math.inf
+
+
+def _validate_window(start_ns: float, end_ns: float) -> None:
+    if start_ns < 0:
+        raise ConfigError(f"fault start must be >= 0, got {start_ns}")
+    if not end_ns > start_ns:
+        raise ConfigError(
+            f"fault window must be non-empty: start {start_ns} ns, end {end_ns} ns"
+        )
+
+
+class _Windowed:
+    """Window arithmetic shared by every fault event (no fields)."""
+
+    start_ns: float
+    end_ns: float
+
+    def active_at(self, t_ns: float) -> bool:
+        """Whether the fault is in effect at time ``t_ns`` (half-open)."""
+        return self.start_ns <= t_ns < self.end_ns
+
+    @property
+    def permanent(self) -> bool:
+        """The fault never recovers."""
+        return math.isinf(self.end_ns)
+
+    @property
+    def whole_run(self) -> bool:
+        """Active from t = 0 with no recovery -- the degenerate schedule
+        equivalent to the legacy whole-run ``failed_switches`` path."""
+        return self.start_ns <= 0.0 and self.permanent
+
+
+@dataclass(frozen=True)
+class SwitchFailure(_Windowed):
+    """HBM switch ``switch`` is dead during ``[start_ns, end_ns)``.
+
+    While dead, traffic arriving on the switch's fibers is lost (the
+    share-nothing property: nothing else is affected).  A whole-run
+    failure (``start_ns = 0``, ``end_ns = inf``) reproduces the legacy
+    ``failed_switches=[h]`` behaviour byte for byte.
+    """
+
+    switch: int
+    start_ns: float = 0.0
+    end_ns: float = FOREVER_NS
+
+    def __post_init__(self) -> None:
+        if self.switch < 0:
+            raise ConfigError(f"switch index must be >= 0, got {self.switch}")
+        _validate_window(self.start_ns, self.end_ns)
+
+    def describe(self) -> str:
+        return f"switch {self.switch} dead [{self.start_ns:g}, {self.end_ns:g}) ns"
+
+
+@dataclass(frozen=True)
+class HBMChannelLoss(_Windowed):
+    """``n_channels`` of switch ``switch``'s T memory channels are lost.
+
+    PFI stripes each frame over all T channels, so losing c of them
+    stretches every write/read phase by T / (T - c) -- the drain rate
+    degrades linearly, which is what the per-interval capacity report
+    measures.  Losing every channel halts the memory (no frames move
+    until recovery).
+    """
+
+    switch: int
+    n_channels: int = 1
+    start_ns: float = 0.0
+    end_ns: float = FOREVER_NS
+
+    def __post_init__(self) -> None:
+        if self.switch < 0:
+            raise ConfigError(f"switch index must be >= 0, got {self.switch}")
+        if self.n_channels <= 0:
+            raise ConfigError(
+                f"n_channels must be positive, got {self.n_channels}"
+            )
+        _validate_window(self.start_ns, self.end_ns)
+
+    def describe(self) -> str:
+        return (
+            f"switch {self.switch} loses {self.n_channels} HBM channel(s) "
+            f"[{self.start_ns:g}, {self.end_ns:g}) ns"
+        )
+
+
+@dataclass(frozen=True)
+class OEODegradation(_Windowed):
+    """Switch ``switch``'s egress O/E/O runs at ``rate_factor`` of nominal.
+
+    Models laser aging / modulator drift: the switch still forwards, but
+    its output ports drain at ``rate_factor * P``.  Under load this
+    shows up as growing head-of-line latency and, eventually, input-SRAM
+    drops -- degradation rather than outage.
+    """
+
+    switch: int
+    rate_factor: float = 0.5
+    start_ns: float = 0.0
+    end_ns: float = FOREVER_NS
+
+    def __post_init__(self) -> None:
+        if self.switch < 0:
+            raise ConfigError(f"switch index must be >= 0, got {self.switch}")
+        if not 0.0 < self.rate_factor <= 1.0:
+            raise ConfigError(
+                f"rate_factor must be in (0, 1], got {self.rate_factor}"
+            )
+        _validate_window(self.start_ns, self.end_ns)
+
+    def describe(self) -> str:
+        return (
+            f"switch {self.switch} egress at {self.rate_factor:.0%} "
+            f"[{self.start_ns:g}, {self.end_ns:g}) ns"
+        )
+
+
+@dataclass(frozen=True)
+class FiberCut(_Windowed):
+    """Fiber ``fiber`` of ribbon ``ribbon`` is cut upstream of the split.
+
+    Lost traffic is exactly that fiber's share (1 / (F * N) of package
+    ingress under even spreading); the switch the fiber feeds keeps
+    serving its other fibers -- failure granularity *below* a switch.
+    """
+
+    ribbon: int
+    fiber: int
+    start_ns: float = 0.0
+    end_ns: float = FOREVER_NS
+
+    def __post_init__(self) -> None:
+        if self.ribbon < 0:
+            raise ConfigError(f"ribbon index must be >= 0, got {self.ribbon}")
+        if self.fiber < 0:
+            raise ConfigError(f"fiber index must be >= 0, got {self.fiber}")
+        _validate_window(self.start_ns, self.end_ns)
+
+    def describe(self) -> str:
+        return (
+            f"fiber ({self.ribbon}, {self.fiber}) cut "
+            f"[{self.start_ns:g}, {self.end_ns:g}) ns"
+        )
+
+
+#: Every concrete fault type, for isinstance checks and (de)serialisation.
+FAULT_TYPES = (SwitchFailure, HBMChannelLoss, OEODegradation, FiberCut)
+
+
+def event_to_dict(event) -> dict:
+    """JSON-safe dict of one fault event (``inf`` end becomes ``None``)."""
+    import dataclasses
+
+    data = dataclasses.asdict(event)
+    data["kind"] = type(event).__name__
+    if math.isinf(data["end_ns"]):
+        data["end_ns"] = None
+    return data
+
+
+def event_from_dict(data: dict):
+    """Inverse of :func:`event_to_dict`."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    by_name = {cls.__name__: cls for cls in FAULT_TYPES}
+    if kind not in by_name:
+        raise ConfigError(f"unknown fault kind {kind!r}")
+    if payload.get("end_ns") is None:
+        payload["end_ns"] = FOREVER_NS
+    return by_name[kind](**payload)

@@ -1,0 +1,252 @@
+"""Graceful-degradation measurement: capacity over time under faults.
+
+The modularity claim (SS 2.2) is quantitative: killing k of the H
+share-nothing switches costs exactly k/H of capacity, and nothing else
+degrades.  :func:`measure_degradation` turns one faulted router run into
+a :class:`DegradationReport` -- offered vs delivered capacity per time
+interval -- so the claim (and the softer degradations: channel loss, OEO
+aging, fiber cuts) can be read off as a capacity-over-time curve.
+
+Binning: offered bytes are attributed to the interval of each packet's
+*arrival*; delivered bytes to the interval of its *departure* (the wire
+time of its last byte).  The run is sequential so departures are written
+back onto the caller's packet objects; departures during the drain tail
+(after ``duration_ns``) land in the last interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..config import RouterConfig
+from ..core.pfi import PFIOptions
+from ..core.sps import RouterReport, SplitParallelSwitch
+from ..errors import ConfigError
+from ..traffic import FixedSize, TrafficGenerator, uniform_matrix
+from ..units import bytes_per_ns_to_rate
+from .schedule import FaultSchedule
+
+#: Default interval-availability threshold: an interval counts as
+#: "available" when it delivered at least this fraction of its offer.
+AVAILABILITY_THRESHOLD = 0.9
+
+
+def router_fault_traffic(
+    config: RouterConfig,
+    load: float = 0.6,
+    duration_ns: float = 40_000.0,
+    seed: int = 0,
+    packet_bytes: int = 1500,
+) -> List:
+    """Router-level traffic for degradation runs (fixed-size packets so
+    per-interval byte counts are smooth)."""
+    generator = TrafficGenerator(
+        n_ports=config.n_ribbons,
+        port_rate_bps=config.fibers_per_ribbon * config.per_fiber_rate_bps,
+        matrix=uniform_matrix(config.n_ribbons, load),
+        size_dist=FixedSize(packet_bytes),
+        seed=seed,
+        flows_per_pair=256,
+    )
+    return generator.generate(duration_ns)
+
+
+def deterministic_fibers(packets: Sequence, n_fibers: int) -> List[int]:
+    """Per-ribbon round-robin fiber assignment.
+
+    ECMP hashing spreads flows multinomially, which adds O(1/sqrt(n))
+    noise to per-switch offered bytes; the closed-form (H-k)/H
+    cross-check needs the noise-free spread this gives.  Round-robin is
+    kept per ribbon (each ribbon has its own fiber-to-switch map), so
+    every ribbon's packets cover its fibers exactly evenly.
+    """
+    if n_fibers <= 0:
+        raise ConfigError(f"n_fibers must be positive, got {n_fibers}")
+    counters: dict = {}
+    fibers = []
+    for packet in packets:
+        count = counters.get(packet.input_port, 0)
+        fibers.append(count % n_fibers)
+        counters[packet.input_port] = count + 1
+    return fibers
+
+
+@dataclass(frozen=True)
+class IntervalSample:
+    """Offered vs delivered bytes in one ``[start_ns, end_ns)`` slice."""
+
+    start_ns: float
+    end_ns: float
+    offered_bytes: int
+    delivered_bytes: int
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+    @property
+    def offered_bps(self) -> float:
+        if self.duration_ns <= 0:
+            return 0.0
+        return bytes_per_ns_to_rate(self.offered_bytes / self.duration_ns)
+
+    @property
+    def delivered_bps(self) -> float:
+        if self.duration_ns <= 0:
+            return 0.0
+        return bytes_per_ns_to_rate(self.delivered_bytes / self.duration_ns)
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Delivered over offered (can exceed 1.0 while a backlog or the
+        drain tail empties into this interval)."""
+        if self.offered_bytes <= 0:
+            return 1.0
+        return self.delivered_bytes / self.offered_bytes
+
+    def to_dict(self) -> dict:
+        return {
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "offered_bytes": self.offered_bytes,
+            "delivered_bytes": self.delivered_bytes,
+            "offered_bps": self.offered_bps,
+            "delivered_bps": self.delivered_bps,
+            "delivered_fraction": self.delivered_fraction,
+        }
+
+
+@dataclass
+class DegradationReport:
+    """Capacity-over-time view of one faulted router run."""
+
+    duration_ns: float
+    intervals: List[IntervalSample]
+    offered_bytes: int
+    delivered_bytes: int
+    lost_bytes: int
+    residual_bytes: int
+    failed_switches: List[int] = field(default_factory=list)
+    fault_events: List[str] = field(default_factory=list)
+
+    @property
+    def delivered_fraction(self) -> float:
+        if self.offered_bytes <= 0:
+            return 1.0
+        return self.delivered_bytes / self.offered_bytes
+
+    @property
+    def loss_fraction(self) -> float:
+        if self.offered_bytes <= 0:
+            return 0.0
+        return self.lost_bytes / self.offered_bytes
+
+    def availability(self, threshold: float = AVAILABILITY_THRESHOLD) -> float:
+        """Fraction of intervals that delivered at least ``threshold``
+        of their offered bytes (1.0 = no interval dipped)."""
+        if not self.intervals:
+            return 1.0
+        ok = sum(
+            1 for s in self.intervals if s.delivered_fraction >= threshold
+        )
+        return ok / len(self.intervals)
+
+    def to_dict(self, threshold: float = AVAILABILITY_THRESHOLD) -> dict:
+        return {
+            "duration_ns": self.duration_ns,
+            "offered_bytes": self.offered_bytes,
+            "delivered_bytes": self.delivered_bytes,
+            "lost_bytes": self.lost_bytes,
+            "residual_bytes": self.residual_bytes,
+            "delivered_fraction": self.delivered_fraction,
+            "loss_fraction": self.loss_fraction,
+            "availability": self.availability(threshold),
+            "availability_threshold": threshold,
+            "failed_switches": list(self.failed_switches),
+            "fault_events": list(self.fault_events),
+            "intervals": [s.to_dict() for s in self.intervals],
+        }
+
+
+def bin_packets(
+    packets: Sequence,
+    duration_ns: float,
+    n_intervals: int,
+) -> List[IntervalSample]:
+    """Attribute offered/delivered bytes to equal time intervals.
+
+    Late departures (the drain tail) land in the last interval; packets
+    with ``departure_ns`` unset were lost and contribute offer only.
+    """
+    if n_intervals <= 0:
+        raise ConfigError(f"n_intervals must be positive, got {n_intervals}")
+    if duration_ns <= 0:
+        raise ConfigError(f"duration_ns must be positive, got {duration_ns}")
+    width = duration_ns / n_intervals
+    offered = [0] * n_intervals
+    delivered = [0] * n_intervals
+    last = n_intervals - 1
+    for packet in packets:
+        offered[min(last, int(packet.arrival_ns / width))] += packet.size_bytes
+        if packet.departure_ns is not None:
+            delivered[min(last, int(packet.departure_ns / width))] += packet.size_bytes
+    return [
+        IntervalSample(
+            start_ns=i * width,
+            end_ns=(i + 1) * width,
+            offered_bytes=offered[i],
+            delivered_bytes=delivered[i],
+        )
+        for i in range(n_intervals)
+    ]
+
+
+def measure_degradation(
+    config: RouterConfig,
+    schedule: Optional[FaultSchedule] = None,
+    load: float = 0.6,
+    duration_ns: float = 40_000.0,
+    seed: int = 0,
+    n_intervals: int = 8,
+    options: Optional[PFIOptions] = None,
+    round_robin_fibers: bool = True,
+    packets: Optional[Sequence] = None,
+) -> DegradationReport:
+    """Run one faulted router simulation and bin it over time.
+
+    Sequential execution on purpose: the binning needs ``departure_ns``
+    written back onto the generated packets, which only the sequential
+    path does.  ``round_robin_fibers`` (the default) spreads packets
+    deterministically over fibers so measured capacity matches the
+    (H - k)/H closed form without multinomial hash noise.
+    """
+    if options is None:
+        options = PFIOptions(padding=True, bypass=True)
+    if packets is None:
+        packets = router_fault_traffic(
+            config, load=load, duration_ns=duration_ns, seed=seed
+        )
+    fibers = (
+        deterministic_fibers(packets, config.fibers_per_ribbon)
+        if round_robin_fibers
+        else None
+    )
+    router = SplitParallelSwitch(config, options=options)
+    report: RouterReport = router.run(
+        packets,
+        duration_ns,
+        fibers=fibers,
+        fault_schedule=schedule,
+        mode="sequential",
+    )
+    return DegradationReport(
+        duration_ns=duration_ns,
+        intervals=bin_packets(packets, duration_ns, n_intervals),
+        offered_bytes=report.offered_bytes,
+        delivered_bytes=report.delivered_bytes,
+        lost_bytes=report.lost_bytes,
+        residual_bytes=report.residual_bytes,
+        failed_switches=list(report.failed_switches),
+        fault_events=list(report.fault_events),
+    )

@@ -1,0 +1,84 @@
+"""Textual fault specs for the CLI.
+
+Grammar (times in microseconds, window optional and half-open):
+
+- ``switch:H[@S[-E]]``      -- switch H dead from S (default 0) to E
+- ``channels:H:N[@S[-E]]``  -- switch H loses N HBM channels
+- ``oeo:H:F[@S[-E]]``       -- switch H egress at factor F of nominal
+- ``fiber:R:F[@S[-E]]``     -- fiber F of ribbon R cut
+
+``@5-20`` means active on [5 us, 20 us); ``@5`` and ``@5-`` mean from
+5 us with no recovery; no ``@`` at all means the whole run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..errors import ConfigError
+from .model import FOREVER_NS, FiberCut, HBMChannelLoss, OEODegradation, SwitchFailure
+from .schedule import FaultSchedule
+
+US_TO_NS = 1e3
+
+
+def _parse_window(text: str) -> Tuple[float, float]:
+    """``S``, ``S-``, or ``S-E`` (microseconds) -> (start_ns, end_ns)."""
+    start_text, sep, end_text = text.partition("-")
+    try:
+        start = float(start_text) * US_TO_NS
+        end = float(end_text) * US_TO_NS if sep and end_text else FOREVER_NS
+    except ValueError:
+        raise ConfigError(f"bad fault window {text!r} (expected S[-E] in us)")
+    return start, end
+
+
+def parse_fault_event(spec: str):
+    """One spec string -> one fault event."""
+    body, _, window_text = spec.partition("@")
+    start, end = _parse_window(window_text) if window_text else (0.0, FOREVER_NS)
+    parts = body.split(":")
+    kind = parts[0].strip().lower()
+    try:
+        if kind == "switch" and len(parts) == 2:
+            return SwitchFailure(
+                switch=int(parts[1]), start_ns=start, end_ns=end
+            )
+        if kind == "channels" and len(parts) == 3:
+            return HBMChannelLoss(
+                switch=int(parts[1]),
+                n_channels=int(parts[2]),
+                start_ns=start,
+                end_ns=end,
+            )
+        if kind == "oeo" and len(parts) == 3:
+            return OEODegradation(
+                switch=int(parts[1]),
+                rate_factor=float(parts[2]),
+                start_ns=start,
+                end_ns=end,
+            )
+        if kind == "fiber" and len(parts) == 3:
+            return FiberCut(
+                ribbon=int(parts[1]),
+                fiber=int(parts[2]),
+                start_ns=start,
+                end_ns=end,
+            )
+    except ValueError:
+        raise ConfigError(f"bad fault spec {spec!r}: non-numeric field")
+    raise ConfigError(
+        f"bad fault spec {spec!r}: expected switch:H, channels:H:N, "
+        f"oeo:H:F, or fiber:R:F (optionally @S[-E] in us)"
+    )
+
+
+def parse_fault_specs(specs: Iterable[str]) -> FaultSchedule:
+    """Many spec strings (each possibly comma-separated) -> a schedule."""
+    events = []
+    for spec in specs:
+        for piece in spec.split(","):
+            piece = piece.strip()
+            if piece:
+                events.append(parse_fault_event(piece))
+    return FaultSchedule(events)

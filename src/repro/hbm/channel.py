@@ -9,7 +9,7 @@ across.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List
+from typing import Deque, List, Tuple
 
 from ..errors import TimingViolation
 from .bank import Bank
@@ -45,6 +45,9 @@ class Channel:
         self._act_history: Deque[float] = deque(maxlen=4)
         self._bytes_moved = 0
         self._data_end = -float("inf")
+        # Fault injection (:mod:`repro.faults`): half-open [start, end)
+        # windows during which the channel does not respond.
+        self._dead_windows: List[Tuple[float, float]] = []
 
     # -- introspection -------------------------------------------------------
 
@@ -71,10 +74,31 @@ class Channel:
         quantised = self._timing.quantise_to_bursts(size_bytes, self._width_bits)
         return quantised / self._bytes_per_ns
 
+    # -- fault injection -------------------------------------------------------
+
+    def fail(self, start_ns: float = 0.0, end_ns: float = float("inf")) -> None:
+        """Mark the channel dead during ``[start_ns, end_ns)``.
+
+        A dead channel rejects every command addressed to it inside the
+        window (the controller surfaces this as a
+        :class:`~repro.errors.TimingViolation` with rule
+        ``channel-dead``), which is how a stuck HBM channel presents to
+        a real scheduler: commands time out instead of completing.
+        """
+        self._dead_windows.append((start_ns, end_ns))
+
+    def available_at(self, t_ns: float) -> bool:
+        """Whether the channel responds to commands at ``t_ns``."""
+        return not any(start <= t_ns < end for start, end in self._dead_windows)
+
     # -- command application ---------------------------------------------------
 
     def apply(self, cmd: Command) -> None:
         """Validate channel-level rules, then delegate bank-level rules."""
+        if self._dead_windows and not self.available_at(cmd.time):
+            raise TimingViolation(
+                cmd.describe(), cmd.time, float("inf"), "channel-dead"
+            )
         if not 0 <= cmd.bank < self.n_banks:
             raise TimingViolation(
                 cmd.describe(), cmd.time, float("inf"), f"bank-out-of-range(<{self.n_banks})"

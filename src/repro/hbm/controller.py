@@ -100,6 +100,32 @@ class HBMController:
             )
         return self._channels[flat_index]
 
+    # -- fault injection -------------------------------------------------------
+
+    def apply_channel_loss(
+        self,
+        n_channels: int,
+        start_ns: float = 0.0,
+        end_ns: float = float("inf"),
+    ) -> None:
+        """Mark the *last* ``n_channels`` channels dead during the window.
+
+        Survivors are the first T - n flat channels, which is exactly
+        the set the PFI engine keeps striping over under a
+        :class:`~repro.faults.model.HBMChannelLoss` -- so a validated
+        (command-level) run and the analytic drain stretch agree on
+        which channels are gone.  Commands addressed to a dead channel
+        inside the window raise :class:`~repro.errors.TimingViolation`
+        with rule ``channel-dead``.
+        """
+        if not 0 < n_channels <= self.n_channels:
+            raise ConfigError(
+                f"channel loss must take 1..{self.n_channels} channels, "
+                f"got {n_channels}"
+            )
+        for channel in self._channels[self.n_channels - n_channels:]:
+            channel.fail(start_ns, end_ns)
+
     # -- execution ------------------------------------------------------------
 
     def apply(self, cmd: Command) -> None:

@@ -26,3 +26,7 @@ __all__ = [
     "run_benchmarks",
     "write_bench_json",
 ]
+
+# The regression gate lives in repro.perf.compare; it is kept out of this
+# namespace so `python -m repro.perf.compare` runs without a double-import
+# warning.

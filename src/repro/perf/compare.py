@@ -1,0 +1,133 @@
+"""Bench-regression gate: compare two ``BENCH_<rev>.json`` documents.
+
+The perf harness (:mod:`repro.perf.harness`) tracks a small set of
+throughput metrics from revision to revision.  This module compares a
+current document against a checked-in baseline and fails (exit 1) when
+any tracked metric regresses by more than the threshold -- the CI step
+that keeps the simulator's cost centres honest.
+
+Only *rate* metrics are tracked: wall-clock seconds shift with workload
+sizes (``--quick``), and parallel speedup depends on the host's core
+count, but events/sec and packets/sec measure the same inner loops on
+any workload scale.
+
+Usage::
+
+    python -m repro.perf.compare BENCH_1.json BENCH_ci.json [--threshold 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+#: (bench name, metric key) pairs gated by the comparison.  Higher is
+#: better for every entry.
+TRACKED_METRICS: Tuple[Tuple[str, str], ...] = (
+    ("engine", "events_per_sec"),
+    ("traffic", "packets_per_sec"),
+    ("switch", "events_per_sec"),
+    ("switch", "packets_per_sec"),
+)
+
+#: Default allowed fractional drop before the gate fails.
+DEFAULT_THRESHOLD = 0.25
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _metric(document: Dict[str, Any], bench: str, key: str) -> Optional[float]:
+    try:
+        value = document["results"][bench]["metrics"][key]
+    except (KeyError, TypeError):
+        return None
+    return float(value)
+
+
+def compare_documents(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[Dict[str, Any]]:
+    """One row per tracked metric: baseline, current, ratio, verdict.
+
+    A metric missing from either document is reported (``ratio`` None)
+    but never fails the gate -- new benches should not break old
+    baselines and vice versa.
+    """
+    rows = []
+    for bench, key in TRACKED_METRICS:
+        base = _metric(baseline, bench, key)
+        cur = _metric(current, bench, key)
+        ratio = (cur / base) if (base and cur is not None) else None
+        rows.append(
+            {
+                "bench": bench,
+                "metric": key,
+                "baseline": base,
+                "current": cur,
+                "ratio": ratio,
+                "regressed": ratio is not None and ratio < 1.0 - threshold,
+            }
+        )
+    return rows
+
+
+def render_rows(rows: List[Dict[str, Any]], threshold: float) -> str:
+    lines = [
+        f"bench regression gate (fail below {1.0 - threshold:.2f}x baseline)",
+        f"{'bench':<16}{'metric':<20}{'baseline':>14}{'current':>14}{'ratio':>8}  verdict",
+    ]
+    for row in rows:
+        if row["ratio"] is None:
+            lines.append(
+                f"{row['bench']:<16}{row['metric']:<20}{'-':>14}{'-':>14}{'-':>8}  skipped (missing)"
+            )
+            continue
+        verdict = "REGRESSED" if row["regressed"] else "ok"
+        lines.append(
+            f"{row['bench']:<16}{row['metric']:<20}"
+            f"{row['baseline']:>14,.0f}{row['current']:>14,.0f}"
+            f"{row['ratio']:>8.2f}  {verdict}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.perf.compare",
+        description="fail when tracked bench metrics regress vs a baseline",
+    )
+    parser.add_argument("baseline", help="checked-in baseline BENCH_*.json")
+    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="allowed fractional drop (default 0.25 = fail below 75%%)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.threshold < 1.0:
+        print(f"threshold must be in (0, 1), got {args.threshold}", file=sys.stderr)
+        return 2
+    try:
+        baseline = load_bench(args.baseline)
+        current = load_bench(args.current)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error reading bench documents: {exc}", file=sys.stderr)
+        return 2
+    rows = compare_documents(baseline, current, args.threshold)
+    print(render_rows(rows, args.threshold))
+    regressed = [r for r in rows if r["regressed"]]
+    if regressed:
+        names = ", ".join(f"{r['bench']}.{r['metric']}" for r in regressed)
+        print(f"FAIL: {len(regressed)} metric(s) regressed: {names}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,11 +1,15 @@
 """Paper-style table rendering and schedule timelines."""
 
+from .degradation import campaign_table, degradation_summary_table, degradation_table
 from .export import report_to_dict, report_to_json
 from .tables import Table, format_row, render_comparison
 from .timeline import render_bank_timeline, render_bus_utilisation
 
 __all__ = [
     "Table",
+    "campaign_table",
+    "degradation_summary_table",
+    "degradation_table",
     "format_row",
     "render_comparison",
     "render_bank_timeline",

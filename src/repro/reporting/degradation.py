@@ -1,0 +1,72 @@
+"""Human-readable rendering of graceful-degradation results.
+
+Two views: the per-interval capacity table of one faulted run, and the
+distribution summary of a Monte-Carlo campaign.  Both take the fault
+layer's report objects and return :class:`~repro.reporting.tables.Table`
+instances so the CLI prints them like every other report.
+"""
+
+from __future__ import annotations
+
+from ..units import format_rate, format_size
+from .tables import Table
+
+#: Width of the inline capacity bar.
+BAR_WIDTH = 24
+
+
+def _capacity_bar(fraction: float, width: int = BAR_WIDTH) -> str:
+    """``####----`` bar of delivered/offered, clamped to [0, 1]."""
+    clamped = min(1.0, max(0.0, fraction))
+    filled = round(clamped * width)
+    return "#" * filled + "-" * (width - filled)
+
+
+def degradation_table(report) -> Table:
+    """Per-interval capacity table of a DegradationReport."""
+    table = Table(
+        "Capacity over time",
+        ["interval (us)", "offered", "delivered", "fraction", "capacity"],
+    )
+    for sample in report.intervals:
+        table.add(
+            f"{sample.start_ns / 1e3:.1f}-{sample.end_ns / 1e3:.1f}",
+            format_rate(sample.offered_bps),
+            format_rate(sample.delivered_bps),
+            f"{sample.delivered_fraction:.3f}",
+            _capacity_bar(sample.delivered_fraction),
+        )
+    return table
+
+
+def degradation_summary_table(report) -> Table:
+    """Run-level totals of a DegradationReport."""
+    table = Table("Degradation summary", ["metric", "value"])
+    table.add("offered", format_size(report.offered_bytes))
+    table.add("delivered", format_size(report.delivered_bytes))
+    table.add("lost", format_size(report.lost_bytes))
+    table.add("residual", format_size(report.residual_bytes))
+    table.add("delivered fraction", f"{report.delivered_fraction:.4f}")
+    table.add("loss fraction", f"{report.loss_fraction:.4f}")
+    table.add("availability", f"{report.availability():.3f}")
+    if report.failed_switches:
+        table.add("whole-run dead switches", str(report.failed_switches))
+    for line in report.fault_events:
+        table.add("fault", line)
+    return table
+
+
+def campaign_table(result) -> Table:
+    """Distribution summary of a CampaignResult."""
+    data = result.to_dict()
+    table = Table(
+        "Fault campaign",
+        ["metric", "mean", "min", "p10", "p50", "p90", "max"],
+    )
+    for key in ("delivered_fraction", "availability", "loss_fraction"):
+        dist = data[key]
+        table.add(
+            key,
+            *(f"{dist[stat]:.4f}" for stat in ("mean", "min", "p10", "p50", "p90", "max")),
+        )
+    return table

@@ -29,15 +29,27 @@ def report_to_dict(report) -> Dict[str, Any]:
             "offered_bytes": report.offered_bytes,
             "delivered_bytes": report.delivered_bytes,
             "dropped_bytes": report.dropped_bytes,
+            "residual_bytes": report.residual_bytes,
+            "lost_bytes": report.lost_bytes,
             "failed_switches": list(report.failed_switches),
             "failed_offered_bytes": report.failed_offered_bytes,
+            "fault_lost_bytes": report.fault_lost_bytes,
+            "fault_events": list(report.fault_events),
             "delivery_fraction": report.delivery_fraction,
+            "delivered_fraction": report.delivered_fraction,
+            "loss_fraction": report.loss_fraction,
             "load_imbalance": report.load_imbalance,
             "ordering_violations": report.ordering_violations,
             "latency": report.latency_summary(),
             "per_switch_offered_bytes": list(report.per_switch_offered_bytes),
             "switches": [report_to_dict(r) for r in report.switch_reports],
         }
+    # Fault-layer reports (DegradationReport, CampaignResult) carry
+    # their own serialisation; dispatch on it rather than importing the
+    # faults package here.
+    to_dict = getattr(report, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
     raise TypeError(f"cannot export {type(report).__name__}")
 
 

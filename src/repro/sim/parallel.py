@@ -54,6 +54,10 @@ class SwitchWorkUnit:
     duration_ns: float = 0.0
     drain: bool = True
     max_drain_ns: Optional[float] = None
+    #: Optional per-switch fault projection
+    #: (:class:`~repro.faults.schedule.SwitchFaultView`); ``None`` keeps
+    #: the exact unfaulted simulation path.
+    faults: Optional[object] = None
 
 
 def execute_work_unit(unit: SwitchWorkUnit):
@@ -64,7 +68,7 @@ def execute_work_unit(unit: SwitchWorkUnit):
     """
     from ..core.hbm_switch import HBMSwitch
 
-    switch = HBMSwitch(unit.config, unit.options, unit.timing)
+    switch = HBMSwitch(unit.config, unit.options, unit.timing, faults=unit.faults)
     report = switch.run(
         list(unit.packets),
         unit.duration_ns,
@@ -105,3 +109,29 @@ def run_work_units(
         for index, report in pool.map(execute_work_unit, units):
             by_index[index] = report
     return [by_index[unit.index] for unit in units]
+
+
+def run_parallel_tasks(
+    fn: Callable,
+    items: Sequence,
+    n_workers: Optional[int] = None,
+    executor_factory: Callable[..., ProcessPoolExecutor] = ProcessPoolExecutor,
+) -> List:
+    """Order-preserving parallel map with the same worker policy as
+    :func:`run_work_units`.
+
+    ``fn`` must be a module-level callable and every item picklable --
+    the contract worker processes impose.  With one worker (or one item)
+    everything runs inline, which is also the fallback on platforms
+    without working multiprocessing.  Fault-injection campaigns
+    (:mod:`repro.faults.campaign`) fan whole faulted router runs out
+    through this: the parallelism is *between* independent scenarios,
+    so each worker still simulates its scenario sequentially and
+    deterministically.
+    """
+    items = list(items)
+    workers = resolve_worker_count(n_workers, len(items))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    with executor_factory(max_workers=workers) as pool:
+        return list(pool.map(fn, items))

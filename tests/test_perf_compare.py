@@ -1,0 +1,87 @@
+"""Bench-regression gate (``repro.perf.compare``)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf.compare import TRACKED_METRICS, compare_documents, main
+
+
+def make_document(scale=1.0, drop=()):
+    results = {}
+    for bench, key in TRACKED_METRICS:
+        if (bench, key) in drop:
+            continue
+        results.setdefault(bench, {"metrics": {}})["metrics"][key] = 1000.0 * scale
+    return {"schema": "repro-bench-v1", "results": results}
+
+
+class TestCompareDocuments:
+    def test_identical_documents_pass(self):
+        rows = compare_documents(make_document(), make_document())
+        assert len(rows) == len(TRACKED_METRICS)
+        assert all(not row["regressed"] for row in rows)
+        assert all(row["ratio"] == pytest.approx(1.0) for row in rows)
+
+    def test_small_drop_within_threshold_passes(self):
+        rows = compare_documents(make_document(), make_document(scale=0.8))
+        assert all(not row["regressed"] for row in rows)
+
+    def test_large_drop_fails(self):
+        rows = compare_documents(make_document(), make_document(scale=0.5))
+        assert all(row["regressed"] for row in rows)
+
+    def test_improvement_passes(self):
+        rows = compare_documents(make_document(), make_document(scale=2.0))
+        assert all(not row["regressed"] for row in rows)
+
+    def test_custom_threshold(self):
+        rows = compare_documents(
+            make_document(), make_document(scale=0.8), threshold=0.1
+        )
+        assert all(row["regressed"] for row in rows)
+
+    def test_missing_metric_skipped_not_failed(self):
+        current = make_document(drop=(("engine", "events_per_sec"),))
+        rows = compare_documents(make_document(), current)
+        skipped = [r for r in rows if r["ratio"] is None]
+        assert len(skipped) == 1
+        assert skipped[0]["bench"] == "engine"
+        assert not skipped[0]["regressed"]
+
+
+class TestCompareCli:
+    def write(self, tmp_path, name, document):
+        path = tmp_path / name
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", make_document())
+        cur = self.write(tmp_path, "cur.json", make_document(scale=0.9))
+        assert main([base, cur]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", make_document())
+        cur = self.write(tmp_path, "cur.json", make_document(scale=0.5))
+        assert main([base, cur]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "FAIL" in captured.err
+
+    def test_exit_two_on_missing_file(self, tmp_path):
+        base = self.write(tmp_path, "base.json", make_document())
+        assert main([base, str(tmp_path / "nope.json")]) == 2
+
+    def test_exit_two_on_bad_threshold(self, tmp_path):
+        base = self.write(tmp_path, "base.json", make_document())
+        assert main([base, base, "--threshold", "1.5"]) == 2
+
+    def test_checked_in_baseline_compares_against_itself(self, capsys):
+        baseline = str(Path(__file__).resolve().parent.parent / "BENCH_1.json")
+        assert main([baseline, baseline]) == 0
+        out = capsys.readouterr().out
+        for bench, key in TRACKED_METRICS:
+            assert key in out
