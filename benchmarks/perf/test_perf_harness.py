@@ -59,6 +59,7 @@ def test_run_benchmarks_document_roundtrips(tmp_path):
         "engine",
         "traffic",
         "switch",
+        "telemetry_overhead",
         "router_parallel",
     }
     path = write_bench_json(document, str(tmp_path / "BENCH_smoke.json"))

@@ -6,9 +6,15 @@ Commands:
                      (or a scaled one with ``--scaled``).
 - ``simulate``    -- run one HBM switch simulation and print its report.
 - ``sweep``       -- sweep offered load on one switch; print a row per load.
+- ``metrics``     -- run an instrumented simulation and print/export the
+                     per-stage telemetry (Prometheus text or JSONL).
 - ``experiments`` -- list the experiment index (E1..E16 and ablations)
                      with the bench that regenerates each.
 - ``bench``       -- run the perf harness and write ``BENCH_<rev>.json``.
+
+``simulate``/``sweep``/``faults`` accept ``--metrics-out PATH`` to write
+the run's telemetry dump alongside their normal output (format by
+extension: ``.prom``/``.txt`` Prometheus, anything else JSONL).
 """
 
 from __future__ import annotations
@@ -108,6 +114,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the full report as JSON instead of a table",
     )
+    simulate.add_argument(
+        "--metrics-out", type=str, default=None,
+        help="write the run's telemetry to this path "
+             "(.prom/.txt = Prometheus text, else JSONL)",
+    )
 
     sweep = sub.add_parser("sweep", help="sweep offered load")
     sweep.add_argument("--loads", type=str, default="0.3,0.5,0.7,0.9,1.0")
@@ -120,6 +131,40 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--failed-switches", type=str, default="",
         help="comma list of dead switches, e.g. 0,3 (implies router mode)",
+    )
+    sweep.add_argument(
+        "--metrics-out", type=str, default=None,
+        help="write telemetry aggregated over all sweep points to this "
+             "path (.prom/.txt = Prometheus text, else JSONL)",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run an instrumented simulation and report per-stage telemetry",
+    )
+    metrics.add_argument("--load", type=float, default=0.7, help="offered load in [0, 1]")
+    metrics.add_argument("--duration-us", type=float, default=20.0, help="arrival window")
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument(
+        "--switches", type=int, default=4,
+        help="router H (the run is always a full-router simulation)",
+    )
+    metrics.add_argument(
+        "--mode", choices=["sequential", "parallel", "auto"], default="sequential",
+        help="execution mode (all modes export identical dumps)",
+    )
+    metrics.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for --mode parallel (default: all cores)",
+    )
+    metrics.add_argument(
+        "--format", choices=["table", "prom", "jsonl"], default="table",
+        help="stdout format: stage-summary table, Prometheus text, or JSONL",
+    )
+    metrics.add_argument(
+        "--out", type=str, default=None,
+        help="also write the full dump to this path "
+             "(.prom/.txt = Prometheus text, else JSONL)",
     )
 
     faults = sub.add_parser(
@@ -164,6 +209,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSON report to this path "
              "(campaigns default to FAULTS_CAMPAIGN.json)",
     )
+    faults.add_argument(
+        "--metrics-out", type=str, default=None,
+        help="single-run only: write the run's telemetry (with fault "
+             "windows tagged) to this path",
+    )
 
     sub.add_parser("experiments", help="list the experiment index")
 
@@ -172,6 +222,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     timeline.add_argument("--frames", type=int, default=2, help="frames to draw")
     timeline.add_argument("--width", type=int, default=72, help="columns")
+    timeline.add_argument(
+        "--events", action="store_true",
+        help="trace a short switch simulation and render its pipeline "
+             "events (batch/frame/write/read/bypass/deliver lanes) "
+             "instead of the bank schedule",
+    )
+    timeline.add_argument("--load", type=float, default=0.7, help="--events: offered load")
+    timeline.add_argument("--duration-us", type=float, default=10.0, help="--events: arrival window")
+    timeline.add_argument("--seed", type=int, default=0, help="--events: traffic seed")
 
     bench = sub.add_parser(
         "bench", help="run the perf harness and write BENCH_<rev>.json"
@@ -216,7 +275,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
-def _simulate_once(config, load, duration_ns, size_dist, process, options, seed):
+def _simulate_once(
+    config, load, duration_ns, size_dist, process, options, seed,
+    telemetry_registry=None, trace=None,
+):
     generator = TrafficGenerator(
         n_ports=config.n_ports,
         port_rate_bps=config.port_rate_bps,
@@ -226,7 +288,12 @@ def _simulate_once(config, load, duration_ns, size_dist, process, options, seed)
         seed=seed,
     )
     packets = generator.generate(duration_ns)
-    switch = HBMSwitch(config, options)
+    telemetry = None
+    if telemetry_registry is not None:
+        from .telemetry import SwitchTelemetry
+
+        telemetry = SwitchTelemetry(telemetry_registry, config, switch=0)
+    switch = HBMSwitch(config, options, telemetry=telemetry, trace=trace)
     return switch.run(packets, duration_ns)
 
 
@@ -240,7 +307,8 @@ def _router_config(n_switches: int):
 
 
 def _router_simulate_once(
-    config, load, duration_ns, size_dist, process, options, seed, failed
+    config, load, duration_ns, size_dist, process, options, seed, failed,
+    telemetry=None, mode="sequential", workers=None,
 ):
     from .core.sps import SplitParallelSwitch
 
@@ -254,7 +322,21 @@ def _router_simulate_once(
     )
     packets = generator.generate(duration_ns)
     router = SplitParallelSwitch(config, options=options)
-    return router.run(packets, duration_ns, failed_switches=failed)
+    return router.run(
+        packets,
+        duration_ns,
+        failed_switches=failed,
+        mode=mode,
+        n_workers=workers,
+        telemetry=telemetry,
+    )
+
+
+def _write_metrics_file(registry, path: str) -> None:
+    from .telemetry import write_metrics
+
+    write_metrics(registry, path)
+    print(f"wrote {path}")
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -270,6 +352,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         )
         size_dist = FixedSize(args.packet_size) if args.packet_size > 0 else ImixSize()
         options = PFIOptions(padding=not args.no_padding, bypass=not args.no_bypass)
+        telemetry = None
+        if args.metrics_out:
+            from .telemetry import MetricsRegistry
+
+            telemetry = MetricsRegistry()
         report = _router_simulate_once(
             config,
             args.load,
@@ -279,7 +366,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             options,
             args.seed,
             failed,
+            telemetry=telemetry,
         )
+        if args.metrics_out:
+            _write_metrics_file(telemetry, args.metrics_out)
         if args.json:
             from .reporting import report_to_json
 
@@ -303,6 +393,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     config = dataclasses.replace(scaled_router().switch, speedup=args.speedup)
     size_dist = FixedSize(args.packet_size) if args.packet_size > 0 else ImixSize()
     options = PFIOptions(padding=not args.no_padding, bypass=not args.no_bypass)
+    registry = None
+    if args.metrics_out:
+        from .telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
     report = _simulate_once(
         config,
         args.load,
@@ -311,7 +406,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         ArrivalProcess(args.process),
         options,
         args.seed,
+        telemetry_registry=registry,
     )
+    if args.metrics_out:
+        _write_metrics_file(registry, args.metrics_out)
     if args.json:
         from .reporting import report_to_json
 
@@ -338,6 +436,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"bad --loads value: {args.loads!r}", file=sys.stderr)
         return 2
     failed = _parse_int_list(args.failed_switches)
+    registry = None
+    if args.metrics_out:
+        from .telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
     if args.switches > 0 or failed:
         h = args.switches if args.switches > 0 else scaled_router().n_switches
         config = _router_config(h)
@@ -355,6 +458,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 PFIOptions(padding=True, bypass=True),
                 args.seed,
                 failed,
+                telemetry=registry,
             )
             table.add(
                 f"{load:.2f}",
@@ -364,6 +468,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 format_time(report.latency_summary()["p99_ns"]),
             )
         table.show()
+        if args.metrics_out:
+            _write_metrics_file(registry, args.metrics_out)
         return 0
     config = scaled_router().switch
     table = Table(
@@ -378,6 +484,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             ArrivalProcess.POISSON,
             PFIOptions(padding=True, bypass=True),
             args.seed,
+            telemetry_registry=registry,
         )
         table.add(
             f"{load:.2f}",
@@ -387,6 +494,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             format_time(report.latency["p99_ns"]),
         )
     table.show()
+    if args.metrics_out:
+        _write_metrics_file(registry, args.metrics_out)
     return 0
 
 
@@ -414,6 +523,12 @@ def cmd_faults(args: argparse.Namespace) -> int:
     duration_ns = args.duration_us * 1e3
 
     if args.campaign > 0:
+        if args.metrics_out:
+            print(
+                "--metrics-out applies to single runs only; ignoring it "
+                "for the campaign",
+                file=sys.stderr,
+            )
         params = CampaignParams(
             n_scenarios=args.campaign,
             seed=args.seed,
@@ -447,6 +562,11 @@ def cmd_faults(args: argparse.Namespace) -> int:
         print(f"wrote {out}")
         return 0
 
+    telemetry = None
+    if args.metrics_out:
+        from .telemetry import MetricsRegistry
+
+        telemetry = MetricsRegistry()
     report = measure_degradation(
         config,
         schedule=None if schedule.is_empty else schedule,
@@ -454,7 +574,10 @@ def cmd_faults(args: argparse.Namespace) -> int:
         duration_ns=duration_ns,
         seed=args.seed,
         n_intervals=args.intervals,
+        telemetry=telemetry,
     )
+    if args.metrics_out:
+        _write_metrics_file(telemetry, args.metrics_out)
     if args.json or args.out:
         text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
         if args.out:
@@ -470,6 +593,54 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from .telemetry import MetricsRegistry, stage_summaries, to_jsonl, to_prometheus
+
+    registry = MetricsRegistry()
+    config = _router_config(args.switches)
+    report = _router_simulate_once(
+        config,
+        args.load,
+        args.duration_us * 1e3,
+        ImixSize(),
+        ArrivalProcess.POISSON,
+        PFIOptions(padding=True, bypass=True),
+        args.seed,
+        [],
+        telemetry=registry,
+        mode=args.mode,
+        workers=args.workers,
+    )
+    if args.format == "prom":
+        sys.stdout.write(to_prometheus(registry))
+    elif args.format == "jsonl":
+        sys.stdout.write(to_jsonl(registry))
+    else:
+        table = Table(
+            "Pipeline stage latency",
+            ["stage", "count", "mean", "p50", "p99"],
+        )
+        for stage, summary in stage_summaries(registry).items():
+            table.add(
+                stage,
+                summary["count"],
+                format_time(summary["mean_ns"]),
+                format_time(summary["p50_ns"]),
+                format_time(summary["p99_ns"]),
+            )
+        table.show()
+        totals = Table("Run totals", ["metric", "value"])
+        totals.add("switches (H)", config.n_switches)
+        totals.add("mode", args.mode)
+        totals.add("offered", format_size(report.offered_bytes))
+        totals.add("delivered", f"{report.delivered_fraction:.2%}")
+        totals.add("series exported", sum(1 for _ in registry))
+        totals.show()
+    if args.out:
+        _write_metrics_file(registry, args.out)
+    return 0
+
+
 def cmd_experiments(_args: argparse.Namespace) -> int:
     table = Table("Experiment index", ["id", "claim", "bench"])
     for exp_id, claim, bench in EXPERIMENTS:
@@ -479,6 +650,24 @@ def cmd_experiments(_args: argparse.Namespace) -> int:
 
 
 def cmd_timeline(args: argparse.Namespace) -> int:
+    if args.events:
+        from .reporting import render_pipeline_events
+        from .sim.trace import TraceRecorder
+
+        recorder = TraceRecorder()
+        _simulate_once(
+            scaled_router().switch,
+            args.load,
+            args.duration_us * 1e3,
+            ImixSize(),
+            ArrivalProcess.POISSON,
+            PFIOptions(padding=True, bypass=True),
+            args.seed,
+            trace=recorder,
+        )
+        print(render_pipeline_events(recorder, width=args.width))
+        return 0
+
     from .config import HBMSwitchConfig
     from .hbm import (
         BankGroup,
@@ -545,6 +734,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
             key = f"{metrics['events_per_sec']:,.0f} events/s"
         elif name == "traffic":
             key = f"{metrics['packets_per_sec']:,.0f} packets/s"
+        elif name == "telemetry_overhead":
+            key = (
+                f"enabled/disabled {metrics['enabled_over_disabled']:.3f}x, "
+                f"{metrics['series_exported']} series"
+            )
         else:
             key = f"{metrics['events_per_sec']:,.0f} events/s, {metrics['packets_per_sec']:,.0f} packets/s"
         table.add(name, f"{result['wall_s'] * 1e3:.1f} ms", key)
@@ -559,6 +753,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": cmd_analyze,
         "simulate": cmd_simulate,
         "sweep": cmd_sweep,
+        "metrics": cmd_metrics,
         "faults": cmd_faults,
         "experiments": cmd_experiments,
         "timeline": cmd_timeline,

@@ -26,7 +26,7 @@ from ..hbm.timing import HBMTiming
 from ..sim.engine import Engine
 from ..sim.stats import LatencyRecorder
 from ..traffic.packet import Packet
-from ..units import bytes_per_ns_to_rate
+from ..units import bytes_per_ns_to_rate, rate_to_bytes_per_ns
 from .address import HBMAddressMap
 from .frames import Frame
 from .head_sram import HeadSRAM
@@ -58,6 +58,10 @@ class SwitchReport:
     head_sram_peak_bytes: int
     hbm_peak_frames: int
     drops_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: Serialised per-switch :class:`~repro.telemetry.MetricsRegistry`
+    #: dump (``None`` when the run was not instrumented).  A plain dict
+    #: so reports stay picklable across the process pool.
+    telemetry: Optional[Dict] = None
 
     @property
     def normalized_throughput(self) -> float:
@@ -90,6 +94,7 @@ class HBMSwitch:
         trace=None,
         fib=None,
         faults=None,
+        telemetry=None,
     ) -> None:
         self.config = config
         self.options = options
@@ -100,8 +105,12 @@ class HBMSwitch:
         ]
         self.tail = TailSRAM(config, tail_sram_capacity)
         self.head = HeadSRAM(config)
+        #: Optional :class:`~repro.telemetry.SwitchTelemetry` -- every
+        #: instrumented call site guards on ``self.telemetry is not
+        #: None``, so a run without telemetry pays one pointer check.
+        self.telemetry = telemetry
         self.outputs = [
-            OutputPort(config, j, n_egress_fibers, n_egress_wavelengths)
+            OutputPort(config, j, n_egress_fibers, n_egress_wavelengths, telemetry)
             for j in range(config.n_ports)
         ]
         # Static per-output regions by default; pass a
@@ -129,7 +138,11 @@ class HBMSwitch:
             timing=self.timing,
             trace=trace,
             faults=self.faults,
+            telemetry=telemetry,
         )
+        # O/E serialisation time per byte at the port rate: the one
+        # conversion each packet pays on its way into the switch.
+        self._oeo_ns_per_byte = 1.0 / rate_to_bytes_per_ns(config.port_rate_bps)
         self._draining = [False] * config.n_ports
         self._inflight_batch_payload = 0
         self._offered_bytes = 0
@@ -152,6 +165,7 @@ class HBMSwitch:
             self.inputs[packet.input_port].drops.record(
                 packet.size_bytes, reason="switch-dead"
             )
+            self._observe_drop("switch-dead", packet, now)
             return
         if self.fib is not None:
             output = self.fib.classify(packet)
@@ -159,6 +173,7 @@ class HBMSwitch:
                 self.inputs[packet.input_port].drops.record(
                     packet.size_bytes, reason="no-route"
                 )
+                self._observe_drop("no-route", packet, now)
                 return
             packet.output_port = output
         port = self.inputs[packet.input_port]
@@ -166,8 +181,42 @@ class HBMSwitch:
         emitted = port.on_packet(packet, now)
         if port.drops.dropped_bytes == dropped_before:
             self._residual_payload += packet.size_bytes
+            if self.telemetry is not None:
+                self.telemetry.packets_in.inc()
+                self.telemetry.bytes_in.inc(packet.size_bytes)
+                # One O/E conversion per packet: serialisation at the
+                # port rate (the SPS single-conversion property).
+                self.telemetry.oeo.observe(
+                    packet.size_bytes * self._oeo_ns_per_byte
+                )
+        else:
+            self._observe_drop("input-sram-overflow", packet, now)
+        for batch in emitted:
+            if self.telemetry is not None:
+                # Batch aggregation wait: first completing packet's
+                # arrival to batch emission (0 for pure-straddle batches
+                # that complete no packet).
+                wait = now - batch.completing[0].arrival_ns if batch.completing else 0.0
+                self.telemetry.batch.observe(max(0.0, wait))
+            if self.trace is not None:
+                self.trace.record(
+                    now, "switch", "batch_formed",
+                    input=packet.input_port, output=batch.output,
+                    payload=batch.payload_bytes, packets=len(batch.completing),
+                )
         if emitted and not self._draining[packet.input_port]:
             self._schedule_drain(packet.input_port, now)
+
+    def _observe_drop(self, reason: str, packet: Packet, now: float) -> None:
+        """Telemetry/trace for one dropped packet (cold path)."""
+        if self.telemetry is not None:
+            self.telemetry.drop(reason, packet.size_bytes)
+        if self.trace is not None:
+            self.trace.record(
+                now, "switch", "drop",
+                reason=reason, input=packet.input_port,
+                output=packet.output_port, size=packet.size_bytes,
+            )
 
     def _schedule_drain(self, port_index: int, at: float) -> None:
         self._draining[port_index] = True
@@ -188,16 +237,35 @@ class HBMSwitch:
 
     def _batch_arrives(self, batch) -> None:
         self._inflight_batch_payload -= batch.payload_bytes
+        now = self.engine.now
+        if self.telemetry is not None:
+            # Cyclical-crossbar traversal: every batch crosses in
+            # exactly one batch time (the crossbar is non-blocking).
+            self.telemetry.stripe.observe(self.config.batch_time_ns)
         if self.trace is not None:
             self.trace.record(
-                self.engine.now, "switch", "batch",
+                now, "switch", "batch",
                 output=batch.output, payload=batch.payload_bytes,
             )
         dropped_before = self.tail.drops.dropped_bytes
-        self.tail.on_batch(batch, self.engine.now)
+        frame = self.tail.on_batch(batch, now)
         dropped = self.tail.drops.dropped_bytes - dropped_before
         if dropped:
             self._residual_payload -= dropped
+            if self.telemetry is not None:
+                self.telemetry.drop("tail-sram-overflow", dropped)
+            if self.trace is not None:
+                self.trace.record(
+                    now, "switch", "drop",
+                    reason="tail-sram-overflow", output=batch.output,
+                    size=dropped,
+                )
+        elif frame is not None and self.trace is not None:
+            self.trace.record(
+                now, "switch", "frame_formed",
+                output=frame.output, frame=frame.index,
+                payload=frame.payload_bytes,
+            )
         peak = self.pfi.hbm_occupancy_frames()
         if peak > self._hbm_peak_frames:
             self._hbm_peak_frames = peak
@@ -356,6 +424,8 @@ class HBMSwitch:
                 drops_by_reason[reason] = drops_by_reason.get(reason, 0) + count
         for reason, count in self.tail.drops.by_reason.items():
             drops_by_reason[reason] = drops_by_reason.get(reason, 0) + count
+        if self.telemetry is not None:
+            self._publish_occupancy_gauges()
         return SwitchReport(
             duration_ns=duration_ns,
             offered_bytes=self._offered_bytes,
@@ -378,3 +448,28 @@ class HBMSwitch:
             hbm_peak_frames=self._hbm_peak_frames,
             drops_by_reason=drops_by_reason,
         )
+
+    def _publish_occupancy_gauges(self) -> None:
+        """End-of-run high-water marks (gauges merge by max)."""
+        registry = self.telemetry.registry
+        label = str(self.telemetry.switch)
+        peaks = {
+            "input_sram": max(p.occupancy.peak for p in self.inputs),
+            "tail_sram": self.tail.occupancy.peak,
+            "head_sram": self.head.occupancy.peak,
+        }
+        for stage, peak in peaks.items():
+            registry.gauge(
+                "repro_sram_peak_bytes", "peak SRAM occupancy per stage",
+                stage=stage, switch=label,
+            ).set(float(peak))
+        registry.gauge(
+            "repro_hbm_peak_frames", "peak frames resident in the HBM",
+            switch=label,
+        ).set(float(self._hbm_peak_frames))
+        registry.gauge(
+            "repro_engine_events", "discrete events fired by this switch's engine",
+            switch=label,
+        ).set(float(self.engine.events_fired))
+        if self.pfi.controller is not None:
+            self.pfi.controller.publish_telemetry(registry, label)

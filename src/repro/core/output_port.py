@@ -25,9 +25,19 @@ from .frames import Frame
 class OutputPort:
     """One of the N output ports of an HBM switch."""
 
-    def __init__(self, config: HBMSwitchConfig, port: int, n_fibers: int = 4, n_wavelengths: int = 16):
+    def __init__(
+        self,
+        config: HBMSwitchConfig,
+        port: int,
+        n_fibers: int = 4,
+        n_wavelengths: int = 16,
+        telemetry=None,
+    ):
         self.config = config
         self.port = port
+        #: Optional :class:`~repro.telemetry.SwitchTelemetry`; the drain
+        #: span is recorded per transmitted batch when attached.
+        self.telemetry = telemetry
         self._rate = rate_to_bytes_per_ns(config.port_rate_bps)
         self._busy_until = 0.0
         self.ecmp = EcmpSelector(n_fibers, n_wavelengths)
@@ -96,6 +106,12 @@ class OutputPort:
             self._record_breakdown(packet, batch, frame, ready_ns, finish)
             self._check_order(packet)
         self.throughput.record(batch.payload_bytes, finish)
+        if self.telemetry is not None:
+            # Output drain: wire time of this batch's payload (longer
+            # under OEO degradation -- the rate factor is inside).
+            self.telemetry.drain.observe(finish - start_ns)
+            self.telemetry.packets_out.inc(len(batch.completing))
+            self.telemetry.bytes_out.inc(batch.payload_bytes)
         return finish
 
     def _record_breakdown(self, packet, batch, frame: Frame, ready_ns: float, finish: float) -> None:

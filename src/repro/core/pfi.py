@@ -92,6 +92,7 @@ class PFIEngine:
         controller: Optional[HBMController] = None,
         trace=None,
         faults=None,
+        telemetry=None,
     ) -> None:
         self.config = config
         self.engine = engine
@@ -122,6 +123,10 @@ class PFIEngine:
             self.controller = controller
         self.counters = PFICounters()
         self.trace = trace
+        #: Optional :class:`~repro.telemetry.SwitchTelemetry` -- records
+        #: per-phase spans, per-bank-group histograms and per-channel
+        #: byte counters; ``None`` costs one pointer check per phase.
+        self.telemetry = telemetry
         self._hbm_content: List[Deque[Frame]] = [
             deque() for _ in range(config.n_ports)
         ]
@@ -193,6 +198,13 @@ class PFIEngine:
             return None
         return 1.0 / fraction
 
+    def _striped_channels(self, now: float) -> int:
+        """Channels a frame stripes over at ``now`` (survivors only)."""
+        total = self.config.total_channels
+        if self.faults is None or not self.faults.has_channel_faults:
+            return total
+        return max(1, total - self.faults.channels_lost(now))
+
     # -- write phase -------------------------------------------------------------
 
     def _write_phase(self) -> None:
@@ -246,6 +258,14 @@ class PFIEngine:
         self.counters.frames_written += 1
         self.counters.payload_written_bytes += frame.payload_bytes
         self.counters.padding_written_bytes += frame.padding_bytes
+        if self.telemetry is not None:
+            span = self.phase_duration * stretch
+            self.telemetry.hbm_write.observe(span)
+            self.telemetry.write_group[address.group.index].observe(span)
+            self.telemetry.frames_written.inc()
+            self.telemetry.stripe_frame_bytes(
+                frame.size_bytes, self._striped_channels(now)
+            )
         if self.trace is not None:
             self.trace.record(
                 now, "pfi", "write",
@@ -318,6 +338,14 @@ class PFIEngine:
             if self.options.validate_hbm_timing:
                 self._execute_schedule(Op.RD, address, now)
             self.counters.frames_read += 1
+            if self.telemetry is not None:
+                span = self.phase_duration * stretch
+                self.telemetry.hbm_read.observe(span)
+                self.telemetry.read_group[address.group.index].observe(span)
+                self.telemetry.frames_read.inc()
+                self.telemetry.stripe_frame_bytes(
+                    frame.size_bytes, self._striped_channels(now)
+                )
             if self.trace is not None:
                 self.trace.record(
                     now, "pfi", "read",
@@ -342,6 +370,9 @@ class PFIEngine:
             return False
         frame.bypassed = True
         self.counters.bypassed_frames += 1
+        if self.telemetry is not None:
+            self.telemetry.bypass.observe(self.phase_duration)
+            self.telemetry.frames_bypassed.inc()
         if self.trace is not None:
             self.trace.record(
                 now, "pfi", "bypass", output=output, frame=frame.index,

@@ -24,12 +24,12 @@ from ..config import RouterConfig
 from ..errors import ConfigError
 from ..hbm.timing import HBMTiming
 from ..photonics.oeo import OEOConverter
-from ..sim.parallel import SwitchWorkUnit, run_work_units
+from ..sim.parallel import SwitchWorkUnit, execute_work_unit, run_work_units
 from ..traffic.ecmp import hash_to_choice
 from ..traffic.packet import Packet
 from ..units import bytes_per_ns_to_rate
 from .fiber_split import FiberSplitter, PseudoRandomSplitter, split_imbalance
-from .hbm_switch import HBMSwitch, SwitchReport
+from .hbm_switch import SwitchReport
 from .pfi import PFIOptions
 
 #: Execution modes of :meth:`SplitParallelSwitch.run`.
@@ -67,6 +67,10 @@ class RouterReport:
     failed_offered_bytes: int = 0
     fault_lost_bytes: int = 0
     fault_events: List[str] = field(default_factory=list)
+    #: Merged telemetry dump of the whole run (split-level series plus
+    #: every switch's registry, merged in switch-index order), or
+    #: ``None`` for uninstrumented runs.
+    telemetry: Optional[Dict] = None
 
     @property
     def offered_bytes(self) -> int:
@@ -161,6 +165,19 @@ class RouterReport:
             "max_ns": max(r.latency["max_ns"] for r in self.switch_reports),
         }
 
+    def stage_summaries(self) -> Dict[str, Dict[str, float]]:
+        """Per-pipeline-stage latency roll-up from the telemetry dump.
+
+        ``{stage: {count, mean_ns, p50_ns, p99_ns}}`` over the span
+        taxonomy of :data:`repro.telemetry.STAGES`; empty dict when the
+        run was not instrumented.
+        """
+        if self.telemetry is None:
+            return {}
+        from ..telemetry import MetricsRegistry, stage_summaries
+
+        return stage_summaries(MetricsRegistry.from_dict(self.telemetry))
+
 
 class SplitParallelSwitch:
     """The petabit router: H parallel HBM switches behind a fiber split."""
@@ -225,6 +242,7 @@ class SplitParallelSwitch:
         mode: str = "sequential",
         n_workers: Optional[int] = None,
         fault_schedule=None,
+        telemetry=None,
     ) -> RouterReport:
         """Simulate the whole router.
 
@@ -259,6 +277,16 @@ class SplitParallelSwitch:
           (``departure_ns`` is not written back).
         - ``"auto"``: parallel when it can help (several switches and
           several CPUs), sequential otherwise.
+
+        ``telemetry`` (a :class:`~repro.telemetry.MetricsRegistry`)
+        instruments the whole pipeline: split-level series are recorded
+        here, each live switch runs with its own per-switch registry
+        (in *both* modes -- workers ship dumps back on their reports),
+        and the dumps are merged into ``telemetry`` in switch-index
+        order.  Because per-switch series never overlap and the merge
+        order is fixed, parallel and sequential runs of the same
+        workload produce byte-identical dumps.  The merged dump is also
+        stored on :attr:`RouterReport.telemetry`.
         """
         if mode not in RUN_MODES:
             raise ConfigError(f"mode must be one of {RUN_MODES}, got {mode!r}")
@@ -281,21 +309,38 @@ class SplitParallelSwitch:
                 schedule = None
         if fibers is None:
             fibers = assign_fibers(packets, self.config.fibers_per_ribbon)
+        if telemetry is not None:
+            self.oeo.attach_telemetry(telemetry)
+            if schedule is not None:
+                from ..telemetry import tag_fault_windows
+
+                tag_fault_windows(telemetry, schedule)
         fault_lost = 0
         if schedule is not None and schedule.has_fiber_cuts:
             # A cut fiber's traffic never reaches the package: filter it
             # at the (passive) split, before partitioning.
             kept_packets: List[Packet] = []
             kept_fibers: List[int] = []
+            cut_lost: Dict[tuple, int] = {}
             for packet, fiber in zip(packets, fibers):
                 if schedule.fiber_cut_active(
                     packet.input_port, fiber, packet.arrival_ns
                 ):
                     fault_lost += packet.size_bytes
+                    if telemetry is not None:
+                        key = (packet.input_port, fiber)
+                        cut_lost[key] = cut_lost.get(key, 0) + packet.size_bytes
                 else:
                     kept_packets.append(packet)
                     kept_fibers.append(fiber)
             packets, fibers = kept_packets, kept_fibers
+            if telemetry is not None and cut_lost:
+                from ..telemetry import record_fault_loss
+
+                for (ribbon, fiber), n_bytes in sorted(cut_lost.items()):
+                    record_fault_loss(
+                        telemetry, "fiber", f"{ribbon}/{fiber}", n_bytes
+                    )
         per_switch = self.partition_packets(packets, fibers)
         # Whole-run deaths take the legacy split-level path; windowed
         # faults ride along as per-switch views.
@@ -309,8 +354,20 @@ class SplitParallelSwitch:
         for h in range(self.config.n_switches):
             arrived = sum(p.size_bytes for p in per_switch[h])
             offered.append(arrived)
+            if telemetry is not None:
+                # The split is passive (0 ns); the observable is the
+                # per-switch packet count -- the load balance of E10.
+                telemetry.histogram(
+                    "repro_stage_latency_ns",
+                    "passive fiber-split assignment (count = per-switch load)",
+                    stage="split", switch=str(h),
+                ).observe_n(0.0, len(per_switch[h]))
             if h in dead:
                 failed_bytes += arrived
+                if telemetry is not None and arrived:
+                    from ..telemetry import record_fault_loss
+
+                    record_fault_loss(telemetry, "switch", str(h), arrived)
                 continue
             view = (
                 schedule.switch_view(h, self.config.switch.total_channels)
@@ -327,12 +384,23 @@ class SplitParallelSwitch:
                     duration_ns=duration_ns,
                     drain=drain,
                     faults=view,
+                    telemetry=telemetry is not None,
                 )
             )
         reports = self._execute_units(units, mode, n_workers)
         for report in reports:
             # One O/E + one E/O per bit through a switch (the SPS property).
             self.oeo.convert(8.0 * (report.offered_bytes + report.delivered_bytes))
+        telemetry_dump = None
+        if telemetry is not None:
+            # Per-switch registries merge in unit (= switch-index) order
+            # in both execution modes, so the aggregate dump is
+            # byte-identical whether the switches ran in-process or on
+            # the pool.
+            for report in reports:
+                if report.telemetry is not None:
+                    telemetry.merge_dict(report.telemetry)
+            telemetry_dump = telemetry.to_dict()
         return RouterReport(
             switch_reports=reports,
             per_switch_offered_bytes=offered,
@@ -341,6 +409,7 @@ class SplitParallelSwitch:
             failed_offered_bytes=failed_bytes,
             fault_lost_bytes=fault_lost,
             fault_events=schedule.describe() if schedule is not None else [],
+            telemetry=telemetry_dump,
         )
 
     def _execute_units(
@@ -351,9 +420,11 @@ class SplitParallelSwitch:
     ) -> List[SwitchReport]:
         """Run the per-switch work units under the chosen mode.
 
-        The sequential path deliberately bypasses pickling and simulates
-        the caller's packet objects in place (preserving the historical
-        behaviour that ``departure_ns`` is observable after a run).
+        The sequential path runs the same :func:`execute_work_unit` the
+        workers do, just inline -- no pickling, so the caller's packet
+        objects are simulated in place (preserving the historical
+        behaviour that ``departure_ns`` is observable after a run), and
+        telemetry takes literally one code path in both modes.
         """
         import os
 
@@ -362,15 +433,4 @@ class SplitParallelSwitch:
             mode = "parallel" if len(units) > 1 and workers > 1 else "sequential"
         if mode == "parallel":
             return run_work_units(units, n_workers=n_workers)
-        reports: List[SwitchReport] = []
-        for unit in units:
-            switch = HBMSwitch(unit.config, unit.options, unit.timing, faults=unit.faults)
-            reports.append(
-                switch.run(
-                    list(unit.packets),
-                    unit.duration_ns,
-                    drain=unit.drain,
-                    max_drain_ns=unit.max_drain_ns,
-                )
-            )
-        return reports
+        return [execute_work_unit(unit)[1] for unit in units]

@@ -212,6 +212,7 @@ def measure_degradation(
     options: Optional[PFIOptions] = None,
     round_robin_fibers: bool = True,
     packets: Optional[Sequence] = None,
+    telemetry=None,
 ) -> DegradationReport:
     """Run one faulted router simulation and bin it over time.
 
@@ -220,6 +221,11 @@ def measure_degradation(
     path does.  ``round_robin_fibers`` (the default) spreads packets
     deterministically over fibers so measured capacity matches the
     (H - k)/H closed form without multinomial hash noise.
+
+    ``telemetry`` (a :class:`~repro.telemetry.MetricsRegistry`)
+    instruments the run; the fault schedule's windows are tagged onto
+    the dump, so per-stage metrics can be read against the injected
+    faults.
     """
     if options is None:
         options = PFIOptions(padding=True, bypass=True)
@@ -239,6 +245,7 @@ def measure_degradation(
         fibers=fibers,
         fault_schedule=schedule,
         mode="sequential",
+        telemetry=telemetry,
     )
     return DegradationReport(
         duration_ns=duration_ns,

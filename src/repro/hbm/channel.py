@@ -74,6 +74,12 @@ class Channel:
         quantised = self._timing.quantise_to_bursts(size_bytes, self._width_bits)
         return quantised / self._bytes_per_ns
 
+    def utilisation(self, elapsed_ns: float) -> float:
+        """Fraction of this channel's peak rate used over ``elapsed_ns``."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self._bytes_moved / (self._bytes_per_ns * elapsed_ns)
+
     # -- fault injection -------------------------------------------------------
 
     def fail(self, start_ns: float = 0.0, end_ns: float = float("inf")) -> None:

@@ -203,6 +203,39 @@ class HBMController:
                 peak = max(peak, count)
         return peak
 
+    def publish_telemetry(self, registry, switch: str) -> None:
+        """Snapshot command-level counters into a telemetry registry.
+
+        Called once at report time by validated (``validate_hbm_timing``)
+        runs: the command-level byte counts cross-check the analytic
+        per-channel counters the PFI engine records
+        (``repro_hbm_channel_bytes_total``).
+        """
+        registry.gauge(
+            "repro_hbm_controller_commands",
+            "DRAM commands executed by the timing-checked controller",
+            switch=switch,
+        ).set(float(self._executed))
+        registry.gauge(
+            "repro_hbm_controller_bytes_moved",
+            "payload bytes moved through the command-level model",
+            switch=switch,
+        ).set(float(self.bytes_moved))
+        registry.gauge(
+            "repro_hbm_peak_open_banks",
+            "max simultaneously open banks on any channel (bound: 4)",
+            switch=switch,
+        ).set(float(self.peak_open_banks()))
+        elapsed = max(
+            (c.data_end_time for c in self._channels if c.bytes_moved), default=0.0
+        )
+        for channel in self._channels:
+            registry.gauge(
+                "repro_hbm_channel_utilisation",
+                "fraction of channel peak rate used (command-level model)",
+                channel=str(channel.index), switch=switch,
+            ).set(channel.utilisation(elapsed))
+
     def efficiency(self, elapsed_ns: float) -> float:
         """Fraction of group peak bandwidth achieved over ``elapsed_ns``."""
         if elapsed_ns <= 0:

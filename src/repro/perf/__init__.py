@@ -12,6 +12,7 @@ from .harness import (
     bench_engine,
     bench_router_parallel,
     bench_switch,
+    bench_telemetry_overhead,
     bench_traffic,
     run_benchmarks,
     write_bench_json,
@@ -22,6 +23,7 @@ __all__ = [
     "bench_engine",
     "bench_traffic",
     "bench_switch",
+    "bench_telemetry_overhead",
     "bench_router_parallel",
     "run_benchmarks",
     "write_bench_json",

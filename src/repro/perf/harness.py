@@ -1,6 +1,6 @@
 """Micro and macro timing benchmarks with tracked JSON output.
 
-Four benches cover the simulator's cost centres:
+Five benches cover the simulator's cost centres:
 
 - :func:`bench_engine` -- raw event-engine throughput (events/sec) on a
   self-rescheduling workload, the innermost loop of every simulation.
@@ -8,6 +8,9 @@ Four benches cover the simulator's cost centres:
   of the vectorized :class:`~repro.traffic.generators.TrafficGenerator`.
 - :func:`bench_switch` -- one HBM-switch run end to end: wall time,
   events/sec and packets/sec through the full pipeline.
+- :func:`bench_telemetry_overhead` -- the same switch run with
+  telemetry disabled and enabled; reports the enabled/disabled wall
+  ratio so the no-op fast path stays honest.
 - :func:`bench_router_parallel` -- the tentpole macro bench: the same
   H-switch router run sequentially and fanned out over a process pool,
   asserting byte-identical delivered/dropped/residual totals and
@@ -153,6 +156,68 @@ def bench_switch(
     )
 
 
+# -- micro: telemetry overhead -------------------------------------------------
+
+
+def bench_telemetry_overhead(
+    load: float = 0.8,
+    duration_ns: float = 40_000.0,
+    seed: int = 0,
+) -> BenchResult:
+    """The same switch run with telemetry off and on.
+
+    Telemetry off is the default everywhere (``self.telemetry is None``
+    checks at each call site), so ``enabled_over_disabled`` is the price
+    of turning instrumentation on, not a tax on normal runs.  The
+    disabled run's packets/sec also feeds the perf gate: a no-op fast
+    path that stopped being a no-op shows up as a ``switch``-style
+    regression here.
+    """
+    from ..telemetry import MetricsRegistry, SwitchTelemetry
+
+    config = scaled_router().switch
+    generator = TrafficGenerator(
+        n_ports=config.n_ports,
+        port_rate_bps=config.port_rate_bps,
+        matrix=uniform_matrix(config.n_ports, load),
+        size_dist=FixedSize(1500),
+        seed=seed,
+    )
+    packets = generator.generate(duration_ns)
+
+    switch_off = HBMSwitch(config, PFIOptions(padding=True, bypass=True))
+    start = time.perf_counter()
+    report = switch_off.run(packets, duration_ns)
+    disabled_wall = time.perf_counter() - start
+
+    packets = generator.generate(duration_ns)
+    registry = MetricsRegistry()
+    telemetry = SwitchTelemetry(registry, config, switch=0)
+    switch_on = HBMSwitch(
+        config, PFIOptions(padding=True, bypass=True), telemetry=telemetry
+    )
+    start = time.perf_counter()
+    switch_on.run(packets, duration_ns)
+    enabled_wall = time.perf_counter() - start
+
+    return BenchResult(
+        name="telemetry_overhead",
+        wall_s=disabled_wall + enabled_wall,
+        metrics={
+            "packets": report.offered_packets,
+            "packets_per_sec": (
+                report.offered_packets / disabled_wall if disabled_wall > 0 else 0.0
+            ),
+            "disabled_wall_s": disabled_wall,
+            "enabled_wall_s": enabled_wall,
+            "enabled_over_disabled": (
+                enabled_wall / disabled_wall if disabled_wall > 0 else 0.0
+            ),
+            "series_exported": sum(1 for _ in registry),
+        },
+    )
+
+
 # -- macro: sequential vs parallel router -------------------------------------
 
 
@@ -264,6 +329,7 @@ def run_benchmarks(
         bench_engine(n_events=int(200_000 * scale)),
         bench_traffic(duration_ns=20_000.0 * scale),
         bench_switch(duration_ns=40_000.0 * scale),
+        bench_telemetry_overhead(duration_ns=40_000.0 * scale),
         bench_router_parallel(
             n_switches=n_switches,
             duration_ns=40_000.0 * scale,

@@ -21,12 +21,28 @@ class OEOConverter:
             raise ValueError(f"energy must be >= 0, got {energy_pj_per_bit}")
         self.energy_pj_per_bit = energy_pj_per_bit
         self._bits = 0.0
+        # Optional telemetry counter (attach_telemetry); ``None`` keeps
+        # convert() at one extra pointer check.
+        self._bits_counter = None
+
+    def attach_telemetry(self, registry) -> None:
+        """Mirror converted bits into ``repro_oeo_bits_total``.
+
+        The energy follows linearly (the whole point of the SS 2.1
+        conversion-counting argument), so one counter suffices -- the
+        exporter side derives joules from the constant.
+        """
+        self._bits_counter = registry.counter(
+            "repro_oeo_bits_total", "bits through O/E + E/O conversion pairs"
+        )
 
     def convert(self, n_bits: float) -> float:
         """Record ``n_bits`` converted; returns the energy spent (J)."""
         if n_bits < 0:
             raise ValueError(f"bits must be >= 0, got {n_bits}")
         self._bits += n_bits
+        if self._bits_counter is not None:
+            self._bits_counter.inc(n_bits)
         return n_bits * self.energy_pj_per_bit * 1e-12
 
     @property

@@ -3,7 +3,11 @@
 from .degradation import campaign_table, degradation_summary_table, degradation_table
 from .export import report_to_dict, report_to_json
 from .tables import Table, format_row, render_comparison
-from .timeline import render_bank_timeline, render_bus_utilisation
+from .timeline import (
+    render_bank_timeline,
+    render_bus_utilisation,
+    render_pipeline_events,
+)
 
 __all__ = [
     "Table",
@@ -14,6 +18,7 @@ __all__ = [
     "render_comparison",
     "render_bank_timeline",
     "render_bus_utilisation",
+    "render_pipeline_events",
     "report_to_dict",
     "report_to_json",
 ]

@@ -24,7 +24,12 @@ def report_to_dict(report) -> Dict[str, Any]:
         data["delivery_fraction"] = report.delivery_fraction
         return data
     if isinstance(report, RouterReport):
+        extra: Dict[str, Any] = {}
+        if report.telemetry is not None:
+            extra["telemetry"] = report.telemetry
+            extra["stage_summaries"] = report.stage_summaries()
         return {
+            **extra,
             "duration_ns": report.duration_ns,
             "offered_bytes": report.offered_bytes,
             "delivered_bytes": report.delivered_bytes,

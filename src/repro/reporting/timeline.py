@@ -120,3 +120,58 @@ def render_bus_utilisation(
             row[col] = "#"
     busy = sum(1 for c in row if c == "#") / width
     return f"bus |{''.join(row)}| {busy:.0%} busy"
+
+
+#: Pipeline-event glyphs, in stage order -- one column class per event
+#: kind, so interleaved stages read as lanes.
+_EVENT_GLYPHS = {
+    ("switch", "batch_formed"): "b",
+    ("switch", "batch"): "x",
+    ("switch", "frame_formed"): "f",
+    ("pfi", "write"): "W",
+    ("pfi", "read"): "R",
+    ("pfi", "bypass"): "Y",
+    ("switch", "deliver"): "d",
+    ("switch", "drop"): "!",
+}
+
+
+def render_pipeline_events(
+    recorder,
+    width: int = 72,
+    max_rows: int = 40,
+) -> str:
+    """Render a :class:`~repro.sim.trace.TraceRecorder` as event lanes.
+
+    One row per traced event kind (batch formed, crossbar arrival,
+    frame formed, HBM write/read, bypass, delivery, drop), each a
+    fixed-width strip of the run: a glyph where at least one event of
+    that kind fell in the column's time slice, ``.`` elsewhere, with
+    the event count at the right.  Kinds never traced are omitted.
+    """
+    records = list(recorder)
+    if not records:
+        return "(no pipeline events traced)"
+    start = min(r.time_ns for r in records)
+    end = max(r.time_ns for r in records)
+    span = max(end - start, 1e-9)
+    scale = (width - 1) / span
+    rows: List[Tuple[str, List[str], int]] = []
+    for (category, event), glyph in _EVENT_GLYPHS.items():
+        matching = [r for r in records if r.category == category and r.event == event]
+        if not matching:
+            continue
+        strip = ["."] * width
+        for record in matching:
+            strip[int((record.time_ns - start) * scale)] = glyph
+        rows.append((f"{category}.{event}", strip, len(matching)))
+    if not rows:
+        return "(no pipeline events traced)"
+    label_width = max(len(label) for label, _, _ in rows)
+    lines = [
+        f"pipeline events, {start:.0f}..{end:.0f} ns "
+        f"({len(records)} records)"
+    ]
+    for label, strip, count in rows[:max_rows]:
+        lines.append(f"{label:<{label_width}} |{''.join(strip)}| {count}")
+    return "\n".join(lines)

@@ -58,6 +58,13 @@ class SwitchWorkUnit:
     #: (:class:`~repro.faults.schedule.SwitchFaultView`); ``None`` keeps
     #: the exact unfaulted simulation path.
     faults: Optional[object] = None
+    #: When True the worker instruments its switch with a fresh
+    #: per-switch :class:`~repro.telemetry.MetricsRegistry` and ships
+    #: the dump back on ``SwitchReport.telemetry``.  A plain flag (not a
+    #: registry object) keeps the unit cheaply picklable; the parent
+    #: merges worker dumps in unit-index order, so the aggregate is
+    #: byte-identical to a sequential run.
+    telemetry: bool = False
 
 
 def execute_work_unit(unit: SwitchWorkUnit):
@@ -68,13 +75,28 @@ def execute_work_unit(unit: SwitchWorkUnit):
     """
     from ..core.hbm_switch import HBMSwitch
 
-    switch = HBMSwitch(unit.config, unit.options, unit.timing, faults=unit.faults)
+    registry = None
+    telemetry = None
+    if unit.telemetry:
+        from ..telemetry import MetricsRegistry, SwitchTelemetry
+
+        registry = MetricsRegistry()
+        telemetry = SwitchTelemetry(registry, unit.config, unit.index)
+    switch = HBMSwitch(
+        unit.config,
+        unit.options,
+        unit.timing,
+        faults=unit.faults,
+        telemetry=telemetry,
+    )
     report = switch.run(
         list(unit.packets),
         unit.duration_ns,
         drain=unit.drain,
         max_drain_ns=unit.max_drain_ns,
     )
+    if registry is not None:
+        report.telemetry = registry.to_dict()
     return unit.index, report
 
 

@@ -47,13 +47,17 @@ class ThroughputMeter:
         """Average delivery rate in bits/s.
 
         ``window_ns`` overrides the denominator; by default the span from
-        first to last recorded event is used (zero-span -> 0.0).
+        first to last recorded event is used.  Degenerate windows --
+        nothing recorded yet, a zero/negative span (including the
+        single-sample case, whose default span is zero), or a
+        non-positive/NaN explicit window -- all report 0.0 rather than a
+        division error or an infinite rate.
         """
+        if self._count == 0:
+            return 0.0
         if window_ns is None:
-            if self._first_time is None or self._last_time is None:
-                return 0.0
             window_ns = self._last_time - self._first_time
-        if window_ns <= 0:
+        if not window_ns > 0:  # also catches NaN, which fails every compare
             return 0.0
         return bytes_per_ns_to_rate(self._bytes / window_ns)
 
@@ -115,16 +119,21 @@ class OccupancyTracker:
         self._peak = 0.0
         self._weighted_sum = 0.0
         self._last_time = 0.0
-        self._started = False
+        #: Time of the first observation; ``None`` before any.  Explicit
+        #: state (rather than an implicit started flag) so the
+        #: pre-observation value of :meth:`time_average` is a documented
+        #: contract: exactly 0.0, deterministically, whatever ``until_ns``.
+        self._first_time: Optional[float] = None
 
     def observe(self, occupancy: float, time_ns: float) -> None:
         """Record that occupancy became ``occupancy`` at ``time_ns``."""
-        if self._started and time_ns >= self._last_time:
+        if self._first_time is not None and time_ns >= self._last_time:
             self._weighted_sum += self._current * (time_ns - self._last_time)
+        elif self._first_time is None:
+            self._first_time = time_ns
         self._current = occupancy
         self._peak = max(self._peak, occupancy)
         self._last_time = time_ns
-        self._started = True
 
     @property
     def peak(self) -> float:
@@ -135,8 +144,13 @@ class OccupancyTracker:
         return self._current
 
     def time_average(self, until_ns: Optional[float] = None) -> float:
-        """Time-weighted average occupancy up to ``until_ns`` (or last obs)."""
-        if not self._started:
+        """Time-weighted average occupancy up to ``until_ns`` (or last obs).
+
+        Deterministically 0.0 before the first observation -- an empty
+        tracker has observed no occupancy, whatever window it is asked
+        about.
+        """
+        if self._first_time is None:
             return 0.0
         end = self._last_time if until_ns is None else until_ns
         if end <= 0:

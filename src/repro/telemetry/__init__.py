@@ -1,0 +1,53 @@
+"""Unified telemetry: metrics registry, pipeline spans, exporters.
+
+The observability substrate of the repro (docs/observability.md):
+
+- :class:`MetricsRegistry` -- labeled counters/gauges/histograms with
+  fixed ns-scale buckets, deterministic serialisation and merging.
+- :class:`SwitchTelemetry` -- pre-bound instruments for every pipeline
+  stage one HBM switch drives (:data:`STAGES`).
+- :func:`to_prometheus` / :func:`to_jsonl` / :func:`write_metrics` --
+  export; :func:`parse_prometheus` validates exported text.
+- :func:`tag_fault_windows` -- stamps a fault schedule onto the dump so
+  degradation runs can attribute loss to the failed component.
+
+Telemetry is strictly opt-in: a run without a registry pays one
+attribute check per instrumented call site and allocates nothing.
+"""
+
+from .export import (
+    PrometheusParseError,
+    parse_prometheus,
+    to_jsonl,
+    to_prometheus,
+    write_metrics,
+)
+from .faulttags import record_fault_loss, tag_fault_windows
+from .registry import (
+    DEFAULT_NS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SCHEMA,
+)
+from .spans import STAGES, SwitchTelemetry, stage_summaries
+
+__all__ = [
+    "Counter",
+    "DEFAULT_NS_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PrometheusParseError",
+    "SCHEMA",
+    "STAGES",
+    "SwitchTelemetry",
+    "parse_prometheus",
+    "record_fault_loss",
+    "stage_summaries",
+    "tag_fault_windows",
+    "to_jsonl",
+    "to_prometheus",
+    "write_metrics",
+]

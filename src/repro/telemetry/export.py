@@ -1,0 +1,230 @@
+"""Telemetry export: Prometheus text exposition format and JSON lines.
+
+Two formats, one registry:
+
+- :func:`to_prometheus` renders the standard text exposition format
+  (``# HELP`` / ``# TYPE`` headers, ``_bucket{le=...}`` cumulative
+  buckets, ``_sum``/``_count``, counters suffixed ``_total``) so dumps
+  scrape into any Prometheus-compatible toolchain.
+- :func:`to_jsonl` renders one JSON object per series -- the same
+  payload as :meth:`~repro.telemetry.registry.MetricsRegistry.to_dict`,
+  line-oriented for streaming consumers.
+
+:func:`parse_prometheus` is a deliberately small validating parser used
+by the CI smoke job and the tests: it checks the structural rules a
+scraper relies on (TYPE before samples, le-monotonic buckets, count
+consistency) and returns the sample values.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Mapping, Tuple
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_text(labels, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(labels) + extra
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    lines: List[str] = []
+    seen_headers: set = set()
+
+    def header(name: str, kind: str, help_text: str) -> None:
+        if name in seen_headers:
+            return
+        seen_headers.add(name)
+        if help_text:
+            lines.append(f"# HELP {name} {_escape(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for metric in registry:
+        if isinstance(metric, Counter):
+            # The registry names counters *_total already; the exposition
+            # name is used verbatim either way.
+            header(metric.name, "counter", metric.help)
+            lines.append(
+                f"{metric.name}{_label_text(metric.labels)} {_format_value(metric.value)}"
+            )
+        elif isinstance(metric, Gauge):
+            header(metric.name, "gauge", metric.help)
+            lines.append(
+                f"{metric.name}{_label_text(metric.labels)} {_format_value(metric.value)}"
+            )
+        elif isinstance(metric, Histogram):
+            header(metric.name, "histogram", metric.help)
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.bucket_counts):
+                cumulative += count
+                le = _label_text(metric.labels, (("le", _format_value(bound)),))
+                lines.append(f"{metric.name}_bucket{le} {cumulative}")
+            cumulative += metric.bucket_counts[-1]
+            le = _label_text(metric.labels, (("le", "+Inf"),))
+            lines.append(f"{metric.name}_bucket{le} {cumulative}")
+            lines.append(
+                f"{metric.name}_sum{_label_text(metric.labels)} {_format_value(metric.sum)}"
+            )
+            lines.append(
+                f"{metric.name}_count{_label_text(metric.labels)} {metric.count}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def to_jsonl(registry: MetricsRegistry) -> str:
+    """One JSON object per series, in the registry's deterministic order."""
+    dump = registry.to_dict()
+    lines = [json.dumps({"schema": dump["schema"]}, sort_keys=True)]
+    lines.extend(json.dumps(entry, sort_keys=True) for entry in dump["metrics"])
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics(registry: MetricsRegistry, path: str) -> str:
+    """Write the registry to ``path``; format picked by extension.
+
+    ``.prom`` / ``.txt`` -> Prometheus text; anything else -> JSONL.
+    """
+    if path.endswith((".prom", ".txt")):
+        text = to_prometheus(registry)
+    else:
+        text = to_jsonl(registry)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path
+
+
+# -- validation (CI smoke + tests) ---------------------------------------------
+
+
+class PrometheusParseError(ValueError):
+    """The text violates the exposition-format rules a scraper relies on."""
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    rest = text
+    while rest:
+        name, _, rest = rest.partition("=")
+        if not rest.startswith('"'):
+            raise PrometheusParseError(f"unquoted label value near {rest!r}")
+        value_chars: List[str] = []
+        i = 1
+        while i < len(rest):
+            ch = rest[i]
+            if ch == "\\":
+                nxt = rest[i + 1] if i + 1 < len(rest) else ""
+                value_chars.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, nxt))
+                i += 2
+                continue
+            if ch == '"':
+                break
+            value_chars.append(ch)
+            i += 1
+        else:
+            raise PrometheusParseError(f"unterminated label value near {rest!r}")
+        labels[name.strip()] = "".join(value_chars)
+        rest = rest[i + 1:].lstrip(",").strip()
+    return labels
+
+
+def parse_prometheus(text: str) -> Dict[str, List[Tuple[Dict[str, str], float]]]:
+    """Parse and validate exposition text; ``{name: [(labels, value)]}``.
+
+    Validates what a scraper depends on: every sample's family has a
+    preceding ``# TYPE`` line, histogram ``_bucket`` series are
+    le-cumulative, and the ``+Inf`` bucket equals ``_count``.
+    Raises :class:`PrometheusParseError` on violation.
+    """
+    types: Dict[str, str] = {}
+    samples: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise PrometheusParseError(f"unknown TYPE {kind!r} for {name}")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        if "{" in line:
+            name, _, rest = line.partition("{")
+            label_text, _, value_text = rest.partition("}")
+            labels = _parse_labels(label_text)
+        else:
+            name, _, value_text = line.partition(" ")
+            labels = {}
+        value_text = value_text.strip()
+        try:
+            value = math.inf if value_text == "+Inf" else float(value_text)
+        except ValueError:
+            raise PrometheusParseError(f"bad sample value {value_text!r}")
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and types.get(name[: -len(suffix)]) == "histogram":
+                family = name[: -len(suffix)]
+                break
+        if family not in types:
+            raise PrometheusParseError(f"sample {name} has no # TYPE header")
+        samples.setdefault(name, []).append((labels, value))
+    _validate_histograms(types, samples)
+    return samples
+
+
+def _validate_histograms(
+    types: Mapping[str, str],
+    samples: Mapping[str, List[Tuple[Dict[str, str], float]]],
+) -> None:
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        by_series: Dict[Tuple[Tuple[str, str], ...], List[Tuple[float, float]]] = {}
+        for labels, value in samples.get(f"{family}_bucket", []):
+            le = labels.get("le")
+            if le is None:
+                raise PrometheusParseError(f"{family}_bucket sample missing le")
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            bound = math.inf if le == "+Inf" else float(le)
+            by_series.setdefault(key, []).append((bound, value))
+        counts = {
+            tuple(sorted(labels.items())): value
+            for labels, value in samples.get(f"{family}_count", [])
+        }
+        for key, buckets in by_series.items():
+            buckets.sort(key=lambda item: item[0])
+            running = -1.0
+            for bound, value in buckets:
+                if value < running:
+                    raise PrometheusParseError(
+                        f"{family} buckets not cumulative at le={bound}"
+                    )
+                running = value
+            if buckets[-1][0] != math.inf:
+                raise PrometheusParseError(f"{family} missing +Inf bucket")
+            count = counts.get(key)
+            if count is not None and count != buckets[-1][1]:
+                raise PrometheusParseError(
+                    f"{family} +Inf bucket {buckets[-1][1]} != _count {count}"
+                )

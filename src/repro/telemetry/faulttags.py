@@ -1,0 +1,70 @@
+"""Fault-window tagging: put the fault schedule on the metric timeline.
+
+Degradation campaigns (:mod:`repro.faults`) need to attribute measured
+loss to the component that failed.  Each fault event becomes an
+info-style gauge
+
+    repro_fault_active_window{kind,scope,start_ns,end_ns} 1
+
+whose *labels* carry the window.  Encoding the window in labels (not
+values) keeps the dump JSON-safe -- a permanent fault's ``end_ns`` is
+infinite, which JSON cannot represent as a number -- and lets one series
+exist per event, so merged dumps list every injected fault exactly once
+(gauges merge by max; identical windows collapse to one series).
+
+Split-level loss attribution rides along as counters
+(``repro_fault_lost_bytes_total{scope,index}``), recorded by
+:class:`~repro.core.sps.SplitParallelSwitch` at the passive split.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .registry import MetricsRegistry
+
+FAULT_WINDOW = "repro_fault_active_window"
+FAULT_LOST_BYTES = "repro_fault_lost_bytes_total"
+
+
+def _scope(event) -> str:
+    kind = type(event).__name__
+    if kind == "FiberCut":
+        return f"ribbon{event.ribbon}/fiber{event.fiber}"
+    scope = f"switch{event.switch}"
+    if kind == "HBMChannelLoss":
+        scope += f"/channels{event.n_channels}"
+    elif kind == "OEODegradation":
+        scope += f"/rate{event.rate_factor:g}"
+    return scope
+
+
+def _window_label(t_ns: float) -> str:
+    return "inf" if math.isinf(t_ns) else f"{t_ns:g}"
+
+
+def tag_fault_windows(registry: MetricsRegistry, schedule) -> None:
+    """Record every event of a :class:`~repro.faults.FaultSchedule`."""
+    if schedule is None:
+        return
+    for event in schedule.events:
+        registry.gauge(
+            FAULT_WINDOW,
+            "an injected fault was active during [start_ns, end_ns)",
+            kind=type(event).__name__,
+            scope=_scope(event),
+            start_ns=_window_label(event.start_ns),
+            end_ns=_window_label(event.end_ns),
+        ).set(1.0)
+
+
+def record_fault_loss(registry: MetricsRegistry, scope: str, index: str, n_bytes: int) -> None:
+    """Attribute ``n_bytes`` of split-level loss to one component."""
+    if n_bytes <= 0:
+        return
+    registry.counter(
+        FAULT_LOST_BYTES,
+        "bytes lost at the passive split, by failed component",
+        scope=scope,
+        index=index,
+    ).inc(n_bytes)

@@ -1,0 +1,347 @@
+"""The central metrics registry: labeled counters, gauges and histograms.
+
+Design constraints (docs/observability.md):
+
+- **Cheap when disabled.**  Components hold an optional telemetry handle
+  and guard every call site with a single attribute check
+  (``if self.telemetry is not None:``); a run without telemetry pays one
+  ``None`` comparison per site and nothing else.  Instruments are
+  created once at setup and bound to attributes, so an *enabled* hot
+  path is one method call plus a list/bisect update -- never a dict
+  lookup per event.
+- **Deterministic.**  Instruments are value objects keyed by
+  ``(name, sorted labels)``; :meth:`MetricsRegistry.to_dict` sorts
+  series, so two registries that saw the same observations in the same
+  order serialise to byte-identical dumps regardless of creation order.
+- **Mergeable.**  Registries from independent switch simulations (one
+  per process-pool worker) merge by summing counters and histogram
+  buckets and taking the max of gauges.  The merge is performed in
+  switch-index order by the caller, which makes parallel and sequential
+  runs of the same workload produce identical dumps: float addition is
+  carried out in the same order either way.
+
+Histograms use **fixed** bucket bounds (ns scale by default) so bucket
+counts from different workers are element-wise addable without any
+rebinning.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..errors import ConfigError
+
+#: Schema tag stamped on every registry dump.
+SCHEMA = "repro-telemetry-v1"
+
+#: Fixed nanosecond-scale histogram bounds: 50 ns doubling up to ~1.6 ms,
+#: with an implicit +Inf overflow bucket.  Chosen to straddle every
+#: pipeline span of the reference and scaled designs (batch times are
+#: O(10 ns), HBM phases O(1 us), drain tails O(100 us)).
+DEFAULT_NS_BUCKETS: Tuple[float, ...] = (
+    50.0, 100.0, 200.0, 400.0, 800.0,
+    1_600.0, 3_200.0, 6_400.0, 12_800.0, 25_600.0,
+    51_200.0, 102_400.0, 204_800.0, 409_600.0, 819_200.0, 1_638_400.0,
+)
+
+
+def _label_key(labels: Mapping[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value (bytes, packets, frames...)."""
+
+    __slots__ = ("name", "help", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labels: Tuple[Tuple[str, str], ...]):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def _merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def _values(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+    def _load(self, data: Mapping[str, Any]) -> None:
+        self.value = float(data["value"])
+
+
+class Gauge:
+    """A point-in-time value (peak occupancy, energy, window edges).
+
+    Gauges from independent switches merge by **max** -- the registry's
+    gauges record peaks and high-water marks, for which max is the only
+    order-independent combination.
+    """
+
+    __slots__ = ("name", "help", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, labels: Tuple[Tuple[str, str], ...]):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def _merge(self, other: "Gauge") -> None:
+        self.value = max(self.value, other.value)
+
+    def _values(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+    def _load(self, data: Mapping[str, Any]) -> None:
+        self.value = float(data["value"])
+
+
+class Histogram:
+    """Cumulative-bucket histogram over fixed bounds.
+
+    ``bounds`` are the finite upper bucket edges (a value lands in the
+    first bucket whose bound is >= value); one extra overflow bucket
+    catches everything above the last bound.  ``sum``/``count`` allow a
+    mean; quantiles are estimated by linear interpolation within the
+    containing bucket (:meth:`quantile`).
+    """
+
+    __slots__ = ("name", "help", "labels", "bounds", "bucket_counts", "count", "sum")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labels: Tuple[Tuple[str, str], ...],
+        bounds: Tuple[float, ...] = DEFAULT_NS_BUCKETS,
+    ):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ConfigError(f"histogram bounds must be sorted and non-empty: {bounds}")
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def observe_n(self, value: float, n: int) -> None:
+        """Record ``n`` identical observations in O(1) (bulk span tags)."""
+        if n <= 0:
+            return
+        self.bucket_counts[bisect_left(self.bounds, value)] += n
+        self.count += n
+        self.sum += value * n
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the bucket counts.
+
+        Linear interpolation inside the containing bucket; the overflow
+        bucket reports its lower bound (the estimate is then a floor).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            if cumulative + n >= target and n > 0:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                if i >= len(self.bounds):
+                    return self.bounds[-1]
+                hi = self.bounds[i]
+                within = (target - cumulative) / n
+                return lo + (hi - lo) * within
+            cumulative += n
+        return self.bounds[-1]
+
+    def _merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ConfigError(
+                f"cannot merge histogram {self.name}: bucket bounds differ"
+            )
+        for i, n in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += n
+        self.count += other.count
+        self.sum += other.sum
+
+    def _values(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+    def _load(self, data: Mapping[str, Any]) -> None:
+        bounds = tuple(float(b) for b in data["bounds"])
+        if bounds != self.bounds:
+            raise ConfigError(
+                f"cannot load histogram {self.name}: bucket bounds differ"
+            )
+        self.bucket_counts = [int(n) for n in data["buckets"]]
+        self.count = int(data["count"])
+        self.sum = float(data["sum"])
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Holds every instrument of one run (or one switch of one run).
+
+    Instruments are get-or-create by ``(name, labels)``; re-requesting
+    an existing series returns the same object, so setup code can bind
+    instruments to attributes once and hot paths never touch the
+    registry again.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Any] = {}
+
+    # -- instrument creation ---------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help: str, labels: Mapping[str, str], **kwargs):
+        key = (name, _label_key(labels))
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ConfigError(
+                    f"metric {name} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(name, help, key[1], **kwargs)
+        self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_NS_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, bounds=buckets)
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        """Series in deterministic (name, labels) order."""
+        for key in sorted(self._metrics):
+            yield self._metrics[key]
+
+    def series(self, name: str) -> List:
+        """Every series of ``name``, in label order."""
+        return [m for m in self if m.name == name]
+
+    def get(self, name: str, **labels: str) -> Optional[Any]:
+        return self._metrics.get((name, _label_key(labels)))
+
+    # -- merging ---------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (sum / sum / max by kind).
+
+        Series are visited in the deterministic sorted order, so a
+        sequence of merges is reproducible whatever order the source
+        registries were *built* in.
+        """
+        for metric in other:
+            key = (metric.name, metric.labels)
+            mine = self._metrics.get(key)
+            if mine is None:
+                # Adopt a copy so later merges cannot alias the source.
+                mine = _copy_metric(metric)
+                self._metrics[key] = mine
+            else:
+                if type(mine) is not type(metric):
+                    raise ConfigError(
+                        f"metric {metric.name} kind mismatch on merge"
+                    )
+                mine._merge(metric)
+
+    def merge_dict(self, dump: Mapping[str, Any]) -> None:
+        """Merge a serialised registry (a worker's report payload)."""
+        self.merge(MetricsRegistry.from_dict(dump))
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe, deterministically ordered dump of every series."""
+        return {
+            "schema": SCHEMA,
+            "metrics": [
+                {
+                    "name": m.name,
+                    "kind": m.kind,
+                    "help": m.help,
+                    "labels": {k: v for k, v in m.labels},
+                    **m._values(),
+                }
+                for m in self
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, dump: Mapping[str, Any]) -> "MetricsRegistry":
+        if dump.get("schema") != SCHEMA:
+            raise ConfigError(f"unknown telemetry schema {dump.get('schema')!r}")
+        registry = cls()
+        for entry in dump["metrics"]:
+            kind = _KINDS.get(entry["kind"])
+            if kind is None:
+                raise ConfigError(f"unknown metric kind {entry['kind']!r}")
+            kwargs = {}
+            if kind is Histogram:
+                kwargs["bounds"] = tuple(float(b) for b in entry["bounds"])
+            metric = registry._get_or_create(
+                kind, entry["name"], entry.get("help", ""), entry.get("labels", {}), **kwargs
+            )
+            metric._load(entry)
+        return registry
+
+    def dumps(self) -> str:
+        """Canonical JSON text -- byte-identical for equal registries."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def _copy_metric(metric):
+    kwargs = {"bounds": metric.bounds} if isinstance(metric, Histogram) else {}
+    clone = type(metric)(metric.name, metric.help, metric.labels, **kwargs)
+    clone._load(metric._values())
+    return clone

@@ -1,0 +1,225 @@
+"""Span taxonomy: the stages a packet crosses through the SPS pipeline.
+
+A *span* is one traversal of one pipeline stage, recorded as a latency
+observation in that stage's histogram.  The taxonomy mirrors Fig. 3 /
+SS 3.2 end to end:
+
+==========  =================================================================
+stage       what the span measures
+==========  =================================================================
+oeo         O/E conversion serialisation of one packet at the port rate
+split       passive fiber-split assignment (0 ns -- the split is passive;
+            the per-switch *count* is the observable: the load balance)
+batch       batch aggregation wait -- packet arrival to batch emission
+stripe      cyclical-crossbar traversal of one batch (one batch time)
+hbm_write   HBM write phase of one frame (stretched under channel faults)
+hbm_read    HBM read phase of one frame
+bypass      tail-to-head direct path of one bypassed frame
+drain       output-port wire time of one batch's payload
+==========  =================================================================
+
+``hbm_write``/``hbm_read`` also record per-bank-group phase histograms
+(``repro_hbm_phase_ns``) and per-channel byte counters
+(``repro_hbm_channel_bytes_total``), exposing the striping that PFI's
+peak-rate claim rests on.
+
+:class:`SwitchTelemetry` pre-binds every instrument at construction so
+the simulation hot path is one attribute access plus one ``observe`` --
+and the disabled path (``telemetry is None`` at each call site) is one
+pointer comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .registry import Counter, Histogram, MetricsRegistry
+
+#: Every pipeline stage, in traversal order.
+STAGES = (
+    "oeo",
+    "split",
+    "batch",
+    "stripe",
+    "hbm_write",
+    "hbm_read",
+    "bypass",
+    "drain",
+)
+
+#: Metric names (one place, so exporters/tests/docs agree).
+STAGE_LATENCY = "repro_stage_latency_ns"
+HBM_PHASE = "repro_hbm_phase_ns"
+CHANNEL_BYTES = "repro_hbm_channel_bytes_total"
+PACKETS = "repro_pipeline_packets_total"
+BYTES = "repro_pipeline_bytes_total"
+FRAMES = "repro_pipeline_frames_total"
+DROPS = "repro_pipeline_dropped_bytes_total"
+
+_HELP = {
+    "oeo": "O/E conversion serialisation time per packet",
+    "split": "passive fiber-split assignment (0 ns; count = per-switch load)",
+    "batch": "batch aggregation wait, packet arrival to batch emission",
+    "stripe": "cyclical-crossbar traversal of one batch",
+    "hbm_write": "HBM write phase per frame",
+    "hbm_read": "HBM read phase per frame",
+    "bypass": "tail-to-head bypass per frame",
+    "drain": "output-port wire time per batch",
+}
+
+
+class SwitchTelemetry:
+    """All instruments of one HBM switch, bound once, labeled ``switch=h``.
+
+    Hot-path members are plain attributes (``oeo``, ``batch``, ...) and
+    pre-sized lists (``write_group``, ``channel_bytes``); only the rare
+    drop path goes through a dict.
+    """
+
+    __slots__ = (
+        "registry",
+        "switch",
+        "oeo",
+        "batch",
+        "stripe",
+        "hbm_write",
+        "hbm_read",
+        "bypass",
+        "drain",
+        "write_group",
+        "read_group",
+        "channel_bytes",
+        "packets_in",
+        "packets_out",
+        "bytes_in",
+        "bytes_out",
+        "frames_written",
+        "frames_read",
+        "frames_bypassed",
+        "_drops",
+    )
+
+    def __init__(self, registry: MetricsRegistry, config, switch: int = 0) -> None:
+        self.registry = registry
+        self.switch = switch
+        label = str(switch)
+
+        def stage(name: str) -> Histogram:
+            return registry.histogram(
+                STAGE_LATENCY, _HELP[name], stage=name, switch=label
+            )
+
+        self.oeo = stage("oeo")
+        self.batch = stage("batch")
+        self.stripe = stage("stripe")
+        self.hbm_write = stage("hbm_write")
+        self.hbm_read = stage("hbm_read")
+        self.bypass = stage("bypass")
+        self.drain = stage("drain")
+        self.write_group: List[Histogram] = [
+            registry.histogram(
+                HBM_PHASE, "HBM phase time by op and bank group",
+                op="write", group=str(g), switch=label,
+            )
+            for g in range(config.n_bank_groups)
+        ]
+        self.read_group: List[Histogram] = [
+            registry.histogram(
+                HBM_PHASE, "HBM phase time by op and bank group",
+                op="read", group=str(g), switch=label,
+            )
+            for g in range(config.n_bank_groups)
+        ]
+        self.channel_bytes: List[Counter] = [
+            registry.counter(
+                CHANNEL_BYTES, "frame bytes striped onto each HBM channel",
+                channel=str(c), switch=label,
+            )
+            for c in range(config.total_channels)
+        ]
+        self.packets_in = registry.counter(
+            PACKETS, "packets crossing the stage", point="ingress", switch=label
+        )
+        self.packets_out = registry.counter(
+            PACKETS, "packets crossing the stage", point="egress", switch=label
+        )
+        self.bytes_in = registry.counter(
+            BYTES, "bytes crossing the stage", point="ingress", switch=label
+        )
+        self.bytes_out = registry.counter(
+            BYTES, "bytes crossing the stage", point="egress", switch=label
+        )
+        self.frames_written = registry.counter(
+            FRAMES, "frames by disposition", disposition="written", switch=label
+        )
+        self.frames_read = registry.counter(
+            FRAMES, "frames by disposition", disposition="read", switch=label
+        )
+        self.frames_bypassed = registry.counter(
+            FRAMES, "frames by disposition", disposition="bypassed", switch=label
+        )
+        self._drops: Dict[str, Counter] = {}
+
+    def drop(self, reason: str, n_bytes: int) -> None:
+        """Count dropped bytes by reason (rare path; lazily labeled)."""
+        counter = self._drops.get(reason)
+        if counter is None:
+            counter = self.registry.counter(
+                DROPS, "dropped bytes by reason",
+                reason=reason, switch=str(self.switch),
+            )
+            self._drops[reason] = counter
+        counter.inc(n_bytes)
+
+    def stripe_frame_bytes(self, frame_bytes: int, channels_used: int) -> None:
+        """Attribute one frame's bytes across the channels it striped over.
+
+        PFI stripes every frame evenly over the (surviving) channels, so
+        each of the first ``channels_used`` channels moves an equal
+        share.  Integer division keeps the counters exact in aggregate:
+        the remainder goes to channel 0.
+        """
+        if channels_used <= 0:
+            return
+        share, remainder = divmod(frame_bytes, channels_used)
+        for c in range(channels_used):
+            self.channel_bytes[c].inc(share)
+        if remainder:
+            self.channel_bytes[0].inc(remainder)
+
+
+def stage_summaries(registry: MetricsRegistry) -> Dict[str, Dict[str, float]]:
+    """Per-stage latency roll-up across every switch of a registry.
+
+    Returns ``{stage: {count, mean_ns, p50_ns, p99_ns}}`` for each stage
+    that recorded at least one span (absent stages are reported with
+    zero count, so consumers always see the full taxonomy).  Percentiles
+    are bucket-interpolated estimates; byte-exact determinism comes from
+    the underlying bucket counts, which sum exactly across switches.
+    """
+    merged: Dict[str, Histogram] = {}
+    for metric in registry.series(STAGE_LATENCY):
+        labels = dict(metric.labels)
+        name = labels.get("stage")
+        if name is None:
+            continue
+        rollup = merged.get(name)
+        if rollup is None:
+            rollup = Histogram(STAGE_LATENCY, "", (), bounds=metric.bounds)
+            merged[name] = rollup
+        rollup._merge(metric)
+    summaries: Dict[str, Dict[str, float]] = {}
+    for name in STAGES:
+        rollup = merged.get(name)
+        if rollup is None:
+            summaries[name] = {
+                "count": 0.0, "mean_ns": 0.0, "p50_ns": 0.0, "p99_ns": 0.0
+            }
+        else:
+            summaries[name] = {
+                "count": float(rollup.count),
+                "mean_ns": rollup.mean,
+                "p50_ns": rollup.quantile(0.50),
+                "p99_ns": rollup.quantile(0.99),
+            }
+    return summaries

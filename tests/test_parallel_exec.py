@@ -134,6 +134,49 @@ class TestModes:
         assert sps_seq.oeo.total_bits == sps_par.oeo.total_bits
 
 
+class TestTelemetryParity:
+    """The determinism invariant extends to telemetry: a parallel run's
+    metric dump must be byte-identical to the sequential run's."""
+
+    def test_dumps_byte_identical_across_modes(self, small_router):
+        from repro.telemetry import MetricsRegistry
+
+        reg_seq = MetricsRegistry()
+        reg_par = MetricsRegistry()
+        seq = run_router(small_router, "sequential", telemetry=reg_seq)
+        par = run_router(small_router, "parallel", n_workers=2, telemetry=reg_par)
+        assert reg_seq.dumps() == reg_par.dumps()
+        assert seq.telemetry == par.telemetry
+        assert report_to_json(seq) == report_to_json(par)
+
+    def test_dumps_identical_under_faults(self, small_router):
+        from repro.faults import parse_fault_specs
+        from repro.telemetry import MetricsRegistry
+
+        schedule = parse_fault_specs(["channels:1:2@5-20"])
+        regs = []
+        for mode, workers in (("sequential", None), ("parallel", 2)):
+            reg = MetricsRegistry()
+            sps = SplitParallelSwitch(
+                small_router, options=PFIOptions(padding=True, bypass=True)
+            )
+            sps.run(
+                router_traffic(small_router),
+                DURATION,
+                mode=mode,
+                n_workers=workers,
+                fault_schedule=schedule,
+                telemetry=reg,
+            )
+            regs.append(reg)
+        assert regs[0].dumps() == regs[1].dumps()
+
+    def test_untelemetered_run_attaches_nothing(self, small_router):
+        report = run_router(small_router, "sequential")
+        assert report.telemetry is None
+        assert report.stage_summaries() == {}
+
+
 class TestRouterReportDefaults:
     def test_failed_switches_lists_are_independent(self):
         a = RouterReport(switch_reports=[], per_switch_offered_bytes=[], duration_ns=1.0)
