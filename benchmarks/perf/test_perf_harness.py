@@ -60,6 +60,7 @@ def test_run_benchmarks_document_roundtrips(tmp_path):
         "traffic",
         "switch",
         "telemetry_overhead",
+        "adversary_campaign",
         "router_parallel",
     }
     path = write_bench_json(document, str(tmp_path / "BENCH_smoke.json"))

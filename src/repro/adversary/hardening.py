@@ -1,0 +1,141 @@
+"""Split-hardening analysis: exposure scores and seed sensitivity.
+
+The exposure score makes Idea 4's security claim a single number per
+splitter: the **attacker gain** is the victim switch's load under a
+strategy divided by the uniform share (total / H), and a splitter's
+**exposure** is the best gain any catalogued strategy achieves against
+it.  A contiguous split is fully exposed to a design-knowledge attacker
+(gain -> the attacker-controlled fraction times H); a pseudo-random
+split with a secret seed concentrates every strategy's gain near 1.
+
+The seed-sensitivity sweep quantifies "near 1": across many
+manufacturing seeds the pseudo-random gain is a sample from the
+attack-slots-into-switches occupancy distribution, and its spread tells
+a designer how unlucky a single deployed seed can be -- the quantitative
+version of the paper's "randomize per ribbon" advice.
+
+Everything here is analytic (fiber weights through
+:func:`~repro.core.fiber_split.per_switch_loads`), so sweeps over
+hundreds of seeds are cheap; the campaign layer
+(:mod:`repro.adversary.campaign`) confirms selected points in full
+simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.fiber_split import FiberSplitter, PseudoRandomSplitter, per_switch_loads
+from ..errors import ConfigError
+from .strategies import (
+    AttackStrategy,
+    KnownAssignmentAttack,
+    ObliviousProbeAttack,
+    OperatorSkew,
+)
+
+
+def default_strategy_catalogue(victim: int = 0) -> List[AttackStrategy]:
+    """The strategies a hardening review should assume (burst-sync shares
+    known-assignment's analytic profile, so the time-averaged catalogue
+    omits it)."""
+    return [
+        KnownAssignmentAttack(victim=victim),
+        ObliviousProbeAttack(victim=victim),
+        OperatorSkew(),
+    ]
+
+
+def attacker_gain(
+    splitter: FiberSplitter,
+    strategy: AttackStrategy,
+    n_ribbons: int,
+) -> float:
+    """Victim-switch load over the uniform share, analytically.
+
+    Strategies without a designated victim (operator skew) are scored on
+    their worst-loaded switch -- the adversary gets credit for whatever
+    imbalance it causes, wherever it lands.
+    """
+    if n_ribbons <= 0:
+        raise ConfigError(f"n_ribbons must be positive, got {n_ribbons}")
+    weights = strategy.fiber_weights(splitter, n_ribbons)
+    loads = per_switch_loads(splitter, weights)
+    total = float(loads.sum())
+    if total <= 0:
+        return 1.0
+    victim = strategy.victim_switch(splitter)
+    target = int(np.argmax(loads)) if victim is None else victim
+    return float(loads[target] * splitter.n_switches / total)
+
+
+def exposure_score(
+    splitter: FiberSplitter,
+    strategies: Optional[Sequence[AttackStrategy]] = None,
+    n_ribbons: int = 8,
+) -> Dict:
+    """Best attacker gain over the strategy catalogue.
+
+    ``score`` is the exposure (max gain); ``gains`` itemises the
+    catalogue so a report can show *which* strategy the splitter is most
+    exposed to.
+    """
+    if strategies is None:
+        strategies = default_strategy_catalogue()
+    if not strategies:
+        raise ConfigError("exposure_score needs at least one strategy")
+    gains = {
+        s.describe(): attacker_gain(splitter, s, n_ribbons) for s in strategies
+    }
+    best = max(gains, key=gains.__getitem__)
+    return {
+        "score": gains[best],
+        "best_strategy": best,
+        "gains": gains,
+    }
+
+
+def seed_sensitivity_sweep(
+    n_fibers: int,
+    n_switches: int,
+    strategy: Optional[AttackStrategy] = None,
+    n_ribbons: int = 8,
+    n_seeds: int = 200,
+    base_seed: int = 0,
+) -> Dict:
+    """Attacker gain across many pseudo-random manufacturing seeds.
+
+    Shows Idea 4's concentration: the gain distribution's mass sits near
+    1, with ``fraction_below(1.25)`` the figure's headline number.  Seed
+    ``base_seed + k`` stands in for deployment k.
+    """
+    if n_seeds <= 0:
+        raise ConfigError(f"n_seeds must be positive, got {n_seeds}")
+    if strategy is None:
+        strategy = KnownAssignmentAttack()
+    gains = np.array(
+        [
+            attacker_gain(
+                PseudoRandomSplitter(n_fibers, n_switches, seed=base_seed + k),
+                strategy,
+                n_ribbons,
+            )
+            for k in range(n_seeds)
+        ]
+    )
+    return {
+        "strategy": strategy.describe(),
+        "n_seeds": n_seeds,
+        "n_switches": n_switches,
+        "mean": float(gains.mean()),
+        "std": float(gains.std(ddof=1)) if n_seeds > 1 else 0.0,
+        "min": float(gains.min()),
+        "p50": float(np.percentile(gains, 50)),
+        "p90": float(np.percentile(gains, 90)),
+        "p99": float(np.percentile(gains, 99)),
+        "max": float(gains.max()),
+        "fraction_below_1_25": float((gains <= 1.25).mean()),
+        "gains": gains.tolist(),
+    }

@@ -8,6 +8,8 @@ Commands:
 - ``sweep``       -- sweep offered load on one switch; print a row per load.
 - ``metrics``     -- run an instrumented simulation and print/export the
                      per-stage telemetry (Prometheus text or JSONL).
+- ``attack``      -- run an adversarial campaign (strategy vs splitter)
+                     and report exposure with confidence intervals.
 - ``experiments`` -- list the experiment index (E1..E16 and ablations)
                      with the bench that regenerates each.
 - ``bench``       -- run the perf harness and write ``BENCH_<rev>.json``.
@@ -70,6 +72,7 @@ EXPERIMENTS = [
     ("A6", "Buffer sharing scarcity vs glut", "benchmarks/test_a06_buffer_sharing.py"),
     ("A7", "PFI constants across memory generations", "benchmarks/test_a07_generation_scaling.py"),
     ("A8", "Graceful degradation: capacity vs failed switches", "benchmarks/test_a08_graceful_degradation.py"),
+    ("A9", "Adversarial exposure: contiguous vs pseudo-random split", "benchmarks/test_a09_adversary.py"),
 ]
 
 
@@ -213,6 +216,83 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", type=str, default=None,
         help="single-run only: write the run's telemetry (with fault "
              "windows tagged) to this path",
+    )
+
+    attack = sub.add_parser(
+        "attack", help="adversarial campaigns: attack strategies vs splitters"
+    )
+    attack.add_argument(
+        "--strategy",
+        choices=["known-assignment", "oblivious-probe", "operator-skew", "burst-sync"],
+        default="known-assignment",
+    )
+    attack.add_argument(
+        "--splitter", choices=["contiguous", "pseudo-random", "both"],
+        default="both",
+        help="splitter family to attack ('both' also reports the exposure ratio)",
+    )
+    attack.add_argument("--trials", type=int, default=8, help="campaign trials")
+    attack.add_argument("--seed", type=int, default=0, help="campaign seed")
+    attack.add_argument("--switches", type=int, default=16, help="router H")
+    attack.add_argument(
+        "--ribbons", type=int, default=8, help="router ribbon count N"
+    )
+    attack.add_argument("--victim", type=int, default=0, help="targeted switch")
+    attack.add_argument("--load", type=float, default=0.6, help="per-ribbon offered load")
+    attack.add_argument("--duration-us", type=float, default=10.0, help="arrival window")
+    attack.add_argument(
+        "--attack-fraction", type=float, default=None,
+        help="share of the load the adversary controls "
+             "(default: the strategy's own default)",
+    )
+    attack.add_argument(
+        "--oracle", action="store_true",
+        help="known-assignment: attacker knows the deployed assignment "
+             "(leaked seed), not just the published design",
+    )
+    attack.add_argument(
+        "--probe-rounds", type=int, default=24,
+        help="oblivious-probe: per-ribbon probe budget",
+    )
+    attack.add_argument(
+        "--skew", type=float, default=4.0,
+        help="operator-skew: first/last fiber load ratio",
+    )
+    attack.add_argument(
+        "--burst-period-ns", type=float, default=2_000.0,
+        help="burst-sync: on/off period",
+    )
+    attack.add_argument(
+        "--duty", type=float, default=0.5, help="burst-sync: on fraction"
+    )
+    attack.add_argument(
+        "--fault", action="append", default=[],
+        help="compose with a fault spec (same grammar as the faults command)",
+    )
+    attack.add_argument(
+        "--failed-switches", type=str, default="",
+        help="comma list of whole-run dead switches, e.g. 0,3",
+    )
+    attack.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for the trial fan-out (default: sequential)",
+    )
+    attack.add_argument(
+        "--seed-sweep", type=int, default=0,
+        help="also run the pseudo-random seed-sensitivity sweep over N seeds",
+    )
+    attack.add_argument(
+        "--json", action="store_true",
+        help="print the JSON report instead of tables",
+    )
+    attack.add_argument(
+        "--out", type=str, default=None,
+        help="also write the JSON report to this path",
+    )
+    attack.add_argument(
+        "--metrics-out", type=str, default=None,
+        help="write the campaign's merged telemetry (attack windows + "
+             "victim series) to this path",
     )
 
     sub.add_parser("experiments", help="list the experiment index")
@@ -593,6 +673,140 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _attack_strategy(args: argparse.Namespace):
+    from .adversary import (
+        BurstSynchronizedAttack,
+        KnownAssignmentAttack,
+        ObliviousProbeAttack,
+        OperatorSkew,
+    )
+
+    fraction = {}
+    if args.attack_fraction is not None:
+        fraction["attack_fraction"] = args.attack_fraction
+    if args.strategy == "known-assignment":
+        return KnownAssignmentAttack(
+            victim=args.victim, oracle=args.oracle, **fraction
+        )
+    if args.strategy == "oblivious-probe":
+        return ObliviousProbeAttack(
+            victim=args.victim, probe_rounds=args.probe_rounds, **fraction
+        )
+    if args.strategy == "operator-skew":
+        return OperatorSkew(skew=args.skew, **fraction)
+    return BurstSynchronizedAttack(
+        victim=args.victim,
+        period_ns=args.burst_period_ns,
+        duty=args.duty,
+        **fraction,
+    )
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    import json
+
+    from .adversary import (
+        AttackCampaignParams,
+        compare_splitters,
+        run_attack_campaign,
+        seed_sensitivity_sweep,
+    )
+    from .faults import parse_fault_specs
+    from .reporting import (
+        attack_campaign_table,
+        attack_comparison_table,
+        seed_sweep_table,
+    )
+
+    if args.ribbons <= 0:
+        raise ConfigError(f"--ribbons must be positive, got {args.ribbons}")
+    if args.switches <= 0:
+        raise ConfigError(f"--switches must be positive, got {args.switches}")
+    config = scaled_router(
+        n_ribbons=args.ribbons,
+        fibers_per_ribbon=4 * args.switches,
+        n_switches=args.switches,
+    )
+    strategy = _attack_strategy(args)
+    schedule = parse_fault_specs(args.fault)
+    failed = _parse_int_list(args.failed_switches)
+    duration_ns = args.duration_us * 1e3
+    telemetry = bool(args.metrics_out)
+
+    if args.splitter == "both":
+        comparison = compare_splitters(
+            config,
+            strategy,
+            n_trials=args.trials,
+            seed=args.seed,
+            load=args.load,
+            duration_ns=duration_ns,
+            telemetry=telemetry,
+            fault_schedule=None if schedule.is_empty else schedule,
+            failed_switches=failed or None,
+            n_workers=args.workers,
+        )
+        campaigns = comparison.pop("_campaigns")
+        document = comparison
+        tables = [attack_comparison_table(comparison)]
+    else:
+        params = AttackCampaignParams(
+            strategy=strategy,
+            splitter=args.splitter,
+            n_trials=args.trials,
+            seed=args.seed,
+            load=args.load,
+            duration_ns=duration_ns,
+            telemetry=telemetry,
+        )
+        result = run_attack_campaign(
+            config,
+            params,
+            fault_schedule=None if schedule.is_empty else schedule,
+            failed_switches=failed or None,
+            n_workers=args.workers,
+        )
+        campaigns = {args.splitter: result}
+        document = result.to_dict()
+        tables = [attack_campaign_table(result)]
+
+    if args.seed_sweep > 0:
+        sweep = seed_sensitivity_sweep(
+            config.fibers_per_ribbon,
+            config.n_switches,
+            strategy=strategy,
+            n_ribbons=config.n_ribbons,
+            n_seeds=args.seed_sweep,
+            base_seed=args.seed,
+        )
+        document = dict(document)
+        document["seed_sweep"] = sweep
+        tables.append(seed_sweep_table(sweep))
+
+    if args.metrics_out:
+        from .telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        # Fixed splitter-kind order keeps the merged dump byte-identical
+        # across sequential and parallel campaign runs.
+        for kind in sorted(campaigns):
+            if campaigns[kind].telemetry is not None:
+                registry.merge_dict(campaigns[kind].telemetry)
+        _write_metrics_file(registry, args.metrics_out)
+
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    if args.json:
+        print(text)
+        return 0
+    for table in tables:
+        table.show()
+    return 0
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     from .telemetry import MetricsRegistry, stage_summaries, to_jsonl, to_prometheus
 
@@ -739,6 +953,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 f"enabled/disabled {metrics['enabled_over_disabled']:.3f}x, "
                 f"{metrics['series_exported']} series"
             )
+        elif name == "adversary_campaign":
+            key = (
+                f"{metrics['trials_per_sec']:.2f} trials/s, "
+                f"exposure gap {metrics['exposure_gap']:.1f}x"
+            )
         else:
             key = f"{metrics['events_per_sec']:,.0f} events/s, {metrics['packets_per_sec']:,.0f} packets/s"
         table.add(name, f"{result['wall_s'] * 1e3:.1f} ms", key)
@@ -755,6 +974,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": cmd_sweep,
         "metrics": cmd_metrics,
         "faults": cmd_faults,
+        "attack": cmd_attack,
         "experiments": cmd_experiments,
         "timeline": cmd_timeline,
         "bench": cmd_bench,

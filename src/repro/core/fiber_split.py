@@ -41,6 +41,7 @@ class FiberSplitter(ABC):
             )
         self.n_fibers = n_fibers
         self.n_switches = n_switches
+        self._assignment_arrays: dict = {}
 
     @property
     def alpha(self) -> int:
@@ -62,6 +63,20 @@ class FiberSplitter(ABC):
             raise ConfigError(
                 f"ribbon {ribbon} assignment is unbalanced: {counts.tolist()}"
             )
+
+    def assignment_array(self, ribbon: int) -> np.ndarray:
+        """The assignment as a cached read-only int64 array.
+
+        Adversary campaigns evaluate per-switch loads in an inner loop;
+        caching here means each ribbon's assignment (a PRNG draw for the
+        pseudo-random splitter) is materialised once per splitter.
+        """
+        cached = self._assignment_arrays.get(ribbon)
+        if cached is None:
+            cached = np.asarray(self.assignment(ribbon), dtype=np.int64)
+            cached.setflags(write=False)
+            self._assignment_arrays[ribbon] = cached
+        return cached
 
     def fibers_to(self, ribbon: int, switch: int) -> List[int]:
         """The alpha fibers of ``ribbon`` that feed ``switch``."""
@@ -94,6 +109,20 @@ class PseudoRandomSplitter(FiberSplitter):
         return rng.permutation(balanced).tolist()
 
 
+def _checked_profile(
+    splitter: FiberSplitter, ribbon: int, profile: np.ndarray
+) -> np.ndarray:
+    profile = np.asarray(profile, dtype=np.float64)
+    if profile.shape != (splitter.n_fibers,):
+        raise ConfigError(
+            f"ribbon {ribbon} profile has shape {profile.shape}, "
+            f"expected ({splitter.n_fibers},)"
+        )
+    if np.any(profile < 0):
+        raise ConfigError(f"ribbon {ribbon} profile has negative fiber loads")
+    return profile
+
+
 def per_switch_loads(
     splitter: FiberSplitter,
     fiber_loads: Sequence[np.ndarray],
@@ -102,17 +131,16 @@ def per_switch_loads(
 
     ``fiber_loads[r][f]`` is ribbon r's load on fiber f (any consistent
     unit).  Returns an (H,)-array of per-switch totals.
+
+    ``np.add.at`` scatters each ribbon's profile through the (cached)
+    assignment array unbuffered and in fiber order, so the float
+    accumulation order -- and therefore the result, bit for bit -- is
+    the same as the per-fiber loop this replaced.
     """
     loads = np.zeros(splitter.n_switches)
     for ribbon, profile in enumerate(fiber_loads):
-        profile = np.asarray(profile, dtype=np.float64)
-        if profile.shape != (splitter.n_fibers,):
-            raise ConfigError(
-                f"ribbon {ribbon} profile has shape {profile.shape}, "
-                f"expected ({splitter.n_fibers},)"
-            )
-        for fiber, switch in enumerate(splitter.assignment(ribbon)):
-            loads[switch] += profile[fiber]
+        profile = _checked_profile(splitter, ribbon, profile)
+        np.add.at(loads, splitter.assignment_array(ribbon), profile)
     return loads
 
 
@@ -127,15 +155,18 @@ def per_switch_port_loads(
     """
     result = np.zeros((splitter.n_switches, len(fiber_loads)))
     for ribbon, profile in enumerate(fiber_loads):
-        profile = np.asarray(profile, dtype=np.float64)
-        for fiber, switch in enumerate(splitter.assignment(ribbon)):
-            result[switch, ribbon] += profile[fiber]
+        profile = _checked_profile(splitter, ribbon, profile)
+        np.add.at(result[:, ribbon], splitter.assignment_array(ribbon), profile)
     return result
 
 
 def split_imbalance(loads: np.ndarray) -> float:
     """Max-over-mean load ratio: 1.0 is perfect balance."""
     loads = np.asarray(loads, dtype=np.float64)
+    if np.any(loads < 0):
+        raise ConfigError(
+            f"per-switch loads must be >= 0, got min {loads.min():g}"
+        )
     if loads.size == 0 or loads.mean() <= 0:
         return 1.0
     return float(loads.max() / loads.mean())
@@ -148,7 +179,15 @@ def overload_loss_fraction(port_loads: np.ndarray, port_capacity: float) -> floa
     operating at a reduced capacity may potentially lead to packet
     losses" (Design 4); this is that loss, to first order.
     """
+    if port_capacity < 0:
+        raise ConfigError(
+            f"port capacity must be >= 0, got {port_capacity}"
+        )
     port_loads = np.asarray(port_loads, dtype=np.float64)
+    if np.any(port_loads < 0):
+        raise ConfigError(
+            f"port loads must be >= 0, got min {port_loads.min():g}"
+        )
     total = port_loads.sum()
     if total <= 0:
         return 0.0

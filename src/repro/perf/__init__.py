@@ -9,6 +9,7 @@ benches under ``benchmarks/perf/``.
 
 from .harness import (
     BenchResult,
+    bench_adversary_campaign,
     bench_engine,
     bench_router_parallel,
     bench_switch,
@@ -20,6 +21,7 @@ from .harness import (
 
 __all__ = [
     "BenchResult",
+    "bench_adversary_campaign",
     "bench_engine",
     "bench_traffic",
     "bench_switch",

@@ -30,6 +30,8 @@ TRACKED_METRICS: Tuple[Tuple[str, str], ...] = (
     ("traffic", "packets_per_sec"),
     ("switch", "events_per_sec"),
     ("switch", "packets_per_sec"),
+    ("adversary_campaign", "trials_per_sec"),
+    ("adversary_campaign", "packets_per_sec"),
 )
 
 #: Default allowed fractional drop before the gate fails.
@@ -81,17 +83,17 @@ def compare_documents(
 def render_rows(rows: List[Dict[str, Any]], threshold: float) -> str:
     lines = [
         f"bench regression gate (fail below {1.0 - threshold:.2f}x baseline)",
-        f"{'bench':<16}{'metric':<20}{'baseline':>14}{'current':>14}{'ratio':>8}  verdict",
+        f"{'bench':<20}{'metric':<20}{'baseline':>14}{'current':>14}{'ratio':>8}  verdict",
     ]
     for row in rows:
         if row["ratio"] is None:
             lines.append(
-                f"{row['bench']:<16}{row['metric']:<20}{'-':>14}{'-':>14}{'-':>8}  skipped (missing)"
+                f"{row['bench']:<20}{row['metric']:<20}{'-':>14}{'-':>14}{'-':>8}  skipped (missing)"
             )
             continue
         verdict = "REGRESSED" if row["regressed"] else "ok"
         lines.append(
-            f"{row['bench']:<16}{row['metric']:<20}"
+            f"{row['bench']:<20}{row['metric']:<20}"
             f"{row['baseline']:>14,.0f}{row['current']:>14,.0f}"
             f"{row['ratio']:>8.2f}  {verdict}"
         )

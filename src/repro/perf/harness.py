@@ -1,6 +1,6 @@
 """Micro and macro timing benchmarks with tracked JSON output.
 
-Five benches cover the simulator's cost centres:
+Six benches cover the simulator's cost centres:
 
 - :func:`bench_engine` -- raw event-engine throughput (events/sec) on a
   self-rescheduling workload, the innermost loop of every simulation.
@@ -11,6 +11,9 @@ Five benches cover the simulator's cost centres:
 - :func:`bench_telemetry_overhead` -- the same switch run with
   telemetry disabled and enabled; reports the enabled/disabled wall
   ratio so the no-op fast path stays honest.
+- :func:`bench_adversary_campaign` -- a multi-trial attack campaign
+  through the full pipeline (trials/sec, packets/sec), gating the
+  adversary subsystem's cost centres.
 - :func:`bench_router_parallel` -- the tentpole macro bench: the same
   H-switch router run sequentially and fanned out over a process pool,
   asserting byte-identical delivered/dropped/residual totals and
@@ -218,6 +221,73 @@ def bench_telemetry_overhead(
     )
 
 
+# -- micro: adversarial campaign -----------------------------------------------
+
+
+def bench_adversary_campaign(
+    n_switches: int = 8,
+    n_trials: int = 4,
+    load: float = 0.6,
+    duration_ns: float = 4_000.0,
+    seed: int = 7,
+) -> BenchResult:
+    """One attack campaign (known-assignment vs pseudo-random) end to end.
+
+    Covers the adversary subsystem's cost centres -- fiber-weight
+    algebra, deterministic weighted fiber assignment, and the per-trial
+    SPS runs -- and reports trials/sec for the perf gate.  The exposure
+    gap (contiguous analytic gain over pseudo-random) rides along as a
+    correctness canary: a gap near 1 means the splitters stopped
+    differing and the campaign is measuring nothing.
+    """
+    from ..adversary import (
+        AttackCampaignParams,
+        KnownAssignmentAttack,
+        attacker_gain,
+        run_attack_campaign,
+    )
+    from ..core.fiber_split import ContiguousSplitter
+
+    config = scaled_router(
+        n_ribbons=8, fibers_per_ribbon=4 * n_switches, n_switches=n_switches
+    )
+    strategy = KnownAssignmentAttack(victim=0)
+    params = AttackCampaignParams(
+        strategy=strategy,
+        splitter="pseudo-random",
+        n_trials=n_trials,
+        seed=seed,
+        load=load,
+        duration_ns=duration_ns,
+    )
+    start = time.perf_counter()
+    result = run_attack_campaign(config, params)
+    wall = time.perf_counter() - start
+    contiguous_gain = attacker_gain(
+        ContiguousSplitter(config.fibers_per_ribbon, n_switches),
+        strategy,
+        config.n_ribbons,
+    )
+    pseudo_gain = result.victim_gain["mean"]
+    n_packets = sum(
+        t["sim_offered_bytes"] // 1500 for t in result.trials
+    )
+    return BenchResult(
+        name="adversary_campaign",
+        wall_s=wall,
+        metrics={
+            "n_trials": n_trials,
+            "trials_per_sec": n_trials / wall if wall > 0 else 0.0,
+            "packets": n_packets,
+            "packets_per_sec": n_packets / wall if wall > 0 else 0.0,
+            "pseudo_random_gain": pseudo_gain,
+            "exposure_gap": (
+                contiguous_gain / pseudo_gain if pseudo_gain > 0 else 0.0
+            ),
+        },
+    )
+
+
 # -- macro: sequential vs parallel router -------------------------------------
 
 
@@ -330,6 +400,10 @@ def run_benchmarks(
         bench_traffic(duration_ns=20_000.0 * scale),
         bench_switch(duration_ns=40_000.0 * scale),
         bench_telemetry_overhead(duration_ns=40_000.0 * scale),
+        bench_adversary_campaign(
+            n_trials=2 if quick else 4,
+            duration_ns=4_000.0 * scale,
+        ),
         bench_router_parallel(
             n_switches=n_switches,
             duration_ns=40_000.0 * scale,

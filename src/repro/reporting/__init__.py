@@ -1,5 +1,10 @@
 """Paper-style table rendering and schedule timelines."""
 
+from .adversary import (
+    attack_campaign_table,
+    attack_comparison_table,
+    seed_sweep_table,
+)
 from .degradation import campaign_table, degradation_summary_table, degradation_table
 from .export import report_to_dict, report_to_json
 from .tables import Table, format_row, render_comparison
@@ -11,6 +16,8 @@ from .timeline import (
 
 __all__ = [
     "Table",
+    "attack_campaign_table",
+    "attack_comparison_table",
     "campaign_table",
     "degradation_summary_table",
     "degradation_table",
@@ -21,4 +28,5 @@ __all__ = [
     "render_pipeline_events",
     "report_to_dict",
     "report_to_json",
+    "seed_sweep_table",
 ]

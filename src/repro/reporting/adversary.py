@@ -1,0 +1,55 @@
+"""Tables for adversarial campaigns and hardening sweeps."""
+
+from __future__ import annotations
+
+from .tables import Table
+
+
+def _ci(stats: dict) -> str:
+    return f"{stats['mean']:.4g} [{stats['ci95_low']:.4g}, {stats['ci95_high']:.4g}]"
+
+
+def attack_campaign_table(result) -> Table:
+    """One (strategy, splitter) campaign: mean with 95% CI per metric."""
+    summary = result.to_dict()["summary"]
+    table = Table(
+        f"Attack campaign: {result.params.strategy.name} vs {result.params.splitter} "
+        f"({result.params.n_trials} trials, seed {result.params.seed})",
+        ["metric", "mean [95% CI]", "min", "max"],
+    )
+    for name, stats in summary.items():
+        table.add(name, _ci(stats), f"{stats['min']:.4g}", f"{stats['max']:.4g}")
+    return table
+
+
+def attack_comparison_table(comparison: dict) -> Table:
+    """The headline figure: contiguous vs pseudo-random exposure."""
+    table = Table(
+        f"Splitter exposure under {comparison['strategy']} "
+        f"(H={comparison['n_switches']})",
+        ["splitter", "victim gain", "sim victim gain", "imbalance", "overload loss"],
+    )
+    for kind in ("contiguous", "pseudo-random"):
+        summary = comparison[kind]["summary"]
+        table.add(
+            kind,
+            _ci(summary["victim_gain"]),
+            _ci(summary["sim_victim_gain"]),
+            _ci(summary["split_imbalance"]),
+            _ci(summary["overload_loss_fraction"]),
+        )
+    table.add("exposure ratio", f"{comparison['exposure_ratio']:.4g}", "", "", "")
+    return table
+
+
+def seed_sweep_table(sweep: dict) -> Table:
+    """Seed-sensitivity sweep: the gain distribution across deployments."""
+    table = Table(
+        f"Pseudo-random seed sensitivity under {sweep['strategy']} "
+        f"({sweep['n_seeds']} seeds, H={sweep['n_switches']})",
+        ["statistic", "attacker gain"],
+    )
+    for name in ("mean", "std", "min", "p50", "p90", "p99", "max"):
+        table.add(name, f"{sweep[name]:.4g}")
+    table.add("fraction <= 1.25", f"{sweep['fraction_below_1_25']:.2%}")
+    return table

@@ -10,6 +10,9 @@ The observability substrate of the repro (docs/observability.md):
   export; :func:`parse_prometheus` validates exported text.
 - :func:`tag_fault_windows` -- stamps a fault schedule onto the dump so
   degradation runs can attribute loss to the failed component.
+- :func:`tag_attack_window` / :func:`record_victim_series` -- the same
+  for adversarial campaigns (:mod:`repro.adversary`): attack windows and
+  victim-switch load series.
 
 Telemetry is strictly opt-in: a run without a registry pays one
 attribute check per instrumented call site and allocates nothing.
@@ -22,6 +25,7 @@ from .export import (
     to_prometheus,
     write_metrics,
 )
+from .attacktags import record_victim_series, tag_attack_window
 from .faulttags import record_fault_loss, tag_fault_windows
 from .registry import (
     DEFAULT_NS_BUCKETS,
@@ -45,7 +49,9 @@ __all__ = [
     "SwitchTelemetry",
     "parse_prometheus",
     "record_fault_loss",
+    "record_victim_series",
     "stage_summaries",
+    "tag_attack_window",
     "tag_fault_windows",
     "to_jsonl",
     "to_prometheus",

@@ -1,0 +1,75 @@
+"""Attack-window tagging: put adversarial campaigns on the metric timeline.
+
+Adversary campaigns (:mod:`repro.adversary`) need the same two things
+fault campaigns do: *when* the hostile workload was active, and *which
+component* absorbed it.  Mirroring :mod:`~repro.telemetry.faulttags`:
+
+- each attack window becomes an info-style gauge
+  ``repro_attack_active_window{strategy,splitter,victim,start_ns,end_ns} 1``
+  whose labels carry the window (gauges merge by max, so identical
+  windows from the campaign's trials collapse to one series);
+- the per-switch load the attack produced rides along as counters
+  ``repro_attack_offered_bytes_total{switch,role}`` with ``role`` set to
+  ``victim`` for the targeted switch and ``background`` otherwise --
+  campaign trials sum, so the merged dump holds the campaign totals and
+  the victim-switch series the exposure figure plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from .registry import MetricsRegistry
+
+ATTACK_WINDOW = "repro_attack_active_window"
+ATTACK_OFFERED_BYTES = "repro_attack_offered_bytes_total"
+
+
+def _window_label(t_ns: float) -> str:
+    return "inf" if math.isinf(t_ns) else f"{t_ns:g}"
+
+
+def tag_attack_window(
+    registry: MetricsRegistry,
+    strategy: str,
+    splitter: str,
+    victim: Optional[int],
+    start_ns: float,
+    end_ns: float,
+) -> None:
+    """Record that ``strategy`` was active during [start_ns, end_ns)."""
+    registry.gauge(
+        ATTACK_WINDOW,
+        "an adversarial workload was active during [start_ns, end_ns)",
+        strategy=strategy,
+        splitter=splitter,
+        victim="worst" if victim is None else str(victim),
+        start_ns=_window_label(start_ns),
+        end_ns=_window_label(end_ns),
+    ).set(1.0)
+
+
+def record_victim_series(
+    registry: MetricsRegistry,
+    per_switch_offered_bytes: Sequence[int],
+    victim: Optional[int],
+) -> None:
+    """Attribute per-switch offered bytes to victim vs background roles.
+
+    When the strategy has no designated victim (operator skew), the
+    worst-loaded switch of this trial plays the role.
+    """
+    loads = list(per_switch_offered_bytes)
+    if not loads:
+        return
+    target = victim if victim is not None else max(range(len(loads)), key=loads.__getitem__)
+    for switch, n_bytes in enumerate(loads):
+        if n_bytes <= 0:
+            continue
+        registry.counter(
+            ATTACK_OFFERED_BYTES,
+            "bytes offered to each switch under an adversarial workload",
+            switch=str(switch),
+            role="victim" if switch == target else "background",
+        ).inc(n_bytes)

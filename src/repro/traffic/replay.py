@@ -61,11 +61,14 @@ def save_trace(packets: Sequence[Packet], destination: Union[str, Path, TextIO])
             handle.close()
 
 
-def load_trace(source: Union[str, Path, TextIO]) -> List[Packet]:
+def load_trace(source: Union[str, Path, TextIO], sort: bool = False) -> List[Packet]:
     """Read a CSV trace; returns packets with fresh sequential pids.
 
     Rows must be sorted by arrival time (the simulators assume it);
     violations raise :class:`ConfigError` with the offending line.
+    ``sort=True`` instead accepts out-of-order rows and stably sorts
+    them by arrival (re-assigning pids in the sorted order) -- for
+    archived captures whose writers interleaved several sources.
     """
     own = isinstance(source, (str, Path))
     handle: TextIO = open(source, "r", newline="") if own else source
@@ -97,13 +100,17 @@ def load_trace(source: Union[str, Path, TextIO]) -> List[Packet]:
                 )
             except (KeyError, ValueError) as error:
                 raise ConfigError(f"trace line {line_no}: {error}") from error
-            if arrival < last_time:
+            if arrival < last_time and not sort:
                 raise ConfigError(
                     f"trace line {line_no}: arrivals not sorted "
                     f"({arrival} after {last_time})"
                 )
-            last_time = arrival
+            last_time = max(last_time, arrival)
             packets.append(packet)
+        if sort:
+            packets.sort(key=lambda p: p.arrival_ns)
+            for pid, packet in enumerate(packets):
+                packet.pid = pid
         return packets
     finally:
         if own:

@@ -1,0 +1,439 @@
+"""Adversarial workload engine: strategies, campaigns, hardening (A9)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    AttackCampaignParams,
+    BurstSynchronizedAttack,
+    KnownAssignmentAttack,
+    ObliviousProbeAttack,
+    OperatorSkew,
+    attacker_gain,
+    compare_splitters,
+    exposure_score,
+    make_splitter,
+    make_strategy,
+    probe_loss,
+    run_attack_campaign,
+    seed_sensitivity_sweep,
+    trial_seeds,
+    weighted_fibers,
+)
+from repro.config import scaled_router
+from repro.core.fiber_split import ContiguousSplitter, PseudoRandomSplitter
+from repro.errors import ConfigError
+
+
+def small_router(n_ribbons=4, n_switches=4):
+    return scaled_router(
+        n_ribbons=n_ribbons,
+        fibers_per_ribbon=4 * n_switches,
+        n_switches=n_switches,
+    )
+
+
+class TestKnownAssignmentAttack:
+    def test_targets_contiguous_block(self):
+        splitter = ContiguousSplitter(16, 4)
+        attack = KnownAssignmentAttack(victim=1, attack_fraction=1.0)
+        profile = attack.attack_profile(splitter, 0)
+        assert profile.tolist() == [0] * 4 + [1] * 4 + [0] * 8
+
+    def test_design_knowledge_misses_pseudo_random(self):
+        # The non-oracle attacker aims at the published pattern even when
+        # the deployed splitter is pseudo-random: its weights must NOT
+        # depend on the secret assignment.
+        contiguous = ContiguousSplitter(16, 4)
+        random = PseudoRandomSplitter(16, 4, seed=123)
+        attack = KnownAssignmentAttack(victim=1)
+        assert (
+            attack.attack_profile(contiguous, 0)
+            == attack.attack_profile(random, 0)
+        ).all()
+
+    def test_oracle_follows_the_deployed_assignment(self):
+        random = PseudoRandomSplitter(16, 4, seed=123)
+        attack = KnownAssignmentAttack(victim=1, oracle=True)
+        profile = attack.attack_profile(random, 2)
+        targeted = [f for f, w in enumerate(profile) if w > 0]
+        assert targeted == random.fibers_to(2, 1)
+
+    def test_weights_mix_background(self):
+        splitter = ContiguousSplitter(16, 4)
+        attack = KnownAssignmentAttack(victim=0, attack_fraction=0.6)
+        weights = attack.fiber_weights(splitter, 2)
+        assert len(weights) == 2
+        for w in weights:
+            assert w.sum() == pytest.approx(1.0)
+            # Background floor everywhere, attack mass on the block.
+            assert w.min() == pytest.approx(0.4 / 16)
+            assert w[:4].sum() == pytest.approx(0.6 + 0.4 * 4 / 16)
+
+    def test_victim_out_of_range(self):
+        with pytest.raises(ConfigError):
+            KnownAssignmentAttack(victim=9).attack_profile(
+                ContiguousSplitter(16, 4), 0
+            )
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            KnownAssignmentAttack(attack_fraction=1.5)
+
+
+class TestProbeAttack:
+    def test_probe_loss_is_a_collision_oracle(self):
+        splitter = ContiguousSplitter(16, 4)
+        assert probe_loss(splitter, 0, [0, 1]) > 0  # same switch
+        assert probe_loss(splitter, 0, [0, 4]) == 0  # different switches
+
+    def test_recovers_contiguous_block_within_budget(self):
+        splitter = ContiguousSplitter(16, 4)
+        attack = ObliviousProbeAttack(victim=2, probe_rounds=15)
+        assert attack.discovered_fibers(splitter, 0) == [8, 9, 10, 11]
+
+    def test_recovers_pseudo_random_group_of_the_anchor(self):
+        splitter = PseudoRandomSplitter(16, 4, seed=77)
+        attack = ObliviousProbeAttack(victim=0, probe_rounds=15)
+        found = attack.discovered_fibers(splitter, 1)
+        anchor_switch = splitter.assignment(1)[0]
+        assert found == splitter.fibers_to(1, anchor_switch)
+
+    def test_zero_budget_finds_only_the_anchor(self):
+        splitter = PseudoRandomSplitter(16, 4, seed=77)
+        attack = ObliviousProbeAttack(victim=0, probe_rounds=0)
+        assert attack.discovered_fibers(splitter, 0) == [0]
+
+    def test_per_ribbon_groups_feed_different_switches(self):
+        # The prober finds *a* group per ribbon, but under the
+        # pseudo-random split those groups feed decorrelated switches:
+        # the analytic gain stays far below the contiguous one.
+        contiguous = ContiguousSplitter(64, 16)
+        random = PseudoRandomSplitter(64, 16, seed=5)
+        attack = ObliviousProbeAttack(victim=0, probe_rounds=63)
+        gain_contiguous = attacker_gain(contiguous, attack, 8)
+        gain_random = attacker_gain(random, attack, 8)
+        assert gain_contiguous > 8
+        # Even a full probe budget cannot re-correlate the ribbons: the
+        # best pile-up is a few coinciding ribbon-groups, not all of them.
+        assert gain_random <= gain_contiguous / 2
+
+
+class TestOperatorSkew:
+    def test_weights_decay_in_fiber_order(self):
+        splitter = ContiguousSplitter(16, 4)
+        weights = OperatorSkew(skew=4.0).fiber_weights(splitter, 1)[0]
+        assert (np.diff(weights) < 0).all()
+        assert weights[0] / weights[-1] == pytest.approx(4.0)
+
+    def test_contiguous_first_switch_is_the_victim(self):
+        splitter = ContiguousSplitter(16, 4)
+        skew = OperatorSkew(skew=4.0)
+        assert skew.victim_switch(splitter) is None
+        assert attacker_gain(splitter, skew, 4) > attacker_gain(
+            PseudoRandomSplitter(16, 4, seed=11), skew, 4
+        )
+
+
+class TestBurstSynchronizedAttack:
+    def test_bursts_are_aligned_across_ribbons(self):
+        config = small_router()
+        splitter = ContiguousSplitter(16, 4)
+        attack = BurstSynchronizedAttack(
+            victim=0, period_ns=1_000.0, duty=0.5, attack_fraction=0.5
+        )
+        packets, fibers = attack.build_workload(
+            config, splitter, load=0.5, duration_ns=4_000.0, seed=1
+        )
+        assert len(packets) == len(fibers)
+        # Every ribbon must be present inside the first ON window.
+        window0 = {
+            p.input_port for p in packets if p.arrival_ns < 500.0 and
+            p.flow.src_ip >> 24 == 172
+        }
+        assert window0 == set(range(config.n_ribbons))
+        # No crafted packets inside the OFF half of the period.
+        for p in packets:
+            if p.flow.src_ip >> 24 == 172:
+                assert (p.arrival_ns % 1_000.0) < 500.0
+
+    def test_pids_sorted_and_sequential(self):
+        config = small_router()
+        attack = BurstSynchronizedAttack(victim=0)
+        packets, _ = attack.build_workload(
+            config, ContiguousSplitter(16, 4), 0.5, 2_000.0, seed=2
+        )
+        arrivals = [p.arrival_ns for p in packets]
+        assert arrivals == sorted(arrivals)
+        assert [p.pid for p in packets] == list(range(len(packets)))
+
+    def test_inadmissible_duty_rejected(self):
+        config = small_router()
+        attack = BurstSynchronizedAttack(victim=0, duty=0.25, attack_fraction=1.0)
+        with pytest.raises(ConfigError):
+            attack.build_workload(
+                config, ContiguousSplitter(16, 4), 0.9, 1_000.0, seed=0
+            )
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ConfigError):
+            BurstSynchronizedAttack(duty=0.0)
+        with pytest.raises(ConfigError):
+            BurstSynchronizedAttack(period_ns=-1.0)
+
+
+class TestWeightedFibers:
+    def test_byte_shares_track_weights(self):
+        config = small_router()
+        attack = KnownAssignmentAttack(victim=0, attack_fraction=0.6)
+        splitter = ContiguousSplitter(16, 4)
+        packets, fibers = attack.build_workload(
+            config, splitter, 0.6, 20_000.0, seed=4
+        )
+        weights = attack.fiber_weights(splitter, config.n_ribbons)
+        byte_share = np.zeros((config.n_ribbons, 16))
+        for p, f in zip(packets, fibers):
+            byte_share[p.input_port, f] += p.size_bytes
+        for r in range(config.n_ribbons):
+            share = byte_share[r] / byte_share[r].sum()
+            assert np.abs(share - weights[r]).max() < 0.01
+
+    def test_deterministic(self):
+        weights = [np.array([0.5, 0.3, 0.2])]
+        from repro.traffic import FiveTuple, Packet
+
+        flow = FiveTuple(1, 2, 3, 4)
+        packets = [
+            Packet(i, 100 + 7 * i, 0, 0, flow, float(i)) for i in range(50)
+        ]
+        a = weighted_fibers(packets, weights)
+        b = weighted_fibers(packets, weights)
+        assert a == b
+
+
+class TestCampaign:
+    def test_same_seed_same_result(self):
+        config = small_router()
+        params = AttackCampaignParams(
+            strategy=KnownAssignmentAttack(victim=0),
+            splitter="pseudo-random",
+            n_trials=2,
+            seed=5,
+            duration_ns=2_000.0,
+        )
+        a = run_attack_campaign(config, params)
+        b = run_attack_campaign(config, params)
+        assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(
+            b.to_dict(), sort_keys=True
+        )
+
+    def test_sequential_equals_parallel(self):
+        config = small_router()
+        params = AttackCampaignParams(
+            strategy=KnownAssignmentAttack(victim=0),
+            splitter="contiguous",
+            n_trials=3,
+            seed=5,
+            duration_ns=2_000.0,
+            telemetry=True,
+        )
+        seq = run_attack_campaign(config, params, n_workers=1)
+        par = run_attack_campaign(config, params, n_workers=3)
+        assert json.dumps(seq.to_dict(), sort_keys=True) == json.dumps(
+            par.to_dict(), sort_keys=True
+        )
+        assert json.dumps(seq.telemetry, sort_keys=True) == json.dumps(
+            par.telemetry, sort_keys=True
+        )
+
+    def test_trial_seeds_are_stable_and_distinct(self):
+        seeds = [trial_seeds(7, i) for i in range(8)]
+        assert len(set(seeds)) == 8
+        assert seeds == [trial_seeds(7, i) for i in range(8)]
+
+    def test_gain_bounds_h16(self):
+        # The acceptance criterion, analytically (full simulation of the
+        # H=16 acceptance run lives in the CLI / benchmarks): contiguous
+        # exposure >= H/2, pseudo-random mean over per-trial seeds <= 1.25.
+        attack = KnownAssignmentAttack(victim=0)
+        contiguous = attacker_gain(ContiguousSplitter(64, 16), attack, 8)
+        assert contiguous >= 8.0
+        gains = [
+            attacker_gain(
+                PseudoRandomSplitter(64, 16, seed=trial_seeds(7, i)[1]),
+                attack,
+                8,
+            )
+            for i in range(8)
+        ]
+        assert np.mean(gains) <= 1.25
+
+    def test_simulated_campaign_matches_analytic_gain(self):
+        config = small_router()
+        params = AttackCampaignParams(
+            strategy=KnownAssignmentAttack(victim=0),
+            splitter="contiguous",
+            n_trials=2,
+            seed=3,
+            duration_ns=5_000.0,
+        )
+        result = run_attack_campaign(config, params)
+        for trial in result.trials:
+            assert trial["sim_victim_gain"] == pytest.approx(
+                trial["victim_gain"], rel=0.05
+            )
+
+    def test_composes_with_failed_switches(self):
+        config = small_router()
+        params = AttackCampaignParams(
+            strategy=KnownAssignmentAttack(victim=0),
+            splitter="contiguous",
+            n_trials=2,
+            seed=3,
+            duration_ns=2_000.0,
+        )
+        clean = run_attack_campaign(config, params)
+        faulted = run_attack_campaign(config, params, failed_switches=[0])
+        assert faulted.trials[0]["fault_events"]
+        # Killing the victim switch: its offered traffic is lost.
+        assert (
+            faulted.trials[0]["sim_delivered_fraction"]
+            < clean.trials[0]["sim_delivered_fraction"]
+        )
+
+    def test_composes_with_fault_schedule(self):
+        from repro.faults import FaultSchedule, SwitchFailure
+
+        config = small_router()
+        schedule = FaultSchedule(
+            [SwitchFailure(switch=1, start_ns=0.0, end_ns=1_000.0)]
+        )
+        params = AttackCampaignParams(
+            strategy=OperatorSkew(),
+            splitter="pseudo-random",
+            n_trials=2,
+            seed=1,
+            duration_ns=2_000.0,
+        )
+        result = run_attack_campaign(config, params, fault_schedule=schedule)
+        assert all(t["fault_events"] for t in result.trials)
+
+    def test_compare_splitters_exposure_ratio(self):
+        config = small_router()
+        comparison = compare_splitters(
+            config,
+            KnownAssignmentAttack(victim=0),
+            n_trials=2,
+            seed=9,
+            duration_ns=2_000.0,
+        )
+        assert comparison["exposure_ratio"] > 1.5
+        assert (
+            comparison["contiguous"]["summary"]["victim_gain"]["mean"]
+            > comparison["pseudo-random"]["summary"]["victim_gain"]["mean"]
+        )
+
+    def test_result_is_json_safe(self):
+        config = small_router()
+        params = AttackCampaignParams(
+            strategy=KnownAssignmentAttack(victim=0),
+            splitter="pseudo-random",
+            n_trials=2,
+            seed=0,
+            duration_ns=2_000.0,
+        )
+        result = run_attack_campaign(config, params)
+        json.dumps(result.to_dict())  # must not raise
+
+    def test_param_validation(self):
+        strategy = KnownAssignmentAttack()
+        with pytest.raises(ConfigError):
+            AttackCampaignParams(strategy=strategy, splitter="diagonal")
+        with pytest.raises(ConfigError):
+            AttackCampaignParams(strategy=strategy, n_trials=0)
+        with pytest.raises(ConfigError):
+            AttackCampaignParams(strategy=strategy, load=0.0)
+        with pytest.raises(ConfigError):
+            AttackCampaignParams(strategy=strategy, duration_ns=-1.0)
+
+    def test_factories(self):
+        assert isinstance(
+            make_strategy("operator-skew", skew=2.0), OperatorSkew
+        )
+        with pytest.raises(ConfigError):
+            make_strategy("nope")
+        assert isinstance(make_splitter("contiguous", 16, 4), ContiguousSplitter)
+        with pytest.raises(ConfigError):
+            make_splitter("nope", 16, 4)
+
+
+class TestTelemetryIntegration:
+    def test_attack_window_and_victim_series_exported(self):
+        config = small_router()
+        params = AttackCampaignParams(
+            strategy=KnownAssignmentAttack(victim=2),
+            splitter="contiguous",
+            n_trials=2,
+            seed=4,
+            duration_ns=2_000.0,
+            telemetry=True,
+        )
+        result = run_attack_campaign(config, params)
+        assert result.telemetry is not None
+        names = {m["name"] for m in result.telemetry["metrics"]}
+        assert "repro_attack_active_window" in names
+        assert "repro_attack_offered_bytes_total" in names
+        victim = [
+            m
+            for m in result.telemetry["metrics"]
+            if m["name"] == "repro_attack_offered_bytes_total"
+            and m["labels"]["role"] == "victim"
+        ]
+        assert len(victim) == 1
+        assert victim[0]["labels"]["switch"] == "2"
+        background = sum(
+            m["value"]
+            for m in result.telemetry["metrics"]
+            if m["name"] == "repro_attack_offered_bytes_total"
+            and m["labels"]["role"] == "background"
+        )
+        # The victim switch absorbs more than any background switch.
+        assert victim[0]["value"] > background / (config.n_switches - 1)
+
+
+class TestHardening:
+    def test_oracle_gain_is_splitter_independent(self):
+        # With a leaked seed the pseudo-random split gives no protection:
+        # secrecy, not randomness, is the defense.
+        attack = KnownAssignmentAttack(victim=0, oracle=True, attack_fraction=1.0)
+        for splitter in (
+            ContiguousSplitter(64, 16),
+            PseudoRandomSplitter(64, 16, seed=31337),
+        ):
+            assert attacker_gain(splitter, attack, 8) == pytest.approx(16.0)
+
+    def test_exposure_score_ranks_splitters(self):
+        contiguous = exposure_score(ContiguousSplitter(64, 16), n_ribbons=8)
+        random = exposure_score(
+            PseudoRandomSplitter(64, 16, seed=2), n_ribbons=8
+        )
+        assert contiguous["score"] > 2 * random["score"]
+        assert contiguous["best_strategy"] in contiguous["gains"]
+
+    def test_seed_sweep_concentrates_near_one(self):
+        sweep = seed_sensitivity_sweep(64, 16, n_ribbons=8, n_seeds=100)
+        assert sweep["mean"] == pytest.approx(1.0, abs=0.15)
+        # Gain ~ 0.4 + 0.3 * Binomial(32, 1/16): most seeds sit at or
+        # below 1.25 (<= 2 targeted slots), and none approach H/2.
+        assert sweep["fraction_below_1_25"] > 0.5
+        assert sweep["p90"] <= 2.2
+        assert sweep["max"] < 8.0
+        assert len(sweep["gains"]) == 100
+
+    def test_sweep_validation(self):
+        with pytest.raises(ConfigError):
+            seed_sensitivity_sweep(64, 16, n_seeds=0)
+        with pytest.raises(ConfigError):
+            attacker_gain(ContiguousSplitter(8, 2), OperatorSkew(), 0)

@@ -109,3 +109,72 @@ class TestJsonExport:
         assert parsed["delivery_fraction"] == pytest.approx(1.0)
         assert "latency_breakdown" in parsed
         assert parsed["pfi"]["frames_written"] >= 0
+
+
+class TestAttack:
+    ARGS = [
+        "attack", "--switches", "4", "--ribbons", "4",
+        "--trials", "2", "--duration-us", "2",
+    ]
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["attack"])
+        assert args.strategy == "known-assignment"
+        assert args.splitter == "both"
+        assert args.trials == 8
+        assert args.switches == 16
+        assert args.ribbons == 8
+
+    def test_comparison_table(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Splitter exposure" in out
+        assert "contiguous" in out
+        assert "pseudo-random" in out
+        assert "exposure ratio" in out
+
+    def test_json_deterministic(self, capsys):
+        assert main(self.ARGS + ["--json", "--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--json", "--seed", "7"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_single_splitter_campaign(self, capsys):
+        assert main(self.ARGS + ["--splitter", "contiguous"]) == 0
+        out = capsys.readouterr().out
+        assert "Attack campaign" in out
+        assert "victim_gain" in out
+
+    def test_strategy_variants_run(self, capsys):
+        for strategy in ("oblivious-probe", "operator-skew", "burst-sync"):
+            assert main(self.ARGS + ["--strategy", strategy]) == 0
+            assert capsys.readouterr().out
+
+    def test_composes_with_faults(self, capsys):
+        assert main(self.ARGS + ["--failed-switches", "1", "--json"]) == 0
+        import json
+
+        document = json.loads(capsys.readouterr().out)
+        assert document["contiguous"]["trials"][0]["fault_events"]
+
+    def test_seed_sweep_table(self, capsys):
+        assert main(self.ARGS + ["--seed-sweep", "10"]) == 0
+        assert "seed sensitivity" in capsys.readouterr().out
+
+    def test_out_and_metrics_out(self, tmp_path, capsys):
+        out = tmp_path / "attack.json"
+        metrics = tmp_path / "attack.jsonl"
+        assert main(
+            self.ARGS + ["--out", str(out), "--metrics-out", str(metrics)]
+        ) == 0
+        import json
+
+        document = json.loads(out.read_text())
+        assert "exposure_ratio" in document
+        assert metrics.read_text().strip()
+        assert "repro_attack_active_window" in metrics.read_text()
+
+    def test_bad_args_exit_2(self, capsys):
+        assert main(["attack", "--switches", "0"]) == 2
+        assert main(["attack", "--trials", "0", "--switches", "4"]) == 2
+        capsys.readouterr()

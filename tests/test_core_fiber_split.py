@@ -131,3 +131,123 @@ class TestOverloadLoss:
 
     def test_imbalance_of_empty(self):
         assert split_imbalance(np.zeros(4)) == 1.0
+
+
+def _pseudo_random_assignment(key):
+    """Module-level so it pickles for the cross-process determinism test."""
+    seed, ribbon = key
+    return PseudoRandomSplitter(64, 16, seed=seed).assignment(ribbon)
+
+
+class TestSplitterProperties:
+    """Property tests: regularity, determinism, distinctness (satellite)."""
+
+    def test_alpha_regular_across_seeds_and_ribbons(self):
+        for seed in range(25):
+            splitter = PseudoRandomSplitter(64, 16, seed=seed)
+            for ribbon in range(8):
+                counts = np.bincount(splitter.assignment(ribbon), minlength=16)
+                assert (counts == splitter.alpha).all(), (seed, ribbon)
+
+    def test_deterministic_across_processes(self):
+        from repro.sim.parallel import run_parallel_tasks
+
+        keys = [(seed, ribbon) for seed in (1, 7, 0xF1BE2) for ribbon in range(3)]
+        parent = [_pseudo_random_assignment(k) for k in keys]
+        workers = run_parallel_tasks(_pseudo_random_assignment, keys, n_workers=2)
+        assert list(workers) == parent
+
+    def test_ribbons_distinct_across_many_seeds(self):
+        for seed in range(25):
+            splitter = PseudoRandomSplitter(64, 16, seed=seed)
+            assignments = {tuple(splitter.assignment(r)) for r in range(8)}
+            # 64!/(4!)^16 possibilities: any collision means a PRNG bug.
+            assert len(assignments) == 8, seed
+
+    def test_contiguous_matches_closed_form(self):
+        for n_fibers, n_switches in [(8, 2), (64, 16), (12, 3), (16, 16)]:
+            splitter = ContiguousSplitter(n_fibers, n_switches)
+            for ribbon in (0, 1, 5):
+                assert splitter.assignment(ribbon) == [
+                    f // splitter.alpha for f in range(n_fibers)
+                ]
+
+    def test_assignment_array_cached_and_read_only(self):
+        splitter = PseudoRandomSplitter(64, 16, seed=3)
+        array = splitter.assignment_array(2)
+        assert array is splitter.assignment_array(2)
+        assert array.tolist() == splitter.assignment(2)
+        with pytest.raises(ValueError):
+            array[0] = 5
+
+
+class TestVectorizedBitCompat:
+    """The np.add.at helpers must match the per-fiber loop bit for bit."""
+
+    @staticmethod
+    def _loop_loads(splitter, fiber_loads):
+        loads = np.zeros(splitter.n_switches)
+        for ribbon, profile in enumerate(fiber_loads):
+            assignment = splitter.assignment(ribbon)
+            for fiber, share in enumerate(np.asarray(profile, dtype=np.float64)):
+                loads[assignment[fiber]] += share
+        return loads
+
+    @staticmethod
+    def _loop_port_loads(splitter, fiber_loads):
+        result = np.zeros((splitter.n_switches, len(fiber_loads)))
+        for ribbon, profile in enumerate(fiber_loads):
+            assignment = splitter.assignment(ribbon)
+            for fiber, share in enumerate(np.asarray(profile, dtype=np.float64)):
+                result[assignment[fiber], ribbon] += share
+        return result
+
+    def test_bit_identical_to_loop(self):
+        rng = np.random.default_rng(11)
+        for splitter in (
+            ContiguousSplitter(64, 16),
+            PseudoRandomSplitter(64, 16, seed=4),
+        ):
+            profiles = [rng.random(64) for _ in range(6)]
+            vec = per_switch_loads(splitter, profiles)
+            assert (vec == self._loop_loads(splitter, profiles)).all()
+            vec_ports = per_switch_port_loads(splitter, profiles)
+            assert (vec_ports == self._loop_port_loads(splitter, profiles)).all()
+
+    def test_irregular_profiles_bit_identical(self):
+        splitter = PseudoRandomSplitter(12, 3, seed=9)
+        profiles = [
+            np.array([1e-300, 1e300, 3.0, 0.1, 0.2, 0.3, 7.0, 1e-9, 2.0, 5.0, 0.0, 1.0]),
+            np.geomspace(1e-6, 1e6, 12),
+        ]
+        assert (
+            per_switch_loads(splitter, profiles)
+            == self._loop_loads(splitter, profiles)
+        ).all()
+
+
+class TestInputValidation:
+    """Negative loads/capacities raise ConfigError (satellite)."""
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            overload_loss_fraction(np.ones(4), -1.0)
+
+    def test_negative_port_loads_rejected(self):
+        with pytest.raises(ConfigError):
+            overload_loss_fraction(np.array([0.5, -0.1]), 1.0)
+
+    def test_negative_switch_loads_rejected(self):
+        with pytest.raises(ConfigError):
+            split_imbalance(np.array([1.0, -2.0]))
+
+    def test_negative_profile_rejected(self):
+        splitter = ContiguousSplitter(8, 2)
+        with pytest.raises(ConfigError):
+            per_switch_loads(splitter, [np.array([1.0] * 7 + [-1.0])])
+        with pytest.raises(ConfigError):
+            per_switch_port_loads(splitter, [np.array([-1.0] + [1.0] * 7)])
+
+    def test_zero_capacity_allowed(self):
+        # Zero capacity is legal (a fully-failed port): everything is lost.
+        assert overload_loss_fraction(np.array([1.0, 1.0]), 0.0) == 1.0

@@ -114,3 +114,67 @@ class TestReplay:
         assert light.delivery_fraction == pytest.approx(1.0)
         assert light.offered_bytes == full.offered_bytes
         assert light.throughput_bps == pytest.approx(full.throughput_bps / 3, rel=0.05)
+
+
+class TestRoundTripSatellites:
+    """Archival guarantees: byte equality, empty traces, out-of-order."""
+
+    def test_save_load_save_byte_equality(self, packets):
+        text = trace_to_string(packets)
+        loaded = load_trace(io.StringIO(text))
+        assert trace_to_string(loaded) == text
+
+    def test_field_equality_exhaustive(self, packets):
+        loaded = load_trace(io.StringIO(trace_to_string(packets)))
+        for original, copy in zip(packets, loaded):
+            assert copy.arrival_ns == original.arrival_ns  # exact float
+            assert copy.size_bytes == original.size_bytes
+            assert copy.input_port == original.input_port
+            assert copy.output_port == original.output_port
+            assert copy.flow.src_ip == original.flow.src_ip
+            assert copy.flow.dst_ip == original.flow.dst_ip
+            assert copy.flow.src_port == original.flow.src_port
+            assert copy.flow.dst_port == original.flow.dst_port
+            assert copy.flow.protocol == original.flow.protocol
+
+    def test_zero_length_roundtrip(self):
+        text = trace_to_string([])
+        assert load_trace(io.StringIO(text)) == []
+        assert trace_to_string(load_trace(io.StringIO(text))) == text
+
+    def test_zero_length_file_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_trace([], path)
+        assert load_trace(path) == []
+
+    def test_out_of_order_sorted_on_request(self, packets):
+        rows = trace_to_string(packets).splitlines()
+        scrambled = "\n".join([rows[0]] + rows[1:][::-1]) + "\n"
+        loaded = load_trace(io.StringIO(scrambled), sort=True)
+        arrivals = [p.arrival_ns for p in loaded]
+        assert arrivals == sorted(arrivals)
+        assert [p.pid for p in loaded] == list(range(len(loaded)))
+        assert len(loaded) == len(packets)
+        # Sorted load of a scrambled archive == straight load of the original.
+        assert trace_to_string(loaded) == trace_to_string(
+            load_trace(io.StringIO(trace_to_string(packets)))
+        )
+
+    def test_out_of_order_still_rejected_by_default(self, packets):
+        rows = trace_to_string(packets).splitlines()
+        scrambled = "\n".join([rows[0], rows[2], rows[1]])
+        with pytest.raises(ConfigError):
+            load_trace(io.StringIO(scrambled))
+
+    def test_attack_workload_roundtrip(self):
+        from repro.adversary import KnownAssignmentAttack
+        from repro.config import scaled_router
+        from repro.core.fiber_split import ContiguousSplitter
+
+        config = scaled_router(n_ribbons=4, fibers_per_ribbon=16, n_switches=4)
+        splitter = ContiguousSplitter(16, 4)
+        attack_packets, _ = KnownAssignmentAttack(victim=1).build_workload(
+            config, splitter, load=0.5, duration_ns=2_000.0, seed=3
+        )
+        text = trace_to_string(attack_packets)
+        assert trace_to_string(load_trace(io.StringIO(text))) == text
