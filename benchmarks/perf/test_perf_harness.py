@@ -13,6 +13,7 @@ import json
 from repro.perf import (
     bench_engine,
     bench_router_parallel,
+    bench_sweep_cached,
     bench_switch,
     bench_traffic,
     run_benchmarks,
@@ -51,6 +52,18 @@ def test_bench_router_parallel_is_byte_identical():
     assert metrics["speedup"] > 0
 
 
+def test_bench_sweep_cached_warm_is_fast_and_identical():
+    # ISSUE acceptance: warm cache recall at least 5x faster than cold
+    # execution, with byte-identical payloads (asserted inside the bench).
+    result = bench_sweep_cached(n_loads=3, duration_ns=10_000.0)
+    metrics = result.metrics
+    assert metrics["byte_identical"] is True
+    assert metrics["warm_hits"] == 3
+    assert metrics["cold_wall_s"] > 0
+    assert metrics["warm_wall_s"] > 0
+    assert metrics["warm_speedup"] >= 5.0
+
+
 def test_run_benchmarks_document_roundtrips(tmp_path):
     document = run_benchmarks(rev="smoke", quick=True, n_switches=2, n_workers=1)
     assert document["schema"] == "repro-bench-v1"
@@ -62,6 +75,7 @@ def test_run_benchmarks_document_roundtrips(tmp_path):
         "telemetry_overhead",
         "adversary_campaign",
         "router_parallel",
+        "sweep_cached",
     }
     path = write_bench_json(document, str(tmp_path / "BENCH_smoke.json"))
     with open(path, encoding="utf-8") as handle:

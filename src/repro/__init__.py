@@ -6,17 +6,19 @@ Parallel Frame Interleaving (PFI) -- plus every substrate they rest on:
 a timing-checked HBM4 model, an in-package photonics model, synthetic
 internet traffic, the paper's baselines, and its full design analysis.
 
-Quickstart::
+Quickstart -- declare the experiment, let the runtime execute it::
 
-    from repro import scaled_router, HBMSwitch, PFIOptions
-    from repro.traffic import TrafficGenerator, uniform_matrix, ImixSize
+    import repro
 
-    cfg = scaled_router()
-    gen = TrafficGenerator(cfg.n_ribbons, cfg.switch.port_rate_bps,
-                           uniform_matrix(cfg.n_ribbons, 0.9), ImixSize())
-    switch = HBMSwitch(cfg.switch, PFIOptions(padding=True, bypass=True))
-    report = switch.run(gen.generate(50_000.0), 50_000.0)
-    print(report.normalized_throughput, report.latency)
+    scenario = repro.runtime.router_scenario(
+        repro.scaled_router(), load=0.9, duration_ns=50_000.0, seed=0
+    )
+    payload = repro.run(scenario, cache_dir=".repro-cache")
+    print(payload["report"]["normalized_throughput"])
+
+``repro.run`` executes one :class:`~repro.runtime.Scenario` (or recalls
+it from the content-addressed cache); :class:`repro.Runtime` runs whole
+grids and campaigns with resume and sharding.  See docs/runtime.md.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every experiment.
@@ -52,8 +54,17 @@ from .hbm import HBMController, HBMTiming
 
 __version__ = "1.0.0"
 
+# The scenario runtime imports __version__ (for cache keys), so it must
+# come after the assignment above.
+from . import runtime  # noqa: E402
+from .runtime import Runtime, Scenario, run  # noqa: E402
+
 __all__ = [
     "__version__",
+    "Scenario",
+    "Runtime",
+    "run",
+    "runtime",
     "RouterConfig",
     "HBMSwitchConfig",
     "HBMStackConfig",

@@ -4,12 +4,14 @@ A campaign pits one :class:`~repro.adversary.strategies.AttackStrategy`
 against one splitter family for ``n_trials`` independent trials.  Trial
 ``i`` derives its traffic seed and its splitter seed from
 ``np.random.SeedSequence((seed, i))`` -- stable across platforms and
-processes -- so the same params always produce the same trials whether
-they run sequentially or fanned out over
-:func:`repro.sim.parallel.run_parallel_tasks`.  The unit of parallelism
-is the *trial* (each worker simulates its whole attacked router
-sequentially), exactly as the fault campaign parallelises over
-scenarios.
+processes -- so the same params always produce the same trials no
+matter how they are scheduled.  Dispatch, caching and sharding live in
+the scenario runtime (:mod:`repro.runtime`); this module keeps the
+domain pieces -- seed derivation, the per-trial executor, the aggregate
+-- plus a deprecated ``run_attack_campaign`` shim over
+:class:`repro.runtime.AttackCampaign`.  The unit of parallelism is the
+*trial* (each worker simulates its whole attacked router sequentially),
+exactly as the fault campaign parallelises over scenarios.
 
 Per trial we report two views of the same attack:
 
@@ -30,6 +32,7 @@ campaign dumps are byte-identical.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -47,7 +50,6 @@ from ..core.fiber_split import (
 )
 from ..core.sps import SplitParallelSwitch
 from ..errors import ConfigError
-from ..sim.parallel import run_parallel_tasks
 from ..telemetry import (
     MetricsRegistry,
     record_victim_series,
@@ -284,52 +286,31 @@ def run_attack_campaign(
     failed_switches: Optional[List[int]] = None,
     n_workers: Optional[int] = None,
 ) -> AttackCampaignResult:
-    """Run every trial of a campaign (optionally over the pool).
+    """Deprecated shim over the scenario runtime.
 
-    ``fault_schedule`` / ``failed_switches`` compose the attack with
-    live faults: every trial runs the same faulted router, so the
-    campaign answers "what does the attacker gain *while* the package is
-    degraded".  Trials are drawn up front in the parent from per-trial
-    seed sequences, so the result is independent of worker count.
+    Use :class:`repro.runtime.AttackCampaign` with
+    :meth:`repro.runtime.Runtime.run_campaign` instead -- same per-trial
+    seed-sequence recipe, same :class:`AttackCampaignResult` (including
+    the trial-index-ordered telemetry merge), byte-identical output for
+    the same seeds, plus caching/resume/sharding the legacy entrypoint
+    never had.
     """
-    schedule = fault_schedule
-    if failed_switches:
-        from ..faults.schedule import FaultSchedule
+    warnings.warn(
+        "repro.adversary.campaign.run_attack_campaign is deprecated; use "
+        "repro.runtime.Runtime.run_campaign(repro.runtime.AttackCampaign(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..runtime import AttackCampaign, Runtime
 
-        extra = FaultSchedule.from_failed_switches(failed_switches)
-        schedule = extra if schedule is None else schedule.merged(extra)
-    if schedule is not None:
-        schedule.validate(config)
-
-    trials = []
-    for i in range(params.n_trials):
-        traffic_seed, splitter_seed = trial_seeds(params.seed, i)
-        trials.append(
-            AttackTrial(
-                index=i,
-                config=config,
-                splitter_kind=params.splitter,
-                splitter_seed=splitter_seed,
-                strategy=params.strategy,
-                load=params.load,
-                duration_ns=params.duration_ns,
-                traffic_seed=traffic_seed,
-                fault_schedule=schedule,
-                telemetry=params.telemetry,
-            )
+    return Runtime(n_workers=n_workers).run_campaign(
+        AttackCampaign(
+            config=config,
+            params=params,
+            fault_schedule=fault_schedule,
+            failed_switches=failed_switches,
         )
-    results = list(run_parallel_tasks(execute_attack_trial, trials, n_workers=n_workers))
-
-    merged: Optional[dict] = None
-    if params.telemetry:
-        registry = MetricsRegistry()
-        # Trial-index order: run_parallel_tasks preserves input order, so
-        # sequential and parallel campaigns merge identically.
-        for result in results:
-            if result.get("telemetry") is not None:
-                registry.merge_dict(result["telemetry"])
-        merged = registry.to_dict()
-    return AttackCampaignResult(params=params, trials=results, telemetry=merged)
+    )
 
 
 def compare_splitters(
@@ -343,13 +324,22 @@ def compare_splitters(
     fault_schedule=None,
     failed_switches: Optional[List[int]] = None,
     n_workers: Optional[int] = None,
+    runtime=None,
 ) -> dict:
     """The headline experiment: one strategy vs both splitter families.
 
     Returns both campaign dicts plus the exposure comparison -- the
     ratio of mean victim gains, which the paper's Idea 4 predicts is
     ~H for a design-knowledge attacker.
+
+    ``runtime`` (a :class:`repro.runtime.Runtime`) supplies the
+    scheduler and result cache; by default a cacheless runtime with
+    ``n_workers`` workers is used, matching the legacy behaviour.
     """
+    from ..runtime import AttackCampaign, Runtime
+
+    if runtime is None:
+        runtime = Runtime(n_workers=n_workers)
     campaigns = {}
     for kind in SPLITTER_KINDS:
         params = AttackCampaignParams(
@@ -361,12 +351,13 @@ def compare_splitters(
             duration_ns=duration_ns,
             telemetry=telemetry,
         )
-        campaigns[kind] = run_attack_campaign(
-            config,
-            params,
-            fault_schedule=fault_schedule,
-            failed_switches=failed_switches,
-            n_workers=n_workers,
+        campaigns[kind] = runtime.run_campaign(
+            AttackCampaign(
+                config=config,
+                params=params,
+                fault_schedule=fault_schedule,
+                failed_switches=failed_switches,
+            )
         )
     contiguous = campaigns["contiguous"].victim_gain["mean"]
     pseudo = campaigns["pseudo-random"].victim_gain["mean"]

@@ -17,6 +17,15 @@ Commands:
 ``simulate``/``sweep``/``faults`` accept ``--metrics-out PATH`` to write
 the run's telemetry dump alongside their normal output (format by
 extension: ``.prom``/``.txt`` Prometheus, anything else JSONL).
+
+``simulate``/``sweep``/``faults``/``attack`` all dispatch through the
+scenario runtime (:mod:`repro.runtime`): every run is a declarative
+:class:`~repro.runtime.Scenario`, ``--cache-dir`` enables the
+content-addressed result cache (reruns and killed-then-resumed sweeps
+recall finished cells instead of recomputing), and ``--shard K/N`` on
+``sweep``/``faults`` executes every Nth cell so shards on a shared
+cache merge deterministically into the byte-identical single-shot
+output.
 """
 
 from __future__ import annotations
@@ -35,15 +44,8 @@ from .analysis import (
 )
 from .config import reference_router, scaled_router
 from .errors import ConfigError
-from .core import HBMSwitch, PFIOptions
 from .reporting import Table
-from .traffic import (
-    ArrivalProcess,
-    FixedSize,
-    ImixSize,
-    TrafficGenerator,
-    uniform_matrix,
-)
+from .traffic import ArrivalProcess
 from .units import format_rate, format_size, format_time
 
 #: The experiment index (mirrors DESIGN.md SS 4).
@@ -122,6 +124,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's telemetry to this path "
              "(.prom/.txt = Prometheus text, else JSONL)",
     )
+    simulate.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="content-addressed result cache; a rerun of the same "
+             "scenario recalls its payload instead of simulating",
+    )
 
     sweep = sub.add_parser("sweep", help="sweep offered load")
     sweep.add_argument("--loads", type=str, default="0.3,0.5,0.7,0.9,1.0")
@@ -139,6 +146,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", type=str, default=None,
         help="write telemetry aggregated over all sweep points to this "
              "path (.prom/.txt = Prometheus text, else JSONL)",
+    )
+    sweep.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="content-addressed result cache: finished cells are "
+             "checkpointed as they complete, so a killed sweep resumes "
+             "from where it stopped",
+    )
+    sweep.add_argument(
+        "--shard", type=str, default=None,
+        help="K/N: execute only cells K, K+N, ... (use one shared "
+             "--cache-dir; a final unsharded run merges deterministically)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for the cell fan-out (default: 1, "
+             "sequential; results are byte-identical either way)",
+    )
+    sweep.add_argument(
+        "--out", type=str, default=None,
+        help="also write the sweep document (schema repro-sweep-v1, one "
+             "cell per load) as JSON to this path",
     )
 
     metrics = sub.add_parser(
@@ -217,6 +245,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="single-run only: write the run's telemetry (with fault "
              "windows tagged) to this path",
     )
+    faults.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="content-addressed result cache: campaign cells checkpoint "
+             "as they finish, so a killed campaign resumes",
+    )
+    faults.add_argument(
+        "--shard", type=str, default=None,
+        help="campaign: K/N -- execute only cells K, K+N, ... against a "
+             "shared --cache-dir; the unsharded rerun aggregates",
+    )
 
     attack = sub.add_parser(
         "attack", help="adversarial campaigns: attack strategies vs splitters"
@@ -294,6 +332,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the campaign's merged telemetry (attack windows + "
              "victim series) to this path",
     )
+    attack.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="content-addressed result cache: trials are recalled "
+             "instead of re-simulated on reruns",
+    )
 
     sub.add_parser("experiments", help="list the experiment index")
 
@@ -355,28 +398,6 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
-def _simulate_once(
-    config, load, duration_ns, size_dist, process, options, seed,
-    telemetry_registry=None, trace=None,
-):
-    generator = TrafficGenerator(
-        n_ports=config.n_ports,
-        port_rate_bps=config.port_rate_bps,
-        matrix=uniform_matrix(config.n_ports, load),
-        size_dist=size_dist,
-        process=process,
-        seed=seed,
-    )
-    packets = generator.generate(duration_ns)
-    telemetry = None
-    if telemetry_registry is not None:
-        from .telemetry import SwitchTelemetry
-
-        telemetry = SwitchTelemetry(telemetry_registry, config, switch=0)
-    switch = HBMSwitch(config, options, telemetry=telemetry, trace=trace)
-    return switch.run(packets, duration_ns)
-
-
 def _router_config(n_switches: int):
     """The test-scale router grown to H switches (alpha stays 4)."""
     if n_switches <= 0:
@@ -386,43 +407,56 @@ def _router_config(n_switches: int):
     )
 
 
-def _router_simulate_once(
-    config, load, duration_ns, size_dist, process, options, seed, failed,
-    telemetry=None, mode="sequential", workers=None,
-):
-    from .core.sps import SplitParallelSwitch
+def _failed_schedule(failed: List[int]):
+    """A ``--failed-switches`` list as its degenerate fault schedule (or
+    ``None``).  The CLI converts eagerly so nothing downstream touches
+    the deprecated ``failed_switches=`` kwarg."""
+    if not failed:
+        return None
+    from .faults import FaultSchedule
 
-    generator = TrafficGenerator(
-        n_ports=config.n_ribbons,
-        port_rate_bps=config.fibers_per_ribbon * config.per_fiber_rate_bps,
-        matrix=uniform_matrix(config.n_ribbons, load),
-        size_dist=size_dist,
-        process=process,
-        seed=seed,
-    )
-    packets = generator.generate(duration_ns)
-    router = SplitParallelSwitch(config, options=options)
-    return router.run(
-        packets,
-        duration_ns,
-        failed_switches=failed,
-        mode=mode,
-        n_workers=workers,
-        telemetry=telemetry,
-    )
+    return FaultSchedule.from_failed_switches(failed)
 
 
-def _write_metrics_file(registry, path: str) -> None:
-    from .telemetry import write_metrics
+def _write_metrics_dump(dump, path: str) -> None:
+    """Write one scenario payload's telemetry dump to ``path``."""
+    from .telemetry import MetricsRegistry, write_metrics
 
+    write_metrics(MetricsRegistry.from_dict(dump), path)
+    print(f"wrote {path}")
+
+
+def _write_merged_metrics(dumps, path: str) -> None:
+    """Merge per-cell telemetry dumps (in cell order) and write them."""
+    from .telemetry import MetricsRegistry, write_metrics
+
+    registry = MetricsRegistry()
+    for dump in dumps:
+        if dump is not None:
+            registry.merge_dict(dump)
     write_metrics(registry, path)
     print(f"wrote {path}")
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     import dataclasses
+    import json
+
+    from .runtime import Runtime, router_scenario, switch_scenario
 
     failed = _parse_int_list(args.failed_switches)
+    runtime = Runtime(cache_dir=args.cache_dir)
+    want_metrics = bool(args.metrics_out)
+    common = dict(
+        load=args.load,
+        duration_ns=args.duration_us * 1e3,
+        seed=args.seed,
+        packet_size=args.packet_size,
+        process=args.process,
+        padding=not args.no_padding,
+        bypass=not args.no_bypass,
+        telemetry=want_metrics,
+    )
     if args.switches > 0 or failed:
         h = args.switches if args.switches > 0 else scaled_router().n_switches
         config = _router_config(h)
@@ -430,168 +464,205 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             config,
             switch=dataclasses.replace(config.switch, speedup=args.speedup),
         )
-        size_dist = FixedSize(args.packet_size) if args.packet_size > 0 else ImixSize()
-        options = PFIOptions(padding=not args.no_padding, bypass=not args.no_bypass)
-        telemetry = None
-        if args.metrics_out:
-            from .telemetry import MetricsRegistry
-
-            telemetry = MetricsRegistry()
-        report = _router_simulate_once(
-            config,
-            args.load,
-            args.duration_us * 1e3,
-            size_dist,
-            ArrivalProcess(args.process),
-            options,
-            args.seed,
-            failed,
-            telemetry=telemetry,
+        scenario = router_scenario(
+            config, schedule=_failed_schedule(failed), **common
         )
-        if args.metrics_out:
-            _write_metrics_file(telemetry, args.metrics_out)
+        payload = runtime.run(scenario)
+        report = payload["report"]
+        if want_metrics:
+            _write_metrics_dump(payload["telemetry"], args.metrics_out)
         if args.json:
-            from .reporting import report_to_json
-
-            print(report_to_json(report))
+            print(json.dumps(report, indent=2, sort_keys=True))
             return 0
         table = Table("Router simulation", ["metric", "value"])
         table.add("switches (H)", config.n_switches)
-        table.add("failed switches", str(report.failed_switches) if report.failed_switches else "none")
-        table.add("offered", format_size(report.offered_bytes))
-        table.add("failed_offered_bytes", report.failed_offered_bytes)
-        table.add("delivered", f"{report.delivered_fraction:.2%}")
-        table.add("lost", format_size(report.lost_bytes))
-        table.add("loss fraction", f"{report.loss_fraction:.4f}")
-        table.add("load imbalance", f"{report.load_imbalance:.3f}")
-        table.add("reorderings", report.ordering_violations)
-        latency = report.latency_summary()
-        table.add("mean latency", format_time(latency["mean_ns"]))
-        table.add("p99 latency", format_time(latency["p99_ns"]))
+        table.add("failed switches", str(report["failed_switches"]) if report["failed_switches"] else "none")
+        table.add("offered", format_size(report["offered_bytes"]))
+        table.add("failed_offered_bytes", report["failed_offered_bytes"])
+        table.add("delivered", f"{report['delivered_fraction']:.2%}")
+        table.add("lost", format_size(report["lost_bytes"]))
+        table.add("loss fraction", f"{report['loss_fraction']:.4f}")
+        table.add("load imbalance", f"{report['load_imbalance']:.3f}")
+        table.add("reorderings", report["ordering_violations"])
+        table.add("mean latency", format_time(report["latency"]["mean_ns"]))
+        table.add("p99 latency", format_time(report["latency"]["p99_ns"]))
         table.show()
         return 0
     config = dataclasses.replace(scaled_router().switch, speedup=args.speedup)
-    size_dist = FixedSize(args.packet_size) if args.packet_size > 0 else ImixSize()
-    options = PFIOptions(padding=not args.no_padding, bypass=not args.no_bypass)
-    registry = None
-    if args.metrics_out:
-        from .telemetry import MetricsRegistry
-
-        registry = MetricsRegistry()
-    report = _simulate_once(
-        config,
-        args.load,
-        args.duration_us * 1e3,
-        size_dist,
-        ArrivalProcess(args.process),
-        options,
-        args.seed,
-        telemetry_registry=registry,
-    )
-    if args.metrics_out:
-        _write_metrics_file(registry, args.metrics_out)
+    payload = runtime.run(switch_scenario(config, **common))
+    report = payload["report"]
+    if want_metrics:
+        _write_metrics_dump(payload["telemetry"], args.metrics_out)
     if args.json:
-        from .reporting import report_to_json
-
-        print(report_to_json(report))
+        print(json.dumps(report, indent=2, sort_keys=True))
         return 0
     table = Table("Switch simulation", ["metric", "value"])
-    table.add("offered", format_size(report.offered_bytes))
-    table.add("delivered", f"{report.delivery_fraction:.2%}")
-    table.add("normalized throughput", f"{report.normalized_throughput:.3f}")
-    table.add("dropped bytes", report.dropped_bytes)
-    table.add("reorderings", report.ordering_violations)
-    table.add("mean latency", format_time(report.latency["mean_ns"]))
-    table.add("p99 latency", format_time(report.latency["p99_ns"]))
-    table.add("frames written / read", f"{report.pfi.frames_written} / {report.pfi.frames_read}")
-    table.add("padded / bypassed", f"{report.pfi.padded_frames} / {report.pfi.bypassed_frames}")
+    table.add("offered", format_size(report["offered_bytes"]))
+    table.add("delivered", f"{report['delivery_fraction']:.2%}")
+    table.add("normalized throughput", f"{report['normalized_throughput']:.3f}")
+    table.add("dropped bytes", report["dropped_bytes"])
+    table.add("reorderings", report["ordering_violations"])
+    table.add("mean latency", format_time(report["latency"]["mean_ns"]))
+    table.add("p99 latency", format_time(report["latency"]["p99_ns"]))
+    table.add("frames written / read", f"{report['pfi']['frames_written']} / {report['pfi']['frames_read']}")
+    table.add("padded / bypassed", f"{report['pfi']['padded_frames']} / {report['pfi']['bypassed_frames']}")
     table.show()
     return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .runtime import (
+        Runtime,
+        execute_scenario,
+        parse_shard,
+        router_scenario,
+        switch_scenario,
+    )
+
     try:
         loads = [float(x) for x in args.loads.split(",") if x.strip()]
     except ValueError:
         print(f"bad --loads value: {args.loads!r}", file=sys.stderr)
         return 2
     failed = _parse_int_list(args.failed_switches)
-    registry = None
-    if args.metrics_out:
+    shard = parse_shard(args.shard)
+    want_metrics = bool(args.metrics_out)
+    if want_metrics and (args.cache_dir or shard):
+        # The live registry accumulates observations across cells (a
+        # running floating-point sum), which recalled payloads cannot
+        # replay byte-identically -- so metrics runs execute everything.
+        print(
+            "--metrics-out shares one live registry across cells; "
+            "ignoring --cache-dir/--shard for this run",
+            file=sys.stderr,
+        )
+        shard = None
+    runtime = Runtime(
+        cache_dir=None if want_metrics else args.cache_dir,
+        n_workers=args.workers,
+    )
+    duration_ns = args.duration_us * 1e3
+    router_mode = args.switches > 0 or bool(failed)
+    if router_mode:
+        h = args.switches if args.switches > 0 else scaled_router().n_switches
+        config = _router_config(h)
+        schedule = _failed_schedule(failed)
+        scenarios = [
+            router_scenario(
+                config,
+                load=load,
+                duration_ns=duration_ns,
+                seed=args.seed,
+                schedule=schedule,
+                telemetry=want_metrics,
+            )
+            for load in loads
+        ]
+    else:
+        config = scaled_router().switch
+        scenarios = [
+            switch_scenario(
+                config,
+                load=load,
+                duration_ns=duration_ns,
+                seed=args.seed,
+                telemetry=want_metrics,
+            )
+            for load in loads
+        ]
+    if want_metrics:
         from .telemetry import MetricsRegistry
 
         registry = MetricsRegistry()
-    if args.switches > 0 or failed:
-        h = args.switches if args.switches > 0 else scaled_router().n_switches
-        config = _router_config(h)
+        payloads = [
+            execute_scenario(scenario, registry=registry)
+            for scenario in scenarios
+        ]
+    else:
+        payloads = runtime.map(scenarios, shard=shard)
+
+    if router_mode:
         table = Table(
             "Router load sweep",
             ["load", "delivered", "failed_offered_bytes", "loss fraction", "p99 latency"],
         )
-        for load in loads:
-            report = _router_simulate_once(
-                config,
-                load,
-                args.duration_us * 1e3,
-                ImixSize(),
-                ArrivalProcess.POISSON,
-                PFIOptions(padding=True, bypass=True),
-                args.seed,
-                failed,
-                telemetry=registry,
-            )
+        for load, payload in zip(loads, payloads):
+            if payload is None:
+                continue
+            report = payload["report"]
             table.add(
                 f"{load:.2f}",
-                f"{report.delivered_fraction:.2%}",
-                report.failed_offered_bytes,
-                f"{report.loss_fraction:.4f}",
-                format_time(report.latency_summary()["p99_ns"]),
+                f"{report['delivered_fraction']:.2%}",
+                report["failed_offered_bytes"],
+                f"{report['loss_fraction']:.4f}",
+                format_time(report["latency"]["p99_ns"]),
             )
-        table.show()
-        if args.metrics_out:
-            _write_metrics_file(registry, args.metrics_out)
-        return 0
-    config = scaled_router().switch
-    table = Table(
-        "Load sweep", ["load", "throughput", "delivered", "mean latency", "p99 latency"]
-    )
-    for load in loads:
-        report = _simulate_once(
-            config,
-            load,
-            args.duration_us * 1e3,
-            ImixSize(),
-            ArrivalProcess.POISSON,
-            PFIOptions(padding=True, bypass=True),
-            args.seed,
-            telemetry_registry=registry,
+    else:
+        table = Table(
+            "Load sweep", ["load", "throughput", "delivered", "mean latency", "p99 latency"]
         )
-        table.add(
-            f"{load:.2f}",
-            f"{report.normalized_throughput:.3f}",
-            f"{report.delivery_fraction:.2%}",
-            format_time(report.latency["mean_ns"]),
-            format_time(report.latency["p99_ns"]),
-        )
+        for load, payload in zip(loads, payloads):
+            if payload is None:
+                continue
+            report = payload["report"]
+            table.add(
+                f"{load:.2f}",
+                f"{report['normalized_throughput']:.3f}",
+                f"{report['delivery_fraction']:.2%}",
+                format_time(report["latency"]["mean_ns"]),
+                format_time(report["latency"]["p99_ns"]),
+            )
     table.show()
-    if args.metrics_out:
-        _write_metrics_file(registry, args.metrics_out)
+
+    complete = all(p is not None for p in payloads)
+    if not complete:
+        done = sum(1 for p in payloads if p is not None)
+        print(
+            f"shard {args.shard}: {done}/{len(payloads)} cells resolved; "
+            "rerun without --shard over the same --cache-dir to merge",
+            file=sys.stderr,
+        )
+    if args.out:
+        if not complete:
+            print(
+                "--out skipped: unresolved cells (the merge run writes "
+                "the document)",
+                file=sys.stderr,
+            )
+        else:
+            document = {
+                "schema": "repro-sweep-v1",
+                "kind": "router" if router_mode else "switch",
+                "loads": loads,
+                "seed": args.seed,
+                "duration_ns": duration_ns,
+                "switches": config.n_switches if router_mode else 0,
+                "cells": [p["report"] for p in payloads],
+            }
+            with open(args.out, "w") as fh:
+                fh.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {args.out}")
+    if want_metrics:
+        _write_metrics_dump(registry.to_dict(), args.metrics_out)
     return 0
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
     import json
 
-    from .faults import (
-        CampaignParams,
-        measure_degradation,
-        parse_fault_specs,
-        run_campaign,
-    )
+    from .faults import CampaignParams, DegradationReport, parse_fault_specs
     from .reporting import (
         campaign_table,
         degradation_summary_table,
         degradation_table,
+    )
+    from .runtime import (
+        FaultCampaign,
+        Runtime,
+        degradation_scenario,
+        parse_shard,
     )
 
     config = _router_config(args.switches)
@@ -601,6 +672,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         schedule = schedule.with_failed_switches(failed)
     schedule.validate(config)
     duration_ns = args.duration_us * 1e3
+    runtime = Runtime(cache_dir=args.cache_dir, n_workers=args.workers)
 
     if args.campaign > 0:
         if args.metrics_out:
@@ -622,12 +694,21 @@ def cmd_faults(args: argparse.Namespace) -> int:
             oeo_mtbf_ns=args.switch_mtbf_us * 1e3,
             oeo_mttr_ns=args.switch_mttr_us * 1e3,
         )
-        result = run_campaign(
-            config,
-            params,
-            base_schedule=None if schedule.is_empty else schedule,
-            n_workers=args.workers,
+        result = runtime.run_campaign(
+            FaultCampaign(
+                config=config,
+                params=params,
+                base_schedule=None if schedule.is_empty else schedule,
+            ),
+            shard=parse_shard(args.shard),
         )
+        if result is None:
+            print(
+                f"shard {args.shard}: partial campaign cached; rerun "
+                "without --shard over the same --cache-dir to aggregate",
+                file=sys.stderr,
+            )
+            return 0
         text = json.dumps(result.to_dict(), indent=2, sort_keys=True)
         out = args.out if args.out else "FAULTS_CAMPAIGN.json"
         with open(out, "w") as fh:
@@ -642,24 +723,21 @@ def cmd_faults(args: argparse.Namespace) -> int:
         print(f"wrote {out}")
         return 0
 
-    telemetry = None
-    if args.metrics_out:
-        from .telemetry import MetricsRegistry
-
-        telemetry = MetricsRegistry()
-    report = measure_degradation(
-        config,
-        schedule=None if schedule.is_empty else schedule,
-        load=args.load,
-        duration_ns=duration_ns,
-        seed=args.seed,
-        n_intervals=args.intervals,
-        telemetry=telemetry,
+    payload = runtime.run(
+        degradation_scenario(
+            config,
+            load=args.load,
+            duration_ns=duration_ns,
+            seed=args.seed,
+            schedule=None if schedule.is_empty else schedule,
+            n_intervals=args.intervals,
+            telemetry=bool(args.metrics_out),
+        )
     )
     if args.metrics_out:
-        _write_metrics_file(telemetry, args.metrics_out)
+        _write_metrics_dump(payload["telemetry"], args.metrics_out)
     if args.json or args.out:
-        text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        text = json.dumps(payload["report"], indent=2, sort_keys=True)
         if args.out:
             with open(args.out, "w") as fh:
                 fh.write(text + "\n")
@@ -668,6 +746,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
             print(text)
         if args.json:
             return 0
+    report = DegradationReport.from_dict(payload["report"])
     degradation_summary_table(report).show()
     degradation_table(report).show()
     return 0
@@ -708,7 +787,6 @@ def cmd_attack(args: argparse.Namespace) -> int:
     from .adversary import (
         AttackCampaignParams,
         compare_splitters,
-        run_attack_campaign,
         seed_sensitivity_sweep,
     )
     from .faults import parse_fault_specs
@@ -717,6 +795,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
         attack_comparison_table,
         seed_sweep_table,
     )
+    from .runtime import AttackCampaign, Runtime
 
     if args.ribbons <= 0:
         raise ConfigError(f"--ribbons must be positive, got {args.ribbons}")
@@ -732,6 +811,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
     failed = _parse_int_list(args.failed_switches)
     duration_ns = args.duration_us * 1e3
     telemetry = bool(args.metrics_out)
+    runtime = Runtime(cache_dir=args.cache_dir, n_workers=args.workers)
 
     if args.splitter == "both":
         comparison = compare_splitters(
@@ -744,7 +824,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
             telemetry=telemetry,
             fault_schedule=None if schedule.is_empty else schedule,
             failed_switches=failed or None,
-            n_workers=args.workers,
+            runtime=runtime,
         )
         campaigns = comparison.pop("_campaigns")
         document = comparison
@@ -759,12 +839,13 @@ def cmd_attack(args: argparse.Namespace) -> int:
             duration_ns=duration_ns,
             telemetry=telemetry,
         )
-        result = run_attack_campaign(
-            config,
-            params,
-            fault_schedule=None if schedule.is_empty else schedule,
-            failed_switches=failed or None,
-            n_workers=args.workers,
+        result = runtime.run_campaign(
+            AttackCampaign(
+                config=config,
+                params=params,
+                fault_schedule=None if schedule.is_empty else schedule,
+                failed_switches=failed or None,
+            )
         )
         campaigns = {args.splitter: result}
         document = result.to_dict()
@@ -784,15 +865,12 @@ def cmd_attack(args: argparse.Namespace) -> int:
         tables.append(seed_sweep_table(sweep))
 
     if args.metrics_out:
-        from .telemetry import MetricsRegistry
-
-        registry = MetricsRegistry()
         # Fixed splitter-kind order keeps the merged dump byte-identical
-        # across sequential and parallel campaign runs.
-        for kind in sorted(campaigns):
-            if campaigns[kind].telemetry is not None:
-                registry.merge_dict(campaigns[kind].telemetry)
-        _write_metrics_file(registry, args.metrics_out)
+        # across sequential, parallel and cached campaign runs.
+        _write_merged_metrics(
+            [campaigns[kind].telemetry for kind in sorted(campaigns)],
+            args.metrics_out,
+        )
 
     text = json.dumps(document, indent=2, sort_keys=True)
     if args.out:
@@ -808,23 +886,26 @@ def cmd_attack(args: argparse.Namespace) -> int:
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
+    from .runtime import execute_scenario, router_scenario
     from .telemetry import MetricsRegistry, stage_summaries, to_jsonl, to_prometheus
 
     registry = MetricsRegistry()
     config = _router_config(args.switches)
-    report = _router_simulate_once(
-        config,
-        args.load,
-        args.duration_us * 1e3,
-        ImixSize(),
-        ArrivalProcess.POISSON,
-        PFIOptions(padding=True, bypass=True),
-        args.seed,
-        [],
-        telemetry=registry,
-        mode=args.mode,
-        workers=args.workers,
+    # Inline execution with a shared registry (and exec-mode hints): the
+    # command's whole point is the live registry, so it bypasses the
+    # cache -- cached payloads stay pure functions of the scenario.
+    payload = execute_scenario(
+        router_scenario(
+            config,
+            load=args.load,
+            duration_ns=args.duration_us * 1e3,
+            seed=args.seed,
+            mode=args.mode,
+            workers=args.workers,
+        ),
+        registry=registry,
     )
+    report = payload["report"]
     if args.format == "prom":
         sys.stdout.write(to_prometheus(registry))
     elif args.format == "jsonl":
@@ -846,12 +927,12 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         totals = Table("Run totals", ["metric", "value"])
         totals.add("switches (H)", config.n_switches)
         totals.add("mode", args.mode)
-        totals.add("offered", format_size(report.offered_bytes))
-        totals.add("delivered", f"{report.delivered_fraction:.2%}")
+        totals.add("offered", format_size(report["offered_bytes"]))
+        totals.add("delivered", f"{report['delivered_fraction']:.2%}")
         totals.add("series exported", sum(1 for _ in registry))
         totals.show()
     if args.out:
-        _write_metrics_file(registry, args.out)
+        _write_metrics_dump(registry.to_dict(), args.out)
     return 0
 
 
@@ -866,17 +947,17 @@ def cmd_experiments(_args: argparse.Namespace) -> int:
 def cmd_timeline(args: argparse.Namespace) -> int:
     if args.events:
         from .reporting import render_pipeline_events
+        from .runtime import execute_scenario, switch_scenario
         from .sim.trace import TraceRecorder
 
         recorder = TraceRecorder()
-        _simulate_once(
-            scaled_router().switch,
-            args.load,
-            args.duration_us * 1e3,
-            ImixSize(),
-            ArrivalProcess.POISSON,
-            PFIOptions(padding=True, bypass=True),
-            args.seed,
+        execute_scenario(
+            switch_scenario(
+                scaled_router().switch,
+                load=args.load,
+                duration_ns=args.duration_us * 1e3,
+                seed=args.seed,
+            ),
             trace=recorder,
         )
         print(render_pipeline_events(recorder, width=args.width))
@@ -957,6 +1038,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
             key = (
                 f"{metrics['trials_per_sec']:.2f} trials/s, "
                 f"exposure gap {metrics['exposure_gap']:.1f}x"
+            )
+        elif name == "sweep_cached":
+            key = (
+                f"warm speedup {metrics['warm_speedup']:.1f}x over "
+                f"{metrics['n_cells']} cells, "
+                f"byte_identical={metrics['byte_identical']}"
             )
         else:
             key = f"{metrics['events_per_sec']:,.0f} events/s, {metrics['packets_per_sec']:,.0f} packets/s"

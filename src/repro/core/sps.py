@@ -15,6 +15,7 @@ hashing on the 5-tuple.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -34,6 +35,31 @@ from .pfi import PFIOptions
 
 #: Execution modes of :meth:`SplitParallelSwitch.run`.
 RUN_MODES = ("sequential", "parallel", "auto")
+
+_failed_switches_warned = False
+
+
+def _warn_failed_switches_deprecated() -> None:
+    """One-shot deprecation notice for the legacy ``failed_switches=``
+    kwarg -- it fires on the first faulted run of the process, not on
+    every cell of a sweep."""
+    global _failed_switches_warned
+    if _failed_switches_warned:
+        return
+    _failed_switches_warned = True
+    warnings.warn(
+        "SplitParallelSwitch.run(failed_switches=...) is deprecated; pass "
+        "fault_schedule=FaultSchedule.from_failed_switches(...) instead "
+        "(byte-identical results)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _reset_failed_switches_warning() -> None:
+    """Re-arm the one-shot warning (test hook)."""
+    global _failed_switches_warned
+    _failed_switches_warned = False
 
 
 def assign_fibers(packets: Sequence[Packet], n_fibers: int, salt: int = 0xECA) -> List[int]:
@@ -253,7 +279,11 @@ class SplitParallelSwitch:
 
         ``failed_switches`` injects dead switches: their traffic is lost
         at the (passive) split, the survivors run exactly as before --
-        the modularity/fault-isolation property of SS 2.2.
+        the modularity/fault-isolation property of SS 2.2.  The kwarg is
+        *deprecated* (one ``DeprecationWarning`` per process): pass
+        ``fault_schedule=FaultSchedule.from_failed_switches(...)``
+        instead -- it takes literally the same path below and produces
+        byte-identical reports.
 
         ``fault_schedule`` (a :class:`~repro.faults.FaultSchedule`)
         generalises that to timed faults: whole-run switch deaths take
@@ -291,6 +321,8 @@ class SplitParallelSwitch:
         if mode not in RUN_MODES:
             raise ConfigError(f"mode must be one of {RUN_MODES}, got {mode!r}")
         failed = frozenset(failed_switches or ())
+        if failed:
+            _warn_failed_switches_deprecated()
         for h in failed:
             if not 0 <= h < self.config.n_switches:
                 raise ConfigError(f"failed switch {h} out of range")

@@ -8,14 +8,19 @@ i)``, so the same (params, config) always produces the same schedules
 and -- because each scenario is itself a deterministic sequential
 simulation -- the same distributions, no matter how many workers run it.
 
-Scenarios are independent, so the fan-out uses
-:func:`repro.sim.parallel.run_parallel_tasks`: the parallelism is
-*between* scenarios (each worker simulates its whole faulted router
+Scenarios are independent, so the fan-out parallelises *between*
+scenarios (each worker simulates its whole faulted router
 sequentially), the natural unit here just as the switch is for one run.
+Dispatch, caching and sharding live in the scenario runtime
+(:mod:`repro.runtime`); this module keeps the domain pieces -- the
+MTBF/MTTR drawing recipe, the per-cell executor and the aggregate --
+plus a deprecated ``run_campaign`` shim over
+:class:`repro.runtime.FaultCampaign`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -23,7 +28,6 @@ import numpy as np
 
 from ..config import RouterConfig
 from ..errors import ConfigError
-from ..sim.parallel import run_parallel_tasks
 from .model import (
     FOREVER_NS,
     FiberCut,
@@ -242,32 +246,23 @@ def run_campaign(
     base_schedule: Optional[FaultSchedule] = None,
     n_workers: Optional[int] = None,
 ) -> CampaignResult:
-    """Draw and simulate every scenario of a campaign.
+    """Deprecated shim over the scenario runtime.
 
-    ``base_schedule`` events (e.g. from CLI ``--kill`` flags) are merged
-    into every drawn schedule.  Schedules are drawn up front in the
-    parent from per-scenario seeded RNGs, so the result is independent
-    of worker count and execution order.
+    Use :class:`repro.runtime.FaultCampaign` with
+    :meth:`repro.runtime.Runtime.run_campaign` instead -- same drawing
+    recipe (schedules from per-scenario seeded RNGs, drawn up front in
+    the parent), same :class:`CampaignResult`, byte-identical output for
+    the same ``(config, params, seed)``, plus caching/resume/sharding
+    the legacy entrypoint never had.
     """
-    scenarios = []
-    for i in range(params.n_scenarios):
-        rng = np.random.default_rng((params.seed, i))
-        schedule = draw_fault_schedule(config, params, rng)
-        if base_schedule is not None:
-            schedule = schedule.merged(base_schedule)
-        schedule.validate(config)
-        scenarios.append(
-            FaultScenario(
-                index=i,
-                config=config,
-                schedule=schedule,
-                load=params.load,
-                duration_ns=params.duration_ns,
-                seed=params.seed + i,
-                n_intervals=params.n_intervals,
-            )
-        )
-    results = run_parallel_tasks(
-        execute_fault_scenario, scenarios, n_workers=n_workers
+    warnings.warn(
+        "repro.faults.campaign.run_campaign is deprecated; use "
+        "repro.runtime.Runtime.run_campaign(repro.runtime.FaultCampaign(...))",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return CampaignResult(params=params, scenarios=list(results))
+    from ..runtime import FaultCampaign, Runtime
+
+    return Runtime(n_workers=n_workers).run_campaign(
+        FaultCampaign(config=config, params=params, base_schedule=base_schedule)
+    )

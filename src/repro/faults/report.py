@@ -116,6 +116,16 @@ class IntervalSample:
             "delivered_fraction": self.delivered_fraction,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "IntervalSample":
+        """Inverse of :meth:`to_dict` (derived rates are recomputed)."""
+        return cls(
+            start_ns=data["start_ns"],
+            end_ns=data["end_ns"],
+            offered_bytes=data["offered_bytes"],
+            delivered_bytes=data["delivered_bytes"],
+        )
+
 
 @dataclass
 class DegradationReport:
@@ -167,6 +177,24 @@ class DegradationReport:
             "fault_events": list(self.fault_events),
             "intervals": [s.to_dict() for s in self.intervals],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DegradationReport":
+        """Inverse of :meth:`to_dict` -- rebuilds the report from a
+        cached runtime payload so the CLI tables (which read report
+        attributes) render from recalled cells exactly as from fresh
+        runs.  Derived fractions/availability are recomputed, so a
+        round-trip re-serialises byte-identically."""
+        return cls(
+            duration_ns=data["duration_ns"],
+            intervals=[IntervalSample.from_dict(d) for d in data["intervals"]],
+            offered_bytes=data["offered_bytes"],
+            delivered_bytes=data["delivered_bytes"],
+            lost_bytes=data["lost_bytes"],
+            residual_bytes=data["residual_bytes"],
+            failed_switches=list(data["failed_switches"]),
+            fault_events=list(data["fault_events"]),
+        )
 
 
 def bin_packets(

@@ -12,6 +12,7 @@ from .harness import (
     bench_adversary_campaign,
     bench_engine,
     bench_router_parallel,
+    bench_sweep_cached,
     bench_switch,
     bench_telemetry_overhead,
     bench_traffic,
@@ -25,6 +26,7 @@ __all__ = [
     "bench_engine",
     "bench_traffic",
     "bench_switch",
+    "bench_sweep_cached",
     "bench_telemetry_overhead",
     "bench_router_parallel",
     "run_benchmarks",

@@ -6,10 +6,11 @@ current document against a checked-in baseline and fails (exit 1) when
 any tracked metric regresses by more than the threshold -- the CI step
 that keeps the simulator's cost centres honest.
 
-Only *rate* metrics are tracked: wall-clock seconds shift with workload
-sizes (``--quick``), and parallel speedup depends on the host's core
-count, but events/sec and packets/sec measure the same inner loops on
-any workload scale.
+Only *relative* metrics are tracked: wall-clock seconds shift with
+workload sizes (``--quick``), and parallel speedup depends on the
+host's core count, but events/sec and packets/sec measure the same
+inner loops on any workload scale, and the cached sweep's warm speedup
+compares two runs on the same host.
 
 Usage::
 
@@ -32,6 +33,7 @@ TRACKED_METRICS: Tuple[Tuple[str, str], ...] = (
     ("switch", "packets_per_sec"),
     ("adversary_campaign", "trials_per_sec"),
     ("adversary_campaign", "packets_per_sec"),
+    ("sweep_cached", "warm_speedup"),
 )
 
 #: Default allowed fractional drop before the gate fails.

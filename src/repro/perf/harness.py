@@ -14,10 +14,14 @@ Six benches cover the simulator's cost centres:
 - :func:`bench_adversary_campaign` -- a multi-trial attack campaign
   through the full pipeline (trials/sec, packets/sec), gating the
   adversary subsystem's cost centres.
-- :func:`bench_router_parallel` -- the tentpole macro bench: the same
-  H-switch router run sequentially and fanned out over a process pool,
+- :func:`bench_router_parallel` -- a macro bench: the same H-switch
+  router run sequentially and fanned out over a process pool,
   asserting byte-identical delivered/dropped/residual totals and
   reporting the wall-clock speedup.
+- :func:`bench_sweep_cached` -- the scenario runtime's cache gate: the
+  same load sweep run cold (every cell executes, every result stored)
+  and warm (every cell recalled from the content-addressed cache),
+  asserting byte-identical payloads and reporting the warm speedup.
 
 :func:`run_benchmarks` bundles them and :func:`write_bench_json` emits
 ``BENCH_<rev>.json`` so the perf trajectory is tracked from revision to
@@ -244,9 +248,9 @@ def bench_adversary_campaign(
         AttackCampaignParams,
         KnownAssignmentAttack,
         attacker_gain,
-        run_attack_campaign,
     )
     from ..core.fiber_split import ContiguousSplitter
+    from ..runtime import AttackCampaign, Runtime
 
     config = scaled_router(
         n_ribbons=8, fibers_per_ribbon=4 * n_switches, n_switches=n_switches
@@ -261,7 +265,7 @@ def bench_adversary_campaign(
         duration_ns=duration_ns,
     )
     start = time.perf_counter()
-    result = run_attack_campaign(config, params)
+    result = Runtime().run_campaign(AttackCampaign(config=config, params=params))
     wall = time.perf_counter() - start
     contiguous_gain = attacker_gain(
         ContiguousSplitter(config.fibers_per_ribbon, n_switches),
@@ -367,6 +371,93 @@ def bench_router_parallel(
     )
 
 
+# -- macro: cached scenario sweep ----------------------------------------------
+
+
+def bench_sweep_cached(
+    n_loads: int = 4,
+    duration_ns: float = 20_000.0,
+    seed: int = 0,
+) -> BenchResult:
+    """The same load sweep run cold and warm through the scenario runtime.
+
+    Cold executes every cell and stores each payload in a fresh
+    content-addressed cache; warm runs the identical grid through a new
+    :class:`~repro.runtime.Runtime` on the same cache directory and must
+    resolve every cell as a hit.  The bench asserts both before timing
+    counts: the warm run executed nothing (hits == cells, misses == 0)
+    and the recalled payloads are byte-identical to the cold ones.  The
+    reported ``warm_speedup`` is the gate that keeps cache recall cheap
+    relative to simulation.
+
+    The warm wall is the best of three passes (cache recall is
+    sub-millisecond, so a single pass is at the mercy of scheduler
+    noise), and the tracked ``warm_speedup`` is capped at 50x: past
+    that, recall cost is pure noise relative to execution, and an
+    uncapped ratio would make the regression gate flaky.  The uncapped
+    value rides along as ``warm_speedup_raw``.
+    """
+    import shutil
+    import tempfile
+
+    from ..runtime import Runtime, switch_scenario
+
+    if n_loads <= 1:
+        raise ConfigError(f"n_loads must be at least 2, got {n_loads}")
+    config = scaled_router().switch
+    scenarios = [
+        switch_scenario(
+            config,
+            load=0.3 + 0.5 * i / (n_loads - 1),
+            duration_ns=duration_ns,
+            seed=seed,
+        )
+        for i in range(n_loads)
+    ]
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        cold_runtime = Runtime(cache_dir=cache_dir, n_workers=1)
+        start = time.perf_counter()
+        cold = cold_runtime.map(scenarios)
+        cold_wall = time.perf_counter() - start
+
+        warm_walls = []
+        for _ in range(3):
+            warm_runtime = Runtime(cache_dir=cache_dir, n_workers=1)
+            start = time.perf_counter()
+            warm = warm_runtime.map(scenarios)
+            warm_walls.append(time.perf_counter() - start)
+
+            warm_stats = warm_runtime.cache.stats()
+            identical = (
+                warm_stats["hits"] == n_loads
+                and warm_stats["misses"] == 0
+                and json.dumps(cold, sort_keys=True)
+                == json.dumps(warm, sort_keys=True)
+            )
+            if not identical:
+                raise AssertionError(
+                    f"warm sweep diverged from cold: cache stats {warm_stats}"
+                )
+        warm_wall = min(warm_walls)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    raw_speedup = cold_wall / warm_wall if warm_wall > 0 else 0.0
+    return BenchResult(
+        name="sweep_cached",
+        wall_s=cold_wall + sum(warm_walls),
+        metrics={
+            "n_cells": n_loads,
+            "cold_wall_s": cold_wall,
+            "warm_wall_s": warm_wall,
+            "warm_speedup": min(raw_speedup, 50.0),
+            "warm_speedup_raw": raw_speedup,
+            "warm_hits": warm_stats["hits"],
+            "byte_identical": identical,
+        },
+    )
+
+
 # -- bundling ------------------------------------------------------------------
 
 
@@ -408,6 +499,10 @@ def run_benchmarks(
             n_switches=n_switches,
             duration_ns=40_000.0 * scale,
             n_workers=n_workers,
+        ),
+        bench_sweep_cached(
+            n_loads=3 if quick else 4,
+            duration_ns=20_000.0 * scale,
         ),
     ]
     return {

@@ -1,0 +1,375 @@
+"""Declarative scenarios: one hashable description of one experiment cell.
+
+A :class:`Scenario` composes the full experiment space every workload
+family in the repro draws from -- a validated config
+(:class:`~repro.config.RouterConfig` or
+:class:`~repro.config.HBMSwitchConfig`), a traffic or attack workload, an
+optional :class:`~repro.faults.FaultSchedule`, a telemetry switch and
+execution hints -- into one frozen, picklable value.  The runtime
+(:mod:`repro.runtime.runtime`) executes scenarios through a single
+shared scheduler; the cache (:mod:`repro.runtime.cache`) addresses
+results by :meth:`Scenario.digest`.
+
+Digest semantics
+----------------
+
+``digest()`` hashes the *semantic content* of a scenario: everything
+that can change the result payload.  Two fields are deliberately
+excluded:
+
+- ``seed`` -- the cache is keyed by ``(digest, seed, code_version)``, so
+  the same scenario swept over seeds shares one digest with per-seed
+  cache cells;
+- ``mode`` / ``workers`` -- execution hints.  Sequential and parallel
+  runs of the same scenario are byte-identical by construction (the
+  repo-wide invariant since PR 1), so they must also be cache hits for
+  each other.
+
+Every scenario kind maps onto the exact per-family execution code that
+predates the runtime (``repro.faults.campaign.execute_fault_scenario``,
+``repro.adversary.campaign.execute_attack_trial``,
+:func:`~repro.faults.report.measure_degradation`, the switch/router
+simulation paths the CLI used to inline), so payloads are byte-identical
+to the pre-runtime outputs for the same seeds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..config import HBMSwitchConfig, RouterConfig
+from ..core.pfi import PFIOptions
+from ..errors import ConfigError
+from ..traffic import (
+    ArrivalProcess,
+    FixedSize,
+    ImixSize,
+    TrafficGenerator,
+    uniform_matrix,
+)
+
+#: The workload families the runtime can execute.
+SCENARIO_KINDS = ("switch", "router", "degradation", "fault_cell", "attack")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative, content-addressable experiment cell.
+
+    ``kind`` selects the workload family:
+
+    - ``"switch"`` -- one HBM switch fed synthetic traffic
+      (``config`` is an :class:`~repro.config.HBMSwitchConfig`);
+    - ``"router"`` -- the full H-switch Split-Parallel router
+      (``config`` is a :class:`~repro.config.RouterConfig`);
+    - ``"degradation"`` -- a faulted router run binned over time
+      (:func:`~repro.faults.report.measure_degradation`);
+    - ``"fault_cell"`` -- one Monte-Carlo fault-campaign member;
+    - ``"attack"`` -- one adversarial campaign trial.
+
+    Fields that do not apply to a kind keep their defaults and still
+    participate in the digest (they are part of the declarative
+    content; defaults hash stably).
+    """
+
+    kind: str
+    config: object  # HBMSwitchConfig (switch) or RouterConfig (the rest)
+    load: float = 0.8
+    duration_ns: float = 50_000.0
+    seed: int = 0
+    #: Fixed packet size in bytes; 0 selects the IMIX mix.
+    packet_size: int = 0
+    process: str = "poisson"
+    padding: bool = True
+    bypass: bool = True
+    #: Optional fault schedule (``None`` = pristine hardware).
+    schedule: Optional[object] = None
+    #: ``degradation``/``fault_cell``: time-bin count.
+    n_intervals: int = 8
+    drain: bool = True
+    #: ``attack`` only: splitter family, its manufacturing seed, the
+    #: strategy object and the trial's traffic seed.
+    splitter_kind: Optional[str] = None
+    splitter_seed: int = 0
+    strategy: Optional[object] = None
+    traffic_seed: Optional[int] = None
+    telemetry: bool = False
+    #: Free-form cell tag (campaign index); part of the digest because
+    #: campaign payloads embed it.
+    tag: Optional[int] = None
+    #: Execution hints -- excluded from the digest (results are
+    #: byte-identical across modes by construction).
+    mode: str = "sequential"
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCENARIO_KINDS:
+            raise ConfigError(
+                f"kind must be one of {SCENARIO_KINDS}, got {self.kind!r}"
+            )
+        if self.duration_ns <= 0:
+            raise ConfigError(
+                f"duration_ns must be positive, got {self.duration_ns}"
+            )
+        if self.kind == "switch":
+            if not isinstance(self.config, HBMSwitchConfig):
+                raise ConfigError(
+                    "switch scenarios take an HBMSwitchConfig, got "
+                    f"{type(self.config).__name__}"
+                )
+        elif not isinstance(self.config, RouterConfig):
+            raise ConfigError(
+                f"{self.kind} scenarios take a RouterConfig, got "
+                f"{type(self.config).__name__}"
+            )
+        if self.kind == "attack":
+            if self.splitter_kind is None or self.strategy is None:
+                raise ConfigError(
+                    "attack scenarios need splitter_kind and strategy"
+                )
+
+    # -- digesting -----------------------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        """The canonical JSON-safe content the digest hashes.
+
+        Excludes ``seed`` (a separate cache-key component) and the
+        ``mode``/``workers`` execution hints (results are invariant to
+        them).
+        """
+        return {
+            "kind": self.kind,
+            "config": _config_content(self.config),
+            "load": self.load,
+            "duration_ns": self.duration_ns,
+            "packet_size": self.packet_size,
+            "process": self.process,
+            "padding": self.padding,
+            "bypass": self.bypass,
+            "schedule": (
+                self.schedule.to_dict() if self.schedule is not None else None
+            ),
+            "n_intervals": self.n_intervals,
+            "drain": self.drain,
+            "splitter_kind": self.splitter_kind,
+            "splitter_seed": self.splitter_seed,
+            "strategy": _strategy_content(self.strategy),
+            "traffic_seed": self.traffic_seed,
+            "telemetry": self.telemetry,
+            "tag": self.tag,
+        }
+
+    def digest(self) -> str:
+        """Content hash of :meth:`describe` (hex sha256)."""
+        text = json.dumps(
+            self.describe(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _config_content(config) -> Dict[str, Any]:
+    data = dataclasses.asdict(config)
+    data["_type"] = type(config).__name__
+    return data
+
+
+def _strategy_content(strategy) -> Optional[Dict[str, Any]]:
+    if strategy is None:
+        return None
+    data = dataclasses.asdict(strategy)
+    data["_type"] = type(strategy).__name__
+    return data
+
+
+# -- builders ------------------------------------------------------------------
+
+
+def switch_scenario(config: HBMSwitchConfig, **kwargs) -> Scenario:
+    """One HBM-switch simulation cell."""
+    return Scenario(kind="switch", config=config, **kwargs)
+
+
+def router_scenario(config: RouterConfig, **kwargs) -> Scenario:
+    """One full-router simulation cell."""
+    return Scenario(kind="router", config=config, **kwargs)
+
+
+def degradation_scenario(config: RouterConfig, **kwargs) -> Scenario:
+    """One faulted, time-binned router run."""
+    return Scenario(kind="degradation", config=config, **kwargs)
+
+
+# -- execution -----------------------------------------------------------------
+
+
+def _size_dist(scenario: Scenario):
+    if scenario.packet_size > 0:
+        return FixedSize(scenario.packet_size)
+    return ImixSize()
+
+
+def _options(scenario: Scenario) -> PFIOptions:
+    return PFIOptions(padding=scenario.padding, bypass=scenario.bypass)
+
+
+def _execute_switch(scenario: Scenario, registry=None, trace=None) -> dict:
+    from ..core.hbm_switch import HBMSwitch
+    from ..reporting import report_to_dict
+
+    config = scenario.config
+    generator = TrafficGenerator(
+        n_ports=config.n_ports,
+        port_rate_bps=config.port_rate_bps,
+        matrix=uniform_matrix(config.n_ports, scenario.load),
+        size_dist=_size_dist(scenario),
+        process=ArrivalProcess(scenario.process),
+        seed=scenario.seed,
+    )
+    packets = generator.generate(scenario.duration_ns)
+    if registry is None and scenario.telemetry:
+        from ..telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+    telemetry = None
+    if registry is not None:
+        from ..telemetry import SwitchTelemetry
+
+        telemetry = SwitchTelemetry(registry, config, switch=0)
+    switch = HBMSwitch(config, _options(scenario), telemetry=telemetry, trace=trace)
+    report = switch.run(packets, scenario.duration_ns, drain=scenario.drain)
+    return {
+        "report": report_to_dict(report),
+        "telemetry": registry.to_dict() if registry is not None else None,
+    }
+
+
+def _execute_router(scenario: Scenario, registry=None) -> dict:
+    from ..core.sps import SplitParallelSwitch
+    from ..reporting import report_to_dict
+
+    config = scenario.config
+    generator = TrafficGenerator(
+        n_ports=config.n_ribbons,
+        port_rate_bps=config.fibers_per_ribbon * config.per_fiber_rate_bps,
+        matrix=uniform_matrix(config.n_ribbons, scenario.load),
+        size_dist=_size_dist(scenario),
+        process=ArrivalProcess(scenario.process),
+        seed=scenario.seed,
+    )
+    packets = generator.generate(scenario.duration_ns)
+    if registry is None and scenario.telemetry:
+        from ..telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+    router = SplitParallelSwitch(config, options=_options(scenario))
+    report = router.run(
+        packets,
+        scenario.duration_ns,
+        drain=scenario.drain,
+        fault_schedule=scenario.schedule,
+        mode=scenario.mode,
+        n_workers=scenario.workers,
+        telemetry=registry,
+    )
+    return {
+        "report": report_to_dict(report),
+        "telemetry": registry.to_dict() if registry is not None else None,
+    }
+
+
+def _execute_degradation(scenario: Scenario, registry=None) -> dict:
+    from ..faults.report import measure_degradation
+
+    if registry is None and scenario.telemetry:
+        from ..telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+    report = measure_degradation(
+        scenario.config,
+        schedule=scenario.schedule,
+        load=scenario.load,
+        duration_ns=scenario.duration_ns,
+        seed=scenario.seed,
+        n_intervals=scenario.n_intervals,
+        options=_options(scenario),
+        telemetry=registry,
+    )
+    return {
+        "report": report.to_dict(),
+        "telemetry": registry.to_dict() if registry is not None else None,
+    }
+
+
+def _execute_fault_cell(scenario: Scenario) -> dict:
+    from ..faults.campaign import FaultScenario, execute_fault_scenario
+
+    if scenario.schedule is None:
+        raise ConfigError("fault_cell scenarios need a drawn schedule")
+    cell = FaultScenario(
+        index=scenario.tag if scenario.tag is not None else 0,
+        config=scenario.config,
+        schedule=scenario.schedule,
+        load=scenario.load,
+        duration_ns=scenario.duration_ns,
+        seed=scenario.seed,
+        n_intervals=scenario.n_intervals,
+    )
+    return execute_fault_scenario(cell)
+
+
+def _execute_attack(scenario: Scenario) -> dict:
+    from ..adversary.campaign import AttackTrial, execute_attack_trial
+
+    return execute_attack_trial(
+        AttackTrial(
+            index=scenario.tag if scenario.tag is not None else 0,
+            config=scenario.config,
+            splitter_kind=scenario.splitter_kind,
+            splitter_seed=scenario.splitter_seed,
+            strategy=scenario.strategy,
+            load=scenario.load,
+            duration_ns=scenario.duration_ns,
+            traffic_seed=(
+                scenario.traffic_seed
+                if scenario.traffic_seed is not None
+                else scenario.seed
+            ),
+            fault_schedule=scenario.schedule,
+            telemetry=scenario.telemetry,
+        )
+    )
+
+
+def execute_scenario(scenario: Scenario, registry=None, trace=None) -> dict:
+    """Run one scenario to completion; returns its JSON-safe payload.
+
+    Module-level (and every scenario picklable) so the runtime can fan
+    cells out over the process pool.  ``registry``/``trace`` are
+    inline-only extras for callers that need a shared
+    :class:`~repro.telemetry.MetricsRegistry` or a
+    :class:`~repro.sim.trace.TraceRecorder`; the runtime never passes
+    them, so cached payloads stay pure functions of the scenario.
+
+    Payload shapes:
+
+    - ``switch``/``router``/``degradation`` -- ``{"report": <dict>,
+      "telemetry": <dump|None>}`` where ``report`` serialises exactly as
+      the pre-runtime CLI did;
+    - ``fault_cell``/``attack`` -- the flat campaign-member dict the
+      campaign aggregators have always consumed.
+    """
+    if scenario.kind == "switch":
+        return _execute_switch(scenario, registry=registry, trace=trace)
+    if scenario.kind == "router":
+        return _execute_router(scenario, registry=registry)
+    if scenario.kind == "degradation":
+        return _execute_degradation(scenario, registry=registry)
+    if scenario.kind == "fault_cell":
+        return _execute_fault_cell(scenario)
+    if scenario.kind == "attack":
+        return _execute_attack(scenario)
+    raise ConfigError(f"unknown scenario kind {scenario.kind!r}")

@@ -138,6 +138,7 @@ def run_parallel_tasks(
     items: Sequence,
     n_workers: Optional[int] = None,
     executor_factory: Callable[..., ProcessPoolExecutor] = ProcessPoolExecutor,
+    on_result: Optional[Callable[[int, object], None]] = None,
 ) -> List:
     """Order-preserving parallel map with the same worker policy as
     :func:`run_work_units`.
@@ -150,10 +151,27 @@ def run_parallel_tasks(
     through this: the parallelism is *between* independent scenarios,
     so each worker still simulates its scenario sequentially and
     deterministically.
+
+    ``on_result(index, result)`` is invoked in the parent, in input
+    order, as each result becomes available (inline: after each item;
+    pool: as the ordered result stream drains).  The scenario runtime
+    checkpoints sweep cells through this hook, so a killed run keeps
+    every cell that finished before the kill.
     """
     items = list(items)
     workers = resolve_worker_count(n_workers, len(items))
     if workers <= 1:
-        return [fn(item) for item in items]
+        results = []
+        for index, item in enumerate(items):
+            result = fn(item)
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
+    results = []
     with executor_factory(max_workers=workers) as pool:
-        return list(pool.map(fn, items))
+        for index, result in enumerate(pool.map(fn, items)):
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+    return results
