@@ -10,8 +10,11 @@ from __future__ import annotations
 
 import json
 
+import os
+
 from repro.perf import (
     bench_engine,
+    bench_flow_engine,
     bench_router_parallel,
     bench_sweep_cached,
     bench_switch,
@@ -52,6 +55,37 @@ def test_bench_router_parallel_is_byte_identical():
     assert metrics["speedup"] > 0
 
 
+def test_bench_router_parallel_worker_scaling():
+    # Multi-worker scaling rides along when the host has >= 2 cores;
+    # single-core hosts record an empty series (the skip).
+    result = bench_router_parallel(n_switches=2, duration_ns=5_000.0, n_workers=2)
+    scaling = result.metrics["worker_scaling"]
+    cpu = os.cpu_count() or 1
+    if cpu < 2:
+        assert scaling == []
+    else:
+        assert scaling, "multi-core host must record a scaling series"
+        counts = [row["n_workers"] for row in scaling]
+        assert counts == sorted(set(counts))
+        assert all(row["n_workers"] >= 2 for row in scaling)
+        assert all(row["parallel_wall_s"] > 0 for row in scaling)
+        assert all(row["speedup"] > 0 for row in scaling)
+
+
+def test_bench_flow_engine_meets_speedup_target():
+    # ISSUE acceptance: >= 100x packets-equivalent throughput over the
+    # packet engine on the same scenario, with a small parity gap on
+    # this admissible load.
+    result = bench_flow_engine(n_switches=4, duration_ns=20_000.0)
+    metrics = result.metrics
+    assert metrics["packets"] > 0
+    assert metrics["packets_equiv_per_sec"] > 0
+    assert metrics["speedup_vs_packet"] >= 100.0
+    assert metrics["parity_gap"] <= 0.02
+    assert metrics["million_flow_packets_equiv"] >= 1_000_000
+    assert metrics["million_flow_wall_s"] < 10.0
+
+
 def test_bench_sweep_cached_warm_is_fast_and_identical():
     # ISSUE acceptance: warm cache recall at least 5x faster than cold
     # execution, with byte-identical payloads (asserted inside the bench).
@@ -76,6 +110,7 @@ def test_run_benchmarks_document_roundtrips(tmp_path):
         "adversary_campaign",
         "router_parallel",
         "sweep_cached",
+        "flow_engine",
     }
     path = write_bench_json(document, str(tmp_path / "BENCH_smoke.json"))
     with open(path, encoding="utf-8") as handle:

@@ -325,6 +325,7 @@ def compare_splitters(
     failed_switches: Optional[List[int]] = None,
     n_workers: Optional[int] = None,
     runtime=None,
+    fidelity: str = "packet",
 ) -> dict:
     """The headline experiment: one strategy vs both splitter families.
 
@@ -357,6 +358,7 @@ def compare_splitters(
                 params=params,
                 fault_schedule=fault_schedule,
                 failed_switches=failed_switches,
+                fidelity=fidelity,
             )
         )
     contiguous = campaigns["contiguous"].victim_gain["mean"]

@@ -25,7 +25,10 @@ content-addressed result cache (reruns and killed-then-resumed sweeps
 recall finished cells instead of recomputing), and ``--shard K/N`` on
 ``sweep``/``faults`` executes every Nth cell so shards on a shared
 cache merge deterministically into the byte-identical single-shot
-output.
+output.  The same four commands take ``--fidelity flow`` to swap the
+packet engine for the vectorized fluid engine (:mod:`repro.flow`) --
+same report shapes, ~100-1000x faster, validated against the packet
+oracle in ``docs/flow_engine.md``.
 """
 
 from __future__ import annotations
@@ -129,6 +132,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed result cache; a rerun of the same "
              "scenario recalls its payload instead of simulating",
     )
+    simulate.add_argument(
+        "--fidelity", choices=["packet", "flow"], default="packet",
+        help="packet = discrete-event pipeline (exact); flow = "
+             "vectorized fluid engine (~100-1000x faster, rate-level)",
+    )
 
     sweep = sub.add_parser("sweep", help="sweep offered load")
     sweep.add_argument("--loads", type=str, default="0.3,0.5,0.7,0.9,1.0")
@@ -167,6 +175,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=str, default=None,
         help="also write the sweep document (schema repro-sweep-v1, one "
              "cell per load) as JSON to this path",
+    )
+    sweep.add_argument(
+        "--fidelity", choices=["packet", "flow"], default="packet",
+        help="packet = discrete-event pipeline (exact); flow = "
+             "vectorized fluid engine (~100-1000x faster, rate-level)",
     )
 
     metrics = sub.add_parser(
@@ -255,6 +268,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="campaign: K/N -- execute only cells K, K+N, ... against a "
              "shared --cache-dir; the unsharded rerun aggregates",
     )
+    faults.add_argument(
+        "--fidelity", choices=["packet", "flow"], default="packet",
+        help="packet = discrete-event pipeline (exact); flow = "
+             "vectorized fluid engine (~100-1000x faster, rate-level)",
+    )
 
     attack = sub.add_parser(
         "attack", help="adversarial campaigns: attack strategies vs splitters"
@@ -336,6 +354,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", type=str, default=None,
         help="content-addressed result cache: trials are recalled "
              "instead of re-simulated on reruns",
+    )
+    attack.add_argument(
+        "--fidelity", choices=["packet", "flow"], default="packet",
+        help="packet = discrete-event pipeline (exact); flow = "
+             "vectorized fluid engine (~100-1000x faster, rate-level)",
     )
 
     sub.add_parser("experiments", help="list the experiment index")
@@ -447,6 +470,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     failed = _parse_int_list(args.failed_switches)
     runtime = Runtime(cache_dir=args.cache_dir)
     want_metrics = bool(args.metrics_out)
+    if want_metrics and args.fidelity == "flow":
+        print(
+            "--metrics-out: the flow engine exports no telemetry; "
+            "ignoring it for this run",
+            file=sys.stderr,
+        )
+        want_metrics = False
     common = dict(
         load=args.load,
         duration_ns=args.duration_us * 1e3,
@@ -456,6 +486,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         padding=not args.no_padding,
         bypass=not args.no_bypass,
         telemetry=want_metrics,
+        fidelity=args.fidelity,
     )
     if args.switches > 0 or failed:
         h = args.switches if args.switches > 0 else scaled_router().n_switches
@@ -529,6 +560,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     failed = _parse_int_list(args.failed_switches)
     shard = parse_shard(args.shard)
     want_metrics = bool(args.metrics_out)
+    if want_metrics and args.fidelity == "flow":
+        print(
+            "--metrics-out: the flow engine exports no telemetry; "
+            "ignoring it for this run",
+            file=sys.stderr,
+        )
+        want_metrics = False
     if want_metrics and (args.cache_dir or shard):
         # The live registry accumulates observations across cells (a
         # running floating-point sum), which recalled payloads cannot
@@ -557,6 +595,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 schedule=schedule,
                 telemetry=want_metrics,
+                fidelity=args.fidelity,
             )
             for load in loads
         ]
@@ -569,6 +608,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 duration_ns=duration_ns,
                 seed=args.seed,
                 telemetry=want_metrics,
+                fidelity=args.fidelity,
             )
             for load in loads
         ]
@@ -673,6 +713,13 @@ def cmd_faults(args: argparse.Namespace) -> int:
     schedule.validate(config)
     duration_ns = args.duration_us * 1e3
     runtime = Runtime(cache_dir=args.cache_dir, n_workers=args.workers)
+    if args.metrics_out and args.fidelity == "flow":
+        print(
+            "--metrics-out: the flow engine exports no telemetry; "
+            "ignoring it for this run",
+            file=sys.stderr,
+        )
+        args.metrics_out = None
 
     if args.campaign > 0:
         if args.metrics_out:
@@ -699,6 +746,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
                 config=config,
                 params=params,
                 base_schedule=None if schedule.is_empty else schedule,
+                fidelity=args.fidelity,
             ),
             shard=parse_shard(args.shard),
         )
@@ -732,6 +780,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
             schedule=None if schedule.is_empty else schedule,
             n_intervals=args.intervals,
             telemetry=bool(args.metrics_out),
+            fidelity=args.fidelity,
         )
     )
     if args.metrics_out:
@@ -810,6 +859,13 @@ def cmd_attack(args: argparse.Namespace) -> int:
     schedule = parse_fault_specs(args.fault)
     failed = _parse_int_list(args.failed_switches)
     duration_ns = args.duration_us * 1e3
+    if args.metrics_out and args.fidelity == "flow":
+        print(
+            "--metrics-out: the flow engine exports no telemetry; "
+            "ignoring it for this run",
+            file=sys.stderr,
+        )
+        args.metrics_out = None
     telemetry = bool(args.metrics_out)
     runtime = Runtime(cache_dir=args.cache_dir, n_workers=args.workers)
 
@@ -825,6 +881,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
             fault_schedule=None if schedule.is_empty else schedule,
             failed_switches=failed or None,
             runtime=runtime,
+            fidelity=args.fidelity,
         )
         campaigns = comparison.pop("_campaigns")
         document = comparison
@@ -845,6 +902,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
                 params=params,
                 fault_schedule=None if schedule.is_empty else schedule,
                 failed_switches=failed or None,
+                fidelity=args.fidelity,
             )
         )
         campaigns = {args.splitter: result}
@@ -1044,6 +1102,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 f"warm speedup {metrics['warm_speedup']:.1f}x over "
                 f"{metrics['n_cells']} cells, "
                 f"byte_identical={metrics['byte_identical']}"
+            )
+        elif name == "flow_engine":
+            key = (
+                f"{metrics['packets_equiv_per_sec']:,.0f} pkt-equiv/s, "
+                f"{metrics['speedup_vs_packet']:,.0f}x vs packet"
             )
         else:
             key = f"{metrics['events_per_sec']:,.0f} events/s, {metrics['packets_per_sec']:,.0f} packets/s"

@@ -409,14 +409,19 @@ class HBMSwitch:
             for sample in output.latency.samples:
                 latency.record(sample)
             delivered_packets += len(output.latency)
-        # Count-weighted mean of each pipeline-stage component.
+        # Count-weighted mean of each pipeline-stage component.  Only
+        # outputs with samples contribute (an empty recorder's mean is
+        # NaN); a stage with no samples anywhere reports NaN, not a
+        # fake 0.0.
         breakdown: Dict[str, float] = {}
         for stage in ("batch_fill", "frame_fill", "hbm_wait", "egress"):
             total = sum(
-                o.breakdown[stage].mean * len(o.breakdown[stage]) for o in self.outputs
+                o.breakdown[stage].mean * len(o.breakdown[stage])
+                for o in self.outputs
+                if len(o.breakdown[stage])
             )
             count = sum(len(o.breakdown[stage]) for o in self.outputs)
-            breakdown[stage] = total / count if count else 0.0
+            breakdown[stage] = total / count if count else float("nan")
         delivered_bytes = sum(o.throughput.total_bytes for o in self.outputs)
         drops_by_reason: Dict[str, int] = {}
         for port in self.inputs:

@@ -176,19 +176,29 @@ class RouterReport:
         """Combined latency view: exact for mean/max (count-weighted),
         approximate for percentiles (reports carry summaries, not raw
         samples; benches that need exact percentiles read per switch)."""
-        counts = sum(r.latency["count"] for r in self.switch_reports)
+        # Switches that delivered nothing carry NaN latencies and a 0
+        # count; only the populated ones contribute to the roll-up.
+        populated = [r for r in self.switch_reports if r.latency["count"] > 0]
+        counts = sum(r.latency["count"] for r in populated)
         if counts == 0:
-            return {"count": 0.0, "mean_ns": 0.0, "p50_ns": 0.0, "p99_ns": 0.0, "max_ns": 0.0}
+            nan = float("nan")
+            return {
+                "count": 0.0,
+                "mean_ns": nan,
+                "p50_ns": nan,
+                "p99_ns": nan,
+                "max_ns": nan,
+            }
         mean = (
-            sum(r.latency["mean_ns"] * r.latency["count"] for r in self.switch_reports)
+            sum(r.latency["mean_ns"] * r.latency["count"] for r in populated)
             / counts
         )
         return {
             "count": counts,
             "mean_ns": mean,
-            "p50_ns": float(np.median([r.latency["p50_ns"] for r in self.switch_reports])),
-            "p99_ns": max(r.latency["p99_ns"] for r in self.switch_reports),
-            "max_ns": max(r.latency["max_ns"] for r in self.switch_reports),
+            "p50_ns": float(np.median([r.latency["p50_ns"] for r in populated])),
+            "p99_ns": max(r.latency["p99_ns"] for r in populated),
+            "max_ns": max(r.latency["max_ns"] for r in populated),
         }
 
     def stage_summaries(self) -> Dict[str, Dict[str, float]]:

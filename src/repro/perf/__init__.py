@@ -1,16 +1,17 @@
 """Performance benchmarking harness.
 
-Micro benches (event engine, traffic generation, single-switch run) and
-the macro sequential-vs-parallel router bench, with JSON export so the
-repo's performance trajectory is tracked revision over revision
-(``BENCH_<rev>.json``).  Run via ``repro bench`` or the pytest smoke
-benches under ``benchmarks/perf/``.
+Micro benches (event engine, traffic generation, single-switch run),
+the macro sequential-vs-parallel router bench, and the packet-vs-flow
+fidelity bench, with JSON export so the repo's performance trajectory
+is tracked revision over revision (``BENCH_<rev>.json``).  Run via
+``repro bench`` or the pytest smoke benches under ``benchmarks/perf/``.
 """
 
 from .harness import (
     BenchResult,
     bench_adversary_campaign,
     bench_engine,
+    bench_flow_engine,
     bench_router_parallel,
     bench_sweep_cached,
     bench_switch,
@@ -24,6 +25,7 @@ __all__ = [
     "BenchResult",
     "bench_adversary_campaign",
     "bench_engine",
+    "bench_flow_engine",
     "bench_traffic",
     "bench_switch",
     "bench_sweep_cached",

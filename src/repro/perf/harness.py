@@ -17,11 +17,17 @@ Six benches cover the simulator's cost centres:
 - :func:`bench_router_parallel` -- a macro bench: the same H-switch
   router run sequentially and fanned out over a process pool,
   asserting byte-identical delivered/dropped/residual totals and
-  reporting the wall-clock speedup.
+  reporting the wall-clock speedup (plus a per-worker-count scaling
+  series when the host has more than one core).
 - :func:`bench_sweep_cached` -- the scenario runtime's cache gate: the
   same load sweep run cold (every cell executes, every result stored)
   and warm (every cell recalled from the content-addressed cache),
   asserting byte-identical payloads and reporting the warm speedup.
+- :func:`bench_flow_engine` -- the fidelity gate: the same router
+  scenario through the packet engine and the fluid engine
+  (:mod:`repro.flow`), reporting packets-equivalent throughput, the
+  speedup over the packet engine, and the delivered-fraction parity
+  gap; plus a million-packet-scale cell timed at flow fidelity.
 
 :func:`run_benchmarks` bundles them and :func:`write_bench_json` emits
 ``BENCH_<rev>.json`` so the perf trajectory is tracked from revision to
@@ -354,15 +360,52 @@ def bench_router_parallel(
             f"delivered {seq.delivered_bytes} vs {par.delivered_bytes}, "
             f"dropped {seq.dropped_bytes} vs {par.dropped_bytes}"
         )
+
+    # Worker-count scaling series: the headline speedup above uses
+    # whatever worker count the host (or caller) picked, which on a
+    # single-core runner degenerates to 1 worker and a meaningless
+    # ~1.0x.  When the host has >= 2 cores, also measure a small ladder
+    # of worker counts so the parallel path's scaling is tracked;
+    # skipped (empty list) below 2 cores.
+    cpu = os.cpu_count() or 1
+    scaling_wall = 0.0
+    worker_scaling: List[Dict[str, Any]] = []
+    if cpu >= 2:
+        for w in sorted({2, min(4, cpu), cpu}):
+            if w == workers:
+                wall_w = par_wall
+            else:
+                packets = _router_traffic(config, load, duration_ns, seed)
+                sps_w = SplitParallelSwitch(config, options=options)
+                start = time.perf_counter()
+                rep_w = sps_w.run(
+                    packets, duration_ns, mode="parallel", n_workers=w
+                )
+                wall_w = time.perf_counter() - start
+                scaling_wall += wall_w
+                if rep_w.delivered_bytes != seq.delivered_bytes:
+                    raise AssertionError(
+                        f"{w}-worker run diverged from sequential: "
+                        f"delivered {rep_w.delivered_bytes} "
+                        f"vs {seq.delivered_bytes}"
+                    )
+            worker_scaling.append(
+                {
+                    "n_workers": w,
+                    "parallel_wall_s": wall_w,
+                    "speedup": seq_wall / wall_w if wall_w > 0 else 0.0,
+                }
+            )
     return BenchResult(
         name="router_parallel",
-        wall_s=seq_wall + par_wall,
+        wall_s=seq_wall + par_wall + scaling_wall,
         metrics={
             "n_switches": n_switches,
             "n_workers": workers,
             "sequential_wall_s": seq_wall,
             "parallel_wall_s": par_wall,
             "speedup": seq_wall / par_wall if par_wall > 0 else 0.0,
+            "worker_scaling": worker_scaling,
             "delivered_bytes": seq.delivered_bytes,
             "dropped_bytes": seq.dropped_bytes,
             "offered_bytes": seq.offered_bytes,
@@ -458,6 +501,94 @@ def bench_sweep_cached(
     )
 
 
+# -- macro: flow engine vs packet engine ---------------------------------------
+
+
+def bench_flow_engine(
+    n_switches: int = 8,
+    load: float = 0.7,
+    duration_ns: float = 40_000.0,
+    seed: int = 0,
+) -> BenchResult:
+    """The fidelity gate: one router scenario at both fidelities.
+
+    The packet engine runs the scenario once (sequentially -- the
+    per-packet cost is what the flow engine amortises away); the fluid
+    engine runs the *same* scenario five times and takes the best wall
+    (its runs are sub-millisecond, so a single pass would be scheduler
+    noise).  ``packets_equiv_per_sec`` -- the packet run's offered
+    packet count over the flow wall -- is the tracked throughput
+    metric, and ``speedup_vs_packet`` the headline ratio (target
+    >= 100x).  The delivered-fraction gap between the two engines rides
+    along as a parity canary for the cross-validation suite.
+
+    A second, million-packet-scale cell (H=16, 64 ribbons, 1 ms of
+    traffic -- far beyond what the packet engine can touch) is timed at
+    flow fidelity only, demonstrating the internet-scale regime the
+    engine unlocks (ROADMAP items 1-2).
+    """
+    from ..flow import flow_router_report
+
+    if n_switches <= 0:
+        raise ConfigError(f"n_switches must be positive, got {n_switches}")
+    config = scaled_router(
+        fibers_per_ribbon=4 * n_switches, n_switches=n_switches
+    )
+    options = PFIOptions(padding=True, bypass=True)
+
+    packets = _router_traffic(config, load, duration_ns, seed)
+    n_packets = len(packets)
+    sps = SplitParallelSwitch(config, options=options)
+    start = time.perf_counter()
+    packet_report = sps.run(packets, duration_ns, mode="sequential")
+    packet_wall = time.perf_counter() - start
+
+    flow_walls = []
+    for _ in range(5):
+        start = time.perf_counter()
+        flow_report = flow_router_report(
+            config, load=load, duration_ns=duration_ns
+        )
+        flow_walls.append(time.perf_counter() - start)
+    flow_wall = min(flow_walls)
+
+    packet_rate = n_packets / packet_wall if packet_wall > 0 else 0.0
+    flow_rate = n_packets / flow_wall if flow_wall > 0 else 0.0
+
+    big = scaled_router(n_ribbons=64, fibers_per_ribbon=64, n_switches=16)
+    start = time.perf_counter()
+    big_report = flow_router_report(big, load=load, duration_ns=1_000_000.0)
+    big_wall = time.perf_counter() - start
+    big_equiv = big_report.offered_bytes / 1500.0
+
+    return BenchResult(
+        name="flow_engine",
+        wall_s=packet_wall + sum(flow_walls) + big_wall,
+        metrics={
+            "n_switches": n_switches,
+            "packets": n_packets,
+            "packet_wall_s": packet_wall,
+            "flow_wall_s": flow_wall,
+            "packet_packets_per_sec": packet_rate,
+            "packets_equiv_per_sec": flow_rate,
+            "speedup_vs_packet": (
+                flow_rate / packet_rate if packet_rate > 0 else 0.0
+            ),
+            "delivered_fraction_packet": packet_report.delivered_fraction,
+            "delivered_fraction_flow": flow_report.delivered_fraction,
+            "parity_gap": abs(
+                flow_report.delivered_fraction
+                - packet_report.delivered_fraction
+            ),
+            "million_flow_wall_s": big_wall,
+            "million_flow_packets_equiv": big_equiv,
+            "million_flow_packets_equiv_per_sec": (
+                big_equiv / big_wall if big_wall > 0 else 0.0
+            ),
+        },
+    )
+
+
 # -- bundling ------------------------------------------------------------------
 
 
@@ -503,6 +634,10 @@ def run_benchmarks(
         bench_sweep_cached(
             n_loads=3 if quick else 4,
             duration_ns=20_000.0 * scale,
+        ),
+        bench_flow_engine(
+            n_switches=n_switches,
+            duration_ns=40_000.0 * scale,
         ),
     ]
     return {

@@ -11,24 +11,40 @@ import dataclasses
 import json
 from typing import Any, Dict
 
+import math
+
 from ..core.hbm_switch import SwitchReport
 from ..core.sps import RouterReport
 
 
+def _sanitize(value):
+    """NaN -> None, recursively.  Empty-recorder statistics are NaN
+    (see :class:`repro.sim.LatencyRecorder`), and ``json.dumps`` would
+    otherwise emit a bare ``NaN`` literal that no JSON parser accepts;
+    ``None`` serialises as ``null``."""
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _sanitize(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_sanitize(v) for v in value]
+    return value
+
+
 def report_to_dict(report) -> Dict[str, Any]:
-    """A JSON-safe dict of a switch or router report."""
+    """A JSON-safe dict of a switch or router report (NaN -> null)."""
     if isinstance(report, SwitchReport):
         data = dataclasses.asdict(report)
         data["pfi"] = dataclasses.asdict(report.pfi)
         data["normalized_throughput"] = report.normalized_throughput
         data["delivery_fraction"] = report.delivery_fraction
-        return data
+        return _sanitize(data)
     if isinstance(report, RouterReport):
         extra: Dict[str, Any] = {}
         if report.telemetry is not None:
             extra["telemetry"] = report.telemetry
             extra["stage_summaries"] = report.stage_summaries()
-        return {
+        return _sanitize({
             **extra,
             "duration_ns": report.duration_ns,
             "offered_bytes": report.offered_bytes,
@@ -48,7 +64,7 @@ def report_to_dict(report) -> Dict[str, Any]:
             "latency": report.latency_summary(),
             "per_switch_offered_bytes": list(report.per_switch_offered_bytes),
             "switches": [report_to_dict(r) for r in report.switch_reports],
-        }
+        })
     # Fault-layer reports (DegradationReport, CampaignResult) carry
     # their own serialisation; dispatch on it rather than importing the
     # faults package here.

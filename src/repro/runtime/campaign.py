@@ -61,6 +61,7 @@ class FaultCampaign:
     config: RouterConfig
     params: CampaignParams
     base_schedule: Optional[FaultSchedule] = None
+    fidelity: str = "packet"
 
     def scenarios(self) -> List[Scenario]:
         cells = []
@@ -79,6 +80,7 @@ class FaultCampaign:
                     seed=self.params.seed + i,
                     schedule=schedule,
                     n_intervals=self.params.n_intervals,
+                    fidelity=self.fidelity,
                     tag=i,
                 )
             )
@@ -105,6 +107,7 @@ class AttackCampaign:
     params: AttackCampaignParams
     fault_schedule: Optional[FaultSchedule] = None
     failed_switches: Optional[Sequence[int]] = None
+    fidelity: str = "packet"
 
     def _composed_schedule(self) -> Optional[FaultSchedule]:
         schedule = self.fault_schedule
@@ -133,6 +136,7 @@ class AttackCampaign:
                     strategy=self.params.strategy,
                     traffic_seed=traffic_seed,
                     telemetry=self.params.telemetry,
+                    fidelity=self.fidelity,
                     tag=i,
                 )
             )

@@ -98,6 +98,10 @@ class Scenario:
     strategy: Optional[object] = None
     traffic_seed: Optional[int] = None
     telemetry: bool = False
+    #: ``"packet"`` runs the discrete-event pipeline; ``"flow"`` the
+    #: numpy fluid engine (:mod:`repro.flow`).  Part of the digest, so
+    #: flow and packet cells cache separately.
+    fidelity: str = "packet"
     #: Free-form cell tag (campaign index); part of the digest because
     #: campaign payloads embed it.
     tag: Optional[int] = None
@@ -131,6 +135,10 @@ class Scenario:
                 raise ConfigError(
                     "attack scenarios need splitter_kind and strategy"
                 )
+        if self.fidelity not in ("packet", "flow"):
+            raise ConfigError(
+                f'fidelity must be "packet" or "flow", got {self.fidelity!r}'
+            )
 
     # -- digesting -----------------------------------------------------------
 
@@ -160,6 +168,7 @@ class Scenario:
             "strategy": _strategy_content(self.strategy),
             "traffic_seed": self.traffic_seed,
             "telemetry": self.telemetry,
+            "fidelity": self.fidelity,
             "tag": self.tag,
         }
 
@@ -221,6 +230,17 @@ def _execute_switch(scenario: Scenario, registry=None, trace=None) -> dict:
     from ..reporting import report_to_dict
 
     config = scenario.config
+    if scenario.fidelity == "flow":
+        from ..flow import simulate_flow_switch
+
+        report = simulate_flow_switch(
+            config,
+            load=scenario.load,
+            duration_ns=scenario.duration_ns,
+            drain=scenario.drain,
+            mean_packet_bytes=_size_dist(scenario).mean_bytes,
+        )
+        return {"report": report_to_dict(report), "telemetry": None}
     generator = TrafficGenerator(
         n_ports=config.n_ports,
         port_rate_bps=config.port_rate_bps,
@@ -252,6 +272,18 @@ def _execute_router(scenario: Scenario, registry=None) -> dict:
     from ..reporting import report_to_dict
 
     config = scenario.config
+    if scenario.fidelity == "flow":
+        from ..flow import flow_router_report
+
+        report = flow_router_report(
+            config,
+            load=scenario.load,
+            duration_ns=scenario.duration_ns,
+            drain=scenario.drain,
+            schedule=scenario.schedule,
+            mean_packet_bytes=_size_dist(scenario).mean_bytes,
+        )
+        return {"report": report_to_dict(report), "telemetry": None}
     generator = TrafficGenerator(
         n_ports=config.n_ribbons,
         port_rate_bps=config.fibers_per_ribbon * config.per_fiber_rate_bps,
@@ -284,6 +316,17 @@ def _execute_router(scenario: Scenario, registry=None) -> dict:
 def _execute_degradation(scenario: Scenario, registry=None) -> dict:
     from ..faults.report import measure_degradation
 
+    if scenario.fidelity == "flow":
+        from ..flow import flow_degradation
+
+        report = flow_degradation(
+            scenario.config,
+            schedule=scenario.schedule,
+            load=scenario.load,
+            duration_ns=scenario.duration_ns,
+            n_intervals=scenario.n_intervals,
+        )
+        return {"report": report.to_dict(), "telemetry": None}
     if registry is None and scenario.telemetry:
         from ..telemetry import MetricsRegistry
 
@@ -318,13 +361,23 @@ def _execute_fault_cell(scenario: Scenario) -> dict:
         seed=scenario.seed,
         n_intervals=scenario.n_intervals,
     )
+    if scenario.fidelity == "flow":
+        from ..flow import execute_fault_scenario_flow
+
+        return execute_fault_scenario_flow(cell)
     return execute_fault_scenario(cell)
 
 
 def _execute_attack(scenario: Scenario) -> dict:
     from ..adversary.campaign import AttackTrial, execute_attack_trial
 
-    return execute_attack_trial(
+    if scenario.fidelity == "flow":
+        from ..flow import execute_attack_trial_flow
+
+        executor = execute_attack_trial_flow
+    else:
+        executor = execute_attack_trial
+    return executor(
         AttackTrial(
             index=scenario.tag if scenario.tag is not None else 0,
             config=scenario.config,

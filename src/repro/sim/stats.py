@@ -63,7 +63,14 @@ class ThroughputMeter:
 
 
 class LatencyRecorder:
-    """Collects per-item latencies and reports distribution summaries."""
+    """Collects per-item latencies and reports distribution summaries.
+
+    An *empty* recorder reports ``NaN`` statistics (JSON-safe as
+    ``null`` through :func:`repro.reporting.report_to_dict`), never a
+    silent ``0.0``: "no samples" and "zero latency" are different
+    claims, and a 0.0 percentile from a switch that delivered nothing
+    used to read as an impossibly fast pipeline.
+    """
 
     def __init__(self) -> None:
         self._samples: List[float] = []
@@ -84,21 +91,25 @@ class LatencyRecorder:
 
     @property
     def mean(self) -> float:
-        return float(np.mean(self._samples)) if self._samples else 0.0
+        return float(np.mean(self._samples)) if self._samples else float("nan")
 
     @property
     def maximum(self) -> float:
-        return float(np.max(self._samples)) if self._samples else 0.0
+        return float(np.max(self._samples)) if self._samples else float("nan")
 
     @property
     def minimum(self) -> float:
-        return float(np.min(self._samples)) if self._samples else 0.0
+        return float(np.min(self._samples)) if self._samples else float("nan")
 
     def percentile(self, q: float) -> float:
-        """The ``q``-th percentile (0..100) of recorded latencies."""
+        """The ``q``-th percentile (0..100); ``NaN`` with no samples."""
         if not 0 <= q <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
-        return float(np.percentile(self._samples, q)) if self._samples else 0.0
+        return (
+            float(np.percentile(self._samples, q))
+            if self._samples
+            else float("nan")
+        )
 
     def summary(self) -> Dict[str, float]:
         """Mean / p50 / p99 / max in one dict, for table rows."""

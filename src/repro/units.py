@@ -20,6 +20,8 @@ The mixed binary/decimal convention mirrors the paper's own arithmetic
 
 from __future__ import annotations
 
+import math
+
 # --------------------------------------------------------------------------
 # Data sizes (bytes, binary prefixes)
 # --------------------------------------------------------------------------
@@ -159,8 +161,14 @@ def format_size(size_bytes: float) -> str:
     return f"{size_bytes:.4g} B"
 
 
-def format_time(time_ns: float) -> str:
-    """Human-readable duration: ``format_time(51.2e6) == '51.2 ms'``."""
+def format_time(time_ns) -> str:
+    """Human-readable duration: ``format_time(51.2e6) == '51.2 ms'``.
+
+    ``None``/NaN (an empty latency recorder's statistics) render as
+    ``"n/a"`` rather than ``"nan ns"``.
+    """
+    if time_ns is None or (isinstance(time_ns, float) and math.isnan(time_ns)):
+        return "n/a"
     for unit, name in ((S, "s"), (MS, "ms"), (US, "us")):
         if abs(time_ns) >= unit:
             return f"{time_ns / unit:.4g} {name}"

@@ -1,0 +1,286 @@
+"""The numpy fluid engine: conservation, faults, drain, determinism.
+
+These are unit tests of :mod:`repro.flow` against *analytic* ground
+truth -- closed-form delivered fractions the fluid model must hit
+exactly.  Cross-validation against the packet engine (the oracle) lives
+in ``tests/test_fidelity_parity.py``.
+"""
+
+import dataclasses
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import scaled_router
+from repro.errors import ConfigError
+from repro.faults import FaultSchedule
+from repro.faults.model import FiberCut, HBMChannelLoss, SwitchFailure
+from repro.flow import (
+    RateComponent,
+    flow_degradation,
+    flow_router_report,
+    simulate_flow_router,
+    simulate_flow_switch,
+    uniform_rate_matrix,
+)
+from repro.reporting import report_to_dict
+from repro.units import rate_to_bytes_per_ns
+
+DURATION = 20_000.0
+
+
+def router_config(**kwargs):
+    return scaled_router(**kwargs)
+
+
+def uniform_components(config, load, duration_ns=DURATION):
+    return [
+        RateComponent(
+            uniform_rate_matrix(
+                config.n_ribbons,
+                load,
+                config.fibers_per_ribbon * config.per_fiber_rate_bps,
+            ),
+            ((0.0, duration_ns),),
+        )
+    ]
+
+
+class TestRateComponent:
+    def test_windows_are_half_open(self):
+        component = RateComponent(np.zeros((2, 2)), ((10.0, 20.0),))
+        assert not component.active_at(9.9)
+        assert component.active_at(10.0)
+        assert component.active_at(19.9)
+        assert not component.active_at(20.0)
+
+    def test_multiple_windows(self):
+        component = RateComponent(np.zeros((2, 2)), ((0.0, 5.0), (10.0, 15.0)))
+        assert component.active_at(2.0)
+        assert not component.active_at(7.0)
+        assert component.active_at(12.0)
+
+    def test_uniform_rate_matrix_row_rate(self):
+        # Each input port offers load * port_rate in total, spread
+        # evenly over the outputs -- the fluid twin of uniform_matrix.
+        matrix = uniform_rate_matrix(4, 0.8, 40e9)
+        expected = 0.8 * rate_to_bytes_per_ns(40e9)
+        assert matrix.sum(axis=1) == pytest.approx([expected] * 4)
+
+
+class TestFlowSwitch:
+    def test_admissible_load_delivers_everything(self):
+        report = simulate_flow_switch(router_config().switch, load=0.7)
+        assert report.delivered_bytes == report.offered_bytes
+        assert report.dropped_bytes == 0
+        assert report.residual_bytes == 0
+
+    def test_byte_conservation(self):
+        report = simulate_flow_switch(router_config().switch, load=0.9)
+        assert (
+            report.offered_bytes
+            == report.delivered_bytes + report.dropped_bytes + report.residual_bytes
+        )
+
+    def test_zero_load_latency_is_nan(self):
+        report = simulate_flow_switch(router_config().switch, load=0.0)
+        assert report.delivered_bytes == 0
+        assert report.latency["count"] == 0.0
+        assert math.isnan(report.latency["mean_ns"])
+
+    def test_report_is_json_safe(self):
+        # Even the NaN latency of an idle switch must serialise (to
+        # null), because flow cells flow through the result cache.
+        report = simulate_flow_switch(router_config().switch, load=0.0)
+        json.dumps(report_to_dict(report), allow_nan=False)
+
+    def test_windowed_component_offers_only_its_window(self):
+        config = router_config().switch
+        rate = uniform_rate_matrix(config.n_ports, 0.5, config.port_rate_bps)
+        half = [RateComponent(rate, ((0.0, DURATION / 2),))]
+        full = [RateComponent(rate, ((0.0, DURATION),))]
+        offered_half = simulate_flow_switch(
+            config, duration_ns=DURATION, components=half
+        ).offered_bytes
+        offered_full = simulate_flow_switch(
+            config, duration_ns=DURATION, components=full
+        ).offered_bytes
+        assert offered_half == pytest.approx(offered_full / 2, rel=1e-9)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ConfigError):
+            simulate_flow_switch(router_config().switch, duration_ns=0.0)
+
+
+class TestFlowRouter:
+    def test_admissible_uniform_delivers_everything(self):
+        report = flow_router_report(router_config(), load=0.7, duration_ns=DURATION)
+        assert report.delivered_fraction == pytest.approx(1.0)
+        assert report.loss_fraction == pytest.approx(0.0)
+
+    def test_per_switch_conservation(self):
+        report = flow_router_report(router_config(), load=0.9, duration_ns=DURATION)
+        for switch in report.switch_reports:
+            assert (
+                switch.offered_bytes
+                == switch.delivered_bytes
+                + switch.dropped_bytes
+                + switch.residual_bytes
+            )
+
+    def test_whole_run_dead_switch_halves_delivery(self):
+        # H = 2 with one switch dead for the whole run: exactly half the
+        # offered bytes hit the dead split and are failed at ingress.
+        config = router_config()
+        schedule = FaultSchedule.from_failed_switches([1])
+        report = flow_router_report(
+            config, load=0.6, duration_ns=DURATION, schedule=schedule
+        )
+        assert report.failed_switches == [1]
+        assert report.delivered_fraction == pytest.approx(0.5, abs=1e-6)
+        assert report.failed_offered_bytes == pytest.approx(
+            report.offered_bytes / 2, rel=1e-6
+        )
+        # The dead switch contributes no SwitchReport but its offered
+        # share is still accounted per switch.
+        assert len(report.switch_reports) == 1
+        assert len(report.per_switch_offered_bytes) == config.n_switches
+
+    def test_windowed_death_loses_exactly_the_window_share(self):
+        # Switch 0 of H=2 dead for 1/4 of the run: its half of the
+        # traffic is lost for that quarter -> delivered = 1 - 0.5/4.
+        schedule = FaultSchedule(
+            [SwitchFailure(switch=0, start_ns=5_000.0, end_ns=10_000.0)]
+        )
+        report = flow_router_report(
+            router_config(), load=0.6, duration_ns=DURATION, schedule=schedule
+        )
+        assert report.delivered_fraction == pytest.approx(0.875, abs=1e-3)
+        dead_drops = sum(
+            s.drops_by_reason.get("switch-dead", 0) for s in report.switch_reports
+        )
+        assert dead_drops > 0
+
+    def test_fiber_cut_loses_its_weight_share(self):
+        # One of F=8 fibers on one of 4 ribbons, cut for half the run:
+        # loss = (1/8) * (1/4) * (1/2) of the offered bytes.
+        schedule = FaultSchedule(
+            [FiberCut(ribbon=0, fiber=0, start_ns=0.0, end_ns=DURATION / 2)]
+        )
+        report = flow_router_report(
+            router_config(), load=0.6, duration_ns=DURATION, schedule=schedule
+        )
+        expected_loss = (1 / 8) * (1 / 4) * 0.5
+        assert report.fault_lost_bytes > 0
+        assert report.loss_fraction == pytest.approx(expected_loss, rel=1e-3)
+
+    def test_rejects_bad_weights_shape(self):
+        config = router_config()
+        with pytest.raises(ConfigError):
+            simulate_flow_router(
+                config,
+                uniform_components(config, 0.5),
+                duration_ns=DURATION,
+                weights=np.ones((2, 2)),
+            )
+
+    def test_rejects_nonpositive_duration(self):
+        config = router_config()
+        with pytest.raises(ConfigError):
+            simulate_flow_router(
+                config, uniform_components(config, 0.5), duration_ns=-1.0
+            )
+
+    def test_deterministic_byte_identical(self):
+        # No RNG anywhere in the fluid engine: two runs of the same cell
+        # serialise byte for byte.
+        config = router_config()
+        schedule = FaultSchedule(
+            [SwitchFailure(switch=0, start_ns=5_000.0, end_ns=10_000.0)]
+        )
+        runs = [
+            json.dumps(
+                report_to_dict(
+                    flow_router_report(
+                        config, load=0.8, duration_ns=DURATION, schedule=schedule
+                    )
+                ),
+                sort_keys=True,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+
+class TestDrainResidual:
+    def test_starved_switch_keeps_residual(self):
+        # Losing every HBM channel forever halts the memory: arrivals
+        # accumulate and can never drain, so they stay residual (the
+        # packet engine's un-drainable switch behaves the same way).
+        config = router_config()
+        total = config.switch.total_channels
+        schedule = FaultSchedule(
+            [HBMChannelLoss(switch=0, n_channels=total, start_ns=0.0)]
+        )
+        report = flow_router_report(
+            config, load=0.6, duration_ns=DURATION, schedule=schedule
+        )
+        starved = report.switch_reports[0]
+        assert starved.delivered_bytes == 0
+        assert starved.residual_bytes > 0
+        assert report.residual_bytes > 0
+
+    def test_recovering_channel_loss_drains_in_the_tail(self):
+        # Channels recover right at the end of the run: everything
+        # queued during the outage drains afterwards, nothing is lost.
+        config = router_config()
+        total = config.switch.total_channels
+        schedule = FaultSchedule(
+            [
+                HBMChannelLoss(
+                    switch=0, n_channels=total, start_ns=0.0, end_ns=DURATION
+                )
+            ]
+        )
+        report = flow_router_report(
+            config, load=0.4, duration_ns=DURATION, schedule=schedule
+        )
+        assert report.delivered_fraction == pytest.approx(1.0, abs=1e-6)
+
+
+class TestFlowDegradation:
+    def test_intervals_localise_the_outage(self):
+        # A death window covering intervals 2-3 of 8 depresses exactly
+        # those bins; pristine bins deliver their full offered share.
+        schedule = FaultSchedule(
+            [SwitchFailure(switch=0, start_ns=5_000.0, end_ns=10_000.0)]
+        )
+        report = flow_degradation(
+            router_config(),
+            schedule=schedule,
+            load=0.6,
+            duration_ns=DURATION,
+            n_intervals=8,
+        )
+        assert len(report.intervals) == 8
+        fractions = [
+            i.delivered_bytes / i.offered_bytes for i in report.intervals[:-1]
+        ]
+        assert fractions[2] == pytest.approx(0.5, abs=0.01)
+        assert fractions[3] == pytest.approx(0.5, abs=0.01)
+        for idx in (0, 1, 4, 5, 6):
+            assert fractions[idx] == pytest.approx(1.0, abs=0.01)
+
+    def test_interval_offered_sums_to_report(self):
+        report = flow_degradation(router_config(), load=0.6, duration_ns=DURATION)
+        binned = sum(i.offered_bytes for i in report.intervals)
+        assert binned == pytest.approx(report.offered_bytes, rel=1e-6)
+
+    def test_report_round_trips_to_json(self):
+        schedule = FaultSchedule([FiberCut(ribbon=0, fiber=1, start_ns=1_000.0)])
+        report = flow_degradation(
+            router_config(), schedule=schedule, load=0.6, duration_ns=DURATION
+        )
+        json.dumps(report.to_dict(), allow_nan=False)

@@ -1,5 +1,7 @@
 """Measurement instruments: meters, recorders, trackers, counters."""
 
+import math
+
 import pytest
 
 from repro.sim import DropCounter, LatencyRecorder, OccupancyTracker, ThroughputMeter
@@ -62,10 +64,20 @@ class TestLatencyRecorder:
         assert set(summary) == {"count", "mean_ns", "p50_ns", "p99_ns", "max_ns"}
         assert summary["count"] == 1.0
 
-    def test_empty_summary_is_zeroes(self):
+    def test_empty_summary_is_nan(self):
+        # "no samples" must be distinguishable from "zero latency":
+        # every statistic is NaN (null in JSON), the count stays 0.
         summary = LatencyRecorder().summary()
-        assert summary["mean_ns"] == 0.0
-        assert summary["max_ns"] == 0.0
+        assert summary["count"] == 0.0
+        for key in ("mean_ns", "p50_ns", "p99_ns", "max_ns"):
+            assert math.isnan(summary[key])
+
+    def test_empty_statistics_are_nan(self):
+        rec = LatencyRecorder()
+        assert math.isnan(rec.mean)
+        assert math.isnan(rec.minimum)
+        assert math.isnan(rec.maximum)
+        assert math.isnan(rec.percentile(50))
 
 
 class TestOccupancyTracker:
