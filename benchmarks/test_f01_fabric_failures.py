@@ -1,0 +1,109 @@
+"""F1 -- Fabric capacity under router and link failures (SS 4, Outlook).
+
+The paper's closing argument is that the RiP composes into flat optical
+DCN fabrics whose failure behaviour stays analytic: losing one of N
+routers in a rotation fabric under uniform all-to-all demand removes
+exactly the traffic it sources, sinks and relays, and cutting one of
+the N(N-1)/2 inter-package links removes exactly that pair's direct
+share.  This bench runs both faults through the fabric engine (flow
+fidelity; the per-node engines are the validated ones) and checks the
+delivered capacity against the closed forms within 2%.
+"""
+
+import pytest
+
+from repro.fabric import RotationTopology, simulate_fabric
+from repro.faults import FaultSchedule, LinkCut, RouterDown
+
+from conftest import show
+
+N = 4
+LOAD = 0.5
+DURATION = 50_000.0
+
+
+def fabric_config():
+    from repro.config import scaled_router
+
+    return scaled_router(fibers_per_ribbon=16, n_switches=4)
+
+
+def test_f01_router_down_capacity(benchmark):
+    """N=4 rotation, router 1 down whole run, direct routing.
+
+    The dead router's sourced and sunk uniform traffic is 2/N of the
+    fabric total; on a single-hop (direct) rotation fabric nothing else
+    relays through it, so delivered capacity is exactly (N-2)/N."""
+    config = fabric_config()
+    topology = RotationTopology(n_routers=N)
+    schedule = FaultSchedule([RouterDown(router=1)])
+
+    def run():
+        return simulate_fabric(
+            config, topology, routing="direct", load=LOAD,
+            duration_ns=DURATION, fidelity="flow", schedule=schedule,
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    expected = (N - 2) / N
+    show(
+        "F1: rotation N=4, router 1 down for the whole run",
+        [
+            ("delivered fraction", f"{expected:.4f}", f"{report.delivered_fraction:.4f}"),
+            ("down fraction (router 1)", "1.00", f"{report.routers[1].down_fraction:.2f}"),
+        ],
+        headers=("metric", "analytic", "measured"),
+    )
+    assert report.delivered_fraction == pytest.approx(expected, abs=0.02)
+    assert report.routers[1].down_fraction == pytest.approx(1.0)
+
+
+def test_f01_link_cut_capacity(benchmark):
+    """N=4 rotation (cycle-averaged complete graph), one link cut.
+
+    Direct routing rides the single link per pair, so a permanent cut
+    of link 0--1 removes exactly the (0,1)+(1,0) share of the N(N-1)
+    directed flows: delivered = 1 - 2/(N(N-1))."""
+    config = fabric_config()
+    topology = RotationTopology(n_routers=N)
+    schedule = FaultSchedule([LinkCut(a=0, b=1)])
+
+    def run():
+        return simulate_fabric(
+            config, topology, routing="direct", load=LOAD,
+            duration_ns=DURATION, fidelity="flow", schedule=schedule,
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    expected = 1.0 - 2.0 / (N * (N - 1))
+    show(
+        "F1b: rotation N=4, link 0--1 cut for the whole run",
+        [("delivered fraction", f"{expected:.4f}", f"{report.delivered_fraction:.4f}")],
+        headers=("metric", "analytic", "measured"),
+    )
+    assert report.delivered_fraction == pytest.approx(expected, abs=0.02)
+
+
+def test_f01_windowed_cut_scales_with_window(benchmark):
+    """A cut covering 40% of the run costs 40% of the whole-run cut."""
+    config = fabric_config()
+    topology = RotationTopology(n_routers=N)
+    schedule = FaultSchedule(
+        [LinkCut(a=0, b=1, start_ns=10_000.0, end_ns=30_000.0)]
+    )
+
+    def run():
+        return simulate_fabric(
+            config, topology, routing="direct", load=LOAD,
+            duration_ns=DURATION, fidelity="flow", schedule=schedule,
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    window = 20_000.0 / DURATION
+    expected = 1.0 - window * 2.0 / (N * (N - 1))
+    show(
+        "F1c: rotation N=4, link 0--1 cut on [10 us, 30 us)",
+        [("delivered fraction", f"{expected:.4f}", f"{report.delivered_fraction:.4f}")],
+        headers=("metric", "analytic", "measured"),
+    )
+    assert report.delivered_fraction == pytest.approx(expected, abs=0.02)

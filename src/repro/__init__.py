@@ -56,7 +56,9 @@ __version__ = "1.0.0"
 
 # The scenario runtime imports __version__ (for cache keys), so it must
 # come after the assignment above.
+from . import fabric  # noqa: E402
 from . import runtime  # noqa: E402
+from .fabric import FabricReport, FabricTopology  # noqa: E402
 from .runtime import Runtime, Scenario, run  # noqa: E402
 
 __all__ = [
@@ -65,6 +67,9 @@ __all__ = [
     "Runtime",
     "run",
     "runtime",
+    "fabric",
+    "FabricReport",
+    "FabricTopology",
     "RouterConfig",
     "HBMSwitchConfig",
     "HBMStackConfig",

@@ -10,6 +10,9 @@ Commands:
                      per-stage telemetry (Prometheus text or JSONL).
 - ``attack``      -- run an adversarial campaign (strategy vs splitter)
                      and report exposure with confidence intervals.
+- ``fabric``      -- compose router-in-a-package nodes into an optical
+                     DCN fabric (Clos / expander / rotation / dragonfly)
+                     and report end-to-end delivered capacity.
 - ``experiments`` -- list the experiment index (E1..E16 and ablations)
                      with the bench that regenerates each.
 - ``bench``       -- run the perf harness and write ``BENCH_<rev>.json``.
@@ -78,6 +81,8 @@ EXPERIMENTS = [
     ("A7", "PFI constants across memory generations", "benchmarks/test_a07_generation_scaling.py"),
     ("A8", "Graceful degradation: capacity vs failed switches", "benchmarks/test_a08_graceful_degradation.py"),
     ("A9", "Adversarial exposure: contiguous vs pseudo-random split", "benchmarks/test_a09_adversary.py"),
+    ("F1", "Fabric capacity under router/link failures", "benchmarks/test_f01_fabric_failures.py"),
+    ("F2", "VLB vs direct routing under hotspot demand", "benchmarks/test_f02_fabric_vlb.py"),
 ]
 
 
@@ -361,6 +366,88 @@ def build_parser() -> argparse.ArgumentParser:
              "vectorized fluid engine (~100-1000x faster, rate-level)",
     )
 
+    fabric = sub.add_parser(
+        "fabric",
+        help="compose routers into an optical DCN fabric and run one cell",
+    )
+    fabric.add_argument(
+        "--topology",
+        choices=["clos", "clos3", "expander", "rotation", "dragonfly"],
+        default="clos",
+        help="clos = 2-stage k-ary, clos3 = 3-stage with pods and cores",
+    )
+    fabric.add_argument("--k", type=int, default=2, help="clos/clos3 arity")
+    fabric.add_argument(
+        "--routers", type=int, default=4,
+        help="expander/rotation node count",
+    )
+    fabric.add_argument(
+        "--degree", type=int, default=2, help="expander node degree"
+    )
+    fabric.add_argument(
+        "--topo-seed", type=int, default=0,
+        help="expander wiring seed (deterministic per seed)",
+    )
+    fabric.add_argument(
+        "--slot-ns", type=float, default=1_000.0,
+        help="rotation: reconfiguration slot length",
+    )
+    fabric.add_argument(
+        "--groups", type=int, default=3, help="dragonfly group count"
+    )
+    fabric.add_argument(
+        "--group-size", type=int, default=2,
+        help="dragonfly routers per group",
+    )
+    fabric.add_argument(
+        "--routing", choices=["direct", "vlb", "hoho"], default="direct",
+        help="direct = shortest-path ECMP, vlb = Valiant load balancing, "
+             "hoho = hop-on-hop-off (rotation only)",
+    )
+    fabric.add_argument(
+        "--pattern", choices=["uniform", "hotspot"], default="uniform",
+        help="endpoint demand: uniform all-to-all or half of each "
+             "source's load aimed at one hot endpoint",
+    )
+    fabric.add_argument("--load", type=float, default=0.6, help="per-endpoint offered load in [0, 1]")
+    fabric.add_argument("--duration-us", type=float, default=50.0, help="arrival window")
+    fabric.add_argument("--seed", type=int, default=0)
+    fabric.add_argument(
+        "--switches", type=int, default=4, help="per-node router H"
+    )
+    fabric.add_argument(
+        "--fault", action="append", default=[],
+        help="fabric fault spec: router:R | link:U:V, optionally "
+             "@START[-END] in us; repeatable or comma-separated",
+    )
+    fabric.add_argument(
+        "--link-delay-ns", type=float, default=0.0,
+        help="inter-package propagation delay per hop",
+    )
+    fabric.add_argument(
+        "--json", action="store_true",
+        help="emit the full report (+ scenario_digest) as JSON",
+    )
+    fabric.add_argument(
+        "--out", type=str, default=None,
+        help="also write the JSON report to this path",
+    )
+    fabric.add_argument(
+        "--metrics-out", type=str, default=None,
+        help="write the router=-labelled merged telemetry to this path "
+             "(.prom/.txt = Prometheus text, else JSONL; packet only)",
+    )
+    fabric.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="content-addressed result cache; a rerun of the same "
+             "fabric cell recalls its payload instead of simulating",
+    )
+    fabric.add_argument(
+        "--fidelity", choices=["packet", "flow"], default="packet",
+        help="packet = per-node discrete-event engine (memoised across "
+             "identical hops); flow = fluid engine (much faster)",
+    )
+
     sub.add_parser("experiments", help="list the experiment index")
 
     timeline = sub.add_parser(
@@ -503,7 +590,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         if want_metrics:
             _write_metrics_dump(payload["telemetry"], args.metrics_out)
         if args.json:
-            print(json.dumps(report, indent=2, sort_keys=True))
+            document = dict(report)
+            document["scenario_digest"] = scenario.digest()
+            print(json.dumps(document, indent=2, sort_keys=True))
             return 0
         table = Table("Router simulation", ["metric", "value"])
         table.add("switches (H)", config.n_switches)
@@ -520,12 +609,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         table.show()
         return 0
     config = dataclasses.replace(scaled_router().switch, speedup=args.speedup)
-    payload = runtime.run(switch_scenario(config, **common))
+    scenario = switch_scenario(config, **common)
+    payload = runtime.run(scenario)
     report = payload["report"]
     if want_metrics:
         _write_metrics_dump(payload["telemetry"], args.metrics_out)
     if args.json:
-        print(json.dumps(report, indent=2, sort_keys=True))
+        document = dict(report)
+        document["scenario_digest"] = scenario.digest()
+        print(json.dumps(document, indent=2, sort_keys=True))
         return 0
     table = Table("Switch simulation", ["metric", "value"])
     table.add("offered", format_size(report["offered_bytes"]))
@@ -679,6 +771,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 "seed": args.seed,
                 "duration_ns": duration_ns,
                 "switches": config.n_switches if router_mode else 0,
+                "digests": [s.digest() for s in scenarios],
                 "cells": [p["report"] for p in payloads],
             }
             with open(args.out, "w") as fh:
@@ -943,6 +1036,105 @@ def cmd_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fabric_topology(args: argparse.Namespace):
+    from .fabric import (
+        ClosTopology,
+        DragonflyTopology,
+        ExpanderTopology,
+        RotationTopology,
+    )
+
+    if args.topology == "clos":
+        return ClosTopology(k=args.k, stages=2)
+    if args.topology == "clos3":
+        return ClosTopology(k=args.k, stages=3)
+    if args.topology == "expander":
+        return ExpanderTopology(
+            n_routers=args.routers, degree=args.degree, seed=args.topo_seed
+        )
+    if args.topology == "rotation":
+        return RotationTopology(n_routers=args.routers, slot_ns=args.slot_ns)
+    return DragonflyTopology(
+        n_groups=args.groups, routers_per_group=args.group_size
+    )
+
+
+def cmd_fabric(args: argparse.Namespace) -> int:
+    import json
+
+    from .faults import parse_fault_specs
+    from .runtime import Runtime, fabric_scenario
+
+    config = _router_config(args.switches)
+    topology = _fabric_topology(args)
+    schedule = parse_fault_specs(args.fault)
+    want_metrics = bool(args.metrics_out)
+    if want_metrics and args.fidelity == "flow":
+        print(
+            "--metrics-out: the flow engine exports no telemetry; "
+            "ignoring it for this run",
+            file=sys.stderr,
+        )
+        want_metrics = False
+    runtime = Runtime(cache_dir=args.cache_dir)
+    scenario = fabric_scenario(
+        config,
+        topology,
+        routing=args.routing,
+        pattern=args.pattern,
+        load=args.load,
+        duration_ns=args.duration_us * 1e3,
+        seed=args.seed,
+        fidelity=args.fidelity,
+        schedule=None if schedule.is_empty else schedule,
+        link_delay_ns=args.link_delay_ns,
+        telemetry=want_metrics,
+    )
+    payload = runtime.run(scenario)
+    report = payload["report"]
+    if want_metrics:
+        _write_metrics_dump(payload["telemetry"], args.metrics_out)
+    if args.json or args.out:
+        document = dict(report)
+        document["scenario_digest"] = scenario.digest()
+        text = json.dumps(document, indent=2, sort_keys=True)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.out}")
+        if args.json:
+            print(text)
+            return 0
+    table = Table("Fabric simulation", ["metric", "value"])
+    table.add("topology", report["topology"]["kind"])
+    table.add("routers", report["n_routers"])
+    table.add("per-node H", config.n_switches)
+    table.add("routing", report["routing"])
+    table.add("pattern", args.pattern)
+    table.add("fidelity", report["fidelity"])
+    table.add("faults", "; ".join(report["fault_events"]) or "none")
+    table.add("offered", format_rate(report["offered_bps"]))
+    table.add("delivered", format_rate(report["delivered_bps"]))
+    table.add("delivered fraction", f"{report['delivered_fraction']:.2%}")
+    table.add("mean hops", f"{report['mean_hops']:.2f}")
+    table.add("mean latency", format_time(report["mean_latency_ns"]))
+    table.add("max link utilization", f"{report['max_link_utilization']:.3f}")
+    table.show()
+    routers = Table(
+        "Per-router accounting",
+        ["router", "offered", "delivered", "down fraction"],
+    )
+    for row in report["routers"]:
+        routers.add(
+            row["router"],
+            format_rate(row["offered_bps"]),
+            f"{row['delivered_fraction']:.2%}",
+            f"{row['down_fraction']:.2f}",
+        )
+    routers.show()
+    return 0
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     from .runtime import execute_scenario, router_scenario
     from .telemetry import MetricsRegistry, stage_summaries, to_jsonl, to_prometheus
@@ -1108,6 +1300,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 f"{metrics['packets_equiv_per_sec']:,.0f} pkt-equiv/s, "
                 f"{metrics['speedup_vs_packet']:,.0f}x vs packet"
             )
+        elif name == "fabric":
+            key = (
+                f"{metrics['cells_per_sec']:.2f} cells/s, "
+                f"{metrics['n_cells']} cells over "
+                f"{metrics['n_routers']} routers"
+            )
         else:
             key = f"{metrics['events_per_sec']:,.0f} events/s, {metrics['packets_per_sec']:,.0f} packets/s"
         table.add(name, f"{result['wall_s'] * 1e3:.1f} ms", key)
@@ -1125,6 +1323,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "metrics": cmd_metrics,
         "faults": cmd_faults,
         "attack": cmd_attack,
+        "fabric": cmd_fabric,
         "experiments": cmd_experiments,
         "timeline": cmd_timeline,
         "bench": cmd_bench,

@@ -1,0 +1,60 @@
+"""Fabric composition: router-in-a-package nodes in optical DCN topologies.
+
+The paper argues the RiP is the natural building block for flat optical
+datacenter fabrics (SS 4, *Outlook*).  This package composes multiple
+single-package routers -- each simulated by the existing packet or flow
+engine -- into declarative multi-router topologies:
+
+- :mod:`~repro.fabric.topology` -- validated, deterministic topology
+  dataclasses: k-ary Clos (2- and 3-stage), uniform-random expander,
+  Opera-style round-robin rotation, and dragonfly;
+- :mod:`~repro.fabric.routing` -- per-hop routing policies: shortest-
+  path ECMP (``direct``), Valiant load balancing (``vlb``), and
+  hop-on-hop-off for rotation fabrics (``hoho``);
+- :mod:`~repro.fabric.engine` -- hop-round execution through the
+  per-package engines with fabric-scoped faults (router-down,
+  inter-package link-cut) and ``router=``-labelled telemetry;
+- :mod:`~repro.fabric.report` -- end-to-end accounting: per-flow
+  delivered fraction / hops / latency, per-link utilisation, per-router
+  load, fabric totals.
+"""
+
+from .topology import (
+    ClosTopology,
+    DragonflyTopology,
+    ExpanderTopology,
+    FabricTopology,
+    RotationTopology,
+    TOPOLOGY_TYPES,
+    topology_from_dict,
+    topology_to_dict,
+)
+from .routing import FlowPath, ROUTING_POLICIES, compute_paths, shortest_paths
+from .report import FabricReport, FlowSummary, LinkSummary, RouterSummary
+from .engine import (
+    TRAFFIC_PATTERNS,
+    simulate_fabric,
+    validate_fabric_schedule,
+)
+
+__all__ = [
+    "ClosTopology",
+    "DragonflyTopology",
+    "ExpanderTopology",
+    "FabricReport",
+    "FabricTopology",
+    "FlowPath",
+    "FlowSummary",
+    "LinkSummary",
+    "ROUTING_POLICIES",
+    "RotationTopology",
+    "RouterSummary",
+    "TOPOLOGY_TYPES",
+    "TRAFFIC_PATTERNS",
+    "compute_paths",
+    "shortest_paths",
+    "simulate_fabric",
+    "topology_from_dict",
+    "topology_to_dict",
+    "validate_fabric_schedule",
+]

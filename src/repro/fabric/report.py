@@ -1,0 +1,184 @@
+"""End-to-end fabric accounting: flows, links, routers, totals.
+
+A :class:`FabricReport` aggregates one fabric cell the way
+:class:`~repro.core.sps.RouterReport` aggregates one package: per-flow
+delivered fractions, hop counts and cumulative latency, per-link
+offered rate and utilisation, per-router load and delivered fraction,
+and fabric-wide totals.  It follows the repo's report conventions --
+``to_dict``/``from_dict`` round-trip, JSON-safe primitives only (the
+generic :func:`repro.reporting.export.report_to_dict` duck-types on
+``to_dict``), and deterministic ordering of every list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+SCHEMA = "repro-fabric-v1"
+
+
+@dataclass
+class FlowSummary:
+    """One (src, dst) endpoint flow, aggregated over its weighted paths."""
+
+    src: int
+    dst: int
+    offered_bps: float
+    delivered_fraction: float
+    #: Path-weighted mean router visits (direct on a complete graph = 2).
+    mean_hops: float
+    #: Path-weighted mean end-to-end latency: per-hop router latency
+    #: plus link propagation (and rotation slot waits), ns.
+    mean_latency_ns: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "offered_bps": self.offered_bps,
+            "delivered_fraction": self.delivered_fraction,
+            "mean_hops": self.mean_hops,
+            "mean_latency_ns": self.mean_latency_ns,
+        }
+
+
+@dataclass
+class LinkSummary:
+    """One directed inter-package link."""
+
+    src: int
+    dst: int
+    capacity_bps: float
+    offered_bps: float
+    #: offered / capacity, uncapped (values > 1 flag an overloaded link).
+    utilization: float
+    #: Fraction of the run during which a cut severed this link.
+    cut_fraction: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "capacity_bps": self.capacity_bps,
+            "offered_bps": self.offered_bps,
+            "utilization": self.utilization,
+            "cut_fraction": self.cut_fraction,
+        }
+
+
+@dataclass
+class RouterSummary:
+    """One router node, aggregated over every hop round that loaded it."""
+
+    router: int
+    offered_bps: float
+    delivered_fraction: float
+    #: Fraction of the run during which a RouterDown held the node.
+    down_fraction: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "router": self.router,
+            "offered_bps": self.offered_bps,
+            "delivered_fraction": self.delivered_fraction,
+            "down_fraction": self.down_fraction,
+        }
+
+
+@dataclass
+class FabricReport:
+    """End-to-end accounting of one fabric cell."""
+
+    topology: Dict[str, Any]
+    routing: str
+    fidelity: str
+    duration_ns: float
+    n_routers: int
+    flows: List[FlowSummary] = field(default_factory=list)
+    links: List[LinkSummary] = field(default_factory=list)
+    routers: List[RouterSummary] = field(default_factory=list)
+    fault_events: List[str] = field(default_factory=list)
+
+    # -- totals ---------------------------------------------------------------
+
+    @property
+    def offered_bps(self) -> float:
+        return sum(f.offered_bps for f in self.flows)
+
+    @property
+    def delivered_bps(self) -> float:
+        return sum(f.offered_bps * f.delivered_fraction for f in self.flows)
+
+    @property
+    def delivered_fraction(self) -> float:
+        offered = self.offered_bps
+        return self.delivered_bps / offered if offered > 0 else 0.0
+
+    @property
+    def mean_hops(self) -> float:
+        """Delivered-rate-weighted mean router visits per flow."""
+        delivered = self.delivered_bps
+        if delivered <= 0:
+            return 0.0
+        return (
+            sum(
+                f.mean_hops * f.offered_bps * f.delivered_fraction
+                for f in self.flows
+            )
+            / delivered
+        )
+
+    @property
+    def mean_latency_ns(self) -> float:
+        """Delivered-rate-weighted mean end-to-end latency."""
+        delivered = self.delivered_bps
+        if delivered <= 0:
+            return 0.0
+        return (
+            sum(
+                f.mean_latency_ns * f.offered_bps * f.delivered_fraction
+                for f in self.flows
+            )
+            / delivered
+        )
+
+    @property
+    def max_link_utilization(self) -> float:
+        return max((l.utilization for l in self.links), default=0.0)
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "topology": self.topology,
+            "routing": self.routing,
+            "fidelity": self.fidelity,
+            "duration_ns": self.duration_ns,
+            "n_routers": self.n_routers,
+            "offered_bps": self.offered_bps,
+            "delivered_bps": self.delivered_bps,
+            "delivered_fraction": self.delivered_fraction,
+            "mean_hops": self.mean_hops,
+            "mean_latency_ns": self.mean_latency_ns,
+            "max_link_utilization": self.max_link_utilization,
+            "fault_events": list(self.fault_events),
+            "flows": [f.to_dict() for f in self.flows],
+            "links": [l.to_dict() for l in self.links],
+            "routers": [r.to_dict() for r in self.routers],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FabricReport":
+        return cls(
+            topology=dict(data["topology"]),
+            routing=data["routing"],
+            fidelity=data["fidelity"],
+            duration_ns=float(data["duration_ns"]),
+            n_routers=int(data["n_routers"]),
+            flows=[FlowSummary(**f) for f in data.get("flows", [])],
+            links=[LinkSummary(**l) for l in data.get("links", [])],
+            routers=[RouterSummary(**r) for r in data.get("routers", [])],
+            fault_events=list(data.get("fault_events", [])),
+        )

@@ -14,11 +14,14 @@ The package turns the paper's reliability story into executable pieces:
 """
 
 from .model import (
+    FABRIC_FAULT_TYPES,
     FAULT_TYPES,
     FOREVER_NS,
     FiberCut,
     HBMChannelLoss,
+    LinkCut,
     OEODegradation,
+    RouterDown,
     SwitchFailure,
     event_from_dict,
     event_to_dict,
@@ -48,6 +51,7 @@ __all__ = [
     "CampaignParams",
     "CampaignResult",
     "DegradationReport",
+    "FABRIC_FAULT_TYPES",
     "FAULT_TYPES",
     "FOREVER_NS",
     "FaultScenario",
@@ -55,7 +59,9 @@ __all__ = [
     "FiberCut",
     "HBMChannelLoss",
     "IntervalSample",
+    "LinkCut",
     "OEODegradation",
+    "RouterDown",
     "SwitchFailure",
     "SwitchFaultView",
     "bin_packets",

@@ -20,6 +20,20 @@ Four fault classes cover the package's failure surfaces:
 - :class:`FiberCut` -- one fiber of one ribbon is severed upstream of
   the passive split: only that fiber's traffic is lost.
 
+Two further classes widen the scope from one package to a *fabric* of
+packages (:mod:`repro.fabric`):
+
+- :class:`RouterDown` -- a whole router-in-a-package node of a fabric is
+  offline; the fabric engine expands it into per-switch failures inside
+  that node's runs.
+- :class:`LinkCut` -- an inter-package link (both directions) is severed;
+  traffic routed over it during the window is lost.
+
+Fabric-scoped events are ignored by the single-package machinery
+(:meth:`~repro.faults.schedule.FaultSchedule.validate` and the per-switch
+projections skip them); the fabric engine validates them against its
+topology instead.
+
 Events carry no behaviour beyond window arithmetic; the simulation
 hooks live in :mod:`repro.faults.schedule` (per-switch projections) and
 the core (:class:`~repro.core.sps.SplitParallelSwitch`,
@@ -183,8 +197,82 @@ class FiberCut(_Windowed):
         )
 
 
+@dataclass(frozen=True)
+class RouterDown(_Windowed):
+    """Fabric scope: router node ``router`` is offline during the window.
+
+    Models a whole package failing (power, cooling, control plane).  The
+    fabric engine maps the window onto a :class:`SwitchFailure` for every
+    one of the node's H switches, so traffic sourced at, destined to, or
+    transiting the node during the window is lost exactly as the
+    single-package engines compute it.
+    """
+
+    router: int
+    start_ns: float = 0.0
+    end_ns: float = FOREVER_NS
+
+    def __post_init__(self) -> None:
+        if self.router < 0:
+            raise ConfigError(f"router index must be >= 0, got {self.router}")
+        _validate_window(self.start_ns, self.end_ns)
+
+    def describe(self) -> str:
+        return f"router {self.router} down [{self.start_ns:g}, {self.end_ns:g}) ns"
+
+
+@dataclass(frozen=True)
+class LinkCut(_Windowed):
+    """Fabric scope: the inter-package link ``a -- b`` is severed.
+
+    The cut is undirected (a fiber bundle carries both directions), so
+    traffic routed over the link either way during the window is lost.
+    Endpoints are stored sorted so ``LinkCut(2, 5)`` and ``LinkCut(5, 2)``
+    are the same event.
+    """
+
+    a: int
+    b: int
+    start_ns: float = 0.0
+    end_ns: float = FOREVER_NS
+
+    def __post_init__(self) -> None:
+        if self.a < 0 or self.b < 0:
+            raise ConfigError(
+                f"link endpoints must be >= 0, got ({self.a}, {self.b})"
+            )
+        if self.a == self.b:
+            raise ConfigError(f"link endpoints must differ, got {self.a}")
+        if self.a > self.b:
+            lo, hi = self.b, self.a
+            object.__setattr__(self, "a", lo)
+            object.__setattr__(self, "b", hi)
+        _validate_window(self.start_ns, self.end_ns)
+
+    def touches(self, u: int, v: int) -> bool:
+        """Whether this cut severs the (directed) link ``u -> v``."""
+        return (min(u, v), max(u, v)) == (self.a, self.b)
+
+    def describe(self) -> str:
+        return (
+            f"link {self.a}--{self.b} cut "
+            f"[{self.start_ns:g}, {self.end_ns:g}) ns"
+        )
+
+
 #: Every concrete fault type, for isinstance checks and (de)serialisation.
-FAULT_TYPES = (SwitchFailure, HBMChannelLoss, OEODegradation, FiberCut)
+FAULT_TYPES = (
+    SwitchFailure,
+    HBMChannelLoss,
+    OEODegradation,
+    FiberCut,
+    RouterDown,
+    LinkCut,
+)
+
+#: The fabric-scoped subset (targets routers/links of a topology, not
+#: the internals of one package).
+FABRIC_FAULT_TYPES = (RouterDown, LinkCut)
 
 
 def event_to_dict(event) -> dict:

@@ -239,10 +239,17 @@ class FaultSchedule:
         rejected so the analytic drain stretch and the command-level
         validation agree on which channels are gone).
         """
+        from .model import FABRIC_FAULT_TYPES
+
         h = config.n_switches
         total_channels = config.switch.total_channels
         losses_by_switch = {}
         for event in self.events:
+            if isinstance(event, FABRIC_FAULT_TYPES):
+                raise ConfigError(
+                    f"{event.describe()} is fabric-scoped; it applies to "
+                    "fabric scenarios, not a single router"
+                )
             if isinstance(event, (SwitchFailure, HBMChannelLoss, OEODegradation)):
                 if not 0 <= event.switch < h:
                     raise ConfigError(

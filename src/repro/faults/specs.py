@@ -7,6 +7,11 @@ Grammar (times in microseconds, window optional and half-open):
 - ``oeo:H:F[@S[-E]]``       -- switch H egress at factor F of nominal
 - ``fiber:R:F[@S[-E]]``     -- fiber F of ribbon R cut
 
+Fabric scope (the ``repro fabric`` command; see :mod:`repro.fabric`):
+
+- ``router:R[@S[-E]]``      -- fabric router node R offline
+- ``link:U:V[@S[-E]]``      -- inter-package link U--V cut (both ways)
+
 ``@5-20`` means active on [5 us, 20 us); ``@5`` and ``@5-`` mean from
 5 us with no recovery; no ``@`` at all means the whole run.
 """
@@ -16,7 +21,15 @@ from __future__ import annotations
 from typing import Iterable, Tuple
 
 from ..errors import ConfigError
-from .model import FOREVER_NS, FiberCut, HBMChannelLoss, OEODegradation, SwitchFailure
+from .model import (
+    FOREVER_NS,
+    FiberCut,
+    HBMChannelLoss,
+    LinkCut,
+    OEODegradation,
+    RouterDown,
+    SwitchFailure,
+)
 from .schedule import FaultSchedule
 
 US_TO_NS = 1e3
@@ -65,11 +78,20 @@ def parse_fault_event(spec: str):
                 start_ns=start,
                 end_ns=end,
             )
+        if kind == "router" and len(parts) == 2:
+            return RouterDown(
+                router=int(parts[1]), start_ns=start, end_ns=end
+            )
+        if kind == "link" and len(parts) == 3:
+            return LinkCut(
+                a=int(parts[1]), b=int(parts[2]), start_ns=start, end_ns=end
+            )
     except ValueError:
         raise ConfigError(f"bad fault spec {spec!r}: non-numeric field")
     raise ConfigError(
         f"bad fault spec {spec!r}: expected switch:H, channels:H:N, "
-        f"oeo:H:F, or fiber:R:F (optionally @S[-E] in us)"
+        f"oeo:H:F, fiber:R:F, router:R, or link:U:V "
+        f"(optionally @S[-E] in us)"
     )
 
 

@@ -11,6 +11,7 @@ from .harness import (
     BenchResult,
     bench_adversary_campaign,
     bench_engine,
+    bench_fabric,
     bench_flow_engine,
     bench_router_parallel,
     bench_sweep_cached,
@@ -25,6 +26,7 @@ __all__ = [
     "BenchResult",
     "bench_adversary_campaign",
     "bench_engine",
+    "bench_fabric",
     "bench_flow_engine",
     "bench_traffic",
     "bench_switch",

@@ -35,6 +35,7 @@ TRACKED_METRICS: Tuple[Tuple[str, str], ...] = (
     ("adversary_campaign", "packets_per_sec"),
     ("sweep_cached", "warm_speedup"),
     ("flow_engine", "packets_equiv_per_sec"),
+    ("fabric", "cells_per_sec"),
 )
 
 #: Default allowed fractional drop before the gate fails.

@@ -28,6 +28,9 @@ Six benches cover the simulator's cost centres:
   (:mod:`repro.flow`), reporting packets-equivalent throughput, the
   speedup over the packet engine, and the delivered-fraction parity
   gap; plus a million-packet-scale cell timed at flow fidelity.
+- :func:`bench_fabric` -- the fabric gate: a grid of multi-router
+  fabric cells (topologies x routing policies) through the hop-round
+  composition engine at flow fidelity, reporting cells/sec.
 
 :func:`run_benchmarks` bundles them and :func:`write_bench_json` emits
 ``BENCH_<rev>.json`` so the perf trajectory is tracked from revision to
@@ -589,6 +592,62 @@ def bench_flow_engine(
     )
 
 
+def bench_fabric(
+    load: float = 0.6,
+    duration_ns: float = 40_000.0,
+) -> BenchResult:
+    """The fabric gate: a topology x routing grid of fabric cells.
+
+    Runs a small Clos, an expander and a rotation fabric under every
+    routing policy they support (direct/vlb everywhere, hoho on the
+    rotation), all at flow fidelity -- the configuration the F-bench
+    scenario families sweep.  ``cells_per_sec`` is the tracked metric;
+    the mean delivered fraction rides along as a determinism canary
+    (below 1 is expected: VLB's relay hop halves a fabric's admissible
+    load, so the 0.6-load VLB cells shed by design)."""
+    from ..fabric import (
+        ClosTopology,
+        ExpanderTopology,
+        RotationTopology,
+        simulate_fabric,
+    )
+
+    config = scaled_router(fibers_per_ribbon=16, n_switches=4)
+    topologies = [
+        ClosTopology(k=2, stages=2),
+        ExpanderTopology(n_routers=8, degree=3, seed=0),
+        RotationTopology(n_routers=8),
+    ]
+    cells = [
+        (topology, routing)
+        for topology in topologies
+        for routing in ("direct", "vlb")
+    ] + [(topologies[2], "hoho")]
+
+    start = time.perf_counter()
+    reports = [
+        simulate_fabric(
+            config, topology, routing=routing, load=load,
+            duration_ns=duration_ns, fidelity="flow",
+        )
+        for topology, routing in cells
+    ]
+    wall = time.perf_counter() - start
+
+    n_routers = sum(t.n_routers for t in topologies)
+    mean_delivered = sum(r.delivered_fraction for r in reports) / len(reports)
+    return BenchResult(
+        name="fabric",
+        wall_s=wall,
+        metrics={
+            "n_cells": len(cells),
+            "n_routers": n_routers,
+            "cells_per_sec": len(cells) / wall if wall > 0 else 0.0,
+            "mean_delivered_fraction": mean_delivered,
+        },
+    )
+
+
 # -- bundling ------------------------------------------------------------------
 
 
@@ -639,6 +698,7 @@ def run_benchmarks(
             n_switches=n_switches,
             duration_ns=40_000.0 * scale,
         ),
+        bench_fabric(duration_ns=40_000.0 * scale),
     ]
     return {
         "schema": "repro-bench-v1",

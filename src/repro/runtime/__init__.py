@@ -22,6 +22,7 @@ from .scenario import (
     Scenario,
     degradation_scenario,
     execute_scenario,
+    fabric_scenario,
     router_scenario,
     switch_scenario,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "default_code_version",
     "degradation_scenario",
     "execute_scenario",
+    "fabric_scenario",
     "parse_shard",
     "payload_checksum",
     "router_scenario",

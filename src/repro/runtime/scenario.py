@@ -44,6 +44,9 @@ from typing import Any, Dict, Optional
 from ..config import HBMSwitchConfig, RouterConfig
 from ..core.pfi import PFIOptions
 from ..errors import ConfigError
+from ..fabric.engine import TRAFFIC_PATTERNS
+from ..fabric.routing import ROUTING_POLICIES
+from ..fabric.topology import FabricTopology, topology_to_dict
 from ..traffic import (
     ArrivalProcess,
     FixedSize,
@@ -53,7 +56,14 @@ from ..traffic import (
 )
 
 #: The workload families the runtime can execute.
-SCENARIO_KINDS = ("switch", "router", "degradation", "fault_cell", "attack")
+SCENARIO_KINDS = (
+    "switch",
+    "router",
+    "degradation",
+    "fault_cell",
+    "attack",
+    "fabric",
+)
 
 
 @dataclass(frozen=True)
@@ -69,7 +79,11 @@ class Scenario:
     - ``"degradation"`` -- a faulted router run binned over time
       (:func:`~repro.faults.report.measure_degradation`);
     - ``"fault_cell"`` -- one Monte-Carlo fault-campaign member;
-    - ``"attack"`` -- one adversarial campaign trial.
+    - ``"attack"`` -- one adversarial campaign trial;
+    - ``"fabric"`` -- a multi-router fabric cell: ``config`` is the
+      per-node :class:`~repro.config.RouterConfig`, ``topology`` one of
+      the :mod:`repro.fabric.topology` dataclasses, ``routing`` a
+      :data:`~repro.fabric.routing.ROUTING_POLICIES` member.
 
     Fields that do not apply to a kind keep their defaults and still
     participate in the digest (they are part of the declarative
@@ -105,6 +119,12 @@ class Scenario:
     #: Free-form cell tag (campaign index); part of the digest because
     #: campaign payloads embed it.
     tag: Optional[int] = None
+    #: ``fabric`` only: the topology dataclass, routing policy, demand
+    #: pattern and inter-package propagation delay.
+    topology: Optional[object] = None
+    routing: str = "direct"
+    pattern: str = "uniform"
+    link_delay_ns: float = 0.0
     #: Execution hints -- excluded from the digest (results are
     #: byte-identical across modes by construction).
     mode: str = "sequential"
@@ -135,6 +155,26 @@ class Scenario:
                 raise ConfigError(
                     "attack scenarios need splitter_kind and strategy"
                 )
+        if self.kind == "fabric":
+            if not isinstance(self.topology, FabricTopology):
+                raise ConfigError(
+                    "fabric scenarios take a FabricTopology, got "
+                    f"{type(self.topology).__name__}"
+                )
+        if self.routing not in ROUTING_POLICIES:
+            raise ConfigError(
+                f"routing must be one of {ROUTING_POLICIES}, got "
+                f"{self.routing!r}"
+            )
+        if self.pattern not in TRAFFIC_PATTERNS:
+            raise ConfigError(
+                f"pattern must be one of {TRAFFIC_PATTERNS}, got "
+                f"{self.pattern!r}"
+            )
+        if self.link_delay_ns < 0:
+            raise ConfigError(
+                f"link_delay_ns must be >= 0, got {self.link_delay_ns}"
+            )
         if self.fidelity not in ("packet", "flow"):
             raise ConfigError(
                 f'fidelity must be "packet" or "flow", got {self.fidelity!r}'
@@ -170,6 +210,14 @@ class Scenario:
             "telemetry": self.telemetry,
             "fidelity": self.fidelity,
             "tag": self.tag,
+            "topology": (
+                topology_to_dict(self.topology)
+                if self.topology is not None
+                else None
+            ),
+            "routing": self.routing,
+            "pattern": self.pattern,
+            "link_delay_ns": self.link_delay_ns,
         }
 
     def digest(self) -> str:
@@ -210,6 +258,13 @@ def router_scenario(config: RouterConfig, **kwargs) -> Scenario:
 def degradation_scenario(config: RouterConfig, **kwargs) -> Scenario:
     """One faulted, time-binned router run."""
     return Scenario(kind="degradation", config=config, **kwargs)
+
+
+def fabric_scenario(
+    config: RouterConfig, topology: FabricTopology, **kwargs
+) -> Scenario:
+    """One multi-router fabric cell."""
+    return Scenario(kind="fabric", config=config, topology=topology, **kwargs)
 
 
 # -- execution -----------------------------------------------------------------
@@ -397,6 +452,38 @@ def _execute_attack(scenario: Scenario) -> dict:
     )
 
 
+def _execute_fabric(scenario: Scenario, registry=None) -> dict:
+    from ..fabric.engine import simulate_fabric
+    from ..reporting import report_to_dict
+
+    if (
+        registry is None
+        and scenario.telemetry
+        and scenario.fidelity == "packet"
+    ):
+        from ..telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+    report = simulate_fabric(
+        scenario.config,
+        scenario.topology,
+        routing=scenario.routing,
+        load=scenario.load,
+        duration_ns=scenario.duration_ns,
+        seed=scenario.seed,
+        fidelity=scenario.fidelity,
+        schedule=scenario.schedule,
+        link_delay_ns=scenario.link_delay_ns,
+        pattern=scenario.pattern,
+        drain=scenario.drain,
+        registry=registry,
+    )
+    return {
+        "report": report_to_dict(report),
+        "telemetry": registry.to_dict() if registry is not None else None,
+    }
+
+
 def execute_scenario(scenario: Scenario, registry=None, trace=None) -> dict:
     """Run one scenario to completion; returns its JSON-safe payload.
 
@@ -425,4 +512,6 @@ def execute_scenario(scenario: Scenario, registry=None, trace=None) -> dict:
         return _execute_fault_cell(scenario)
     if scenario.kind == "attack":
         return _execute_attack(scenario)
+    if scenario.kind == "fabric":
+        return _execute_fabric(scenario, registry=registry)
     raise ConfigError(f"unknown scenario kind {scenario.kind!r}")
