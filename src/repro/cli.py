@@ -186,6 +186,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="packet = discrete-event pipeline (exact); flow = "
              "vectorized fluid engine (~100-1000x faster, rate-level)",
     )
+    sweep.add_argument(
+        "--events-out", type=str, default=None,
+        help="append a live JSONL lifecycle stream (schema "
+             "repro-events-v1: sweep/cell/worker events) to this path",
+    )
 
     metrics = sub.add_parser(
         "metrics",
@@ -485,6 +490,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="process-pool size (default: all cores)",
     )
+    bench.add_argument(
+        "--append", type=str, nargs="?", const="BENCH_HISTORY.jsonl",
+        default=None, metavar="HISTORY",
+        help="also append the document as one line to this JSONL bench "
+             "history (default: BENCH_HISTORY.jsonl; feed it to "
+             "python -m repro.perf.compare --history for trend deltas)",
+    )
+
+    timeseries = sub.add_parser(
+        "timeseries",
+        help="render the windowed time series of a telemetry dump",
+    )
+    timeseries.add_argument(
+        "path",
+        help="telemetry dump to read (JSONL from --metrics-out / metrics "
+             "--out)",
+    )
+    timeseries.add_argument(
+        "--name", type=str, default=None,
+        help="only series whose metric name contains this substring",
+    )
+    timeseries.add_argument(
+        "--ewma", type=float, default=None, metavar="ALPHA",
+        help="also render the EWMA-smoothed view at this alpha in (0, 1]",
+    )
+    timeseries.add_argument(
+        "--width", type=int, default=64,
+        help="max sparkline columns (older windows are summarised away)",
+    )
     return parser
 
 
@@ -557,13 +591,6 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     failed = _parse_int_list(args.failed_switches)
     runtime = Runtime(cache_dir=args.cache_dir)
     want_metrics = bool(args.metrics_out)
-    if want_metrics and args.fidelity == "flow":
-        print(
-            "--metrics-out: the flow engine exports no telemetry; "
-            "ignoring it for this run",
-            file=sys.stderr,
-        )
-        want_metrics = False
     common = dict(
         load=args.load,
         duration_ns=args.duration_us * 1e3,
@@ -652,13 +679,6 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     failed = _parse_int_list(args.failed_switches)
     shard = parse_shard(args.shard)
     want_metrics = bool(args.metrics_out)
-    if want_metrics and args.fidelity == "flow":
-        print(
-            "--metrics-out: the flow engine exports no telemetry; "
-            "ignoring it for this run",
-            file=sys.stderr,
-        )
-        want_metrics = False
     if want_metrics and (args.cache_dir or shard):
         # The live registry accumulates observations across cells (a
         # running floating-point sum), which recalled payloads cannot
@@ -704,16 +724,44 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             )
             for load in loads
         ]
-    if want_metrics:
-        from .telemetry import MetricsRegistry
+    from .runtime import open_event_stream
 
-        registry = MetricsRegistry()
-        payloads = [
-            execute_scenario(scenario, registry=registry)
-            for scenario in scenarios
-        ]
-    else:
-        payloads = runtime.map(scenarios, shard=shard)
+    events = open_event_stream(args.events_out)
+    try:
+        if want_metrics:
+            from .telemetry import MetricsRegistry
+
+            registry = MetricsRegistry()
+            if events is not None:
+                events.emit(
+                    "sweep_start", n_cells=len(scenarios), shard=None
+                )
+            payloads = []
+            for i, scenario in enumerate(scenarios):
+                if events is not None:
+                    events.emit(
+                        "cell_start", index=i, digest=scenario.digest()
+                    )
+                payloads.append(execute_scenario(scenario, registry=registry))
+                if events is not None:
+                    events.emit(
+                        "cell_finish",
+                        index=i,
+                        digest=scenario.digest(),
+                        status="ok",
+                    )
+            if events is not None:
+                events.emit(
+                    "sweep_finish",
+                    n_executed=len(scenarios),
+                    n_cached=0,
+                    n_unresolved=0,
+                )
+        else:
+            payloads = runtime.map(scenarios, shard=shard, events=events)
+    finally:
+        if events is not None:
+            events.close()
 
     if router_mode:
         table = Table(
@@ -806,13 +854,6 @@ def cmd_faults(args: argparse.Namespace) -> int:
     schedule.validate(config)
     duration_ns = args.duration_us * 1e3
     runtime = Runtime(cache_dir=args.cache_dir, n_workers=args.workers)
-    if args.metrics_out and args.fidelity == "flow":
-        print(
-            "--metrics-out: the flow engine exports no telemetry; "
-            "ignoring it for this run",
-            file=sys.stderr,
-        )
-        args.metrics_out = None
 
     if args.campaign > 0:
         if args.metrics_out:
@@ -952,13 +993,6 @@ def cmd_attack(args: argparse.Namespace) -> int:
     schedule = parse_fault_specs(args.fault)
     failed = _parse_int_list(args.failed_switches)
     duration_ns = args.duration_us * 1e3
-    if args.metrics_out and args.fidelity == "flow":
-        print(
-            "--metrics-out: the flow engine exports no telemetry; "
-            "ignoring it for this run",
-            file=sys.stderr,
-        )
-        args.metrics_out = None
     telemetry = bool(args.metrics_out)
     runtime = Runtime(cache_dir=args.cache_dir, n_workers=args.workers)
 
@@ -1069,13 +1103,6 @@ def cmd_fabric(args: argparse.Namespace) -> int:
     topology = _fabric_topology(args)
     schedule = parse_fault_specs(args.fault)
     want_metrics = bool(args.metrics_out)
-    if want_metrics and args.fidelity == "flow":
-        print(
-            "--metrics-out: the flow engine exports no telemetry; "
-            "ignoring it for this run",
-            file=sys.stderr,
-        )
-        want_metrics = False
     runtime = Runtime(cache_dir=args.cache_dir)
     scenario = fabric_scenario(
         config,
@@ -1257,6 +1284,8 @@ def cmd_timeline(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
     from .perf import run_benchmarks, write_bench_json
 
     document = run_benchmarks(
@@ -1267,6 +1296,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
     out = args.out if args.out else f"BENCH_{args.rev}.json"
     write_bench_json(document, out)
+    if args.append:
+        with open(args.append, "a") as fh:
+            fh.write(
+                json.dumps(document, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
     table = Table("Benchmarks", ["bench", "wall", "key metrics"])
     for name, result in document["results"].items():
         metrics = result["metrics"]
@@ -1311,6 +1346,76 @@ def cmd_bench(args: argparse.Namespace) -> int:
         table.add(name, f"{result['wall_s'] * 1e3:.1f} ms", key)
     table.show()
     print(f"wrote {out}")
+    if args.append:
+        print(f"appended to {args.append}")
+    return 0
+
+
+def cmd_timeseries(args: argparse.Namespace) -> int:
+    from .telemetry import read_jsonl, sparkline
+    from .telemetry.export import PrometheusParseError
+
+    try:
+        with open(args.path) as fh:
+            text = fh.read()
+    except OSError as exc:
+        print(f"error reading {args.path}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        registry = read_jsonl(text)
+    except (PrometheusParseError, ConfigError, ValueError) as exc:
+        print(f"error parsing {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if args.ewma is not None and not 0.0 < args.ewma <= 1.0:
+        print(f"--ewma must be in (0, 1], got {args.ewma}", file=sys.stderr)
+        return 2
+    if args.width < 8:
+        print(f"--width must be >= 8, got {args.width}", file=sys.stderr)
+        return 2
+
+    series_list = [
+        s for s in registry.iter_timeseries()
+        if args.name is None or args.name in s.name
+    ]
+    if not series_list:
+        what = f" matching {args.name!r}" if args.name else ""
+        print(f"no time series{what} in {args.path}")
+        return 0
+    table = Table(
+        "Time series",
+        ["series", "windows", "total", "mean", "peak", "timeline"],
+    )
+    for series in series_list:
+        labels = ",".join(f"{k}={v}" for k, v in series.labels)
+        name = f"{series.name}{{{labels}}}" if labels else series.name
+        values = series.values()
+        shown = values[-args.width:]
+        mean = series.mean
+        peak = series.peak
+        table.add(
+            name,
+            len(values),
+            f"{series.total:g}",
+            "-" if mean != mean else f"{mean:g}",
+            "-" if peak != peak else f"{peak:g}",
+            sparkline(shown),
+        )
+        if args.ewma is not None and values:
+            smoothed = [v for _, v in series.ewma(args.ewma)]
+            table.add(
+                f"  ewma(alpha={args.ewma:g})",
+                "", "", "", "",
+                sparkline(smoothed[-args.width:]),
+            )
+    table.show()
+    window_widths = sorted({s.window_ns for s in series_list})
+    print(
+        f"{len(series_list)} series; window width "
+        + ", ".join(f"{w:g} ns" for w in window_widths)
+        + (f"; last {args.width} windows shown" if any(
+            len(s.values()) > args.width for s in series_list
+        ) else "")
+    )
     return 0
 
 
@@ -1327,6 +1432,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiments": cmd_experiments,
         "timeline": cmd_timeline,
         "bench": cmd_bench,
+        "timeseries": cmd_timeseries,
     }[args.command]
     try:
         return handler(args)

@@ -189,6 +189,8 @@ class HBMSwitch:
                 self.telemetry.oeo.observe(
                     packet.size_bytes * self._oeo_ns_per_byte
                 )
+                self.telemetry.win_bytes_in.observe(now, packet.size_bytes)
+                self.telemetry.win_occupancy.observe(now, self._residual_payload)
         else:
             self._observe_drop("input-sram-overflow", packet, now)
         for batch in emitted:
@@ -211,6 +213,7 @@ class HBMSwitch:
         """Telemetry/trace for one dropped packet (cold path)."""
         if self.telemetry is not None:
             self.telemetry.drop(reason, packet.size_bytes)
+            self.telemetry.win_dropped.observe(now, packet.size_bytes)
         if self.trace is not None:
             self.trace.record(
                 now, "switch", "drop",
@@ -254,6 +257,7 @@ class HBMSwitch:
             self._residual_payload -= dropped
             if self.telemetry is not None:
                 self.telemetry.drop("tail-sram-overflow", dropped)
+                self.telemetry.win_dropped.observe(now, dropped)
             if self.trace is not None:
                 self.trace.record(
                     now, "switch", "drop",

@@ -112,6 +112,7 @@ class OutputPort:
             self.telemetry.drain.observe(finish - start_ns)
             self.telemetry.packets_out.inc(len(batch.completing))
             self.telemetry.bytes_out.inc(batch.payload_bytes)
+            self.telemetry.win_bytes_out.observe(finish, batch.payload_bytes)
         return finish
 
     def _record_breakdown(self, packet, batch, frame: Frame, ready_ns: float, finish: float) -> None:

@@ -404,6 +404,16 @@ class SplitParallelSwitch:
                     "passive fiber-split assignment (count = per-switch load)",
                     stage="split", switch=str(h),
                 ).observe_n(0.0, len(per_switch[h]))
+                # Time-resolved view of the same split: offered bytes per
+                # window per switch, recorded at the (passive) split
+                # point so dead switches' offered load shows up too.
+                split_series = telemetry.timeseries(
+                    "repro_split_window_bytes",
+                    "offered bytes per window at the fiber split",
+                    switch=str(h),
+                )
+                for packet in per_switch[h]:
+                    split_series.observe(packet.arrival_ns, packet.size_bytes)
             if h in dead:
                 failed_bytes += arrived
                 if telemetry is not None and arrived:

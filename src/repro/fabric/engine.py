@@ -36,10 +36,14 @@ Transit loads above a router's line rate are handled analytically: the
 engine runs at the admissible clamp and the excess ``min(1, 1/rho)`` is
 shed before the run (the package cannot accept more than line rate).
 
-Telemetry (packet fidelity only): each engine run's registry dump is
+Telemetry (both fidelities): each engine run's registry dump is
 re-labelled with the ``router=`` dimension and merged in (round,
 router) order, so fabric dumps obey the same disjoint-series,
-deterministic-merge rules as per-switch telemetry.
+deterministic-merge rules as per-switch telemetry.  On top of the
+merged per-node dumps the fabric synthesizes one utilization window
+series per loaded link (``repro_fabric_link_window_utilization``,
+``link="A:B"``) from its analytic hop model -- windows a ``LinkCut``
+covers dip by the cut share -- and tags every fabric fault window.
 """
 
 from __future__ import annotations
@@ -68,6 +72,9 @@ TRAFFIC_PATTERNS = ("uniform", "hotspot")
 #: Share of each source's offered load aimed at its hot partner under
 #: the ``hotspot`` pattern (the rest spreads uniformly).
 HOTSPOT_SHARE = 0.5
+
+#: Per-link utilization timeline (windowed series, ``link="A:B"``).
+LINK_WINDOW_UTILIZATION = "repro_fabric_link_window_utilization"
 
 
 def validate_fabric_schedule(
@@ -101,21 +108,72 @@ def validate_fabric_schedule(
                 )
 
 
-def _window_fraction(events, duration_ns: float) -> float:
-    """Fraction of [0, duration) covered by the union of event windows."""
+def _covered_ns(events, t0: float, t1: float) -> float:
+    """Length of [t0, t1) covered by the union of event windows."""
     clipped = sorted(
-        (max(0.0, e.start_ns), min(duration_ns, e.end_ns))
+        (max(t0, e.start_ns), min(t1, e.end_ns))
         for e in events
-        if e.start_ns < duration_ns and e.end_ns > 0.0
+        if e.start_ns < t1 and e.end_ns > t0
     )
     covered = 0.0
-    cursor = 0.0
+    cursor = t0
     for start, end in clipped:
         start = max(start, cursor)
         if end > start:
             covered += end - start
             cursor = end
-    return covered / duration_ns if duration_ns > 0 else 0.0
+    return covered
+
+
+def _window_fraction(events, duration_ns: float) -> float:
+    """Fraction of [0, duration) covered by the union of event windows."""
+    if duration_ns <= 0:
+        return 0.0
+    return _covered_ns(events, 0.0, duration_ns) / duration_ns
+
+
+def _link_timelines(
+    registry,
+    topology: FabricTopology,
+    link_offered: Dict[Tuple[int, int], float],
+    cut_events: Dict[Tuple[int, int], List[LinkCut]],
+    line_rate: float,
+    duration_ns: float,
+) -> None:
+    """Synthesize per-link utilization window series from the hop model.
+
+    The hop-round engine is analytic in time -- each link carries one
+    run-total offered rate -- so its timeline is reconstructed: every
+    window of an uncut link sits at ``offered / capacity``, and a window
+    a :class:`~repro.faults.LinkCut` overlaps is scaled by the uncut
+    share of that window, so cut windows show up as dips (to zero when
+    the cut covers the whole window).
+    """
+    from ..telemetry.timeseries import DEFAULT_WINDOW_NS
+
+    window_ns = max(DEFAULT_WINDOW_NS, duration_ns / 64.0)
+    n_windows = max(1, int(math.ceil(duration_ns / window_ns - 1e-9)))
+    for (u, v) in topology.links():
+        offered = link_offered.get((u, v), 0.0)
+        if offered <= 0:
+            continue
+        capacity = line_rate * topology.link_capacity_fraction(u, v)
+        level = offered / capacity if capacity > 0 else 0.0
+        cuts = cut_events.get((min(u, v), max(u, v)), ())
+        series = registry.timeseries(
+            LINK_WINDOW_UTILIZATION,
+            "link utilization per window (cut windows dip)",
+            window_ns=window_ns,
+            agg="max",
+            link=f"{u}:{v}",
+        )
+        for w in range(n_windows):
+            w0 = w * window_ns
+            w1 = min(w0 + window_ns, duration_ns)
+            uncut = 1.0 - (
+                _covered_ns(cuts, w0, w1) / (w1 - w0) if w1 > w0 else 0.0
+            )
+            series.observe(w0, level * uncut)
 
 
 def _demand_matrix(
@@ -174,7 +232,7 @@ class _RouterRuns:
         self.seed = seed
         self.fidelity = fidelity
         self.drain = drain
-        self.want_telemetry = want_telemetry and fidelity == "packet"
+        self.want_telemetry = want_telemetry
         self._memo: Dict[Tuple, Tuple[float, float, Optional[dict]]] = {}
 
     def run(
@@ -203,14 +261,25 @@ class _RouterRuns:
     def _run_flow(self, eff_load, schedule):
         from ..flow import flow_router_report
 
+        registry = None
+        if self.want_telemetry:
+            from ..telemetry import MetricsRegistry
+
+            registry = MetricsRegistry()
         report = flow_router_report(
             self.config,
             load=eff_load,
             duration_ns=self.duration_ns,
             drain=self.drain,
             schedule=schedule,
+            telemetry=registry,
         )
-        return report.delivered_fraction, _finite(report.latency_summary()["mean_ns"]), None
+        dump = registry.to_dict() if registry is not None else None
+        return (
+            report.delivered_fraction,
+            _finite(report.latency_summary()["mean_ns"]),
+            dump,
+        )
 
     def _run_packet(self, eff_load, schedule, derived_seed):
         from ..core.pfi import PFIOptions
@@ -255,13 +324,19 @@ def _finite(value: float) -> float:
 
 def _relabel_router(dump: dict, router: int) -> dict:
     """A copy of a telemetry dump with ``router=`` added to every series."""
-    return {
+    relabeled = {
         "schema": dump["schema"],
         "metrics": [
             {**entry, "labels": {**entry.get("labels", {}), "router": str(router)}}
             for entry in dump["metrics"]
         ],
     }
+    if dump.get("timeseries"):
+        relabeled["timeseries"] = [
+            {**entry, "labels": {**entry.get("labels", {}), "router": str(router)}}
+            for entry in dump["timeseries"]
+        ]
+    return relabeled
 
 
 def simulate_fabric(
@@ -283,8 +358,10 @@ def simulate_fabric(
     ``config`` is the per-node package (every router is identical);
     ``load`` is each endpoint's offered load as a fraction of its
     package line rate, spread over the other endpoints according to
-    ``pattern``.  ``registry`` (packet fidelity only) receives the
-    merged, ``router=``-labelled telemetry of every engine run.
+    ``pattern``.  ``registry`` receives the merged, ``router=``-labelled
+    telemetry of every engine run (either fidelity) plus the fabric's
+    own per-link utilization timelines; its dump also rides on the
+    returned report's ``telemetry`` field.
     """
     if not 0.0 <= load <= 1.0:
         raise ConfigError(f"load must be in [0, 1], got {load}")
@@ -424,6 +501,13 @@ def simulate_fabric(
     if registry is not None:
         for router, dump in telemetry_merges:
             registry.merge_dict(_relabel_router(dump, router))
+        _link_timelines(
+            registry, topology, link_offered, cut_events, line_rate, duration_ns
+        )
+        if schedule is not None:
+            from ..telemetry import tag_fault_windows
+
+            tag_fault_windows(registry, schedule)
 
     # -- roll up per-flow, per-link and per-router summaries.
     flows: List[FlowSummary] = []
@@ -489,4 +573,5 @@ def simulate_fabric(
         links=links,
         routers=routers,
         fault_events=list(schedule.describe()) if schedule is not None else [],
+        telemetry=registry.to_dict() if registry is not None else None,
     )

@@ -13,7 +13,7 @@ generic :func:`repro.reporting.export.report_to_dict` duck-types on
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 SCHEMA = "repro-fabric-v1"
 
@@ -99,6 +99,9 @@ class FabricReport:
     links: List[LinkSummary] = field(default_factory=list)
     routers: List[RouterSummary] = field(default_factory=list)
     fault_events: List[str] = field(default_factory=list)
+    #: Merged telemetry dump of the cell's engine runs plus the fabric's
+    #: own link timelines, or ``None`` when telemetry was off.
+    telemetry: Optional[Dict[str, Any]] = None
 
     # -- totals ---------------------------------------------------------------
 
@@ -167,6 +170,11 @@ class FabricReport:
             "flows": [f.to_dict() for f in self.flows],
             "links": [l.to_dict() for l in self.links],
             "routers": [r.to_dict() for r in self.routers],
+            **(
+                {"telemetry": self.telemetry}
+                if self.telemetry is not None
+                else {}
+            ),
         }
 
     @classmethod
@@ -181,4 +189,5 @@ class FabricReport:
             links=[LinkSummary(**l) for l in data.get("links", [])],
             routers=[RouterSummary(**r) for r in data.get("routers", [])],
             fault_events=list(data.get("fault_events", [])),
+            telemetry=data.get("telemetry"),
         )

@@ -41,6 +41,11 @@ from ..core.fiber_split import (
     per_switch_port_loads,
     split_imbalance,
 )
+from ..telemetry import (
+    MetricsRegistry,
+    record_victim_series,
+    tag_attack_window,
+)
 from ..traffic import uniform_matrix
 from ..units import rate_to_bytes_per_ns
 from .engine import RateComponent, simulate_flow_router
@@ -122,6 +127,17 @@ def execute_attack_trial_flow(trial) -> dict:
     port_loads = per_switch_port_loads(splitter, fiber_loads)
     overload = overload_loss_fraction(port_loads, 1.0 / config.n_switches)
 
+    registry = MetricsRegistry() if getattr(trial, "telemetry", False) else None
+    if registry is not None:
+        tag_attack_window(
+            registry,
+            strategy=strategy.name,
+            splitter=trial.splitter_kind,
+            victim=victim,
+            start_ns=0.0,
+            end_ns=trial.duration_ns,
+        )
+
     # Simulated view -- the fluid tandem on the strategy's rate stream.
     components = _strategy_components(
         strategy, config, trial.load, trial.duration_ns
@@ -134,6 +150,7 @@ def execute_attack_trial_flow(trial) -> dict:
         weights=np.stack(weights),
         splitter=splitter,
         schedule=trial.fault_schedule,
+        telemetry=registry,
     )
     report = result.report
     offered = report.per_switch_offered_bytes
@@ -146,6 +163,8 @@ def execute_attack_trial_flow(trial) -> dict:
         if sim_total > 0
         else 1.0
     )
+    if registry is not None:
+        record_victim_series(registry, offered, victim)
 
     return {
         "trial": trial.index,
@@ -164,5 +183,5 @@ def execute_attack_trial_flow(trial) -> dict:
         "sim_loss_fraction": report.loss_fraction,
         "sim_residual_bytes": int(report.residual_bytes),
         "fault_events": list(report.fault_events),
-        "telemetry": None,
+        "telemetry": registry.to_dict() if registry is not None else None,
     }

@@ -76,6 +76,15 @@ _DRAIN_EPS = 0.5
 #: fluid model does not resolve them, so each reports 0.0.
 _BREAKDOWN_STAGES = ("batch_fill", "frame_fill", "hbm_wait", "egress")
 
+#: Flow-fidelity metric names.  Counters are per-switch byte totals;
+#: the window series are the fluid engine's time-resolved view (its
+#: piecewise-constant segments land in fixed-width windows).
+FLOW_BYTES = "repro_flow_bytes_total"
+FLOW_LOST = "repro_flow_lost_bytes_total"
+FLOW_WINDOW_BYTES = "repro_flow_window_bytes"
+FLOW_WINDOW_QUEUE = "repro_flow_window_queue_bytes"
+FLOW_WINDOW_DROPPED = "repro_flow_window_dropped_bytes"
+
 
 @dataclass(frozen=True)
 class RateComponent:
@@ -161,6 +170,11 @@ class _FluidTandem:
         self.queue_integral = np.zeros(n_tandems)
         self.peak_q1 = np.zeros(n_tandems)
         self.peak_q2 = np.zeros(n_tandems)
+        #: Per-tandem deliveries and backlog of the most recent step --
+        #: the flow engine's per-segment telemetry reads these instead
+        #: of re-deriving them from cumulative counters.
+        self.last_delivered = np.zeros(n_tandems)
+        self.last_backlog = np.zeros(n_tandems)
 
     def backlog(self) -> np.ndarray:
         return self.q1.sum(axis=(1, 2)) + self.q2.sum(axis=1)
@@ -197,7 +211,9 @@ class _FluidTandem:
         self.q2 = q2 - over
         segment_delivered = served2.sum(axis=1)
         self.delivered += segment_delivered
+        self.last_delivered = segment_delivered
         post = self.backlog()
+        self.last_backlog = post
         self.queue_integral += 0.5 * (pre + post) * dt
         self.peak_q1 = np.maximum(self.peak_q1, occupancy.max(axis=1, initial=0.0))
         self.peak_q2 = np.maximum(self.peak_q2, self.q2.sum(axis=1))
@@ -250,7 +266,7 @@ def _drain(
             dt = min_step
         delivered = tandem.step(dt, np.zeros_like(tandem.q1), service)
         if on_delivered is not None:
-            on_delivered(delivered)
+            on_delivered(delivered, t + 0.5 * dt)
         t += dt
 
 
@@ -351,6 +367,7 @@ def simulate_flow_switch(
     drain: bool = True,
     mean_packet_bytes: float = 1500.0,
     components: Optional[Sequence[RateComponent]] = None,
+    telemetry=None,
 ) -> SwitchReport:
     """Fluid twin of one :class:`~repro.core.hbm_switch.HBMSwitch` run.
 
@@ -380,6 +397,20 @@ def simulate_flow_switch(
         input_capacity=64.0 * n * config.batch_bytes,
         output_capacity=config.memory_capacity_bytes / n,
     )
+    win_offered = win_delivered = win_queue = None
+    if telemetry is not None:
+        win_offered = telemetry.timeseries(
+            FLOW_WINDOW_BYTES, "flow bytes per window by crossing point",
+            point="offered", switch="0",
+        )
+        win_delivered = telemetry.timeseries(
+            FLOW_WINDOW_BYTES, "flow bytes per window by crossing point",
+            point="delivered", switch="0",
+        )
+        win_queue = telemetry.timeseries(
+            FLOW_WINDOW_QUEUE, "fluid backlog high-water per window",
+            agg="max", switch="0",
+        )
     offered = 0.0
     edges = _segments(duration_ns, _component_edges(components))
     for t0, t1 in zip(edges[:-1], edges[1:]):
@@ -393,14 +424,43 @@ def simulate_flow_switch(
         )
         offered += matrix.sum() * dt
         tandem.step(dt, matrix[None, :, :], service)
+        if telemetry is not None:
+            win_offered.observe(tm, float(matrix.sum()) * dt)
+            win_delivered.observe(tm, float(tandem.last_delivered[0]))
+            win_queue.observe(tm, float(tandem.last_backlog[0]))
     if drain:
+        def drain_hook(delivered_bytes: float, t_mid: float) -> None:
+            if telemetry is not None and delivered_bytes > 0.0:
+                win_delivered.observe(t_mid, delivered_bytes)
+
         _drain(
             tandem,
             duration_ns,
             lambda t: service,
             (),
             max(config.batch_time_ns, 1.0),
+            on_delivered=drain_hook,
         )
+    if telemetry is not None:
+        telemetry.counter(
+            FLOW_BYTES, "flow bytes by crossing point",
+            point="offered", switch="0",
+        ).inc(int(round(offered)))
+        telemetry.counter(
+            FLOW_BYTES, "flow bytes by crossing point",
+            point="delivered", switch="0",
+        ).inc(int(round(float(tandem.delivered[0]))))
+        losses = {
+            "input-sram-overflow": float(tandem.dropped_sram[0]),
+            "hbm-full": float(tandem.dropped_hbm[0]),
+        }
+        for reason in sorted(losses):
+            n_bytes = int(round(losses[reason]))
+            if n_bytes > 0:
+                telemetry.counter(
+                    FLOW_LOST, "flow dropped bytes by reason",
+                    reason=reason, switch="0",
+                ).inc(n_bytes)
     return _switch_report(
         config,
         duration_ns,
@@ -440,6 +500,7 @@ def simulate_flow_router(
     schedule=None,
     n_intervals: Optional[int] = None,
     mean_packet_bytes: float = 1500.0,
+    telemetry=None,
 ) -> FlowRouterResult:
     """Fluid twin of :meth:`~repro.core.sps.SplitParallelSwitch.run`.
 
@@ -454,6 +515,14 @@ def simulate_flow_router(
     With ``n_intervals`` the run also bins offered/delivered bytes per
     interval (delivered during the drain tail lands in the last
     interval, as in :func:`repro.faults.report.bin_packets`).
+
+    ``telemetry`` (a :class:`~repro.telemetry.MetricsRegistry`) closes
+    the flow-fidelity observability gap: per-switch offered/delivered
+    counters and per-reason loss counters, fault-loss attribution in the
+    packet engine's shapes, and per-segment window series
+    (:data:`FLOW_WINDOW_BYTES` / :data:`FLOW_WINDOW_QUEUE` /
+    :data:`FLOW_WINDOW_DROPPED`).  The engine has no RNG and runs in one
+    process, so instrumented dumps are byte-reproducible.
     """
     if duration_ns <= 0:
         raise ConfigError(f"duration must be positive, got {duration_ns}")
@@ -563,6 +632,40 @@ def simulate_flow_router(
         extra_edges.extend(width * i for i in range(1, n_intervals))
     edges = _segments(duration_ns, extra_edges)
 
+    win_offered = win_delivered = win_queue = win_dropped = None
+    if telemetry is not None:
+        if schedule is not None:
+            from ..telemetry import tag_fault_windows
+
+            tag_fault_windows(telemetry, schedule)
+        win_offered = [
+            telemetry.timeseries(
+                FLOW_WINDOW_BYTES, "flow bytes per window by crossing point",
+                point="offered", switch=str(h),
+            )
+            for h in live
+        ]
+        win_delivered = [
+            telemetry.timeseries(
+                FLOW_WINDOW_BYTES, "flow bytes per window by crossing point",
+                point="delivered", switch=str(h),
+            )
+            for h in live
+        ]
+        win_queue = [
+            telemetry.timeseries(
+                FLOW_WINDOW_QUEUE, "fluid backlog high-water per window",
+                agg="max", switch=str(h),
+            )
+            for h in live
+        ]
+        win_dropped = [
+            telemetry.timeseries(
+                FLOW_WINDOW_DROPPED, "flow dropped bytes per window", switch=str(h)
+            )
+            for h in live
+        ]
+
     live_array = np.asarray(live, dtype=np.int64)
     for t0, t1 in zip(edges[:-1], edges[1:]):
         dt = float(t1 - t0)
@@ -585,7 +688,11 @@ def simulate_flow_router(
         if dead:
             failed_offered += float(offered_now[sorted(dead)].sum()) * dt
         arrivals = arrivals_all[live_array]
-        live_offered += arrivals.sum(axis=(1, 2)) * dt
+        seg_offered = arrivals.sum(axis=(1, 2)) * dt
+        live_offered += seg_offered
+        if telemetry is not None:
+            drops_before = tandem.dropped_sram + tandem.dropped_hbm
+            dead_before = dropped_dead.copy()
         if schedule is not None:
             for idx, h in enumerate(live):
                 view = views[h]
@@ -593,15 +700,33 @@ def simulate_flow_router(
                     dropped_dead[idx] += arrivals[idx].sum() * dt
                     arrivals[idx] = 0.0
         segment_delivered = tandem.step(dt, arrivals, service_at(tm))
+        if telemetry is not None:
+            seg_dropped = (
+                tandem.dropped_sram + tandem.dropped_hbm - drops_before
+                + dropped_dead - dead_before
+            )
+            for idx in range(len(live)):
+                win_offered[idx].observe(tm, float(seg_offered[idx]))
+                win_delivered[idx].observe(tm, float(tandem.last_delivered[idx]))
+                win_queue[idx].observe(tm, float(tandem.last_backlog[idx]))
+                if seg_dropped[idx] > 0.0:
+                    win_dropped[idx].observe(tm, float(seg_dropped[idx]))
         if width:
             bin_index = min(int(tm / width), n_intervals - 1)
             offered_bins[bin_index] += matrix.sum() * dt
             delivered_bins[bin_index] += segment_delivered
 
     if drain:
-        def last_bin(delivered_bytes: float) -> None:
+        def drain_hook(delivered_bytes: float, t_mid: float) -> None:
             if width:
                 delivered_bins[-1] += delivered_bytes
+            if telemetry is not None:
+                for idx in range(len(live)):
+                    if tandem.last_delivered[idx] > 0.0:
+                        win_delivered[idx].observe(
+                            t_mid, float(tandem.last_delivered[idx])
+                        )
+                    win_queue[idx].observe(t_mid, float(tandem.last_backlog[idx]))
 
         _drain(
             tandem,
@@ -609,7 +734,7 @@ def simulate_flow_router(
             service_at,
             _schedule_edges(schedule),
             max(config.switch.batch_time_ns, 1.0),
-            on_delivered=last_bin,
+            on_delivered=drain_hook,
         )
 
     reports = [
@@ -630,6 +755,42 @@ def simulate_flow_router(
         )
         for idx in range(len(live))
     ]
+    if telemetry is not None:
+        from ..telemetry import record_fault_loss
+
+        for idx, h in enumerate(live):
+            label = str(h)
+            telemetry.counter(
+                FLOW_BYTES, "flow bytes by crossing point",
+                point="offered", switch=label,
+            ).inc(reports[idx].offered_bytes)
+            telemetry.counter(
+                FLOW_BYTES, "flow bytes by crossing point",
+                point="delivered", switch=label,
+            ).inc(reports[idx].delivered_bytes)
+            losses = {
+                "switch-dead": dropped_dead[idx],
+                "input-sram-overflow": tandem.dropped_sram[idx],
+                "hbm-full": tandem.dropped_hbm[idx],
+            }
+            for reason in sorted(losses):
+                n_bytes = int(round(losses[reason]))
+                if n_bytes > 0:
+                    telemetry.counter(
+                        FLOW_LOST, "flow dropped bytes by reason",
+                        reason=reason, switch=label,
+                    ).inc(n_bytes)
+        for h in sorted(dead):
+            n_bytes = int(round(per_switch_offered[h]))
+            if n_bytes > 0:
+                record_fault_loss(telemetry, "switch", str(h), n_bytes)
+        if fault_lost > 0:
+            # The fluid split has no per-fiber byte attribution (cut
+            # weight folds into one scalar per segment); record the
+            # aggregate under the packet engine's counter name.
+            record_fault_loss(
+                telemetry, "fiber", "aggregate", int(round(fault_lost))
+            )
     report = RouterReport(
         switch_reports=reports,
         per_switch_offered_bytes=[int(round(v)) for v in per_switch_offered],
@@ -638,6 +799,7 @@ def simulate_flow_router(
         failed_offered_bytes=int(round(failed_offered)),
         fault_lost_bytes=int(round(fault_lost)),
         fault_events=schedule.describe() if schedule is not None else [],
+        telemetry=telemetry.to_dict() if telemetry is not None else None,
     )
     intervals: List[IntervalSample] = []
     if n_intervals:
@@ -660,6 +822,7 @@ def flow_router_report(
     drain: bool = True,
     schedule=None,
     mean_packet_bytes: float = 1500.0,
+    telemetry=None,
 ) -> RouterReport:
     """Uniform-load router run at flow fidelity (Scenario kind="router")."""
     components = [
@@ -679,6 +842,7 @@ def flow_router_report(
         drain=drain,
         schedule=schedule,
         mean_packet_bytes=mean_packet_bytes,
+        telemetry=telemetry,
     ).report
 
 
@@ -689,6 +853,7 @@ def flow_degradation(
     duration_ns: float = 40_000.0,
     n_intervals: int = 8,
     mean_packet_bytes: float = 1500.0,
+    telemetry=None,
 ) -> DegradationReport:
     """Fluid twin of :func:`repro.faults.report.measure_degradation`."""
     components = [
@@ -709,6 +874,7 @@ def flow_degradation(
         schedule=schedule,
         n_intervals=n_intervals,
         mean_packet_bytes=mean_packet_bytes,
+        telemetry=telemetry,
     )
     report = result.report
     return DegradationReport(

@@ -15,6 +15,14 @@ compares two runs on the same host.
 Usage::
 
     python -m repro.perf.compare BENCH_1.json BENCH_ci.json [--threshold 0.25]
+    python -m repro.perf.compare --history BENCH_HISTORY.jsonl
+
+``--history`` switches to trend mode: the argument is the JSONL bench
+history ``repro bench --append`` grows (one full bench document per
+line), and the output is one row per tracked metric per revision with
+its delta against the previous revision -- the long-horizon view the
+two-document gate cannot give.  Trend mode is informational (exit 0
+unless the history is unreadable or empty).
 """
 
 from __future__ import annotations
@@ -104,18 +112,101 @@ def render_rows(rows: List[Dict[str, Any]], threshold: float) -> str:
     return "\n".join(lines)
 
 
+def load_history(path: str) -> List[Dict[str, Any]]:
+    """Read a ``BENCH_HISTORY.jsonl`` file: one bench document per line."""
+    documents = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                documents.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: bad history line: {exc}")
+    return documents
+
+
+def history_rows(documents: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Per-revision trend of every tracked metric.
+
+    One row per (revision, metric) with the value and its fractional
+    delta against the *previous revision that had the metric* (``None``
+    for the first appearance).
+    """
+    rows = []
+    last: Dict[Tuple[str, str], float] = {}
+    for position, document in enumerate(documents):
+        rev = str(document.get("rev", position))
+        for bench, key in TRACKED_METRICS:
+            value = _metric(document, bench, key)
+            if value is None:
+                continue
+            previous = last.get((bench, key))
+            rows.append(
+                {
+                    "rev": rev,
+                    "bench": bench,
+                    "metric": key,
+                    "value": value,
+                    "delta": (
+                        (value / previous - 1.0) if previous else None
+                    ),
+                }
+            )
+            last[(bench, key)] = value
+    return rows
+
+
+def render_history(rows: List[Dict[str, Any]]) -> str:
+    lines = [
+        "bench history trend (delta vs previous revision)",
+        f"{'rev':<12}{'bench':<20}{'metric':<24}{'value':>14}{'delta':>9}",
+    ]
+    for row in rows:
+        delta = (
+            f"{row['delta']:+8.1%}" if row["delta"] is not None else f"{'-':>8}"
+        )
+        lines.append(
+            f"{row['rev']:<12}{row['bench']:<20}{row['metric']:<24}"
+            f"{row['value']:>14,.0f}{delta:>9}"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.perf.compare",
         description="fail when tracked bench metrics regress vs a baseline",
     )
-    parser.add_argument("baseline", help="checked-in baseline BENCH_*.json")
-    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "baseline", nargs="?", help="checked-in baseline BENCH_*.json"
+    )
+    parser.add_argument(
+        "current", nargs="?", help="freshly produced BENCH_*.json"
+    )
     parser.add_argument(
         "--threshold", type=float, default=DEFAULT_THRESHOLD,
         help="allowed fractional drop (default 0.25 = fail below 75%%)",
     )
+    parser.add_argument(
+        "--history", type=str, default=None,
+        help="trend mode: render per-revision deltas from this "
+             "BENCH_HISTORY.jsonl instead of gating two documents",
+    )
     args = parser.parse_args(argv)
+    if args.history:
+        try:
+            documents = load_history(args.history)
+        except (OSError, ValueError) as exc:
+            print(f"error reading bench history: {exc}", file=sys.stderr)
+            return 2
+        if not documents:
+            print(f"empty bench history: {args.history}", file=sys.stderr)
+            return 2
+        print(render_history(history_rows(documents)))
+        return 0
+    if not args.baseline or not args.current:
+        parser.error("baseline and current are required without --history")
     if not 0.0 < args.threshold < 1.0:
         print(f"threshold must be in (0, 1), got {args.threshold}", file=sys.stderr)
         return 2

@@ -11,11 +11,20 @@ The orchestration layer every workload family runs on (docs/runtime.md):
 - :class:`Campaign` protocol plus the concrete :class:`FaultCampaign`
   and :class:`AttackCampaign` the legacy campaign entrypoints now shim
   onto;
+- :class:`EventStream` -- the live JSONL lifecycle log a sweep appends
+  to under ``--events-out`` (validated by :func:`validate_events`);
 - :func:`run` -- the one-call façade (``repro.run(scenario)``).
 """
 
 from .cache import CACHE_SCHEMA, ResultCache, payload_checksum
 from .campaign import AttackCampaign, Campaign, FaultCampaign
+from .events import (
+    EVENT_KINDS,
+    EVENTS_SCHEMA,
+    EventStream,
+    open_event_stream,
+    validate_events,
+)
 from .runtime import Runtime, default_code_version, parse_shard, run
 from .scenario import (
     SCENARIO_KINDS,
@@ -31,6 +40,9 @@ __all__ = [
     "AttackCampaign",
     "CACHE_SCHEMA",
     "Campaign",
+    "EVENTS_SCHEMA",
+    "EVENT_KINDS",
+    "EventStream",
     "FaultCampaign",
     "ResultCache",
     "Runtime",
@@ -40,9 +52,11 @@ __all__ = [
     "degradation_scenario",
     "execute_scenario",
     "fabric_scenario",
+    "open_event_stream",
     "parse_shard",
     "payload_checksum",
     "router_scenario",
     "run",
     "switch_scenario",
+    "validate_events",
 ]

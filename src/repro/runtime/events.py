@@ -1,0 +1,137 @@
+"""Live sweep event stream: one JSONL line per runtime lifecycle step.
+
+A sweep run with ``--events-out`` appends machine-readable progress
+events as they happen, so an operator (or CI) can ``tail -f`` a long
+sharded sweep instead of staring at a silent process:
+
+- ``sweep_start``  -- grid accepted: cell count and shard, if any;
+- ``worker_pool``  -- the resolved pool size for the missing cells;
+- ``cell_cached``  -- a cell recalled from the result cache (no work);
+- ``cell_start``   -- a cell handed to the pool, in dispatch order;
+- ``cell_finish``  -- a cell's payload checkpointed, in input order;
+- ``sweep_finish`` -- executed / cached / unresolved totals.
+
+The stream is a *log*, not a report: events carry wall-clock ``ts``
+(seconds) and a monotonic ``seq``, so two runs of the same grid are not
+byte-identical -- determinism lives in the payloads and the metrics
+dumps, never here.  The first line is a schema header, mirroring the
+telemetry JSONL exporter; :func:`validate_events` checks the header,
+the ``seq`` chain and each kind's required fields, and is what the CI
+telemetry-smoke job runs against a captured stream.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional, TextIO
+
+from ..errors import ConfigError
+
+EVENTS_SCHEMA = "repro-events-v1"
+
+#: Every event kind and the fields each one must carry (beyond the
+#: envelope ``kind``/``seq``/``ts`` every event has).
+EVENT_FIELDS: Dict[str, tuple] = {
+    "sweep_start": ("n_cells",),
+    "worker_pool": ("n_workers",),
+    "cell_cached": ("index", "digest"),
+    "cell_start": ("index", "digest"),
+    "cell_finish": ("index", "digest", "status"),
+    "sweep_finish": ("n_executed", "n_cached", "n_unresolved"),
+}
+
+EVENT_KINDS = tuple(EVENT_FIELDS)
+
+
+class EventStream:
+    """Appends events to a file-like sink, flushing per line (tailable)."""
+
+    def __init__(self, fh: TextIO, clock=time.time, _owns_fh: bool = False):
+        self._fh = fh
+        self._clock = clock
+        self._owns_fh = _owns_fh
+        self._seq = 0
+        self._write({"schema": EVENTS_SCHEMA})
+
+    @classmethod
+    def open(cls, path: str, clock=time.time) -> "EventStream":
+        return cls(open(path, "w"), clock=clock, _owns_fh=True)
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        if kind not in EVENT_FIELDS:
+            raise ConfigError(
+                f"unknown event kind {kind!r} (expected one of {EVENT_KINDS})"
+            )
+        missing = [f for f in EVENT_FIELDS[kind] if f not in fields]
+        if missing:
+            raise ConfigError(f"event {kind!r} missing fields {missing}")
+        event = {"kind": kind, "seq": self._seq, "ts": self._clock(), **fields}
+        self._seq += 1
+        self._write(event)
+
+    def _write(self, record: dict) -> None:
+        self._fh.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._owns_fh:
+            self._fh.close()
+
+    def __enter__(self) -> "EventStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def validate_events(text: str) -> List[dict]:
+    """Parse and validate an event stream; returns the event dicts.
+
+    Checks the schema header, that every line is an object of a known
+    kind carrying its required fields, and that ``seq`` counts up from 0
+    without gaps.  Raises :class:`~repro.errors.ConfigError` on any
+    violation -- the CI smoke job treats that as a failed build.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ConfigError("empty event stream (missing schema header)")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"bad event header: {exc}")
+    if not isinstance(header, dict) or header.get("schema") != EVENTS_SCHEMA:
+        raise ConfigError(
+            f"event stream schema mismatch: expected {EVENTS_SCHEMA!r}, "
+            f"got {header!r}"
+        )
+    events: List[dict] = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"line {lineno}: bad event JSON: {exc}")
+        if not isinstance(event, dict):
+            raise ConfigError(f"line {lineno}: event must be an object")
+        kind = event.get("kind")
+        if kind not in EVENT_FIELDS:
+            raise ConfigError(f"line {lineno}: unknown event kind {kind!r}")
+        for field in ("seq", "ts") + EVENT_FIELDS[kind]:
+            if field not in event:
+                raise ConfigError(
+                    f"line {lineno}: event {kind!r} missing field {field!r}"
+                )
+        if event["seq"] != len(events):
+            raise ConfigError(
+                f"line {lineno}: seq {event['seq']} out of order "
+                f"(expected {len(events)})"
+            )
+        events.append(event)
+    return events
+
+
+def open_event_stream(path: Optional[str]) -> Optional[EventStream]:
+    """``None``-propagating convenience for CLI plumbing."""
+    return EventStream.open(path) if path else None

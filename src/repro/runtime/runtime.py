@@ -99,6 +99,7 @@ class Runtime:
         scenarios: Sequence[Scenario],
         shard: Optional[Tuple[int, int]] = None,
         on_payload: Optional[Callable[[int, dict], None]] = None,
+        events=None,
     ) -> List[Optional[dict]]:
         """Execute a grid; returns payloads aligned with ``scenarios``.
 
@@ -107,44 +108,89 @@ class Runtime:
         ``shard=(k, n)`` only cells ``i % n == k`` may *execute*; cells
         owned by other shards are still recalled when cached and are
         ``None`` otherwise.  ``on_payload(index, payload)`` fires in
-        index order for every resolved cell.
+        index order for every resolved cell.  ``events`` (an
+        :class:`~repro.runtime.events.EventStream`) receives the run's
+        lifecycle -- cache hits, dispatches, per-cell finishes and the
+        final totals -- as they happen.
         """
         scenarios = list(scenarios)
         if shard is not None:
             k, n = shard
             if n <= 0 or not 0 <= k < n:
                 raise ConfigError(f"shard {shard!r} out of range")
+        digests: List[Optional[str]] = [None] * len(scenarios)
+
+        def digest_of(i: int) -> str:
+            if digests[i] is None:
+                digests[i] = scenarios[i].digest()
+            return digests[i]
+
+        if events is not None:
+            events.emit(
+                "sweep_start",
+                n_cells=len(scenarios),
+                shard=list(shard) if shard is not None else None,
+            )
         results: List[Optional[dict]] = [None] * len(scenarios)
         missing: List[int] = []
+        n_cached = 0
         for i, scenario in enumerate(scenarios):
             cached = None
             if self.cache is not None:
                 cached = self.cache.load(
-                    scenario.digest(), scenario.seed, self.code_version
+                    digest_of(i), scenario.seed, self.code_version
                 )
             if cached is not None:
                 results[i] = cached
+                n_cached += 1
+                if events is not None:
+                    events.emit("cell_cached", index=i, digest=digest_of(i))
             elif shard is None or i % shard[1] == shard[0]:
                 missing.append(i)
         if missing:
+            if events is not None:
+                from ..sim.parallel import resolve_worker_count
+
+                events.emit(
+                    "worker_pool",
+                    n_workers=resolve_worker_count(
+                        self.n_workers, len(missing)
+                    ),
+                )
+                for i in missing:
+                    events.emit("cell_start", index=i, digest=digest_of(i))
 
             def checkpoint(position: int, payload: dict) -> None:
                 index = missing[position]
                 if self.cache is not None:
                     scenario = scenarios[index]
                     self.cache.store(
-                        scenario.digest(),
+                        digest_of(index),
                         scenario.seed,
                         self.code_version,
                         payload,
                     )
                 results[index] = payload
+                if events is not None:
+                    events.emit(
+                        "cell_finish",
+                        index=index,
+                        digest=digest_of(index),
+                        status="ok",
+                    )
 
             run_parallel_tasks(
                 execute_scenario,
                 [scenarios[i] for i in missing],
                 n_workers=self.n_workers,
                 on_result=checkpoint,
+            )
+        if events is not None:
+            events.emit(
+                "sweep_finish",
+                n_executed=len(missing),
+                n_cached=n_cached,
+                n_unresolved=sum(1 for p in results if p is None),
             )
         if on_payload is not None:
             for i, payload in enumerate(results):

@@ -288,14 +288,22 @@ def _execute_switch(scenario: Scenario, registry=None, trace=None) -> dict:
     if scenario.fidelity == "flow":
         from ..flow import simulate_flow_switch
 
+        if registry is None and scenario.telemetry:
+            from ..telemetry import MetricsRegistry
+
+            registry = MetricsRegistry()
         report = simulate_flow_switch(
             config,
             load=scenario.load,
             duration_ns=scenario.duration_ns,
             drain=scenario.drain,
             mean_packet_bytes=_size_dist(scenario).mean_bytes,
+            telemetry=registry,
         )
-        return {"report": report_to_dict(report), "telemetry": None}
+        return {
+            "report": report_to_dict(report),
+            "telemetry": registry.to_dict() if registry is not None else None,
+        }
     generator = TrafficGenerator(
         n_ports=config.n_ports,
         port_rate_bps=config.port_rate_bps,
@@ -330,6 +338,10 @@ def _execute_router(scenario: Scenario, registry=None) -> dict:
     if scenario.fidelity == "flow":
         from ..flow import flow_router_report
 
+        if registry is None and scenario.telemetry:
+            from ..telemetry import MetricsRegistry
+
+            registry = MetricsRegistry()
         report = flow_router_report(
             config,
             load=scenario.load,
@@ -337,8 +349,12 @@ def _execute_router(scenario: Scenario, registry=None) -> dict:
             drain=scenario.drain,
             schedule=scenario.schedule,
             mean_packet_bytes=_size_dist(scenario).mean_bytes,
+            telemetry=registry,
         )
-        return {"report": report_to_dict(report), "telemetry": None}
+        return {
+            "report": report_to_dict(report),
+            "telemetry": registry.to_dict() if registry is not None else None,
+        }
     generator = TrafficGenerator(
         n_ports=config.n_ribbons,
         port_rate_bps=config.fibers_per_ribbon * config.per_fiber_rate_bps,
@@ -374,14 +390,22 @@ def _execute_degradation(scenario: Scenario, registry=None) -> dict:
     if scenario.fidelity == "flow":
         from ..flow import flow_degradation
 
+        if registry is None and scenario.telemetry:
+            from ..telemetry import MetricsRegistry
+
+            registry = MetricsRegistry()
         report = flow_degradation(
             scenario.config,
             schedule=scenario.schedule,
             load=scenario.load,
             duration_ns=scenario.duration_ns,
             n_intervals=scenario.n_intervals,
+            telemetry=registry,
         )
-        return {"report": report.to_dict(), "telemetry": None}
+        return {
+            "report": report.to_dict(),
+            "telemetry": registry.to_dict() if registry is not None else None,
+        }
     if registry is None and scenario.telemetry:
         from ..telemetry import MetricsRegistry
 
@@ -456,11 +480,7 @@ def _execute_fabric(scenario: Scenario, registry=None) -> dict:
     from ..fabric.engine import simulate_fabric
     from ..reporting import report_to_dict
 
-    if (
-        registry is None
-        and scenario.telemetry
-        and scenario.fidelity == "packet"
-    ):
+    if registry is None and scenario.telemetry:
         from ..telemetry import MetricsRegistry
 
         registry = MetricsRegistry()

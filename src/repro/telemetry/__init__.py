@@ -4,10 +4,14 @@ The observability substrate of the repro (docs/observability.md):
 
 - :class:`MetricsRegistry` -- labeled counters/gauges/histograms with
   fixed ns-scale buckets, deterministic serialisation and merging.
+- :class:`TimeSeriesRecorder` / :class:`TimeSeries` -- fixed-width-ns
+  windowed series (ring-buffer bounded, EWMA views) riding inside the
+  registry's dumps; :func:`sparkline` renders them in a terminal.
 - :class:`SwitchTelemetry` -- pre-bound instruments for every pipeline
   stage one HBM switch drives (:data:`STAGES`).
 - :func:`to_prometheus` / :func:`to_jsonl` / :func:`write_metrics` --
-  export; :func:`parse_prometheus` validates exported text.
+  export; :func:`parse_prometheus` validates exported text and
+  :func:`read_jsonl` reconstructs a registry from a JSONL dump.
 - :func:`tag_fault_windows` -- stamps a fault schedule onto the dump so
   degradation runs can attribute loss to the failed component.
 - :func:`tag_attack_window` / :func:`record_victim_series` -- the same
@@ -21,9 +25,18 @@ attribute check per instrumented call site and allocates nothing.
 from .export import (
     PrometheusParseError,
     parse_prometheus,
+    read_jsonl,
     to_jsonl,
     to_prometheus,
     write_metrics,
+)
+from .timeseries import (
+    DEFAULT_EWMA_ALPHA,
+    DEFAULT_WINDOW_NS,
+    TS_SCHEMA,
+    TimeSeries,
+    TimeSeriesRecorder,
+    sparkline,
 )
 from .attacktags import record_victim_series, tag_attack_window
 from .faulttags import record_fault_loss, tag_fault_windows
@@ -39,7 +52,9 @@ from .spans import STAGES, SwitchTelemetry, stage_summaries
 
 __all__ = [
     "Counter",
+    "DEFAULT_EWMA_ALPHA",
     "DEFAULT_NS_BUCKETS",
+    "DEFAULT_WINDOW_NS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -47,9 +62,14 @@ __all__ = [
     "SCHEMA",
     "STAGES",
     "SwitchTelemetry",
+    "TS_SCHEMA",
+    "TimeSeries",
+    "TimeSeriesRecorder",
     "parse_prometheus",
+    "read_jsonl",
     "record_fault_loss",
     "record_victim_series",
+    "sparkline",
     "stage_summaries",
     "tag_attack_window",
     "tag_fault_windows",

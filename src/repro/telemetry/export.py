@@ -22,7 +22,9 @@ import json
 import math
 from typing import Dict, List, Mapping, Tuple
 
-from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from ..errors import ConfigError
+from .registry import SCHEMA, Counter, Gauge, Histogram, MetricsRegistry
+from .timeseries import TimeSeries
 
 
 def _escape(value: str) -> str:
@@ -87,15 +89,47 @@ def to_prometheus(registry: MetricsRegistry) -> str:
             lines.append(
                 f"{metric.name}_count{_label_text(metric.labels)} {metric.count}"
             )
+    for series in registry.iter_timeseries():
+        # Windowed series render as one gauge sample per window with the
+        # window start encoded as a label -- scrapeable, and lossless for
+        # the round-trip parser.
+        header(series.name, "gauge", series.help)
+        for window, value in series.windows():
+            labels = _label_text(
+                series.labels,
+                (("window_start_ns", _format_value(window * series.window_ns)),),
+            )
+            lines.append(f"{series.name}{labels} {_format_value(value)}")
     return "\n".join(lines) + "\n"
 
 
 def to_jsonl(registry: MetricsRegistry) -> str:
-    """One JSON object per series, in the registry's deterministic order."""
+    """One JSON object per series, in the registry's deterministic order.
+
+    Windowed time series follow the metric entries, distinguished by
+    ``"kind": "timeseries"``; :func:`read_jsonl` reverses the format.
+    """
     dump = registry.to_dict()
     lines = [json.dumps({"schema": dump["schema"]}, sort_keys=True)]
     lines.extend(json.dumps(entry, sort_keys=True) for entry in dump["metrics"])
+    lines.extend(
+        json.dumps(entry, sort_keys=True) for entry in dump.get("timeseries", [])
+    )
     return "\n".join(lines) + "\n"
+
+
+def read_jsonl(text: str) -> MetricsRegistry:
+    """Reconstruct a registry from :func:`to_jsonl` output."""
+    entries = [json.loads(line) for line in text.splitlines() if line.strip()]
+    if not entries or entries[0].get("schema") != SCHEMA:
+        raise ConfigError("not a repro telemetry JSONL dump (missing schema header)")
+    dump = {"schema": SCHEMA, "metrics": [], "timeseries": []}
+    for entry in entries[1:]:
+        if entry.get("kind") == TimeSeries.kind:
+            dump["timeseries"].append(entry)
+        else:
+            dump["metrics"].append(entry)
+    return MetricsRegistry.from_dict(dump)
 
 
 def write_metrics(registry: MetricsRegistry, path: str) -> str:
@@ -117,6 +151,28 @@ def write_metrics(registry: MetricsRegistry, path: str) -> str:
 
 class PrometheusParseError(ValueError):
     """The text violates the exposition-format rules a scraper relies on."""
+
+
+def _split_label_block(rest: str) -> Tuple[str, str]:
+    """Split ``labels...} value`` at the *closing* brace of the label block.
+
+    A naive ``partition("}")`` truncates label values that themselves
+    contain ``}``; this scanner honours quoting and escapes, so hostile
+    label values (braces, commas, escaped quotes) round-trip.
+    """
+    in_quotes = False
+    i = 0
+    while i < len(rest):
+        ch = rest[i]
+        if ch == "\\" and in_quotes:
+            i += 2
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+        elif ch == "}" and not in_quotes:
+            return rest[:i], rest[i + 1:]
+        i += 1
+    raise PrometheusParseError(f"unterminated label block near {rest!r}")
 
 
 def _parse_labels(text: str) -> Dict[str, str]:
@@ -171,7 +227,7 @@ def parse_prometheus(text: str) -> Dict[str, List[Tuple[Dict[str, str], float]]]
             continue
         if "{" in line:
             name, _, rest = line.partition("{")
-            label_text, _, value_text = rest.partition("}")
+            label_text, value_text = _split_label_block(rest)
             labels = _parse_labels(label_text)
         else:
             name, _, value_text = line.partition(" ")

@@ -31,6 +31,10 @@ def _scope(event) -> str:
     kind = type(event).__name__
     if kind == "FiberCut":
         return f"ribbon{event.ribbon}/fiber{event.fiber}"
+    if kind == "RouterDown":
+        return f"router{event.router}"
+    if kind == "LinkCut":
+        return f"link{event.a}:{event.b}"
     scope = f"switch{event.switch}"
     if kind == "HBMChannelLoss":
         scope += f"/channels{event.n_channels}"

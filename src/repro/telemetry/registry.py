@@ -224,6 +224,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Any] = {}
+        self._timeseries: Optional[Any] = None  # lazy TimeSeriesRecorder
 
     # -- instrument creation ---------------------------------------------------
 
@@ -254,6 +255,30 @@ class MetricsRegistry:
         **labels: str,
     ) -> Histogram:
         return self._get_or_create(Histogram, name, help, labels, bounds=buckets)
+
+    def timeseries(self, name: str, help: str = "", **kwargs):
+        """Get-or-create a windowed :class:`~repro.telemetry.timeseries.TimeSeries`.
+
+        Keyword options (``window_ns``, ``agg``, ``capacity``) and labels
+        pass through to :meth:`TimeSeriesRecorder.series`.  The recorder
+        is created lazily so registries without series dump unchanged.
+        """
+        from .timeseries import TimeSeriesRecorder
+
+        if self._timeseries is None:
+            self._timeseries = TimeSeriesRecorder()
+        return self._timeseries.series(name, help, **kwargs)
+
+    def iter_timeseries(self):
+        """Every windowed series, in deterministic order (may be empty)."""
+        if self._timeseries is None:
+            return iter(())
+        return iter(self._timeseries)
+
+    def get_timeseries(self, name: str, **labels: str):
+        if self._timeseries is None:
+            return None
+        return self._timeseries.get(name, **labels)
 
     # -- introspection ---------------------------------------------------------
 
@@ -294,6 +319,12 @@ class MetricsRegistry:
                         f"metric {metric.name} kind mismatch on merge"
                     )
                 mine._merge(metric)
+        if other._timeseries is not None and len(other._timeseries):
+            from .timeseries import TimeSeriesRecorder
+
+            if self._timeseries is None:
+                self._timeseries = TimeSeriesRecorder()
+            self._timeseries.merge(other._timeseries)
 
     def merge_dict(self, dump: Mapping[str, Any]) -> None:
         """Merge a serialised registry (a worker's report payload)."""
@@ -302,8 +333,13 @@ class MetricsRegistry:
     # -- serialisation ---------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe, deterministically ordered dump of every series."""
-        return {
+        """JSON-safe, deterministically ordered dump of every series.
+
+        Windowed time series ride along under a ``"timeseries"`` key
+        (present only when at least one series exists, so pre-series
+        dumps are byte-unchanged).
+        """
+        dump: Dict[str, Any] = {
             "schema": SCHEMA,
             "metrics": [
                 {
@@ -316,6 +352,9 @@ class MetricsRegistry:
                 for m in self
             ],
         }
+        if self._timeseries is not None and len(self._timeseries):
+            dump["timeseries"] = self._timeseries.to_list()
+        return dump
 
     @classmethod
     def from_dict(cls, dump: Mapping[str, Any]) -> "MetricsRegistry":
@@ -333,6 +372,11 @@ class MetricsRegistry:
                 kind, entry["name"], entry.get("help", ""), entry.get("labels", {}), **kwargs
             )
             metric._load(entry)
+        entries = dump.get("timeseries")
+        if entries:
+            from .timeseries import TimeSeriesRecorder
+
+            registry._timeseries = TimeSeriesRecorder.from_list(entries)
         return registry
 
     def dumps(self) -> str:

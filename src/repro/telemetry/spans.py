@@ -56,6 +56,13 @@ BYTES = "repro_pipeline_bytes_total"
 FRAMES = "repro_pipeline_frames_total"
 DROPS = "repro_pipeline_dropped_bytes_total"
 
+#: Windowed time-series names (fixed-width-ns windows; see
+#: :mod:`repro.telemetry.timeseries`).
+WINDOW_BYTES = "repro_window_bytes"
+WINDOW_DROPPED = "repro_window_dropped_bytes"
+WINDOW_OCCUPANCY = "repro_window_occupancy_bytes"
+SPLIT_WINDOW_BYTES = "repro_split_window_bytes"
+
 _HELP = {
     "oeo": "O/E conversion serialisation time per packet",
     "split": "passive fiber-split assignment (0 ns; count = per-switch load)",
@@ -96,6 +103,10 @@ class SwitchTelemetry:
         "frames_written",
         "frames_read",
         "frames_bypassed",
+        "win_bytes_in",
+        "win_bytes_out",
+        "win_dropped",
+        "win_occupancy",
         "_drops",
     )
 
@@ -157,6 +168,21 @@ class SwitchTelemetry:
         )
         self.frames_bypassed = registry.counter(
             FRAMES, "frames by disposition", disposition="bypassed", switch=label
+        )
+        self.win_bytes_in = registry.timeseries(
+            WINDOW_BYTES, "bytes per window by crossing point",
+            point="ingress", switch=label,
+        )
+        self.win_bytes_out = registry.timeseries(
+            WINDOW_BYTES, "bytes per window by crossing point",
+            point="egress", switch=label,
+        )
+        self.win_dropped = registry.timeseries(
+            WINDOW_DROPPED, "dropped bytes per window", switch=label
+        )
+        self.win_occupancy = registry.timeseries(
+            WINDOW_OCCUPANCY, "in-switch payload high-water per window",
+            agg="max", switch=label,
         )
         self._drops: Dict[str, Counter] = {}
 

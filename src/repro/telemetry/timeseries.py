@@ -1,0 +1,361 @@
+"""Windowed time series: the time-resolved half of the telemetry layer.
+
+The :class:`~repro.telemetry.registry.MetricsRegistry` captures
+run-scoped aggregates; this module adds *when*.  A :class:`TimeSeries`
+is a labeled sequence of fixed-width-ns windows; observations land in
+``window = floor(t_ns / window_ns)`` (half-open ``[k*w, (k+1)*w)``, so
+an event exactly on a window edge belongs to the window it *starts*).
+Within a window values combine by the series' aggregation:
+
+- ``agg="sum"`` -- throughput-style series (bytes, drops per window);
+- ``agg="max"`` -- occupancy-style series (queue high-water per window).
+
+The same guarantees the registry holds carry over:
+
+- **Cheap when disabled.**  Series are bound to attributes at setup
+  behind the existing ``if self.telemetry is not None:`` guards; a
+  disabled run pays nothing new.
+- **Bounded memory.**  Each series is a ring of at most ``capacity``
+  windows: creating a window past capacity evicts the oldest, and a
+  late observation to an already-evicted window is dropped (both are
+  counted in ``evicted``).  Worst-case memory is
+  ``capacity * O(1)`` per series regardless of run length.
+- **Deterministic, mergeable.**  Windows are keyed by absolute index,
+  so series from independent workers are element-wise combinable (sum
+  or max per window) exactly like fixed-bound histogram buckets;
+  :meth:`TimeSeriesRecorder.to_dict` sorts series and windows, so
+  sequential and parallel runs of the same workload dump
+  byte-identically.
+- **JSON-null empty stats.**  An empty series reports ``mean``/``peak``
+  as NaN in Python and ``null`` in dumps, matching the latency-summary
+  semantics elsewhere in the reporting layer.
+
+EWMA-smoothed views (:meth:`TimeSeries.ewma`) are computed at read time
+over the sorted windows -- a pure function of the dump, so smoothing
+never perturbs the recorded data or the byte-identity contract.  The
+PR 9+ control plane consumes these smoothed signals.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import ConfigError
+from .registry import _label_key
+
+#: Schema tag stamped on every recorder dump.
+TS_SCHEMA = "repro-timeseries-v1"
+
+#: Default window width.  Pipeline durations are O(10-100 us), batch
+#: times O(10 ns); 1 us windows give tens of points per run at
+#: negligible memory.
+DEFAULT_WINDOW_NS = 1_000.0
+
+#: Default ring capacity (windows retained per series).
+DEFAULT_CAPACITY = 512
+
+#: Default smoothing factor for EWMA views (wanctl-style responsiveness).
+DEFAULT_EWMA_ALPHA = 0.3
+
+_AGGS = ("sum", "max")
+
+#: Eight-level block characters for terminal sparklines.
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+class TimeSeries:
+    """One labeled windowed series (a value object, like the instruments)."""
+
+    __slots__ = (
+        "name", "help", "labels", "window_ns", "agg", "capacity",
+        "_windows", "evicted",
+    )
+    kind = "timeseries"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labels: Tuple[Tuple[str, str], ...],
+        window_ns: float = DEFAULT_WINDOW_NS,
+        agg: str = "sum",
+        capacity: int = DEFAULT_CAPACITY,
+    ):
+        if window_ns <= 0:
+            raise ConfigError(f"series {name}: window_ns must be > 0, got {window_ns}")
+        if agg not in _AGGS:
+            raise ConfigError(f"series {name}: unknown agg {agg!r} (want {_AGGS})")
+        if capacity < 1:
+            raise ConfigError(f"series {name}: capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.window_ns = float(window_ns)
+        self.agg = agg
+        self.capacity = int(capacity)
+        self._windows: Dict[int, float] = {}
+        self.evicted = 0
+
+    # -- recording -------------------------------------------------------------
+
+    def observe(self, t_ns: float, value: float = 1.0) -> None:
+        """Fold ``value`` into the window containing ``t_ns``."""
+        window = int(t_ns // self.window_ns)
+        current = self._windows.get(window)
+        if current is not None:
+            if self.agg == "sum":
+                self._windows[window] = current + value
+            else:
+                self._windows[window] = current if current >= value else value
+            return
+        if len(self._windows) >= self.capacity:
+            oldest = min(self._windows)
+            if window <= oldest:
+                # The target window already aged out of the ring.
+                self.evicted += 1
+                return
+            del self._windows[oldest]
+            self.evicted += 1
+        self._windows[window] = float(value)
+
+    # -- views -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def windows(self) -> List[Tuple[int, float]]:
+        """``(window_index, value)`` pairs in ascending window order."""
+        return sorted(self._windows.items())
+
+    def values(self) -> List[float]:
+        return [value for _, value in self.windows()]
+
+    @property
+    def total(self) -> float:
+        return sum(self._windows.values())
+
+    @property
+    def peak(self) -> float:
+        """Largest window value; NaN when the series is empty."""
+        return max(self._windows.values()) if self._windows else math.nan
+
+    @property
+    def mean(self) -> float:
+        """Mean per *recorded* window; NaN when the series is empty."""
+        if not self._windows:
+            return math.nan
+        return self.total / len(self._windows)
+
+    def ewma(self, alpha: float = DEFAULT_EWMA_ALPHA) -> List[Tuple[int, float]]:
+        """Exponentially smoothed view over the recorded windows.
+
+        ``s_0 = v_0; s_i = alpha*v_i + (1-alpha)*s_{i-1}`` over windows
+        in ascending index order (gaps are skipped, not zero-filled).
+        Computed at read time: deterministic for a given dump and
+        independent of observation order within a window.
+        """
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"ewma alpha must be in (0, 1], got {alpha}")
+        smoothed: List[Tuple[int, float]] = []
+        state: Optional[float] = None
+        for window, value in self.windows():
+            state = value if state is None else alpha * value + (1.0 - alpha) * state
+            smoothed.append((window, state))
+        return smoothed
+
+    # -- merge / serialise -----------------------------------------------------
+
+    def _check_compatible(self, window_ns: float, agg: str) -> None:
+        if float(window_ns) != self.window_ns:
+            raise ConfigError(
+                f"cannot combine series {self.name}: window widths differ "
+                f"({self.window_ns} vs {window_ns})"
+            )
+        if agg != self.agg:
+            raise ConfigError(
+                f"cannot combine series {self.name}: aggregations differ "
+                f"({self.agg} vs {agg})"
+            )
+
+    def _merge(self, other: "TimeSeries") -> None:
+        self._check_compatible(other.window_ns, other.agg)
+        for window, value in other.windows():
+            current = self._windows.get(window)
+            if current is None:
+                self._windows[window] = value
+            elif self.agg == "sum":
+                self._windows[window] = current + value
+            else:
+                self._windows[window] = current if current >= value else value
+        self.evicted += other.evicted
+        self._trim()
+
+    def _trim(self) -> None:
+        overflow = len(self._windows) - self.capacity
+        if overflow > 0:
+            for window in sorted(self._windows)[:overflow]:
+                del self._windows[window]
+            self.evicted += overflow
+
+    def _values(self) -> Dict[str, Any]:
+        mean = self.mean
+        peak = self.peak
+        return {
+            "window_ns": self.window_ns,
+            "agg": self.agg,
+            "capacity": self.capacity,
+            "evicted": self.evicted,
+            "windows": [[window, value] for window, value in self.windows()],
+            "total": self.total,
+            "mean": None if math.isnan(mean) else mean,
+            "peak": None if math.isnan(peak) else peak,
+        }
+
+    def _load(self, data: Mapping[str, Any]) -> None:
+        self._check_compatible(float(data["window_ns"]), data["agg"])
+        self._windows = {int(w): float(v) for w, v in data["windows"]}
+        self.evicted = int(data.get("evicted", 0))
+        self._trim()
+
+
+class TimeSeriesRecorder:
+    """Holds every windowed series of one run (or one worker's share).
+
+    Mirrors :class:`~repro.telemetry.registry.MetricsRegistry`: series
+    are get-or-create by ``(name, labels)``, iteration and dumps are
+    deterministically sorted, and recorders merge element-wise so
+    worker shards fold together byte-identically with a sequential run.
+    """
+
+    def __init__(self) -> None:
+        self._series: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], TimeSeries] = {}
+
+    def series(
+        self,
+        name: str,
+        help: str = "",
+        window_ns: float = DEFAULT_WINDOW_NS,
+        agg: str = "sum",
+        capacity: int = DEFAULT_CAPACITY,
+        **labels: str,
+    ) -> TimeSeries:
+        key = (name, _label_key(labels))
+        existing = self._series.get(key)
+        if existing is not None:
+            existing._check_compatible(window_ns, agg)
+            return existing
+        series = TimeSeries(name, help, key[1], window_ns, agg, capacity)
+        self._series[key] = series
+        return series
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __iter__(self):
+        """Series in deterministic (name, labels) order."""
+        for key in sorted(self._series):
+            yield self._series[key]
+
+    def all(self, name: str) -> List[TimeSeries]:
+        """Every series of ``name``, in label order."""
+        return [s for s in self if s.name == name]
+
+    def get(self, name: str, **labels: str) -> Optional[TimeSeries]:
+        return self._series.get((name, _label_key(labels)))
+
+    # -- merging ---------------------------------------------------------------
+
+    def merge(self, other: "TimeSeriesRecorder") -> None:
+        for series in other:
+            key = (series.name, series.labels)
+            mine = self._series.get(key)
+            if mine is None:
+                self._series[key] = _copy_series(series)
+            else:
+                mine._merge(series)
+
+    def merge_dict(self, dump: Mapping[str, Any]) -> None:
+        self.merge(TimeSeriesRecorder.from_dict(dump))
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_list(self) -> List[Dict[str, Any]]:
+        """The per-series entries (embedded in registry dumps)."""
+        return [
+            {
+                "name": s.name,
+                "kind": s.kind,
+                "help": s.help,
+                "labels": {k: v for k, v in s.labels},
+                **s._values(),
+            }
+            for s in self
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"schema": TS_SCHEMA, "series": self.to_list()}
+
+    @classmethod
+    def from_list(cls, entries: List[Mapping[str, Any]]) -> "TimeSeriesRecorder":
+        recorder = cls()
+        for entry in entries:
+            if entry.get("kind") != TimeSeries.kind:
+                raise ConfigError(f"unknown series kind {entry.get('kind')!r}")
+            series = recorder.series(
+                entry["name"],
+                entry.get("help", ""),
+                window_ns=float(entry["window_ns"]),
+                agg=entry["agg"],
+                capacity=int(entry.get("capacity", DEFAULT_CAPACITY)),
+                **entry.get("labels", {}),
+            )
+            series._load(entry)
+        return recorder
+
+    @classmethod
+    def from_dict(cls, dump: Mapping[str, Any]) -> "TimeSeriesRecorder":
+        if dump.get("schema") != TS_SCHEMA:
+            raise ConfigError(f"unknown timeseries schema {dump.get('schema')!r}")
+        return cls.from_list(dump["series"])
+
+    def dumps(self) -> str:
+        """Canonical JSON text -- byte-identical for equal recorders."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def _copy_series(series: TimeSeries) -> TimeSeries:
+    clone = TimeSeries(
+        series.name, series.help, series.labels,
+        series.window_ns, series.agg, series.capacity,
+    )
+    clone._windows = dict(series._windows)
+    clone.evicted = series.evicted
+    return clone
+
+
+def sparkline(values: List[float], lo: Optional[float] = None, hi: Optional[float] = None) -> str:
+    """Render ``values`` as a row of block characters.
+
+    Scaled between ``lo`` and ``hi`` (default: the values' own min/max);
+    a flat or empty series renders at the lowest block.
+    """
+    if not values:
+        return ""
+    finite = [v for v in values if not math.isnan(v)]
+    if not finite:
+        return SPARK_BLOCKS[0] * len(values)
+    lo = min(finite) if lo is None else lo
+    hi = max(finite) if hi is None else hi
+    span = hi - lo
+    chars = []
+    for value in values:
+        if math.isnan(value) or span <= 0:
+            chars.append(SPARK_BLOCKS[0])
+            continue
+        level = int((value - lo) / span * (len(SPARK_BLOCKS) - 1) + 0.5)
+        chars.append(SPARK_BLOCKS[max(0, min(level, len(SPARK_BLOCKS) - 1))])
+    return "".join(chars)

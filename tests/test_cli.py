@@ -88,6 +88,81 @@ class TestExperiments:
             assert (root / bench).exists(), bench
 
 
+class TestEventsOut:
+    def sweep(self, extra):
+        return main(
+            ["sweep", "--loads", "0.4,0.8", "--duration-us", "8",
+             "--fidelity", "flow"] + extra
+        )
+
+    def test_sweep_streams_validated_lifecycle(self, tmp_path, capsys):
+        from repro.runtime import validate_events
+
+        path = tmp_path / "events.jsonl"
+        assert self.sweep(["--events-out", str(path)]) == 0
+        kinds = [e["kind"] for e in validate_events(path.read_text())]
+        assert kinds[0] == "sweep_start"
+        assert kinds[-1] == "sweep_finish"
+        assert kinds.count("cell_start") == 2
+        assert kinds.count("cell_finish") == 2
+
+    def test_cached_rerun_streams_cell_cached(self, tmp_path, capsys):
+        from repro.runtime import validate_events
+
+        cache = str(tmp_path / "cache")
+        path = tmp_path / "warm.jsonl"
+        assert self.sweep(["--cache-dir", cache]) == 0
+        assert self.sweep(
+            ["--cache-dir", cache, "--events-out", str(path)]
+        ) == 0
+        warm = validate_events(path.read_text())
+        assert [e["kind"] for e in warm].count("cell_cached") == 2
+        assert warm[-1]["n_executed"] == 0
+
+
+class TestTimeseriesCmd:
+    def dump(self, tmp_path, capsys):
+        path = tmp_path / "metrics.jsonl"
+        assert main(
+            ["sweep", "--loads", "0.6", "--duration-us", "8",
+             "--fidelity", "flow", "--metrics-out", str(path)]
+        ) == 0
+        capsys.readouterr()
+        return str(path)
+
+    def test_renders_sparklines(self, tmp_path, capsys):
+        assert main(["timeseries", self.dump(tmp_path, capsys)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_flow_window_bytes" in out
+        assert "timeline" in out
+
+    def test_name_filter_and_ewma(self, tmp_path, capsys):
+        path = self.dump(tmp_path, capsys)
+        assert main(
+            ["timeseries", path, "--name", "queue", "--ewma", "0.3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "repro_flow_window_queue_bytes" in out
+        assert "repro_flow_window_bytes{" not in out
+        assert "ewma" in out
+
+    def test_missing_or_corrupt_file_exit_2(self, tmp_path, capsys):
+        assert main(["timeseries", str(tmp_path / "absent.jsonl")]) == 2
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not a dump\n")
+        assert main(["timeseries", str(bad)]) == 2
+        capsys.readouterr()
+
+
+class TestBenchAppendFlag:
+    def test_append_defaults_to_bench_history(self):
+        args = build_parser().parse_args(["bench", "--append"])
+        assert args.append == "BENCH_HISTORY.jsonl"
+        args = build_parser().parse_args(["bench", "--append", "h.jsonl"])
+        assert args.append == "h.jsonl"
+        assert build_parser().parse_args(["bench"]).append is None
+
+
 class TestTimeline:
     def test_renders_banks_and_bus(self, capsys):
         assert main(["timeline", "--frames", "2"]) == 0

@@ -5,7 +5,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.perf.compare import TRACKED_METRICS, compare_documents, main
+from repro.perf.compare import (
+    TRACKED_METRICS,
+    compare_documents,
+    history_rows,
+    load_history,
+    main,
+)
 
 
 def make_document(scale=1.0, drop=()):
@@ -85,3 +91,81 @@ class TestCompareCli:
         out = capsys.readouterr().out
         for bench, key in TRACKED_METRICS:
             assert key in out
+
+    def test_missing_positionals_without_history_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+        assert "required without --history" in capsys.readouterr().err
+
+
+class TestHistory:
+    def write_history(self, tmp_path, documents):
+        path = tmp_path / "BENCH_HISTORY.jsonl"
+        path.write_text(
+            "".join(json.dumps(doc) + "\n" for doc in documents)
+        )
+        return str(path)
+
+    def test_rows_delta_against_previous_revision(self):
+        documents = [
+            dict(make_document(scale=1.0), rev="aaa"),
+            dict(make_document(scale=1.2), rev="bbb"),
+            dict(make_document(scale=1.08), rev="ccc"),
+        ]
+        rows = history_rows(documents)
+        assert len(rows) == 3 * len(TRACKED_METRICS)
+        by_rev = {}
+        for row in rows:
+            by_rev.setdefault(row["rev"], []).append(row["delta"])
+        assert all(delta is None for delta in by_rev["aaa"])
+        assert all(delta == pytest.approx(0.2) for delta in by_rev["bbb"])
+        assert all(delta == pytest.approx(-0.1) for delta in by_rev["ccc"])
+
+    def test_metric_gap_compares_against_last_appearance(self):
+        gap = (("engine", "events_per_sec"),)
+        documents = [
+            dict(make_document(scale=1.0), rev="aaa"),
+            dict(make_document(scale=2.0, drop=gap), rev="bbb"),
+            dict(make_document(scale=1.5), rev="ccc"),
+        ]
+        engine = [
+            row for row in history_rows(documents)
+            if (row["bench"], row["metric"]) == gap[0]
+        ]
+        assert [row["rev"] for row in engine] == ["aaa", "ccc"]
+        assert engine[1]["delta"] == pytest.approx(0.5)
+
+    def test_unstamped_documents_use_position_as_rev(self):
+        rows = history_rows([make_document(), make_document()])
+        assert {row["rev"] for row in rows} == {"0", "1"}
+
+    def test_load_history_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text(json.dumps(make_document()) + "\n\n")
+        assert len(load_history(str(path))) == 1
+
+    def test_load_history_rejects_bad_line(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError):
+            load_history(str(path))
+
+    def test_cli_trend_mode_exit_zero(self, tmp_path, capsys):
+        path = self.write_history(
+            tmp_path,
+            [
+                dict(make_document(scale=1.0), rev="aaa"),
+                dict(make_document(scale=1.2), rev="bbb"),
+            ],
+        )
+        assert main(["--history", path]) == 0
+        out = capsys.readouterr().out
+        assert "+20.0%" in out
+        assert "aaa" in out and "bbb" in out
+
+    def test_cli_trend_mode_exit_two_on_empty_or_missing(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["--history", str(empty)]) == 2
+        assert main(["--history", str(tmp_path / "absent.jsonl")]) == 2

@@ -155,6 +155,18 @@ class TestExport:
         assert inf_bucket == [2.0]
         assert samples["repro_h_ns_count"] == [({"switch": "0"}, 2.0)]
 
+    def test_hostile_label_values_round_trip(self):
+        registry = MetricsRegistry()
+        hostile = {
+            "brace": 'va}l"ue',
+            "slash": "back\\slash",
+            "newline": "line\nbreak",
+            "comma": 'a="1",b="2"',
+        }
+        registry.counter("repro_hostile_total", "escaping", **hostile).inc(1)
+        samples = parse_prometheus(to_prometheus(registry))
+        assert samples["repro_hostile_total"] == [(hostile, 1.0)]
+
     def test_parse_rejects_headerless_samples(self):
         with pytest.raises(PrometheusParseError):
             parse_prometheus('mystery_metric{x="1"} 2\n')
