@@ -13,6 +13,7 @@ import json
 import os
 
 from repro.perf import (
+    bench_control,
     bench_engine,
     bench_flow_engine,
     bench_router_parallel,
@@ -98,6 +99,16 @@ def test_bench_sweep_cached_warm_is_fast_and_identical():
     assert metrics["warm_speedup"] >= 5.0
 
 
+def test_bench_control_ticks_and_reacts():
+    result = bench_control(duration_ns=10_000.0, tick_ns=100.0)
+    assert result.name == "control"
+    assert result.metrics["n_ticks"] == 99
+    assert result.metrics["ticks_per_sec"] > 0
+    # The mid-run switch failure must provoke the reweight controller.
+    assert result.metrics["n_state_changes"] > 0
+    assert 0.9 < result.metrics["delivered_fraction"] <= 1.0
+
+
 def test_run_benchmarks_document_roundtrips(tmp_path):
     document = run_benchmarks(rev="smoke", quick=True, n_switches=2, n_workers=1)
     assert document["schema"] == "repro-bench-v1"
@@ -111,6 +122,8 @@ def test_run_benchmarks_document_roundtrips(tmp_path):
         "router_parallel",
         "sweep_cached",
         "flow_engine",
+        "fabric",
+        "control",
     }
     path = write_bench_json(document, str(tmp_path / "BENCH_smoke.json"))
     with open(path, encoding="utf-8") as handle:

@@ -56,8 +56,10 @@ __version__ = "1.0.0"
 
 # The scenario runtime imports __version__ (for cache keys), so it must
 # come after the assignment above.
+from . import control  # noqa: E402
 from . import fabric  # noqa: E402
 from . import runtime  # noqa: E402
+from .control import ControlConfig  # noqa: E402
 from .fabric import FabricReport, FabricTopology  # noqa: E402
 from .runtime import Runtime, Scenario, run  # noqa: E402
 
@@ -67,6 +69,8 @@ __all__ = [
     "Runtime",
     "run",
     "runtime",
+    "control",
+    "ControlConfig",
     "fabric",
     "FabricReport",
     "FabricTopology",

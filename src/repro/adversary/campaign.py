@@ -118,6 +118,9 @@ class AttackTrial:
     traffic_seed: int
     fault_schedule: object = None
     telemetry: bool = False
+    #: Optional :class:`~repro.control.ControlConfig`; ``None`` = open
+    #: loop (the historical behaviour, byte-identical payloads).
+    control: object = None
 
 
 def trial_seeds(seed: int, index: int) -> tuple:
@@ -174,6 +177,27 @@ def execute_attack_trial(trial: AttackTrial) -> dict:
     packets, fibers = strategy.build_workload(
         config, splitter, trial.load, trial.duration_ns, trial.traffic_seed
     )
+    control = getattr(trial, "control", None)
+    control_summary = None
+    throttled_bytes = 0
+    if control is not None:
+        from ..control.packet import attack_windows_for, packet_control_prepass
+
+        fibers, throttled, loop = packet_control_prepass(
+            config,
+            control,
+            packets,
+            list(fibers),
+            splitter,
+            trial.duration_ns,
+            schedule=trial.fault_schedule,
+            attack_windows=attack_windows_for(strategy, trial.duration_ns),
+            telemetry=registry,
+        )
+        packets = [p for p, t in zip(packets, throttled) if not t]
+        fibers = [f for f, t in zip(fibers, throttled) if not t]
+        throttled_bytes = int(round(loop.throttled_bytes))
+        control_summary = loop.summary()
     router = SplitParallelSwitch(config, splitter=splitter)
     report = router.run(
         packets,
@@ -197,7 +221,10 @@ def execute_attack_trial(trial: AttackTrial) -> dict:
     if registry is not None:
         record_victim_series(registry, offered, victim)
 
-    return {
+    # Offered bytes always count the throttled (backpressured) traffic:
+    # the control plane may convert losses, never shrink the offer.
+    offered_total = int(report.offered_bytes) + throttled_bytes
+    summary = {
         "trial": trial.index,
         "splitter": trial.splitter_kind,
         "splitter_seed": trial.splitter_seed,
@@ -209,13 +236,22 @@ def execute_attack_trial(trial: AttackTrial) -> dict:
         "overload_loss_fraction": overload,
         "sim_victim_switch": sim_target,
         "sim_victim_gain": sim_victim_gain,
-        "sim_offered_bytes": int(report.offered_bytes),
-        "sim_delivered_fraction": report.delivered_fraction,
-        "sim_loss_fraction": report.loss_fraction,
+        "sim_offered_bytes": offered_total,
+        "sim_delivered_fraction": (
+            report.delivered_bytes / offered_total if offered_total > 0 else 1.0
+        ),
+        "sim_loss_fraction": (
+            (report.lost_bytes + throttled_bytes) / offered_total
+            if offered_total > 0
+            else 0.0
+        ),
         "sim_residual_bytes": int(report.residual_bytes),
         "fault_events": list(report.fault_events),
         "telemetry": registry.to_dict() if registry is not None else None,
     }
+    if control_summary is not None:
+        summary["control"] = control_summary
+    return summary
 
 
 def _confidence(values: List[float]) -> dict:

@@ -16,6 +16,10 @@ Commands:
 - ``experiments`` -- list the experiment index (E1..E16 and ablations)
                      with the bench that regenerates each.
 - ``bench``       -- run the perf harness and write ``BENCH_<rev>.json``.
+- ``control``     -- the closed-loop control plane (:mod:`repro.control`):
+                     run a demo closed-loop run, or ``--compare-open-loop``
+                     to measure the controller's delivered-fraction delta
+                     on the fault / attack campaigns.
 
 ``simulate``/``sweep``/``faults`` accept ``--metrics-out PATH`` to write
 the run's telemetry dump alongside their normal output (format by
@@ -518,6 +522,66 @@ def build_parser() -> argparse.ArgumentParser:
     timeseries.add_argument(
         "--width", type=int, default=64,
         help="max sparkline columns (older windows are summarised away)",
+    )
+
+    control = sub.add_parser(
+        "control",
+        help="closed-loop control plane: admission, reweighting, mitigation",
+    )
+    control.add_argument(
+        "--campaign", choices=["fault", "attack"], default="fault",
+        help="which campaign family to close the loop on",
+    )
+    control.add_argument(
+        "--compare-open-loop", action="store_true",
+        help="run the campaign twice (open vs closed loop, same seeds) "
+             "and report the per-cell delivered-fraction delta",
+    )
+    control.add_argument(
+        "--fidelity", choices=["packet", "flow"], default="flow",
+        help="engine for the campaign cells (flow = fluid, fast)",
+    )
+    control.add_argument(
+        "--cells", type=int, default=8,
+        help="fault scenarios / attack trials per campaign",
+    )
+    control.add_argument("--seed", type=int, default=0)
+    control.add_argument("--switches", type=int, default=4, help="router H")
+    control.add_argument("--load", type=float, default=0.6)
+    control.add_argument("--duration-us", type=float, default=40.0)
+    control.add_argument(
+        "--tick-ns", type=float, default=1_000.0,
+        help="control period: signals fold and actuators move once per tick",
+    )
+    control.add_argument(
+        "--switch-mtbf-us", type=float, default=200.0,
+        help="fault campaign: per-component mean time between failures",
+    )
+    control.add_argument(
+        "--switch-mttr-us", type=float, default=10.0,
+        help="fault campaign: mean time to repair",
+    )
+    control.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: all cores)",
+    )
+    control.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="content-addressed result cache (closed-loop cells have "
+             "their own digests; both loops checkpoint)",
+    )
+    control.add_argument(
+        "--json", action="store_true",
+        help="print the JSON report instead of tables",
+    )
+    control.add_argument(
+        "--out", type=str, default=None,
+        help="also write the JSON report to this path",
+    )
+    control.add_argument(
+        "--actions-out", type=str, default=None,
+        help="single-run mode: write the repro-control-v1 action stream "
+             "(JSONL) of the demo run to this path",
     )
     return parser
 
@@ -1341,6 +1405,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 f"{metrics['n_cells']} cells over "
                 f"{metrics['n_routers']} routers"
             )
+        elif name == "control":
+            key = (
+                f"{metrics['ticks_per_sec']:,.0f} ticks/s, "
+                f"{metrics['n_state_changes']} state changes over "
+                f"{metrics['n_ticks']} ticks"
+            )
         else:
             key = f"{metrics['events_per_sec']:,.0f} events/s, {metrics['packets_per_sec']:,.0f} packets/s"
         table.add(name, f"{result['wall_s'] * 1e3:.1f} ms", key)
@@ -1419,6 +1489,154 @@ def cmd_timeseries(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_control(args: argparse.Namespace) -> int:
+    import json
+
+    from .control import ControlConfig, compare_attack_loops, compare_fault_loops
+    from .runtime import Runtime
+
+    config = _router_config(args.switches)
+    duration_ns = args.duration_us * 1e3
+    control = ControlConfig(tick_ns=args.tick_ns)
+    runtime = Runtime(cache_dir=args.cache_dir, n_workers=args.workers)
+
+    if args.compare_open_loop:
+        if args.campaign == "fault":
+            from .faults import CampaignParams
+
+            params = CampaignParams(
+                n_scenarios=args.cells,
+                seed=args.seed,
+                load=args.load,
+                duration_ns=duration_ns,
+                switch_mtbf_ns=args.switch_mtbf_us * 1e3,
+                switch_mttr_ns=args.switch_mttr_us * 1e3,
+                channel_mtbf_ns=args.switch_mtbf_us * 1e3,
+                channel_mttr_ns=args.switch_mttr_us * 1e3,
+                oeo_mtbf_ns=args.switch_mtbf_us * 1e3,
+                oeo_mttr_ns=args.switch_mttr_us * 1e3,
+            )
+            result = compare_fault_loops(
+                config, params, control=control,
+                fidelity=args.fidelity, runtime=runtime,
+            )
+            extra = ("availability", result["availability"])
+        else:
+            from .adversary import AttackCampaignParams, BurstSynchronizedAttack
+
+            params = AttackCampaignParams(
+                strategy=BurstSynchronizedAttack(),
+                n_trials=args.cells,
+                seed=args.seed,
+                load=args.load,
+                duration_ns=duration_ns,
+            )
+            result = compare_attack_loops(
+                config, params, control=control,
+                fidelity=args.fidelity, runtime=runtime,
+            )
+            extra = ("victim gain", result["victim_gain"])
+        text = json.dumps(result, indent=2, sort_keys=True)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.out}")
+        if args.json:
+            print(text)
+            return 0
+        table = Table(
+            f"closed vs open loop: {args.campaign} campaign "
+            f"({args.cells} cells, fidelity={args.fidelity})",
+            ["metric", "open", "closed", "delta", "improved", "regressed"],
+        )
+        for name, block in (
+            ("delivered fraction", result["delivered_fraction"]), extra,
+        ):
+            table.add(
+                name,
+                f"{block['open_mean']:.4f}",
+                f"{block['closed_mean']:.4f}",
+                f"{block['delta_mean']:+.4f}",
+                block["n_improved"],
+                block["n_regressed"],
+            )
+        table.show()
+        return 0
+
+    # Single-run demo: switch 0 fails for the middle third of the run;
+    # the reweight controller sheds its load onto the healthy siblings.
+    from .faults import FaultSchedule, SwitchFailure
+    from .flow import flow_degradation
+
+    schedule = FaultSchedule(
+        [
+            SwitchFailure(
+                switch=0,
+                start_ns=duration_ns / 3.0,
+                end_ns=2.0 * duration_ns / 3.0,
+            )
+        ]
+    )
+    report = flow_degradation(
+        config,
+        schedule=schedule,
+        load=args.load,
+        duration_ns=duration_ns,
+        control=control,
+    )
+    if args.actions_out:
+        from .flow import RateComponent, simulate_flow_router, uniform_rate_matrix
+
+        components = [
+            RateComponent(
+                uniform_rate_matrix(
+                    config.n_ribbons,
+                    args.load,
+                    config.fibers_per_ribbon * config.per_fiber_rate_bps,
+                ),
+                ((0.0, duration_ns),),
+            )
+        ]
+        result = simulate_flow_router(
+            config,
+            components,
+            duration_ns=duration_ns,
+            drain=True,
+            schedule=schedule,
+            control=control,
+        )
+        result.control_actions.write(args.actions_out)
+        print(f"wrote {args.actions_out}")
+    summary = {
+        "delivered_fraction": report.delivered_fraction,
+        "loss_fraction": report.loss_fraction,
+        "availability": report.availability(),
+        "control": report.control,
+    }
+    if args.json or args.out:
+        text = json.dumps(summary, indent=2, sort_keys=True)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.out}")
+        if args.json:
+            print(text)
+            return 0
+    ctrl = report.control or {}
+    table = Table(
+        "closed-loop demo: switch 0 down for the middle third",
+        ["metric", "value"],
+    )
+    table.add("delivered fraction", f"{report.delivered_fraction:.4f}")
+    table.add("loss fraction", f"{report.loss_fraction:.4f}")
+    table.add("availability", f"{report.availability():.4f}")
+    table.add("control ticks", ctrl.get("ticks", 0))
+    table.add("state changes", ctrl.get("n_state_changes", 0))
+    table.add("throttled bytes", ctrl.get("throttled_bytes", 0))
+    table.show()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -1433,6 +1651,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "timeline": cmd_timeline,
         "bench": cmd_bench,
         "timeseries": cmd_timeseries,
+        "control": cmd_control,
     }[args.command]
     try:
         return handler(args)

@@ -1,0 +1,102 @@
+"""The ``repro-control-v1`` action stream: every decision, logged.
+
+Mirrors the PR 8 sweep event stream (:mod:`repro.runtime.events`) with
+one deliberate difference: control decisions are *part of the result*,
+not a live log, so actions carry simulated time (``t_ns``) instead of
+wall-clock ``ts`` and the stream is byte-identical across runs of the
+same scenario (sequential == parallel == cached -- the repo-wide
+invariant extends to the control plane).
+
+Kinds:
+
+- ``control_start``  -- loop accepted: tick period, switch count and
+  which controllers are armed;
+- ``state_change``   -- a controller's state machine moved
+  (GREEN/YELLOW/SOFT_RED/RED, wire-encoded by name);
+- ``actuation``      -- a controller's actuated value changed
+  (admit fraction or weight multiplier, after clamping);
+- ``control_finish`` -- tick count and totals (throttled bytes,
+  state-change count).
+
+Validation reuses the shared machinery
+(:func:`repro.runtime.events.validate_stream`): schema header, known
+kinds, required fields, gapless ``seq`` -- including the explicit
+rejection of a ``seq`` chain restarting at 0 mid-stream (shard-merge
+artifact).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..errors import ConfigError
+from ..runtime.events import validate_stream
+
+CONTROL_SCHEMA = "repro-control-v1"
+
+#: Every action kind and its required fields (beyond the envelope
+#: ``kind``/``seq``/``t_ns`` every action has).
+ACTION_FIELDS: Dict[str, tuple] = {
+    "control_start": ("tick_ns", "n_switches", "controllers"),
+    "state_change": ("tick", "switch", "controller", "from_state", "to_state", "signal"),
+    "actuation": ("tick", "switch", "controller", "value"),
+    "control_finish": ("ticks", "n_state_changes", "throttled_bytes"),
+}
+
+ACTION_KINDS = tuple(ACTION_FIELDS)
+
+
+class ActionLog:
+    """Accumulates one run's control actions in memory, deterministically.
+
+    The loop emits into this; callers serialise with :meth:`dumps` (for
+    ``--actions-out``) or embed the compact :meth:`summary` in cell
+    payloads.  No clock, no I/O: two runs of the same scenario produce
+    byte-identical dumps.
+    """
+
+    def __init__(self) -> None:
+        self.actions: List[dict] = []
+        self._seq = 0
+
+    def emit(self, kind: str, t_ns: float, **fields: Any) -> None:
+        if kind not in ACTION_FIELDS:
+            raise ConfigError(
+                f"unknown action kind {kind!r} (expected one of {ACTION_KINDS})"
+            )
+        missing = [f for f in ACTION_FIELDS[kind] if f not in fields]
+        if missing:
+            raise ConfigError(f"action {kind!r} missing fields {missing}")
+        self.actions.append(
+            {"kind": kind, "seq": self._seq, "t_ns": t_ns, **fields}
+        )
+        self._seq += 1
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def dumps(self) -> str:
+        """The JSONL stream: schema header plus one line per action."""
+        lines = [json.dumps({"schema": CONTROL_SCHEMA}, sort_keys=True,
+                            separators=(",", ":"))]
+        lines.extend(
+            json.dumps(action, sort_keys=True, separators=(",", ":"))
+            for action in self.actions
+        )
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.dumps())
+
+
+def validate_control_actions(text: str) -> List[dict]:
+    """Parse and validate a ``repro-control-v1`` stream.
+
+    Same machinery as :func:`repro.runtime.validate_events`, with the
+    simulated-time envelope (``t_ns`` instead of wall-clock ``ts``).
+    """
+    return validate_stream(
+        text, CONTROL_SCHEMA, ACTION_FIELDS, envelope=("seq", "t_ns")
+    )

@@ -1,0 +1,129 @@
+"""Closed-loop vs open-loop: the controller-value measurement.
+
+The control plane's worth is a *delta* on the campaigns the repo
+already runs: the same seeded MTBF/MTTR fault campaign (or attack
+campaign) executed twice -- once open-loop, once with a
+:class:`~repro.control.ControlConfig` on every cell -- and the
+delivered fractions compared.  Both runs go through the scenario
+runtime, so they cache, resume and shard like any campaign; the
+closed-loop cells have distinct digests (the ``control`` field is part
+of the scenario content) and therefore distinct cache entries.
+
+Used by ``repro control --compare-open-loop``, the ``control-smoke``
+CI job and the pinned acceptance tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .config import ControlConfig
+
+
+def _delta_block(open_values: List[float], closed_values: List[float]) -> dict:
+    n = len(open_values)
+    open_mean = sum(open_values) / n
+    closed_mean = sum(closed_values) / n
+    per_cell = [c - o for o, c in zip(open_values, closed_values)]
+    return {
+        "open_mean": open_mean,
+        "closed_mean": closed_mean,
+        "delta_mean": closed_mean - open_mean,
+        "delta_min": min(per_cell),
+        "delta_max": max(per_cell),
+        "n_improved": sum(1 for d in per_cell if d > 0),
+        "n_regressed": sum(1 for d in per_cell if d < 0),
+        "per_cell": per_cell,
+    }
+
+
+def compare_fault_loops(
+    config,
+    params,
+    control: Optional[ControlConfig] = None,
+    fidelity: str = "flow",
+    runtime=None,
+) -> dict:
+    """Run the seeded fault campaign open- and closed-loop; diff them.
+
+    ``params`` is a :class:`~repro.faults.campaign.CampaignParams`;
+    both campaigns draw the *same* schedules (same seed recipe), so the
+    delta isolates the controller's effect.
+    """
+    from ..runtime import FaultCampaign, Runtime
+
+    if control is None:
+        control = ControlConfig()
+    if runtime is None:
+        runtime = Runtime()
+    open_result = runtime.run_campaign(
+        FaultCampaign(config=config, params=params, fidelity=fidelity)
+    )
+    closed_result = runtime.run_campaign(
+        FaultCampaign(
+            config=config, params=params, fidelity=fidelity, control=control
+        )
+    )
+    return {
+        "campaign": "fault",
+        "fidelity": fidelity,
+        "n_cells": params.n_scenarios,
+        "seed": params.seed,
+        "control": control.to_dict(),
+        "delivered_fraction": _delta_block(
+            open_result.delivered_fractions, closed_result.delivered_fractions
+        ),
+        "availability": _delta_block(
+            open_result.availabilities, closed_result.availabilities
+        ),
+        "open_loop": open_result.to_dict(),
+        "closed_loop": closed_result.to_dict(),
+    }
+
+
+def compare_attack_loops(
+    config,
+    params,
+    control: Optional[ControlConfig] = None,
+    fidelity: str = "flow",
+    runtime=None,
+) -> dict:
+    """Run one attack campaign open- and closed-loop; diff them.
+
+    ``params`` is an
+    :class:`~repro.adversary.campaign.AttackCampaignParams`; trials
+    share seeds across the two runs, so per-trial deltas pair exactly.
+    """
+    from ..runtime import AttackCampaign, Runtime
+
+    if control is None:
+        control = ControlConfig()
+    if runtime is None:
+        runtime = Runtime()
+    open_result = runtime.run_campaign(
+        AttackCampaign(config=config, params=params, fidelity=fidelity)
+    )
+    closed_result = runtime.run_campaign(
+        AttackCampaign(
+            config=config, params=params, fidelity=fidelity, control=control
+        )
+    )
+    return {
+        "campaign": "attack",
+        "fidelity": fidelity,
+        "strategy": params.strategy.describe(),
+        "splitter": params.splitter,
+        "n_cells": params.n_trials,
+        "seed": params.seed,
+        "control": control.to_dict(),
+        "delivered_fraction": _delta_block(
+            open_result.metric("sim_delivered_fraction"),
+            closed_result.metric("sim_delivered_fraction"),
+        ),
+        "victim_gain": _delta_block(
+            open_result.metric("sim_victim_gain"),
+            closed_result.metric("sim_victim_gain"),
+        ),
+        "open_loop": open_result.to_dict(),
+        "closed_loop": closed_result.to_dict(),
+    }

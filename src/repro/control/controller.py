@@ -1,0 +1,104 @@
+"""The per-resource state machine: EWMA signal in, actuated value out.
+
+One :class:`Controller` governs one controlled resource (one switch's
+admission fraction, one switch's split-weight multiplier, ...).  Each
+tick it folds the raw signal into an EWMA (via the shared
+:func:`repro.telemetry.ewma_step` -- the same algebra the timeseries
+renderer uses), classifies the smoothed signal into one of four states,
+and nudges its actuated value:
+
+====== ======================================== =======================
+state  entered when (smoothed signal)            actuation on the value
+====== ======================================== =======================
+GREEN  below ``yellow``                          ``+step_up`` (additive
+                                                 recovery, clamped to
+                                                 ``ceiling``)
+YELLOW ``>= yellow``                             hold
+SOFT   ``>= soft_red``                           ``* (1+factor_down)/2``
+RED    ``>= red``                                ``* factor_down``
+====== ======================================== =======================
+
+Multiplicative decrease with a ``floor`` and additive recovery with a
+``ceiling`` is the wanctl/CAKE shape (and AIMD's): overload collapses
+the value geometrically, recovery is gentle and linear, and the floor
+guarantees the resource is never starved outright (a throttled port
+keeps trickling; a downweighted switch keeps a canary share so its
+recovery is observable).
+
+Hysteresis: escalation is immediate (any tick whose EWMA crosses a
+threshold steps the state up, possibly multiple levels), but
+de-escalation happens one level per tick and only once the EWMA has
+fallen ``hysteresis`` *below* the current level's entry threshold.  A
+signal hovering exactly at a boundary therefore escalates once and
+stays -- no GREEN<->RED flapping (unit-tested in
+``tests/test_control.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..telemetry import ewma_step
+from .config import ControllerParams
+
+#: State names, in escalation order (indexes are the wire encoding the
+#: ``repro_control_state`` time series and the action stream carry).
+STATES = ("GREEN", "YELLOW", "SOFT_RED", "RED")
+
+GREEN, YELLOW, SOFT_RED, RED = range(4)
+
+
+class Controller:
+    """One resource's EWMA + state machine + floor/ceiling actuator."""
+
+    __slots__ = ("params", "state", "value", "smoothed")
+
+    def __init__(
+        self, params: ControllerParams, initial_value: float = 1.0
+    ) -> None:
+        self.params = params
+        self.state = GREEN
+        self.value = min(max(initial_value, params.floor), params.ceiling)
+        self.smoothed: Optional[float] = None
+
+    def _entry_threshold(self, state: int) -> float:
+        return (self.params.yellow, self.params.yellow,
+                self.params.soft_red, self.params.red)[state]
+
+    def _classify(self, smoothed: float) -> int:
+        p = self.params
+        if smoothed >= p.red:
+            target = RED
+        elif smoothed >= p.soft_red:
+            target = SOFT_RED
+        elif smoothed >= p.yellow:
+            target = YELLOW
+        else:
+            target = GREEN
+        if target >= self.state:
+            return target  # escalate immediately
+        # De-escalate one level per tick, and only with hysteresis margin
+        # below the current level's entry threshold.
+        if smoothed < self._entry_threshold(self.state) - p.hysteresis:
+            return self.state - 1
+        return self.state
+
+    def update(self, signal: float) -> Tuple[int, float, bool]:
+        """Fold one tick's raw signal; returns (state, value, changed).
+
+        ``changed`` is True when the state moved this tick -- what the
+        action stream logs as a ``state_change``.
+        """
+        p = self.params
+        self.smoothed = ewma_step(self.smoothed, signal, p.ewma_alpha)
+        new_state = self._classify(self.smoothed)
+        changed = new_state != self.state
+        self.state = new_state
+        if new_state == GREEN:
+            self.value = min(p.ceiling, self.value + p.step_up)
+        elif new_state == SOFT_RED:
+            self.value = max(p.floor, self.value * 0.5 * (1.0 + p.factor_down))
+        elif new_state == RED:
+            self.value = max(p.floor, self.value * p.factor_down)
+        # YELLOW holds.
+        return self.state, self.value, changed

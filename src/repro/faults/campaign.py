@@ -165,20 +165,37 @@ class FaultScenario:
     duration_ns: float
     seed: int
     n_intervals: int
+    #: Optional :class:`~repro.control.ControlConfig`; ``None`` = open
+    #: loop (the historical behaviour, byte-identical payloads).
+    control: object = None
 
 
 def execute_fault_scenario(scenario: FaultScenario) -> dict:
     """Run one scenario; returns its summary dict (module-level so it
     pickles for worker processes)."""
-    report = measure_degradation(
-        scenario.config,
-        schedule=scenario.schedule,
-        load=scenario.load,
-        duration_ns=scenario.duration_ns,
-        seed=scenario.seed,
-        n_intervals=scenario.n_intervals,
-    )
-    return {
+    control = getattr(scenario, "control", None)
+    if control is not None:
+        from ..control.packet import measure_degradation_controlled
+
+        report, _ = measure_degradation_controlled(
+            scenario.config,
+            control,
+            schedule=scenario.schedule,
+            load=scenario.load,
+            duration_ns=scenario.duration_ns,
+            seed=scenario.seed,
+            n_intervals=scenario.n_intervals,
+        )
+    else:
+        report = measure_degradation(
+            scenario.config,
+            schedule=scenario.schedule,
+            load=scenario.load,
+            duration_ns=scenario.duration_ns,
+            seed=scenario.seed,
+            n_intervals=scenario.n_intervals,
+        )
+    summary = {
         "scenario": scenario.index,
         "n_events": len(scenario.schedule),
         "fault_events": scenario.schedule.describe(),
@@ -189,6 +206,9 @@ def execute_fault_scenario(scenario: FaultScenario) -> dict:
         "delivered_bytes": report.delivered_bytes,
         "lost_bytes": report.lost_bytes,
     }
+    if report.control is not None:
+        summary["control"] = report.control
+    return summary
 
 
 def _distribution(values: List[float]) -> dict:

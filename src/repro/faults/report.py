@@ -139,6 +139,9 @@ class DegradationReport:
     residual_bytes: int
     failed_switches: List[int] = field(default_factory=list)
     fault_events: List[str] = field(default_factory=list)
+    #: Closed-loop runs only: the control loop's compact summary
+    #: (:meth:`repro.control.ControlLoop.summary`); ``None`` open-loop.
+    control: Optional[dict] = None
 
     @property
     def delivered_fraction(self) -> float:
@@ -163,7 +166,7 @@ class DegradationReport:
         return ok / len(self.intervals)
 
     def to_dict(self, threshold: float = AVAILABILITY_THRESHOLD) -> dict:
-        return {
+        data = {
             "duration_ns": self.duration_ns,
             "offered_bytes": self.offered_bytes,
             "delivered_bytes": self.delivered_bytes,
@@ -177,6 +180,11 @@ class DegradationReport:
             "fault_events": list(self.fault_events),
             "intervals": [s.to_dict() for s in self.intervals],
         }
+        if self.control is not None:
+            # Conditional so open-loop payloads stay byte-identical to
+            # every pre-control release.
+            data["control"] = self.control
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "DegradationReport":
@@ -194,6 +202,7 @@ class DegradationReport:
             residual_bytes=data["residual_bytes"],
             failed_switches=list(data["failed_switches"]),
             fault_events=list(data["fault_events"]),
+            control=data.get("control"),
         )
 
 

@@ -142,6 +142,12 @@ def execute_attack_trial_flow(trial) -> dict:
     components = _strategy_components(
         strategy, config, trial.load, trial.duration_ns
     )
+    control = getattr(trial, "control", None)
+    attack_windows = None
+    if control is not None:
+        from ..control.packet import attack_windows_for
+
+        attack_windows = attack_windows_for(strategy, trial.duration_ns)
     result = simulate_flow_router(
         config,
         components,
@@ -151,6 +157,8 @@ def execute_attack_trial_flow(trial) -> dict:
         splitter=splitter,
         schedule=trial.fault_schedule,
         telemetry=registry,
+        control=control,
+        attack_windows=attack_windows,
     )
     report = result.report
     offered = report.per_switch_offered_bytes
@@ -166,7 +174,7 @@ def execute_attack_trial_flow(trial) -> dict:
     if registry is not None:
         record_victim_series(registry, offered, victim)
 
-    return {
+    summary = {
         "trial": trial.index,
         "splitter": trial.splitter_kind,
         "splitter_seed": trial.splitter_seed,
@@ -185,3 +193,6 @@ def execute_attack_trial_flow(trial) -> dict:
         "fault_events": list(report.fault_events),
         "telemetry": registry.to_dict() if registry is not None else None,
     }
+    if result.control is not None:
+        summary["control"] = result.control
+    return summary

@@ -484,10 +484,29 @@ def simulate_flow_switch(
 
 @dataclass
 class FlowRouterResult:
-    """A flow-level router run: the report plus optional interval bins."""
+    """A flow-level router run: the report plus optional interval bins.
+
+    Closed-loop runs additionally carry the control loop's compact
+    summary (``control``) and its full action log (``control_actions``,
+    a :class:`~repro.control.actions.ActionLog`) -- both ``None`` for
+    open-loop runs.
+    """
 
     report: RouterReport
     intervals: List[IntervalSample] = field(default_factory=list)
+    control: Optional[dict] = None
+    control_actions: Optional[object] = None
+
+
+def buffer_limit_bytes(switch_config: HBMSwitchConfig) -> float:
+    """The per-switch buffer ceiling the admission controller guards:
+    total input-SRAM capacity (the fluid tandem's per-row cap times the
+    N rows) plus the switch's HBM share -- the same limits the tandem
+    enforces."""
+    n = switch_config.n_ports
+    return 64.0 * n * n * switch_config.batch_bytes + float(
+        switch_config.memory_capacity_bytes
+    )
 
 
 def simulate_flow_router(
@@ -501,6 +520,8 @@ def simulate_flow_router(
     n_intervals: Optional[int] = None,
     mean_packet_bytes: float = 1500.0,
     telemetry=None,
+    control=None,
+    attack_windows: Optional[Sequence[Tuple[float, float]]] = None,
 ) -> FlowRouterResult:
     """Fluid twin of :meth:`~repro.core.sps.SplitParallelSwitch.run`.
 
@@ -523,6 +544,18 @@ def simulate_flow_router(
     (:data:`FLOW_WINDOW_BYTES` / :data:`FLOW_WINDOW_QUEUE` /
     :data:`FLOW_WINDOW_DROPPED`).  The engine has no RNG and runs in one
     process, so instrumented dumps are byte-reproducible.
+
+    ``control`` (a :class:`~repro.control.ControlConfig`) closes the
+    loop: segment edges gain window-boundary ticks every ``tick_ns``,
+    each tick folds the previous window's per-switch offered /
+    delivered / backlog into the controllers, and the resulting
+    actuators apply to the following segments -- the split weights are
+    scaled per switch (and renormalised) by the reweight controller,
+    and admission throttling removes ``1 - admit`` of each switch's
+    post-split arrivals as explicit ``backpressure-throttled`` drops
+    (offered bytes are *not* reduced: a throttled byte is an accounted
+    loss, never a vanished offer).  ``attack_windows`` gates the
+    mitigation controller, mirroring ``repro_attack_active_window``.
     """
     if duration_ns <= 0:
         raise ConfigError(f"duration must be positive, got {duration_ns}")
@@ -594,18 +627,18 @@ def simulate_flow_router(
             rates[idx] = port_rate * max(factor, 0.0)
         return rates
 
-    def shares_at(t_ns: float) -> Tuple[np.ndarray, float]:
+    def shares_at(t_ns: float, base: np.ndarray) -> Tuple[np.ndarray, float]:
         """(n_switches, n_ribbons) weight shares + the cut weight rate
         multiplier per ribbon folded into a scalar-ready vector."""
         if cuts:
-            effective = weights.copy()
+            effective = base.copy()
             cut_weight = np.zeros(n_ribbons)
             for cut in cuts:
                 if cut.active_at(t_ns):
                     cut_weight[cut.ribbon] += effective[cut.ribbon, cut.fiber]
                     effective[cut.ribbon, cut.fiber] = 0.0
         else:
-            effective = weights
+            effective = base
             cut_weight = None
         shares = np.zeros((n_switches, n_ribbons))
         np.add.at(
@@ -613,13 +646,25 @@ def simulate_flow_router(
         )
         return shares, cut_weight
 
+    loop = None
+    if control is not None:
+        from ..control.loop import ControlLoop
+
+        loop = ControlLoop(
+            control,
+            n_switches,
+            buffer_limit_bytes(config.switch),
+            telemetry=telemetry,
+        )
+
     static_shares = None
-    if not cuts:
-        static_shares, _ = shares_at(0.0)
+    if not cuts and loop is None:
+        static_shares, _ = shares_at(0.0, weights)
 
     per_switch_offered = np.zeros(n_switches)
     live_offered = np.zeros(len(live))
     dropped_dead = np.zeros(len(live))
+    dropped_throttled = np.zeros(len(live))
     failed_offered = 0.0
     fault_lost = 0.0
 
@@ -630,6 +675,18 @@ def simulate_flow_router(
     extra_edges = _component_edges(components) + _schedule_edges(schedule)
     if width:
         extra_edges.extend(width * i for i in range(1, n_intervals))
+    if loop is not None:
+        tick_ns = control.tick_ns
+        n_ticks = int(math.ceil(duration_ns / tick_ns - 1e-9))
+        extra_edges.extend(tick_ns * i for i in range(1, n_ticks))
+        next_tick = tick_ns
+        tick_offered = np.zeros(n_switches)
+        tick_delivered = np.zeros(n_switches)
+        attack_spans = tuple(attack_windows) if attack_windows else ()
+
+        def attack_active_in(start: float, end: float) -> bool:
+            return any(s < end and e > start for s, e in attack_spans)
+
     edges = _segments(duration_ns, extra_edges)
 
     win_offered = win_delivered = win_queue = win_dropped = None
@@ -677,11 +734,22 @@ def simulate_flow_router(
             np.zeros((n_ribbons, n_ribbons)),
         )
         row_rates = matrix.sum(axis=1)
-        if cuts:
-            shares, cut_weight = shares_at(tm)
-            fault_lost += float((row_rates * cut_weight).sum()) * dt
+        if loop is None:
+            base_weights = weights
         else:
+            # Reweight actuation: scale each fiber's weight by its
+            # switch's multiplier, renormalised per ribbon (rows stay
+            # positive -- the controller floor is > 0).
+            base_weights = weights * loop.weight[assignment]
+            base_sums = base_weights.sum(axis=1, keepdims=True)
+            base_weights = base_weights / np.where(base_sums > 0, base_sums, 1.0)
+        if cuts:
+            shares, cut_weight = shares_at(tm, base_weights)
+            fault_lost += float((row_rates * cut_weight).sum()) * dt
+        elif static_shares is not None:
             shares = static_shares
+        else:
+            shares, _ = shares_at(tm, base_weights)
         arrivals_all = shares[:, :, None] * matrix[None, :, :]
         offered_now = arrivals_all.sum(axis=(1, 2))
         per_switch_offered += offered_now * dt
@@ -693,6 +761,14 @@ def simulate_flow_router(
         if telemetry is not None:
             drops_before = tandem.dropped_sram + tandem.dropped_hbm
             dead_before = dropped_dead.copy()
+            throttled_before = dropped_throttled.copy()
+        if loop is not None:
+            # Admission/mitigation actuation: throttle at ingress,
+            # before loss-of-light gating -- throttled bytes are an
+            # explicit drop, never a reduced offer.
+            admit_live = loop.admit[live_array]
+            dropped_throttled += seg_offered * (1.0 - admit_live)
+            arrivals = arrivals * admit_live[:, None, None]
         if schedule is not None:
             for idx, h in enumerate(live):
                 view = views[h]
@@ -704,6 +780,7 @@ def simulate_flow_router(
             seg_dropped = (
                 tandem.dropped_sram + tandem.dropped_hbm - drops_before
                 + dropped_dead - dead_before
+                + dropped_throttled - throttled_before
             )
             for idx in range(len(live)):
                 win_offered[idx].observe(tm, float(seg_offered[idx]))
@@ -715,6 +792,26 @@ def simulate_flow_router(
             bin_index = min(int(tm / width), n_intervals - 1)
             offered_bins[bin_index] += matrix.sum() * dt
             delivered_bins[bin_index] += segment_delivered
+        if loop is not None:
+            tick_offered[live_array] += seg_offered
+            if dead:
+                tick_offered[sorted(dead)] += offered_now[sorted(dead)] * dt
+            tick_delivered[live_array] += tandem.last_delivered
+            while next_tick < duration_ns - 1e-9 and t1 >= next_tick - 1e-9:
+                backlog_full = np.zeros(n_switches)
+                backlog_full[live_array] = tandem.last_backlog
+                loop.tick(
+                    next_tick,
+                    tick_offered,
+                    tick_delivered,
+                    backlog_full,
+                    attack_active=attack_active_in(
+                        next_tick - tick_ns, next_tick
+                    ),
+                )
+                tick_offered = np.zeros(n_switches)
+                tick_delivered = np.zeros(n_switches)
+                next_tick += tick_ns
 
     if drain:
         def drain_hook(delivered_bytes: float, t_mid: float) -> None:
@@ -737,6 +834,10 @@ def simulate_flow_router(
             on_delivered=drain_hook,
         )
 
+    if loop is not None:
+        loop.throttled_bytes = float(dropped_throttled.sum())
+        loop.finish(duration_ns)
+
     reports = [
         _switch_report(
             config.switch,
@@ -745,6 +846,7 @@ def simulate_flow_router(
             float(tandem.delivered[idx]),
             {
                 "switch-dead": float(dropped_dead[idx]),
+                "backpressure-throttled": float(dropped_throttled[idx]),
                 "input-sram-overflow": float(tandem.dropped_sram[idx]),
                 "hbm-full": float(tandem.dropped_hbm[idx]),
             },
@@ -770,6 +872,7 @@ def simulate_flow_router(
             ).inc(reports[idx].delivered_bytes)
             losses = {
                 "switch-dead": dropped_dead[idx],
+                "backpressure-throttled": dropped_throttled[idx],
                 "input-sram-overflow": tandem.dropped_sram[idx],
                 "hbm-full": tandem.dropped_hbm[idx],
             }
@@ -812,10 +915,15 @@ def simulate_flow_router(
             )
             for i in range(n_intervals)
         ]
-    return FlowRouterResult(report=report, intervals=intervals)
+    return FlowRouterResult(
+        report=report,
+        intervals=intervals,
+        control=loop.summary() if loop is not None else None,
+        control_actions=loop.log if loop is not None else None,
+    )
 
 
-def flow_router_report(
+def flow_router_result(
     config: RouterConfig,
     load: float = 0.8,
     duration_ns: float = 50_000.0,
@@ -823,7 +931,8 @@ def flow_router_report(
     schedule=None,
     mean_packet_bytes: float = 1500.0,
     telemetry=None,
-) -> RouterReport:
+    control=None,
+) -> FlowRouterResult:
     """Uniform-load router run at flow fidelity (Scenario kind="router")."""
     components = [
         RateComponent(
@@ -843,6 +952,30 @@ def flow_router_report(
         schedule=schedule,
         mean_packet_bytes=mean_packet_bytes,
         telemetry=telemetry,
+        control=control,
+    )
+
+
+def flow_router_report(
+    config: RouterConfig,
+    load: float = 0.8,
+    duration_ns: float = 50_000.0,
+    drain: bool = True,
+    schedule=None,
+    mean_packet_bytes: float = 1500.0,
+    telemetry=None,
+    control=None,
+) -> RouterReport:
+    """The :class:`FlowRouterResult` report alone, for report-shaped callers."""
+    return flow_router_result(
+        config,
+        load=load,
+        duration_ns=duration_ns,
+        drain=drain,
+        schedule=schedule,
+        mean_packet_bytes=mean_packet_bytes,
+        telemetry=telemetry,
+        control=control,
     ).report
 
 
@@ -854,6 +987,7 @@ def flow_degradation(
     n_intervals: int = 8,
     mean_packet_bytes: float = 1500.0,
     telemetry=None,
+    control=None,
 ) -> DegradationReport:
     """Fluid twin of :func:`repro.faults.report.measure_degradation`."""
     components = [
@@ -875,6 +1009,7 @@ def flow_degradation(
         n_intervals=n_intervals,
         mean_packet_bytes=mean_packet_bytes,
         telemetry=telemetry,
+        control=control,
     )
     report = result.report
     return DegradationReport(
@@ -886,6 +1021,7 @@ def flow_degradation(
         residual_bytes=report.residual_bytes,
         failed_switches=list(report.failed_switches),
         fault_events=list(report.fault_events),
+        control=result.control,
     )
 
 
@@ -898,8 +1034,9 @@ def execute_fault_scenario_flow(scenario) -> dict:
         load=scenario.load,
         duration_ns=scenario.duration_ns,
         n_intervals=scenario.n_intervals,
+        control=getattr(scenario, "control", None),
     )
-    return {
+    summary = {
         "scenario": scenario.index,
         "n_events": len(scenario.schedule),
         "fault_events": scenario.schedule.describe(),
@@ -910,3 +1047,6 @@ def execute_fault_scenario_flow(scenario) -> dict:
         "delivered_bytes": report.delivered_bytes,
         "lost_bytes": report.lost_bytes,
     }
+    if report.control is not None:
+        summary["control"] = report.control
+    return summary

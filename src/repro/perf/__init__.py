@@ -10,6 +10,7 @@ is tracked revision over revision (``BENCH_<rev>.json``).  Run via
 from .harness import (
     BenchResult,
     bench_adversary_campaign,
+    bench_control,
     bench_engine,
     bench_fabric,
     bench_flow_engine,
@@ -25,6 +26,7 @@ from .harness import (
 __all__ = [
     "BenchResult",
     "bench_adversary_campaign",
+    "bench_control",
     "bench_engine",
     "bench_fabric",
     "bench_flow_engine",

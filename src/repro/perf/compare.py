@@ -44,6 +44,7 @@ TRACKED_METRICS: Tuple[Tuple[str, str], ...] = (
     ("sweep_cached", "warm_speedup"),
     ("flow_engine", "packets_equiv_per_sec"),
     ("fabric", "cells_per_sec"),
+    ("control", "ticks_per_sec"),
 )
 
 #: Default allowed fractional drop before the gate fails.

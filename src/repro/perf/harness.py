@@ -31,6 +31,9 @@ Six benches cover the simulator's cost centres:
 - :func:`bench_fabric` -- the fabric gate: a grid of multi-router
   fabric cells (topologies x routing policies) through the hop-round
   composition engine at flow fidelity, reporting cells/sec.
+- :func:`bench_control` -- the control-plane gate: one closed-loop
+  flow run with a fine control period, reporting controller ticks/sec
+  (signal fold + state machines + actuation + action log).
 
 :func:`run_benchmarks` bundles them and :func:`write_bench_json` emits
 ``BENCH_<rev>.json`` so the perf trajectory is tracked from revision to
@@ -648,6 +651,58 @@ def bench_fabric(
     )
 
 
+def bench_control(
+    duration_ns: float = 40_000.0,
+    tick_ns: float = 50.0,
+    n_switches: int = 4,
+) -> BenchResult:
+    """The control-plane gate: closed-loop ticks through the fluid engine.
+
+    One flow-fidelity run with a mid-run switch failure and a control
+    period fine enough (hundreds of ticks) that the wall clock is
+    dominated by the loop itself -- per-switch signal folds, the four
+    state machines, actuation and the action log -- rather than the
+    tandem update.  ``ticks_per_sec`` is the tracked metric; the
+    delivered fraction rides along as a determinism canary."""
+    from ..control import ControlConfig
+    from ..faults import FaultSchedule, SwitchFailure
+    from ..flow import flow_degradation
+
+    config = scaled_router(fibers_per_ribbon=16, n_switches=n_switches)
+    schedule = FaultSchedule(
+        [
+            SwitchFailure(
+                switch=0,
+                start_ns=duration_ns / 3.0,
+                end_ns=2.0 * duration_ns / 3.0,
+            )
+        ]
+    )
+    control = ControlConfig(tick_ns=tick_ns)
+
+    start = time.perf_counter()
+    report = flow_degradation(
+        config,
+        schedule=schedule,
+        load=0.6,
+        duration_ns=duration_ns,
+        control=control,
+    )
+    wall = time.perf_counter() - start
+
+    ticks = int(report.control["ticks"])
+    return BenchResult(
+        name="control",
+        wall_s=wall,
+        metrics={
+            "n_ticks": ticks,
+            "ticks_per_sec": ticks / wall if wall > 0 else 0.0,
+            "n_state_changes": int(report.control["n_state_changes"]),
+            "delivered_fraction": report.delivered_fraction,
+        },
+    )
+
+
 # -- bundling ------------------------------------------------------------------
 
 
@@ -699,6 +754,7 @@ def run_benchmarks(
             duration_ns=40_000.0 * scale,
         ),
         bench_fabric(duration_ns=40_000.0 * scale),
+        bench_control(duration_ns=40_000.0 * scale),
     ]
     return {
         "schema": "repro-bench-v1",

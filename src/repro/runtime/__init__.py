@@ -24,6 +24,7 @@ from .events import (
     EventStream,
     open_event_stream,
     validate_events,
+    validate_stream,
 )
 from .runtime import Runtime, default_code_version, parse_shard, run
 from .scenario import (
@@ -59,4 +60,5 @@ __all__ = [
     "run",
     "switch_scenario",
     "validate_events",
+    "validate_stream",
 ]

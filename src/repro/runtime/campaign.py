@@ -62,6 +62,9 @@ class FaultCampaign:
     params: CampaignParams
     base_schedule: Optional[FaultSchedule] = None
     fidelity: str = "packet"
+    #: Optional :class:`~repro.control.ControlConfig` applied to every
+    #: cell -- the closed-loop variant of the same campaign.
+    control: Optional[object] = None
 
     def scenarios(self) -> List[Scenario]:
         cells = []
@@ -82,6 +85,7 @@ class FaultCampaign:
                     n_intervals=self.params.n_intervals,
                     fidelity=self.fidelity,
                     tag=i,
+                    control=self.control,
                 )
             )
         return cells
@@ -108,6 +112,9 @@ class AttackCampaign:
     fault_schedule: Optional[FaultSchedule] = None
     failed_switches: Optional[Sequence[int]] = None
     fidelity: str = "packet"
+    #: Optional :class:`~repro.control.ControlConfig` applied to every
+    #: trial -- the closed-loop variant of the same campaign.
+    control: Optional[object] = None
 
     def _composed_schedule(self) -> Optional[FaultSchedule]:
         schedule = self.fault_schedule
@@ -138,6 +145,7 @@ class AttackCampaign:
                     telemetry=self.params.telemetry,
                     fidelity=self.fidelity,
                     tag=i,
+                    control=self.control,
                 )
             )
         return cells

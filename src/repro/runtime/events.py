@@ -87,13 +87,22 @@ class EventStream:
         self.close()
 
 
-def validate_events(text: str) -> List[dict]:
-    """Parse and validate an event stream; returns the event dicts.
+def validate_stream(
+    text: str,
+    schema: str,
+    fields: Dict[str, tuple],
+    envelope: tuple = ("seq", "ts"),
+) -> List[dict]:
+    """Shared JSONL stream validator (events and control actions).
 
     Checks the schema header, that every line is an object of a known
-    kind carrying its required fields, and that ``seq`` counts up from 0
-    without gaps.  Raises :class:`~repro.errors.ConfigError` on any
-    violation -- the CI smoke job treats that as a failed build.
+    kind carrying its required ``fields`` plus the ``envelope`` keys,
+    and that ``seq`` counts up from 0 without gaps.  A ``seq`` chain
+    that restarts at 0 mid-stream -- the signature of two per-shard
+    streams concatenated into one file -- is rejected with a dedicated
+    error, since a merged stream would otherwise masquerade as one
+    valid run's log.  Raises :class:`~repro.errors.ConfigError` on any
+    violation.
     """
     lines = [line for line in text.splitlines() if line.strip()]
     if not lines:
@@ -102,11 +111,12 @@ def validate_events(text: str) -> List[dict]:
         header = json.loads(lines[0])
     except json.JSONDecodeError as exc:
         raise ConfigError(f"bad event header: {exc}")
-    if not isinstance(header, dict) or header.get("schema") != EVENTS_SCHEMA:
+    if not isinstance(header, dict) or header.get("schema") != schema:
         raise ConfigError(
-            f"event stream schema mismatch: expected {EVENTS_SCHEMA!r}, "
+            f"event stream schema mismatch: expected {schema!r}, "
             f"got {header!r}"
         )
+    kinds = tuple(fields)
     events: List[dict] = []
     for lineno, line in enumerate(lines[1:], start=2):
         try:
@@ -115,21 +125,47 @@ def validate_events(text: str) -> List[dict]:
             raise ConfigError(f"line {lineno}: bad event JSON: {exc}")
         if not isinstance(event, dict):
             raise ConfigError(f"line {lineno}: event must be an object")
+        if "schema" in event and "kind" not in event:
+            raise ConfigError(
+                f"line {lineno}: second schema header mid-stream -- this "
+                f"file is a concatenation of multiple streams (shard-merge "
+                f"artifact); validate each shard's stream separately"
+            )
         kind = event.get("kind")
-        if kind not in EVENT_FIELDS:
-            raise ConfigError(f"line {lineno}: unknown event kind {kind!r}")
-        for field in ("seq", "ts") + EVENT_FIELDS[kind]:
+        if kind not in fields:
+            raise ConfigError(
+                f"line {lineno}: unknown event kind {kind!r} "
+                f"(expected one of {kinds})"
+            )
+        for field in envelope + fields[kind]:
             if field not in event:
                 raise ConfigError(
                     f"line {lineno}: event {kind!r} missing field {field!r}"
                 )
         if event["seq"] != len(events):
+            if event["seq"] == 0 and events:
+                raise ConfigError(
+                    f"line {lineno}: seq restarted at 0 mid-stream "
+                    f"(expected {len(events)}) -- this file is a "
+                    f"concatenation of multiple streams (shard-merge "
+                    f"artifact); validate each shard's stream separately"
+                )
             raise ConfigError(
                 f"line {lineno}: seq {event['seq']} out of order "
                 f"(expected {len(events)})"
             )
         events.append(event)
     return events
+
+
+def validate_events(text: str) -> List[dict]:
+    """Parse and validate a sweep event stream; returns the event dicts.
+
+    :func:`validate_stream` against :data:`EVENTS_SCHEMA` /
+    :data:`EVENT_FIELDS` -- what the CI telemetry-smoke job runs
+    against a captured stream (any violation is a failed build).
+    """
+    return validate_stream(text, EVENTS_SCHEMA, EVENT_FIELDS)
 
 
 def open_event_stream(path: Optional[str]) -> Optional[EventStream]:

@@ -119,6 +119,11 @@ class Scenario:
     #: Free-form cell tag (campaign index); part of the digest because
     #: campaign payloads embed it.
     tag: Optional[int] = None
+    #: Optional closed-loop control plane
+    #: (:class:`~repro.control.ControlConfig`); ``None`` = open loop.
+    #: Participates in the digest (closed-loop cells cache separately,
+    #: and distinct tunings occupy distinct entries).
+    control: Optional[object] = None
     #: ``fabric`` only: the topology dataclass, routing policy, demand
     #: pattern and inter-package propagation delay.
     topology: Optional[object] = None
@@ -179,6 +184,20 @@ class Scenario:
             raise ConfigError(
                 f'fidelity must be "packet" or "flow", got {self.fidelity!r}'
             )
+        if self.control is not None:
+            from ..control.config import ControlConfig
+
+            if not isinstance(self.control, ControlConfig):
+                raise ConfigError(
+                    "control must be a repro.control.ControlConfig, got "
+                    f"{type(self.control).__name__}"
+                )
+            if self.kind not in ("router", "degradation", "fault_cell", "attack"):
+                raise ConfigError(
+                    f"control is not supported for kind {self.kind!r}: the "
+                    "control plane actuates the H-way fiber split, which "
+                    "router/degradation/fault_cell/attack cells have"
+                )
 
     # -- digesting -----------------------------------------------------------
 
@@ -189,7 +208,7 @@ class Scenario:
         ``mode``/``workers`` execution hints (results are invariant to
         them).
         """
-        return {
+        data = {
             "kind": self.kind,
             "config": _config_content(self.config),
             "load": self.load,
@@ -219,6 +238,11 @@ class Scenario:
             "pattern": self.pattern,
             "link_delay_ns": self.link_delay_ns,
         }
+        if self.control is not None:
+            # Conditional key: open-loop digests stay exactly what they
+            # were before the control plane existed (cache continuity).
+            data["control"] = self.control.to_dict()
+        return data
 
     def digest(self) -> str:
         """Content hash of :meth:`describe` (hex sha256)."""
@@ -336,13 +360,13 @@ def _execute_router(scenario: Scenario, registry=None) -> dict:
 
     config = scenario.config
     if scenario.fidelity == "flow":
-        from ..flow import flow_router_report
+        from ..flow import flow_router_result
 
         if registry is None and scenario.telemetry:
             from ..telemetry import MetricsRegistry
 
             registry = MetricsRegistry()
-        report = flow_router_report(
+        result = flow_router_result(
             config,
             load=scenario.load,
             duration_ns=scenario.duration_ns,
@@ -350,11 +374,15 @@ def _execute_router(scenario: Scenario, registry=None) -> dict:
             schedule=scenario.schedule,
             mean_packet_bytes=_size_dist(scenario).mean_bytes,
             telemetry=registry,
+            control=scenario.control,
         )
-        return {
-            "report": report_to_dict(report),
+        payload = {
+            "report": report_to_dict(result.report),
             "telemetry": registry.to_dict() if registry is not None else None,
         }
+        if result.control is not None:
+            payload["control"] = result.control
+        return payload
     generator = TrafficGenerator(
         n_ports=config.n_ribbons,
         port_rate_bps=config.fibers_per_ribbon * config.per_fiber_rate_bps,
@@ -368,20 +396,44 @@ def _execute_router(scenario: Scenario, registry=None) -> dict:
         from ..telemetry import MetricsRegistry
 
         registry = MetricsRegistry()
+    control_summary = None
     router = SplitParallelSwitch(config, options=_options(scenario))
+    fibers = None
+    if scenario.control is not None:
+        from ..control.packet import packet_control_prepass
+        from ..core.sps import assign_fibers
+
+        fibers = assign_fibers(packets, config.fibers_per_ribbon)
+        fibers, throttled, loop = packet_control_prepass(
+            config,
+            scenario.control,
+            packets,
+            fibers,
+            router.splitter,
+            scenario.duration_ns,
+            schedule=scenario.schedule,
+            telemetry=registry,
+        )
+        packets = [p for p, t in zip(packets, throttled) if not t]
+        fibers = [f for f, t in zip(fibers, throttled) if not t]
+        control_summary = loop.summary()
     report = router.run(
         packets,
         scenario.duration_ns,
+        fibers=fibers,
         drain=scenario.drain,
         fault_schedule=scenario.schedule,
         mode=scenario.mode,
         n_workers=scenario.workers,
         telemetry=registry,
     )
-    return {
+    payload = {
         "report": report_to_dict(report),
         "telemetry": registry.to_dict() if registry is not None else None,
     }
+    if control_summary is not None:
+        payload["control"] = control_summary
+    return payload
 
 
 def _execute_degradation(scenario: Scenario, registry=None) -> dict:
@@ -401,6 +453,7 @@ def _execute_degradation(scenario: Scenario, registry=None) -> dict:
             duration_ns=scenario.duration_ns,
             n_intervals=scenario.n_intervals,
             telemetry=registry,
+            control=scenario.control,
         )
         return {
             "report": report.to_dict(),
@@ -410,16 +463,31 @@ def _execute_degradation(scenario: Scenario, registry=None) -> dict:
         from ..telemetry import MetricsRegistry
 
         registry = MetricsRegistry()
-    report = measure_degradation(
-        scenario.config,
-        schedule=scenario.schedule,
-        load=scenario.load,
-        duration_ns=scenario.duration_ns,
-        seed=scenario.seed,
-        n_intervals=scenario.n_intervals,
-        options=_options(scenario),
-        telemetry=registry,
-    )
+    if scenario.control is not None:
+        from ..control.packet import measure_degradation_controlled
+
+        report, _ = measure_degradation_controlled(
+            scenario.config,
+            scenario.control,
+            schedule=scenario.schedule,
+            load=scenario.load,
+            duration_ns=scenario.duration_ns,
+            seed=scenario.seed,
+            n_intervals=scenario.n_intervals,
+            options=_options(scenario),
+            telemetry=registry,
+        )
+    else:
+        report = measure_degradation(
+            scenario.config,
+            schedule=scenario.schedule,
+            load=scenario.load,
+            duration_ns=scenario.duration_ns,
+            seed=scenario.seed,
+            n_intervals=scenario.n_intervals,
+            options=_options(scenario),
+            telemetry=registry,
+        )
     return {
         "report": report.to_dict(),
         "telemetry": registry.to_dict() if registry is not None else None,
@@ -439,6 +507,7 @@ def _execute_fault_cell(scenario: Scenario) -> dict:
         duration_ns=scenario.duration_ns,
         seed=scenario.seed,
         n_intervals=scenario.n_intervals,
+        control=scenario.control,
     )
     if scenario.fidelity == "flow":
         from ..flow import execute_fault_scenario_flow
@@ -472,6 +541,7 @@ def _execute_attack(scenario: Scenario) -> dict:
             ),
             fault_schedule=scenario.schedule,
             telemetry=scenario.telemetry,
+            control=scenario.control,
         )
     )
 

@@ -36,6 +36,8 @@ from .timeseries import (
     TS_SCHEMA,
     TimeSeries,
     TimeSeriesRecorder,
+    ewma_series,
+    ewma_step,
     sparkline,
 )
 from .attacktags import record_victim_series, tag_attack_window
@@ -65,6 +67,8 @@ __all__ = [
     "TS_SCHEMA",
     "TimeSeries",
     "TimeSeriesRecorder",
+    "ewma_series",
+    "ewma_step",
     "parse_prometheus",
     "read_jsonl",
     "record_fault_loss",

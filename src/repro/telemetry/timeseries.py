@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ConfigError
 from .registry import _label_key
@@ -63,6 +63,45 @@ _AGGS = ("sum", "max")
 
 #: Eight-level block characters for terminal sparklines.
 SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def ewma_step(previous: Optional[float], value: float, alpha: float) -> float:
+    """One EWMA fold: ``alpha*value + (1-alpha)*previous``.
+
+    ``previous=None`` seeds the state with ``value`` (``s_0 = v_0``).
+    The single shared smoothing primitive: :func:`ewma_series` folds it
+    over a dump, and the control plane's incremental controllers
+    (:mod:`repro.control.controller`) fold it tick by tick -- one
+    implementation, so smoothed views and control decisions can never
+    disagree on the algebra.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"ewma alpha must be in (0, 1], got {alpha}")
+    if previous is None:
+        return float(value)
+    return alpha * float(value) + (1.0 - alpha) * previous
+
+
+def ewma_series(
+    pairs: Sequence[Tuple[int, float]], alpha: float = DEFAULT_EWMA_ALPHA
+) -> List[Tuple[int, float]]:
+    """EWMA-smooth ``(window, value)`` pairs in the given order.
+
+    The reusable read-time smoother: a pure function of its input (no
+    state outside the fold), so rendering a dump twice -- or rendering
+    it and feeding the same windows to a controller -- produces
+    identical values.  Gaps between window indices are skipped, not
+    zero-filled, matching :meth:`TimeSeries.ewma` (which delegates
+    here).
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"ewma alpha must be in (0, 1], got {alpha}")
+    smoothed: List[Tuple[int, float]] = []
+    state: Optional[float] = None
+    for window, value in pairs:
+        state = ewma_step(state, value, alpha)
+        smoothed.append((window, state))
+    return smoothed
 
 
 class TimeSeries:
@@ -153,17 +192,11 @@ class TimeSeries:
 
         ``s_0 = v_0; s_i = alpha*v_i + (1-alpha)*s_{i-1}`` over windows
         in ascending index order (gaps are skipped, not zero-filled).
-        Computed at read time: deterministic for a given dump and
-        independent of observation order within a window.
+        Computed at read time via the shared :func:`ewma_series` fold:
+        deterministic for a given dump and independent of observation
+        order within a window.
         """
-        if not 0.0 < alpha <= 1.0:
-            raise ValueError(f"ewma alpha must be in (0, 1], got {alpha}")
-        smoothed: List[Tuple[int, float]] = []
-        state: Optional[float] = None
-        for window, value in self.windows():
-            state = value if state is None else alpha * value + (1.0 - alpha) * state
-            smoothed.append((window, state))
-        return smoothed
+        return ewma_series(self.windows(), alpha)
 
     # -- merge / serialise -----------------------------------------------------
 

@@ -1,0 +1,404 @@
+"""The closed-loop control plane: state machines, loops, campaigns.
+
+The tentpole contract under test: a deterministic, seedable feedback
+control plane driven by the windowed telemetry signals -- EWMA-smoothed
+per-resource state machines with hysteresis (no flapping), floor/ceiling
+clamped actuation, causal window-boundary ticks in both fidelities, an
+action stream that validates against ``repro-control-v1``, digest
+participation (closed-loop cells cache separately), and a strictly
+positive delivered-fraction delta on the seeded fault and attack
+campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.adversary import AttackCampaignParams, BurstSynchronizedAttack
+from repro.config import scaled_router
+from repro.control import (
+    DEFAULT_REWEIGHT,
+    GREEN,
+    RED,
+    SOFT_RED,
+    YELLOW,
+    ActionLog,
+    ControlConfig,
+    Controller,
+    ControllerParams,
+    ControlLoop,
+    compare_attack_loops,
+    compare_fault_loops,
+    validate_control_actions,
+)
+from repro.errors import ConfigError
+from repro.faults import CampaignParams, FaultSchedule, SwitchFailure
+from repro.flow import flow_degradation, flow_router_result
+from repro.runtime import FaultCampaign, Runtime, Scenario
+from repro.telemetry import ewma_step
+
+
+def small_router(n_switches: int = 4):
+    return scaled_router(n_switches=n_switches, fibers_per_ribbon=8)
+
+
+PARAMS = ControllerParams()
+
+
+class TestControllerStateMachine:
+    def test_starts_green_at_full_value(self):
+        c = Controller(PARAMS)
+        assert c.state == GREEN
+        assert c.value == 1.0
+
+    def test_escalation_is_immediate_and_multi_level(self):
+        # alpha=1 makes the EWMA the raw signal: one hot tick jumps
+        # GREEN -> RED directly.
+        c = Controller(ControllerParams(ewma_alpha=1.0))
+        state, _, changed = c.update(0.95)
+        assert state == RED and changed
+
+    def test_deescalation_is_one_level_per_tick(self):
+        c = Controller(ControllerParams(ewma_alpha=1.0))
+        c.update(0.95)
+        assert c.state == RED
+        states = [c.update(0.0)[0] for _ in range(3)]
+        assert states == [SOFT_RED, YELLOW, GREEN]
+
+    def test_boundary_hovering_signal_does_not_flap(self):
+        # A signal pinned exactly at the yellow threshold escalates once
+        # and then holds: de-escalation needs the hysteresis margin.
+        c = Controller(ControllerParams(ewma_alpha=1.0))
+        changes = sum(c.update(PARAMS.yellow)[2] for _ in range(20))
+        assert c.state == YELLOW
+        assert changes == 1
+
+    def test_hysteresis_blocks_marginal_recovery(self):
+        p = ControllerParams(ewma_alpha=1.0)
+        c = Controller(p)
+        c.update(p.yellow)
+        assert c.state == YELLOW
+        # Just under the entry threshold but inside the hysteresis band:
+        # stays YELLOW.  Below the band: steps down.
+        c.update(p.yellow - p.hysteresis / 2.0)
+        assert c.state == YELLOW
+        c.update(p.yellow - 2.0 * p.hysteresis)
+        assert c.state == GREEN
+
+    def test_red_applies_factor_down_to_the_floor(self):
+        p = ControllerParams(ewma_alpha=1.0)
+        c = Controller(p)
+        values = [c.update(1.0)[1] for _ in range(10)]
+        assert values[0] == pytest.approx(p.factor_down)
+        assert values[1] == pytest.approx(p.factor_down**2)
+        assert values[-1] == p.floor  # clamped, never below
+
+    def test_soft_red_halves_toward_factor_down(self):
+        p = ControllerParams(ewma_alpha=1.0)
+        c = Controller(p)
+        _, value, _ = c.update(p.soft_red)
+        assert value == pytest.approx(0.5 * (1.0 + p.factor_down))
+
+    def test_green_recovers_additively_to_the_ceiling(self):
+        p = ControllerParams(ewma_alpha=1.0)
+        c = Controller(p, initial_value=p.floor)
+        values = [c.update(0.0)[1] for _ in range(20)]
+        assert values[0] == pytest.approx(p.floor + p.step_up)
+        assert values[-1] == p.ceiling  # clamped, never above
+
+    def test_yellow_holds_the_value(self):
+        p = ControllerParams(ewma_alpha=1.0)
+        c = Controller(p, initial_value=0.6)
+        _, value, _ = c.update(p.yellow)
+        assert value == 0.6
+
+    def test_ewma_matches_the_telemetry_fold(self):
+        c = Controller(PARAMS)
+        signals = [0.1, 0.9, 0.4, 0.7]
+        state = None
+        for s in signals:
+            c.update(s)
+            state = ewma_step(state, s, PARAMS.ewma_alpha)
+        assert c.smoothed == pytest.approx(state)
+
+
+class TestConfigValidation:
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(ConfigError):
+            ControllerParams(yellow=0.8, soft_red=0.5)
+        with pytest.raises(ConfigError):
+            ControllerParams(floor=0.0)
+        with pytest.raises(ConfigError):
+            ControllerParams(factor_down=1.0)
+        with pytest.raises(ConfigError):
+            ControllerParams(ewma_alpha=0.0)
+
+    def test_all_disabled_rejected(self):
+        with pytest.raises(ConfigError):
+            ControlConfig(admission=None, reweight=None, mitigation=None)
+        with pytest.raises(ConfigError):
+            ControlConfig(tick_ns=0.0)
+
+    def test_to_dict_round_trips(self):
+        config = ControlConfig(
+            tick_ns=500.0,
+            admission=None,
+            reweight=ControllerParams(yellow=0.2, soft_red=0.4, red=0.6),
+        )
+        assert ControlConfig.from_dict(config.to_dict()) == config
+
+    def test_control_only_on_supported_kinds(self):
+        with pytest.raises(ConfigError, match="control is not supported"):
+            Scenario(
+                kind="switch",
+                config=small_router().switch,
+                load=0.5,
+                duration_ns=1_000.0,
+                control=ControlConfig(),
+            )
+
+
+class TestActionStream:
+    def test_log_validates_against_schema(self):
+        log = ActionLog()
+        log.emit(
+            "control_start", t_ns=0.0, tick_ns=100.0, n_switches=2,
+            controllers=["admission"],
+        )
+        log.emit(
+            "state_change", t_ns=100.0, tick=0, switch=1,
+            controller="admission", from_state="GREEN", to_state="RED",
+            signal=0.95,
+        )
+        log.emit(
+            "control_finish", t_ns=200.0, ticks=2, n_state_changes=1,
+            throttled_bytes=0,
+        )
+        records = validate_control_actions(log.dumps())
+        assert [r["kind"] for r in records] == [
+            "control_start", "state_change", "control_finish",
+        ]
+
+    def test_unknown_kind_and_missing_fields_rejected(self):
+        log = ActionLog()
+        with pytest.raises(ConfigError):
+            log.emit("nope", t_ns=0.0)
+        with pytest.raises(ConfigError):
+            log.emit("control_start", t_ns=0.0)  # missing fields
+
+    def test_seq_restart_mid_stream_rejected(self):
+        # Two concatenated per-shard streams masquerading as one run's
+        # log: the validator names the artifact.
+        log = ActionLog()
+        log.emit(
+            "control_start", t_ns=0.0, tick_ns=100.0, n_switches=2,
+            controllers=[],
+        )
+        one = log.dumps()
+        lines = one.splitlines()
+        merged = "\n".join(lines + [lines[1]]) + "\n"
+        with pytest.raises(ConfigError, match="restarted at 0 mid-stream"):
+            validate_control_actions(merged)
+
+
+class TestControlLoop:
+    def test_loop_is_deterministic(self):
+        import numpy as np
+
+        def run():
+            loop = ControlLoop(ControlConfig(), 2, occupancy_limit_bytes=1e6)
+            for i in range(10):
+                loop.tick(
+                    (i + 1) * 1_000.0,
+                    offered=np.array([1e5, 1e5]),
+                    delivered=np.array([1e5, 1e4 * i]),
+                    backlog=np.array([0.0, 9e5]),
+                    attack_active=(i % 2 == 0),
+                )
+            loop.finish(11_000.0)
+            return loop.log.dumps()
+
+        assert run() == run()
+
+    def test_dead_switch_weight_collapses_healthy_stays(self):
+        import numpy as np
+
+        loop = ControlLoop(ControlConfig(), 2, occupancy_limit_bytes=1e9)
+        for i in range(20):
+            loop.tick(
+                (i + 1) * 1_000.0,
+                offered=np.array([1e5, 1e5]),
+                delivered=np.array([1e5, 0.0]),  # switch 1 delivers nothing
+                backlog=np.zeros(2),
+            )
+        assert loop.weight[0] == 1.0
+        assert loop.weight[1] == DEFAULT_REWEIGHT.floor
+
+    def test_idle_switch_is_not_a_broken_switch(self):
+        import numpy as np
+
+        loop = ControlLoop(ControlConfig(), 2, occupancy_limit_bytes=1e9)
+        for i in range(10):
+            loop.tick(
+                (i + 1) * 1_000.0,
+                offered=np.array([1e5, 0.0]),  # switch 1 sees no traffic
+                delivered=np.array([1e5, 0.0]),
+                backlog=np.zeros(2),
+            )
+        assert loop.weight[1] == 1.0
+
+
+class TestClosedLoopRuns:
+    def test_action_stream_byte_identical_across_runs(self):
+        config = small_router()
+        schedule = FaultSchedule(
+            [SwitchFailure(switch=0, start_ns=5_000.0, end_ns=15_000.0)]
+        )
+
+        def run():
+            result = flow_router_result(
+                config, load=0.6, duration_ns=20_000.0,
+                schedule=schedule, control=ControlConfig(),
+            )
+            return result.control_actions.dumps()
+
+        stream = run()
+        assert stream == run()
+        records = validate_control_actions(stream)
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "control_start" and kinds[-1] == "control_finish"
+        assert "state_change" in kinds
+
+    def test_throttling_never_shrinks_the_offer(self):
+        # Closed- and open-loop runs of the same scenario must account
+        # the same offered bytes: throttled traffic is a drop reason,
+        # not a vanishing act.
+        config = small_router()
+        schedule = FaultSchedule(
+            [SwitchFailure(switch=0, start_ns=5_000.0, end_ns=15_000.0)]
+        )
+        open_report = flow_degradation(
+            config, schedule=schedule, load=0.6, duration_ns=20_000.0
+        )
+        closed_report = flow_degradation(
+            config, schedule=schedule, load=0.6, duration_ns=20_000.0,
+            control=ControlConfig(),
+        )
+        assert closed_report.offered_bytes == open_report.offered_bytes
+        assert closed_report.control is not None
+        assert open_report.control is None
+
+    def test_open_loop_payload_shape_unchanged(self):
+        # The control key is absent -- not None -- on open-loop reports,
+        # so every pre-control golden payload stays byte-identical.
+        config = small_router()
+        report = flow_degradation(config, load=0.6, duration_ns=10_000.0)
+        assert "control" not in report.to_dict()
+
+
+class TestDigestsAndCaching:
+    def scenario(self, control):
+        return Scenario(
+            kind="degradation",
+            config=small_router(),
+            load=0.6,
+            duration_ns=10_000.0,
+            fidelity="flow",
+            control=control,
+        )
+
+    def test_control_participates_in_the_digest(self):
+        digests = {
+            self.scenario(None).digest(),
+            self.scenario(ControlConfig()).digest(),
+            self.scenario(ControlConfig(tick_ns=2_000.0)).digest(),
+            self.scenario(ControlConfig(mitigation=None)).digest(),
+        }
+        assert len(digests) == 4
+
+    def test_open_loop_digest_unchanged_by_the_field(self):
+        # control=None must describe identically to a scenario built
+        # before the field existed (no new key in the content).
+        assert "control" not in self.scenario(None).describe()
+
+    def test_closed_loop_campaign_caches_and_resumes(self, tmp_path):
+        campaign = FaultCampaign(
+            config=small_router(),
+            params=CampaignParams(
+                n_scenarios=3, seed=5, load=0.6, duration_ns=20_000.0
+            ),
+            fidelity="flow",
+            control=ControlConfig(),
+        )
+        runtime = Runtime(cache_dir=str(tmp_path))
+        cold = runtime.run_campaign(campaign)
+        warm = runtime.run_campaign(campaign)
+        assert json.dumps(cold.to_dict(), sort_keys=True) == json.dumps(
+            warm.to_dict(), sort_keys=True
+        )
+        assert runtime.cache.stats()["hits"] == 3
+
+    def test_sequential_equals_parallel(self):
+        campaign = FaultCampaign(
+            config=small_router(),
+            params=CampaignParams(
+                n_scenarios=4, seed=7, load=0.6, duration_ns=20_000.0
+            ),
+            fidelity="flow",
+            control=ControlConfig(),
+        )
+        seq = Runtime(n_workers=1).run_campaign(campaign)
+        par = Runtime(n_workers=2).run_campaign(campaign)
+        assert json.dumps(seq.to_dict(), sort_keys=True) == json.dumps(
+            par.to_dict(), sort_keys=True
+        )
+
+
+class TestControllerValue:
+    """The acceptance gate: closed loop beats open loop, never hurts."""
+
+    def test_fault_campaign_delta_positive_flow(self):
+        result = compare_fault_loops(
+            small_router(),
+            CampaignParams(
+                n_scenarios=6, seed=7, load=0.6, duration_ns=40_000.0
+            ),
+            fidelity="flow",
+        )
+        block = result["delivered_fraction"]
+        assert block["delta_mean"] > 0.005
+        assert block["delta_min"] >= -1e-9  # no cell regresses
+        assert block["n_improved"] >= 3
+
+    def test_fault_campaign_delta_positive_packet(self):
+        result = compare_fault_loops(
+            small_router(),
+            CampaignParams(
+                n_scenarios=3, seed=7, load=0.6, duration_ns=20_000.0
+            ),
+            fidelity="packet",
+        )
+        block = result["delivered_fraction"]
+        assert block["delta_mean"] > 0
+        assert block["delta_min"] >= -1e-9
+
+    def test_attack_campaign_delta_positive(self):
+        result = compare_attack_loops(
+            small_router(),
+            AttackCampaignParams(
+                strategy=BurstSynchronizedAttack(),
+                n_trials=3,
+                seed=3,
+                load=0.8,
+                duration_ns=20_000.0,
+            ),
+            fidelity="flow",
+        )
+        block = result["delivered_fraction"]
+        assert block["delta_mean"] > 0.005
+        assert block["delta_min"] >= -1e-9
+        # Reweighting spreads the burst: the victim's offered-share
+        # gain must not grow under control.
+        assert result["victim_gain"]["delta_mean"] <= 1e-9
