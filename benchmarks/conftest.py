@@ -54,7 +54,7 @@ def bench_traffic(config: HBMSwitchConfig, load: float, duration_ns: float,
         seed=seed,
         **kwargs,
     )
-    return gen.generate(duration_ns)
+    return gen.materialize(duration_ns)
 
 
 def show(title: str, rows, headers=("metric", "paper", "measured")) -> None:

@@ -20,6 +20,7 @@ from repro.perf import (
     bench_sweep_cached,
     bench_switch,
     bench_traffic,
+    bench_traffic_stream,
     run_benchmarks,
     write_bench_json,
 )
@@ -37,6 +38,34 @@ def test_bench_traffic_produces_packets():
     result = bench_traffic(n_ports=4, duration_ns=2_000.0)
     assert result.metrics["packets"] > 0
     assert result.metrics["packets_per_sec"] > 0
+
+
+def test_bench_traffic_stream_iterates_blocks():
+    # Generation-only smoke: block iteration produces packets without
+    # materializing, and the tracked blocks/sec metric is live.
+    result = bench_traffic_stream(duration_ns=50_000.0, probe_rss=False)
+    assert result.name == "traffic_stream"
+    assert result.metrics["blocks"] == 5
+    assert result.metrics["packets"] > 0
+    assert result.metrics["blocks_per_sec"] > 0
+    assert "rss_ratio" not in result.metrics
+
+
+def test_bench_traffic_stream_rss_is_flat():
+    # Subprocess peak-RSS probes at smoke scale: the 5x streamed
+    # workload must stay within the 2x ceiling (asserted in the bench
+    # too -- this exercises that path end to end).
+    result = bench_traffic_stream(
+        duration_ns=20_000.0,
+        rss_small_packets=10_000,
+        rss_big_packets=50_000,
+    )
+    metrics = result.metrics
+    assert metrics["rss_small_packets"] >= 10_000
+    assert metrics["rss_big_packets"] >= 50_000
+    assert metrics["stream_small_rss_bytes"] > 0
+    assert metrics["rss_ratio"] <= 2.0
+    assert metrics["eager_over_stream"] > 0
 
 
 def test_bench_switch_delivers():
@@ -116,6 +145,7 @@ def test_run_benchmarks_document_roundtrips(tmp_path):
     assert set(document["results"]) == {
         "engine",
         "traffic",
+        "traffic_stream",
         "switch",
         "telemetry_overhead",
         "adversary_campaign",

@@ -51,6 +51,15 @@ from .errors import (
     TimingViolation,
 )
 from .hbm import HBMController, HBMTiming
+from .traffic import (
+    ArrivalBlock,
+    HeavyTailSource,
+    TraceSource,
+    TrafficGenerator,
+    TrafficSource,
+    stream_trace,
+    workload_source,
+)
 
 __version__ = "1.0.0"
 
@@ -96,4 +105,11 @@ __all__ = [
     "AdmissibilityError",
     "SimulationError",
     "OrderingViolation",
+    "TrafficSource",
+    "ArrivalBlock",
+    "TrafficGenerator",
+    "HeavyTailSource",
+    "TraceSource",
+    "stream_trace",
+    "workload_source",
 ]

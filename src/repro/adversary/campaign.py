@@ -121,6 +121,10 @@ class AttackTrial:
     #: Optional :class:`~repro.control.ControlConfig`; ``None`` = open
     #: loop (the historical behaviour, byte-identical payloads).
     control: object = None
+    #: Optional carrier-traffic spec
+    #: (:func:`~repro.traffic.stream.workload_source`); ``None`` keeps
+    #: the historical fixed-size Poisson carrier.
+    workload: Optional[str] = None
 
 
 def trial_seeds(seed: int, index: int) -> tuple:
@@ -174,8 +178,14 @@ def execute_attack_trial(trial: AttackTrial) -> dict:
         )
 
     # Simulated view: the full pipeline on the strategy's packet stream.
+    workload = getattr(trial, "workload", None)
     packets, fibers = strategy.build_workload(
-        config, splitter, trial.load, trial.duration_ns, trial.traffic_seed
+        config,
+        splitter,
+        trial.load,
+        trial.duration_ns,
+        trial.traffic_seed,
+        workload=workload,
     )
     control = getattr(trial, "control", None)
     control_summary = None
@@ -199,15 +209,36 @@ def execute_attack_trial(trial: AttackTrial) -> dict:
         throttled_bytes = int(round(loop.throttled_bytes))
         control_summary = loop.summary()
     router = SplitParallelSwitch(config, splitter=splitter)
-    report = router.run(
-        packets,
-        trial.duration_ns,
-        fibers=fibers,
-        drain=False,
-        mode="sequential",
-        fault_schedule=trial.fault_schedule,
-        telemetry=registry,
-    )
+    if control is None:
+        # Open-loop trials ingest the attack as a block stream -- byte-
+        # identical to the eager sequential run (the repo invariant) but
+        # holding one block at a time.  The strategy's precomputed fiber
+        # choices ride along, sliced by the blocks' pid offsets.
+        from ..traffic.stream import blocks_from_packets
+
+        fibers = list(fibers)
+
+        def fibers_fn(block_packets, block):
+            return fibers[block.pid_offset:block.pid_offset + len(block_packets)]
+
+        report = router.run_stream(
+            blocks_from_packets(packets, trial.duration_ns),
+            trial.duration_ns,
+            fibers_fn=fibers_fn,
+            drain=False,
+            fault_schedule=trial.fault_schedule,
+            telemetry=registry,
+        )
+    else:
+        report = router.run(
+            packets,
+            trial.duration_ns,
+            fibers=fibers,
+            drain=False,
+            mode="sequential",
+            fault_schedule=trial.fault_schedule,
+            telemetry=registry,
+        )
     offered = report.per_switch_offered_bytes
     sim_total = float(sum(offered))
     sim_target = target if victim is not None else (
@@ -362,6 +393,7 @@ def compare_splitters(
     n_workers: Optional[int] = None,
     runtime=None,
     fidelity: str = "packet",
+    workload: Optional[str] = None,
 ) -> dict:
     """The headline experiment: one strategy vs both splitter families.
 
@@ -395,6 +427,7 @@ def compare_splitters(
                 fault_schedule=fault_schedule,
                 failed_switches=failed_switches,
                 fidelity=fidelity,
+                workload=workload,
             )
         )
     contiguous = campaigns["contiguous"].victim_gain["mean"]

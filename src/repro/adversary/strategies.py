@@ -129,6 +129,42 @@ def weighted_fibers(
     return fibers
 
 
+def _carrier_packets(
+    config: RouterConfig,
+    load: float,
+    duration_ns: float,
+    seed: int,
+    packet_bytes: int,
+    workload: Optional[str],
+) -> List[Packet]:
+    """The (time-sorted, freshly-pid'd) carrier traffic an attack rides
+    on: the historical fixed-size Poisson stream, or -- when ``workload``
+    is given -- a :func:`~repro.traffic.stream.workload_source` family."""
+    if workload is not None:
+        from ..traffic.stream import workload_source
+
+        source = workload_source(
+            workload,
+            n_ports=config.n_ribbons,
+            port_rate_bps=config.fibers_per_ribbon * config.per_fiber_rate_bps,
+            load=load,
+            seed=seed,
+            duration_ns=duration_ns,
+            packet_bytes=packet_bytes,
+        )
+        return source.materialize(duration_ns)
+    generator = TrafficGenerator(
+        n_ports=config.n_ribbons,
+        port_rate_bps=config.fibers_per_ribbon * config.per_fiber_rate_bps,
+        matrix=uniform_matrix(config.n_ribbons, load),
+        size_dist=FixedSize(packet_bytes),
+        process=ArrivalProcess.POISSON,
+        seed=seed,
+        flows_per_pair=256,
+    )
+    return generator.materialize(duration_ns)
+
+
 @dataclass(frozen=True)
 class AttackStrategy(ABC):
     """One adversarial workload: fiber weights + a packet stream.
@@ -193,6 +229,7 @@ class AttackStrategy(ABC):
         duration_ns: float,
         seed: int,
         packet_bytes: int = 1500,
+        workload: Optional[str] = None,
     ) -> Tuple[List[Packet], List[int]]:
         """(packets, fibers) driving the full router pipeline.
 
@@ -201,18 +238,14 @@ class AttackStrategy(ABC):
         ribbons, so the matrix stays admissible) and assigns fibers by
         the deterministic byte-weighted round-robin -- all randomness
         comes from the seeded generator, so identical inputs give the
-        identical workload in any process.
+        identical workload in any process.  ``workload`` swaps the
+        carrier traffic for a streaming family
+        (:func:`~repro.traffic.stream.workload_source` spec) -- the
+        attack's fiber weighting applies unchanged.
         """
-        generator = TrafficGenerator(
-            n_ports=config.n_ribbons,
-            port_rate_bps=config.fibers_per_ribbon * config.per_fiber_rate_bps,
-            matrix=uniform_matrix(config.n_ribbons, load),
-            size_dist=FixedSize(packet_bytes),
-            process=ArrivalProcess.POISSON,
-            seed=seed,
-            flows_per_pair=256,
+        packets = _carrier_packets(
+            config, load, duration_ns, seed, packet_bytes, workload
         )
-        packets = generator.generate(duration_ns)
         weights = self.fiber_weights(splitter, config.n_ribbons)
         return packets, weighted_fibers(packets, weights)
 
@@ -425,12 +458,15 @@ class BurstSynchronizedAttack(AttackStrategy):
         duration_ns: float,
         seed: int,
         packet_bytes: int = 1500,
+        workload: Optional[str] = None,
     ) -> Tuple[List[Packet], List[int]]:
-        """Background Poisson traffic plus synchronized burst trains.
+        """Background traffic plus synchronized burst trains.
 
         The burst ON rate is ``attack_fraction * load / duty`` of the
         ribbon line rate, clamped to the line rate (an attacker cannot
         exceed its physical ingress), identical windows on every ribbon.
+        ``workload`` swaps the background for a streaming family; the
+        crafted bursts are unchanged.
         """
         attack_load = self.attack_fraction * load
         if attack_load / self.duty > 1.0 + 1e-9:
@@ -441,17 +477,10 @@ class BurstSynchronizedAttack(AttackStrategy):
         background_load = load - attack_load
         packets: List[Packet] = []
         if background_load > 0:
-            generator = TrafficGenerator(
-                n_ports=config.n_ribbons,
-                port_rate_bps=config.fibers_per_ribbon
-                * config.per_fiber_rate_bps,
-                matrix=uniform_matrix(config.n_ribbons, background_load),
-                size_dist=FixedSize(packet_bytes),
-                process=ArrivalProcess.POISSON,
-                seed=seed,
-                flows_per_pair=256,
+            packets = _carrier_packets(
+                config, background_load, duration_ns, seed, packet_bytes,
+                workload,
             )
-            packets = generator.generate(duration_ns)
 
         ribbon_rate = rate_to_bytes_per_ns(
             config.fibers_per_ribbon * config.per_fiber_rate_bps

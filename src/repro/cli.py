@@ -85,6 +85,7 @@ EXPERIMENTS = [
     ("A7", "PFI constants across memory generations", "benchmarks/test_a07_generation_scaling.py"),
     ("A8", "Graceful degradation: capacity vs failed switches", "benchmarks/test_a08_graceful_degradation.py"),
     ("A9", "Adversarial exposure: contiguous vs pseudo-random split", "benchmarks/test_a09_adversary.py"),
+    ("A10", "Heavy-tailed workloads: elephant/mice split imbalance", "benchmarks/test_a10_heavy_tail.py"),
     ("F1", "Fabric capacity under router/link failures", "benchmarks/test_f01_fabric_failures.py"),
     ("F2", "VLB vs direct routing under hotspot demand", "benchmarks/test_f02_fabric_vlb.py"),
 ]
@@ -146,6 +147,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="packet = discrete-event pipeline (exact); flow = "
              "vectorized fluid engine (~100-1000x faster, rate-level)",
     )
+    simulate.add_argument(
+        "--workload", type=str, default=None,
+        help="streaming workload: pareto|lognormal|diurnal|flash|"
+             "trace:<path> (heavy-tailed flows at bounded memory; "
+             "packet fidelity only, default: smooth synthetic traffic)",
+    )
 
     sweep = sub.add_parser("sweep", help="sweep offered load")
     sweep.add_argument("--loads", type=str, default="0.3,0.5,0.7,0.9,1.0")
@@ -189,6 +196,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fidelity", choices=["packet", "flow"], default="packet",
         help="packet = discrete-event pipeline (exact); flow = "
              "vectorized fluid engine (~100-1000x faster, rate-level)",
+    )
+    sweep.add_argument(
+        "--workload", type=str, default=None,
+        help="streaming workload: pareto|lognormal|diurnal|flash|"
+             "trace:<path> (heavy-tailed flows at bounded memory; "
+             "packet fidelity only, default: smooth synthetic traffic)",
     )
     sweep.add_argument(
         "--events-out", type=str, default=None,
@@ -287,6 +300,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="packet = discrete-event pipeline (exact); flow = "
              "vectorized fluid engine (~100-1000x faster, rate-level)",
     )
+    faults.add_argument(
+        "--workload", type=str, default=None,
+        help="streaming workload: pareto|lognormal|diurnal|flash|"
+             "trace:<path> (heavy-tailed flows at bounded memory; "
+             "packet fidelity only, default: smooth synthetic traffic)",
+    )
 
     attack = sub.add_parser(
         "attack", help="adversarial campaigns: attack strategies vs splitters"
@@ -373,6 +392,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fidelity", choices=["packet", "flow"], default="packet",
         help="packet = discrete-event pipeline (exact); flow = "
              "vectorized fluid engine (~100-1000x faster, rate-level)",
+    )
+    attack.add_argument(
+        "--workload", type=str, default=None,
+        help="streaming carrier workload: pareto|lognormal|diurnal|"
+             "flash|trace:<path> (heavy-tailed flows at bounded memory; "
+             "packet fidelity only, default: fixed-size Poisson carrier)",
     )
 
     fabric = sub.add_parser(
@@ -665,6 +690,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         bypass=not args.no_bypass,
         telemetry=want_metrics,
         fidelity=args.fidelity,
+        workload=args.workload,
     )
     if args.switches > 0 or failed:
         h = args.switches if args.switches > 0 else scaled_router().n_switches
@@ -772,6 +798,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 schedule=schedule,
                 telemetry=want_metrics,
                 fidelity=args.fidelity,
+                workload=args.workload,
             )
             for load in loads
         ]
@@ -785,6 +812,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 telemetry=want_metrics,
                 fidelity=args.fidelity,
+                workload=args.workload,
             )
             for load in loads
         ]
@@ -945,6 +973,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
                 params=params,
                 base_schedule=None if schedule.is_empty else schedule,
                 fidelity=args.fidelity,
+                workload=args.workload,
             ),
             shard=parse_shard(args.shard),
         )
@@ -979,6 +1008,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
             n_intervals=args.intervals,
             telemetry=bool(args.metrics_out),
             fidelity=args.fidelity,
+            workload=args.workload,
         )
     )
     if args.metrics_out:
@@ -1073,6 +1103,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
             failed_switches=failed or None,
             runtime=runtime,
             fidelity=args.fidelity,
+            workload=args.workload,
         )
         campaigns = comparison.pop("_campaigns")
         document = comparison
@@ -1094,6 +1125,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
                 fault_schedule=None if schedule.is_empty else schedule,
                 failed_switches=failed or None,
                 fidelity=args.fidelity,
+                workload=args.workload,
             )
         )
         campaigns = {args.splitter: result}
@@ -1378,6 +1410,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
             key = f"{metrics['events_per_sec']:,.0f} events/s"
         elif name == "traffic":
             key = f"{metrics['packets_per_sec']:,.0f} packets/s"
+        elif name == "traffic_stream":
+            key = f"{metrics['blocks_per_sec']:,.0f} blocks/s"
+            if "rss_ratio" in metrics:
+                key += (
+                    f", rss flat {metrics['rss_ratio']:.2f}x, "
+                    f"eager {metrics['eager_over_stream']:.1f}x stream"
+                )
         elif name == "telemetry_overhead":
             key = (
                 f"enabled/disabled {metrics['enabled_over_disabled']:.3f}x, "

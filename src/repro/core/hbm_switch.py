@@ -95,6 +95,7 @@ class HBMSwitch:
         fib=None,
         faults=None,
         telemetry=None,
+        latency_sample_cap: Optional[int] = None,
     ) -> None:
         self.config = config
         self.options = options
@@ -109,8 +110,17 @@ class HBMSwitch:
         #: instrumented call site guards on ``self.telemetry is not
         #: None``, so a run without telemetry pays one pointer check.
         self.telemetry = telemetry
+        #: Bound on retained latency samples per output recorder
+        #: (seeded reservoir; see :class:`~repro.sim.stats.LatencyRecorder`).
+        #: ``None`` -- the default everywhere -- keeps every sample and
+        #: the historical bit-exact statistics; internet-scale streaming
+        #: runs (10^7+ packets) set it to keep memory flat.
+        self._latency_sample_cap = latency_sample_cap
         self.outputs = [
-            OutputPort(config, j, n_egress_fibers, n_egress_wavelengths, telemetry)
+            OutputPort(
+                config, j, n_egress_fibers, n_egress_wavelengths, telemetry,
+                latency_sample_cap=latency_sample_cap,
+            )
             for j in range(config.n_ports)
         ]
         # Static per-output regions by default; pass a
@@ -358,22 +368,99 @@ class HBMSwitch:
         With ``drain=True`` the simulation keeps running (no new
         arrivals) until the switch empties or ``max_drain_ns`` passes,
         so latency statistics cover every delivered packet.
+
+        Arrivals are scheduled in the arrival priority class (see
+        :meth:`~repro.sim.engine.Engine.schedule_arrival`) in both this
+        eager path and the streaming one, so same-instant ties resolve
+        identically whichever path ran.
+        """
+        self.stream_offer(packets, duration_ns)
+        self.pfi.start()
+        self.engine.run(until=duration_ns)
+        return self._finish(duration_ns, drain, max_drain_ns)
+
+    # -- streaming ingest ---------------------------------------------------------
+
+    def stream_begin(self) -> None:
+        """Start the PFI engine ahead of block-by-block ingest.
+
+        The eager path schedules every arrival before ``pfi.start()``;
+        starting first is safe here because arrivals outrank the PFI's
+        internal events at equal timestamps (priority classes), so the
+        event order is identical either way.
+        """
+        self.pfi.start()
+
+    def stream_offer(self, packets: Sequence[Packet], duration_ns: float) -> None:
+        """Schedule one block's arrivals (those inside ``[0, duration_ns)``).
+
+        Blocks must be fed in time order; an arrival before the
+        engine's current time raises
+        :class:`~repro.errors.SimulationError`.
         """
         for packet in packets:
             if packet.arrival_ns >= duration_ns:
                 continue
             self._offered_bytes += packet.size_bytes
             self._offered_packets += 1
-            self.engine.schedule(packet.arrival_ns, lambda p=packet: self._on_packet(p))
-        self.pfi.start()
-        self.engine.run(until=duration_ns)
+            self.engine.schedule_arrival(
+                packet.arrival_ns, lambda p=packet: self._on_packet(p)
+            )
 
+    def stream_advance(self, until: float) -> None:
+        """Run the pipeline up to -- but excluding -- ``until``.
+
+        Events at exactly ``until`` stay queued: the next block may
+        carry arrivals at that instant, and they must enter the heap
+        before the boundary's internal events fire so priority ordering
+        matches the eager run.
+        """
+        self.engine.run(until=until, inclusive=False)
+
+    def stream_finish(
+        self,
+        duration_ns: float,
+        drain: bool = True,
+        max_drain_ns: Optional[float] = None,
+    ) -> SwitchReport:
+        """Final boundary: fire events at ``duration_ns``, drain, report."""
+        self.engine.run(until=duration_ns)
+        return self._finish(duration_ns, drain, max_drain_ns)
+
+    def _finish(
+        self,
+        duration_ns: float,
+        drain: bool,
+        max_drain_ns: Optional[float],
+    ) -> SwitchReport:
         if drain:
             self._run_drain(duration_ns, max_drain_ns)
         self.pfi.stop()
         # Let already-scheduled deliveries and transfers land.
         self.engine.run()
         return self._report(duration_ns)
+
+    def run_stream(
+        self,
+        blocks,
+        duration_ns: float,
+        drain: bool = True,
+        max_drain_ns: Optional[float] = None,
+    ) -> SwitchReport:
+        """Simulate a stream of arrival blocks; byte-identical to :meth:`run`.
+
+        ``blocks`` is any iterable of
+        :class:`~repro.traffic.stream.ArrivalBlock` (typically
+        ``source.blocks(duration_ns)``).  Each block's packets are
+        scheduled and the engine advanced to the block boundary before
+        the next block is pulled, so at most one block of arrivals is
+        ever materialized -- the bounded-memory ingest path.
+        """
+        self.stream_begin()
+        for block in blocks:
+            self.stream_offer(block.to_packets(), duration_ns)
+            self.stream_advance(min(block.end_ns, duration_ns))
+        return self.stream_finish(duration_ns, drain, max_drain_ns)
 
     def _run_drain(self, duration_ns: float, max_drain_ns: Optional[float]) -> None:
         if max_drain_ns is None:
@@ -407,11 +494,15 @@ class HBMSwitch:
         return interval
 
     def _report(self, duration_ns: float) -> SwitchReport:
-        latency = LatencyRecorder()
+        # Unbounded recorders absorb into an unbounded roll-up exactly
+        # as the historical per-sample loop did; when a sample cap is
+        # set, the capped roll-up keeps count/mean/max exact via the
+        # running accumulators and estimates percentiles from the
+        # merged reservoir.
+        latency = LatencyRecorder(capacity=self._latency_sample_cap)
         delivered_packets = 0
         for output in self.outputs:
-            for sample in output.latency.samples:
-                latency.record(sample)
+            latency.absorb(output.latency)
             delivered_packets += len(output.latency)
         # Count-weighted mean of each pipeline-stage component.  Only
         # outputs with samples contribute (an empty recorder's mean is

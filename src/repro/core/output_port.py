@@ -32,6 +32,7 @@ class OutputPort:
         n_fibers: int = 4,
         n_wavelengths: int = 16,
         telemetry=None,
+        latency_sample_cap=None,
     ):
         self.config = config
         self.port = port
@@ -42,16 +43,25 @@ class OutputPort:
         self._busy_until = 0.0
         self.ecmp = EcmpSelector(n_fibers, n_wavelengths)
         self.throughput = ThroughputMeter()
-        self.latency = LatencyRecorder()
+        #: ``latency_sample_cap`` bounds the retained latency samples
+        #: (seeded reservoir) for internet-scale streaming runs; the
+        #: default ``None`` keeps every sample, bit-identical to the
+        #: historical recorder.
+        self.latency = LatencyRecorder(capacity=latency_sample_cap)
         #: Where the nanoseconds go, per delivered packet: time to fill
         #: its batch, to fill its frame, the HBM round-trip wait, and the
         #: egress drain.  Components sum to the total latency.
         self.breakdown = {
-            "batch_fill": LatencyRecorder(),
-            "frame_fill": LatencyRecorder(),
-            "hbm_wait": LatencyRecorder(),
-            "egress": LatencyRecorder(),
+            "batch_fill": LatencyRecorder(capacity=latency_sample_cap),
+            "frame_fill": LatencyRecorder(capacity=latency_sample_cap),
+            "hbm_wait": LatencyRecorder(capacity=latency_sample_cap),
+            "egress": LatencyRecorder(capacity=latency_sample_cap),
         }
+        #: Optional per-departure callback ``sink(packet)`` fired the
+        #: instant a packet's departure time is stamped -- the streaming
+        #: degradation path bins delivered bytes here instead of
+        #: post-scanning a materialized packet list.
+        self.departure_sink = None
         self._flow_last_pid: Dict[Tuple[int, int, int, int, int], int] = {}
         #: Optional fault hook (:mod:`repro.faults`): maps a timestamp to
         #: the egress-rate factor in (0, 1] -- OEO/laser degradation.
@@ -99,6 +109,8 @@ class OutputPort:
         # their last bytes as spread to the batch end in order.
         for packet in batch.completing:
             packet.departure_ns = finish
+            if self.departure_sink is not None:
+                self.departure_sink(packet)
             packet.fiber, packet.wavelength = self.ecmp.select(packet.flow)
             lane = (packet.fiber, packet.wavelength)
             self.lane_bytes[lane] = self.lane_bytes.get(lane, 0) + packet.size_bytes

@@ -464,6 +464,194 @@ class SplitParallelSwitch:
             telemetry=telemetry_dump,
         )
 
+    def run_stream(
+        self,
+        blocks,
+        duration_ns: float,
+        fibers_fn=None,
+        drain: bool = True,
+        max_drain_ns: Optional[float] = None,
+        fault_schedule=None,
+        telemetry=None,
+        departure_sink=None,
+        latency_sample_cap: Optional[int] = None,
+    ) -> RouterReport:
+        """Simulate the router from a stream of arrival blocks.
+
+        The bounded-memory ingest path: ``blocks`` is any iterable of
+        :class:`~repro.traffic.stream.ArrivalBlock` (typically
+        ``source.blocks(duration_ns)``).  Each block is partitioned
+        across the H switches and every engine is advanced to the block
+        boundary before the next block is pulled, so at most one block
+        of packets is ever materialized.  Reports -- and telemetry
+        dumps -- are byte-identical to :meth:`run` fed the concatenated
+        packets (``mode="sequential"``); the streaming path is
+        inherently sequential (the switches advance in lockstep with
+        the source), so there is no ``mode`` knob here.
+
+        ``fibers_fn(packets, block)`` supplies per-packet arrival
+        fibers for one block (default: the upstream ECMP hash of
+        :func:`assign_fibers` -- stateless, so chunking cannot change
+        it; stateful policies carry their cursors in a closure).
+
+        ``departure_sink(packet)`` fires per delivered packet at
+        departure-stamp time on every switch -- the streaming
+        degradation path bins delivered bytes here.
+        ``latency_sample_cap`` bounds retained latency samples per
+        output port (see :class:`~repro.sim.stats.LatencyRecorder`);
+        both default to off, keeping the bit-exact historical path.
+        """
+        schedule = fault_schedule
+        if schedule is not None:
+            schedule.validate(self.config)
+            if schedule.is_empty:
+                schedule = None
+        if telemetry is not None:
+            self.oeo.attach_telemetry(telemetry)
+            if schedule is not None:
+                from ..telemetry import tag_fault_windows
+
+                tag_fault_windows(telemetry, schedule)
+        dead = (
+            frozenset(schedule.whole_run_dead_switches())
+            if schedule is not None
+            else frozenset()
+        )
+        # Per-switch simulation state, mirroring execute_work_unit: a
+        # fresh registry + SwitchTelemetry per instrumented switch, the
+        # switch's fault view, no switch object at all for whole-run
+        # dead switches (their traffic dies at the passive split).
+        switches: List[Optional["HBMSwitch"]] = []
+        registries: List[Optional[object]] = []
+        from .hbm_switch import HBMSwitch
+
+        for h in range(self.config.n_switches):
+            if h in dead:
+                switches.append(None)
+                registries.append(None)
+                continue
+            switch_telemetry = None
+            registry = None
+            if telemetry is not None:
+                from ..telemetry import MetricsRegistry, SwitchTelemetry
+
+                registry = MetricsRegistry()
+                switch_telemetry = SwitchTelemetry(
+                    registry, self.config.switch, h
+                )
+            view = (
+                schedule.switch_view(h, self.config.switch.total_channels)
+                if schedule is not None
+                else None
+            )
+            switch = HBMSwitch(
+                self.config.switch,
+                self.options,
+                self.timing,
+                faults=view,
+                telemetry=switch_telemetry,
+                latency_sample_cap=latency_sample_cap,
+            )
+            if departure_sink is not None:
+                for output in switch.outputs:
+                    output.departure_sink = departure_sink
+            switches.append(switch)
+            registries.append(registry)
+        for switch in switches:
+            if switch is not None:
+                switch.stream_begin()
+        offered = [0] * self.config.n_switches
+        failed_bytes = 0
+        fault_lost = 0
+        cut_lost: Dict[tuple, int] = {}
+        for block in blocks:
+            packets = block.to_packets()
+            fibers = (
+                fibers_fn(packets, block)
+                if fibers_fn is not None
+                else assign_fibers(packets, self.config.fibers_per_ribbon)
+            )
+            if schedule is not None and schedule.has_fiber_cuts:
+                kept_packets: List[Packet] = []
+                kept_fibers: List[int] = []
+                for packet, fiber in zip(packets, fibers):
+                    if schedule.fiber_cut_active(
+                        packet.input_port, fiber, packet.arrival_ns
+                    ):
+                        fault_lost += packet.size_bytes
+                        if telemetry is not None:
+                            key = (packet.input_port, fiber)
+                            cut_lost[key] = (
+                                cut_lost.get(key, 0) + packet.size_bytes
+                            )
+                    else:
+                        kept_packets.append(packet)
+                        kept_fibers.append(fiber)
+                packets, fibers = kept_packets, kept_fibers
+            per_switch = self.partition_packets(packets, fibers)
+            boundary = min(block.end_ns, duration_ns)
+            for h in range(self.config.n_switches):
+                arrived = sum(p.size_bytes for p in per_switch[h])
+                offered[h] += arrived
+                if telemetry is not None:
+                    # Same split-level series as run(); per-block
+                    # increments sum to the same final values (the
+                    # registry dump is value-sorted, never
+                    # insertion-ordered).
+                    telemetry.histogram(
+                        "repro_stage_latency_ns",
+                        "passive fiber-split assignment (count = per-switch load)",
+                        stage="split", switch=str(h),
+                    ).observe_n(0.0, len(per_switch[h]))
+                    split_series = telemetry.timeseries(
+                        "repro_split_window_bytes",
+                        "offered bytes per window at the fiber split",
+                        switch=str(h),
+                    )
+                    for packet in per_switch[h]:
+                        split_series.observe(packet.arrival_ns, packet.size_bytes)
+                if switches[h] is None:
+                    failed_bytes += arrived
+                else:
+                    switches[h].stream_offer(per_switch[h], duration_ns)
+            for switch in switches:
+                if switch is not None:
+                    switch.stream_advance(boundary)
+        if telemetry is not None:
+            from ..telemetry import record_fault_loss
+
+            for (ribbon, fiber), n_bytes in sorted(cut_lost.items()):
+                record_fault_loss(telemetry, "fiber", f"{ribbon}/{fiber}", n_bytes)
+            for h in sorted(dead):
+                if offered[h]:
+                    record_fault_loss(telemetry, "switch", str(h), offered[h])
+        reports: List[SwitchReport] = []
+        for h, switch in enumerate(switches):
+            if switch is None:
+                continue
+            report = switch.stream_finish(duration_ns, drain, max_drain_ns)
+            if registries[h] is not None:
+                report.telemetry = registries[h].to_dict()
+            reports.append(report)
+        for report in reports:
+            self.oeo.convert(8.0 * (report.offered_bytes + report.delivered_bytes))
+        telemetry_dump = None
+        if telemetry is not None:
+            for report in reports:
+                if report.telemetry is not None:
+                    telemetry.merge_dict(report.telemetry)
+            telemetry_dump = telemetry.to_dict()
+        return RouterReport(
+            switch_reports=reports,
+            per_switch_offered_bytes=offered,
+            duration_ns=duration_ns,
+            failed_switches=sorted(dead),
+            failed_offered_bytes=failed_bytes,
+            fault_lost_bytes=fault_lost,
+            fault_events=schedule.describe() if schedule is not None else [],
+            telemetry=telemetry_dump,
+        )
+
     def _execute_units(
         self,
         units: List[SwitchWorkUnit],

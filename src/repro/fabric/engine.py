@@ -296,7 +296,7 @@ class _RouterRuns:
             process=ArrivalProcess("poisson"),
             seed=derived_seed,
         )
-        packets = generator.generate(self.duration_ns)
+        packets = generator.materialize(self.duration_ns)
         registry = None
         if self.want_telemetry:
             from ..telemetry import MetricsRegistry

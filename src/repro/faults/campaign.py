@@ -168,13 +168,23 @@ class FaultScenario:
     #: Optional :class:`~repro.control.ControlConfig`; ``None`` = open
     #: loop (the historical behaviour, byte-identical payloads).
     control: object = None
+    #: Optional streaming workload spec
+    #: (:func:`~repro.traffic.stream.workload_source`); ``None`` keeps
+    #: the historical smooth fixed-size traffic.  Open-loop only.
+    workload: Optional[str] = None
 
 
 def execute_fault_scenario(scenario: FaultScenario) -> dict:
     """Run one scenario; returns its summary dict (module-level so it
     pickles for worker processes)."""
     control = getattr(scenario, "control", None)
+    workload = getattr(scenario, "workload", None)
     if control is not None:
+        if workload is not None:
+            raise ConfigError(
+                "workload streaming composes with open-loop fault cells "
+                "only (the control prepass materializes the packet list)"
+            )
         from ..control.packet import measure_degradation_controlled
 
         report, _ = measure_degradation_controlled(
@@ -194,6 +204,7 @@ def execute_fault_scenario(scenario: FaultScenario) -> dict:
             duration_ns=scenario.duration_ns,
             seed=scenario.seed,
             n_intervals=scenario.n_intervals,
+            workload=workload,
         )
     summary = {
         "scenario": scenario.index,

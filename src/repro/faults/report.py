@@ -49,7 +49,7 @@ def router_fault_traffic(
         seed=seed,
         flows_per_pair=256,
     )
-    return generator.generate(duration_ns)
+    return generator.materialize(duration_ns)
 
 
 def deterministic_fibers(packets: Sequence, n_fibers: int) -> List[int]:
@@ -250,14 +250,23 @@ def measure_degradation(
     round_robin_fibers: bool = True,
     packets: Optional[Sequence] = None,
     telemetry=None,
+    workload: Optional[str] = None,
 ) -> DegradationReport:
     """Run one faulted router simulation and bin it over time.
 
-    Sequential execution on purpose: the binning needs ``departure_ns``
-    written back onto the generated packets, which only the sequential
-    path does.  ``round_robin_fibers`` (the default) spreads packets
+    Sequential execution on purpose: the binning needs per-packet
+    departures, which only the sequential path produces.
+    ``round_robin_fibers`` (the default) spreads packets
     deterministically over fibers so measured capacity matches the
     (H - k)/H closed form without multinomial hash noise.
+
+    ``workload`` selects a streaming traffic family
+    (:func:`~repro.traffic.stream.workload_source` spec, e.g.
+    ``"pareto"`` or ``"trace:capture.csv"``) instead of the default
+    smooth fixed-size traffic; the run then consumes arrival blocks
+    incrementally -- offered bytes are binned as blocks are offered and
+    delivered bytes via the per-departure sink, so no packet list is
+    ever materialized.  Mutually exclusive with ``packets``.
 
     ``telemetry`` (a :class:`~repro.telemetry.MetricsRegistry`)
     instruments the run; the fault schedule's windows are tagged onto
@@ -266,6 +275,21 @@ def measure_degradation(
     """
     if options is None:
         options = PFIOptions(padding=True, bypass=True)
+    if workload is not None:
+        if packets is not None:
+            raise ConfigError("pass either workload= or packets=, not both")
+        return _measure_degradation_stream(
+            config,
+            workload,
+            schedule=schedule,
+            load=load,
+            duration_ns=duration_ns,
+            seed=seed,
+            n_intervals=n_intervals,
+            options=options,
+            round_robin_fibers=round_robin_fibers,
+            telemetry=telemetry,
+        )
     if packets is None:
         packets = router_fault_traffic(
             config, load=load, duration_ns=duration_ns, seed=seed
@@ -287,6 +311,97 @@ def measure_degradation(
     return DegradationReport(
         duration_ns=duration_ns,
         intervals=bin_packets(packets, duration_ns, n_intervals),
+        offered_bytes=report.offered_bytes,
+        delivered_bytes=report.delivered_bytes,
+        lost_bytes=report.lost_bytes,
+        residual_bytes=report.residual_bytes,
+        failed_switches=list(report.failed_switches),
+        fault_events=list(report.fault_events),
+    )
+
+
+def _measure_degradation_stream(
+    config: RouterConfig,
+    workload: str,
+    schedule: Optional[FaultSchedule],
+    load: float,
+    duration_ns: float,
+    seed: int,
+    n_intervals: int,
+    options: PFIOptions,
+    round_robin_fibers: bool,
+    telemetry,
+) -> DegradationReport:
+    """The bounded-memory degradation path: bin at the block boundary.
+
+    Offered bytes are attributed per block as it is offered (arrival
+    interval); delivered bytes per packet via the output ports'
+    departure sink (departure interval, drain tail into the last bin) --
+    the same attribution rules as :func:`bin_packets`, without keeping
+    packets around.  The round-robin fiber cursor is carried across
+    blocks in a closure, so the assignment is identical to the eager
+    :func:`deterministic_fibers` on the concatenated stream.
+    """
+    from ..traffic.stream import workload_source
+
+    if n_intervals <= 0:
+        raise ConfigError(f"n_intervals must be positive, got {n_intervals}")
+    source = workload_source(
+        workload,
+        n_ports=config.n_ribbons,
+        port_rate_bps=config.fibers_per_ribbon * config.per_fiber_rate_bps,
+        load=load,
+        seed=seed,
+        duration_ns=duration_ns,
+    )
+    width = duration_ns / n_intervals
+    last = n_intervals - 1
+    offered = [0] * n_intervals
+    delivered = [0] * n_intervals
+
+    def binned_blocks():
+        for block in source.blocks(duration_ns):
+            for t, size in zip(block.times, block.sizes):
+                offered[min(last, int(t / width))] += int(size)
+            yield block
+
+    def departure_sink(packet):
+        delivered[min(last, int(packet.departure_ns / width))] += (
+            packet.size_bytes
+        )
+
+    fibers_fn = None
+    if round_robin_fibers:
+        counters: dict = {}
+
+        def fibers_fn(packets, block):
+            fibers = []
+            for packet in packets:
+                count = counters.get(packet.input_port, 0)
+                fibers.append(count % config.fibers_per_ribbon)
+                counters[packet.input_port] = count + 1
+            return fibers
+
+    router = SplitParallelSwitch(config, options=options)
+    report: RouterReport = router.run_stream(
+        binned_blocks(),
+        duration_ns,
+        fibers_fn=fibers_fn,
+        fault_schedule=schedule,
+        telemetry=telemetry,
+        departure_sink=departure_sink,
+    )
+    return DegradationReport(
+        duration_ns=duration_ns,
+        intervals=[
+            IntervalSample(
+                start_ns=i * width,
+                end_ns=(i + 1) * width,
+                offered_bytes=offered[i],
+                delivered_bytes=delivered[i],
+            )
+            for i in range(n_intervals)
+        ],
         offered_bytes=report.offered_bytes,
         delivered_bytes=report.delivered_bytes,
         lost_bytes=report.lost_bytes,

@@ -19,6 +19,7 @@ from .harness import (
     bench_switch,
     bench_telemetry_overhead,
     bench_traffic,
+    bench_traffic_stream,
     run_benchmarks,
     write_bench_json,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "bench_fabric",
     "bench_flow_engine",
     "bench_traffic",
+    "bench_traffic_stream",
     "bench_switch",
     "bench_sweep_cached",
     "bench_telemetry_overhead",

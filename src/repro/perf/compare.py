@@ -37,6 +37,7 @@ from typing import Any, Dict, List, Optional, Tuple
 TRACKED_METRICS: Tuple[Tuple[str, str], ...] = (
     ("engine", "events_per_sec"),
     ("traffic", "packets_per_sec"),
+    ("traffic_stream", "blocks_per_sec"),
     ("switch", "events_per_sec"),
     ("switch", "packets_per_sec"),
     ("adversary_campaign", "trials_per_sec"),

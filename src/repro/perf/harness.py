@@ -6,6 +6,12 @@ Six benches cover the simulator's cost centres:
   self-rescheduling workload, the innermost loop of every simulation.
 - :func:`bench_traffic` -- packet generation throughput (packets/sec)
   of the vectorized :class:`~repro.traffic.generators.TrafficGenerator`.
+- :func:`bench_traffic_stream` -- the streaming substrate: block
+  iteration throughput (blocks/sec, packets/sec) of a heavy-tailed
+  :class:`~repro.traffic.stream.TrafficSource`, plus subprocess
+  peak-RSS probes (:mod:`repro.perf.rss_probe`) asserting that a 10x
+  larger streamed workload keeps the resident set flat while the eager
+  ``materialize()`` path grows with the packet count.
 - :func:`bench_switch` -- one HBM-switch run end to end: wall time,
   events/sec and packets/sec through the full pipeline.
 - :func:`bench_telemetry_overhead` -- the same switch run with
@@ -127,7 +133,7 @@ def bench_traffic(
         seed=seed,
     )
     start = time.perf_counter()
-    packets = generator.generate(duration_ns)
+    packets = generator.materialize(duration_ns)
     wall = time.perf_counter() - start
     return BenchResult(
         name="traffic",
@@ -136,6 +142,100 @@ def bench_traffic(
             "packets": len(packets),
             "packets_per_sec": len(packets) / wall if wall > 0 else 0.0,
         },
+    )
+
+
+# -- micro: streaming traffic substrate ----------------------------------------
+
+
+def bench_traffic_stream(
+    duration_ns: float = 200_000.0,
+    load: float = 0.8,
+    seed: int = 0,
+    rss_small_packets: int = 200_000,
+    rss_big_packets: int = 1_000_000,
+    probe_rss: bool = True,
+) -> BenchResult:
+    """The streaming substrate gate: block throughput plus flat memory.
+
+    The timed section iterates a heavy-tailed Pareto
+    :class:`~repro.traffic.stream.TrafficSource` block by block
+    (generation only, nothing materialized); ``blocks_per_sec`` is the
+    tracked metric.  Three subprocess peak-RSS probes
+    (:func:`repro.perf.rss_probe.measure_rss` -- fresh interpreters,
+    because ``ru_maxrss`` is a lifetime high-water mark) then pin the
+    bounded-memory claim: a streamed run 5x the size of the small one
+    must stay within 2x its resident set (``rss_ratio``, asserted --
+    the ISSUE's flat-memory acceptance shape), while the eager
+    ``materialize()`` run of the *same small workload* rides along as
+    the contrast case (``eager_over_stream``).  The 10^7-packet
+    acceptance run uses the same probe at full scale (CI's
+    ``traffic-smoke`` job); the bench keeps the in-gate sizes small
+    enough to run on every revision.
+    """
+    from ..traffic import workload_source
+    from .rss_probe import measure_rss
+
+    config = scaled_router().switch
+    source = workload_source(
+        "pareto",
+        n_ports=config.n_ports,
+        port_rate_bps=config.port_rate_bps,
+        load=load,
+        seed=seed,
+        duration_ns=duration_ns,
+    )
+    n_blocks = 0
+    n_packets = 0
+    start = time.perf_counter()
+    for block in source.blocks(duration_ns):
+        n_blocks += 1
+        n_packets += len(block)
+    gen_wall = time.perf_counter() - start
+
+    metrics: Dict[str, Any] = {
+        "blocks": n_blocks,
+        "packets": n_packets,
+        "blocks_per_sec": n_blocks / gen_wall if gen_wall > 0 else 0.0,
+        "packets_per_sec": n_packets / gen_wall if gen_wall > 0 else 0.0,
+    }
+    probe_wall = 0.0
+    if probe_rss:
+        small = measure_rss(rss_small_packets, mode="stream", load=load)
+        big = measure_rss(rss_big_packets, mode="stream", load=load)
+        eager = measure_rss(rss_small_packets, mode="eager", load=load)
+        probe_wall = small["wall_s"] + big["wall_s"] + eager["wall_s"]
+        ratio = (
+            big["peak_rss_bytes"] / small["peak_rss_bytes"]
+            if small["peak_rss_bytes"] > 0
+            else 0.0
+        )
+        if small["peak_rss_bytes"] > 0 and ratio > 2.0:
+            raise AssertionError(
+                f"streamed memory is not flat: {rss_big_packets} packets "
+                f"peaked at {big['peak_rss_bytes']} bytes, "
+                f"{ratio:.2f}x the {rss_small_packets}-packet run"
+            )
+        metrics.update(
+            {
+                "rss_small_packets": small["offered_packets"],
+                "rss_big_packets": big["offered_packets"],
+                "stream_small_rss_bytes": small["peak_rss_bytes"],
+                "stream_big_rss_bytes": big["peak_rss_bytes"],
+                "rss_ratio": ratio,
+                "eager_small_rss_bytes": eager["peak_rss_bytes"],
+                "eager_over_stream": (
+                    eager["peak_rss_bytes"] / small["peak_rss_bytes"]
+                    if small["peak_rss_bytes"] > 0
+                    else 0.0
+                ),
+                "stream_switch_packets_per_sec": big["packets_per_sec"],
+            }
+        )
+    return BenchResult(
+        name="traffic_stream",
+        wall_s=gen_wall + probe_wall,
+        metrics=metrics,
     )
 
 
@@ -156,7 +256,7 @@ def bench_switch(
         size_dist=FixedSize(1500),
         seed=seed,
     )
-    packets = generator.generate(duration_ns)
+    packets = generator.materialize(duration_ns)
     switch = HBMSwitch(config, PFIOptions(padding=True, bypass=True))
     start = time.perf_counter()
     report = switch.run(packets, duration_ns)
@@ -202,14 +302,14 @@ def bench_telemetry_overhead(
         size_dist=FixedSize(1500),
         seed=seed,
     )
-    packets = generator.generate(duration_ns)
+    packets = generator.materialize(duration_ns)
 
     switch_off = HBMSwitch(config, PFIOptions(padding=True, bypass=True))
     start = time.perf_counter()
     report = switch_off.run(packets, duration_ns)
     disabled_wall = time.perf_counter() - start
 
-    packets = generator.generate(duration_ns)
+    packets = generator.materialize(duration_ns)
     registry = MetricsRegistry()
     telemetry = SwitchTelemetry(registry, config, switch=0)
     switch_on = HBMSwitch(
@@ -316,7 +416,7 @@ def _router_traffic(config, load: float, duration_ns: float, seed: int):
         seed=seed,
         flows_per_pair=256,
     )
-    return generator.generate(duration_ns)
+    return generator.materialize(duration_ns)
 
 
 def bench_router_parallel(
@@ -734,6 +834,11 @@ def run_benchmarks(
     results: List[BenchResult] = [
         bench_engine(n_events=int(200_000 * scale)),
         bench_traffic(duration_ns=20_000.0 * scale),
+        bench_traffic_stream(
+            duration_ns=200_000.0 * scale,
+            rss_small_packets=20_000 if quick else 200_000,
+            rss_big_packets=100_000 if quick else 1_000_000,
+        ),
         bench_switch(duration_ns=40_000.0 * scale),
         bench_telemetry_overhead(duration_ns=40_000.0 * scale),
         bench_adversary_campaign(

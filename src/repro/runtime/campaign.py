@@ -65,6 +65,10 @@ class FaultCampaign:
     #: Optional :class:`~repro.control.ControlConfig` applied to every
     #: cell -- the closed-loop variant of the same campaign.
     control: Optional[object] = None
+    #: Optional streaming workload spec applied to every cell
+    #: (:func:`~repro.traffic.stream.workload_source`); ``None`` keeps
+    #: the historical smooth fixed-size traffic.
+    workload: Optional[str] = None
 
     def scenarios(self) -> List[Scenario]:
         cells = []
@@ -86,6 +90,7 @@ class FaultCampaign:
                     fidelity=self.fidelity,
                     tag=i,
                     control=self.control,
+                    workload=self.workload,
                 )
             )
         return cells
@@ -115,6 +120,10 @@ class AttackCampaign:
     #: Optional :class:`~repro.control.ControlConfig` applied to every
     #: trial -- the closed-loop variant of the same campaign.
     control: Optional[object] = None
+    #: Optional carrier-traffic spec applied to every trial
+    #: (:func:`~repro.traffic.stream.workload_source`); ``None`` keeps
+    #: the historical fixed-size Poisson carrier.
+    workload: Optional[str] = None
 
     def _composed_schedule(self) -> Optional[FaultSchedule]:
         schedule = self.fault_schedule
@@ -146,6 +155,7 @@ class AttackCampaign:
                     fidelity=self.fidelity,
                     tag=i,
                     control=self.control,
+                    workload=self.workload,
                 )
             )
         return cells

@@ -116,6 +116,15 @@ class Scenario:
     #: numpy fluid engine (:mod:`repro.flow`).  Part of the digest, so
     #: flow and packet cells cache separately.
     fidelity: str = "packet"
+    #: Optional streaming workload spec
+    #: (:func:`~repro.traffic.stream.workload_source`):
+    #: ``"pareto"``/``"lognormal"``/``"diurnal"``/``"flash"`` or
+    #: ``"trace:<path>"``.  ``None`` keeps the legacy
+    #: :class:`~repro.traffic.TrafficGenerator` traffic -- a conditional
+    #: digest key, so pre-existing digests are untouched.  Packet
+    #: fidelity and open loop only; the arrivals are consumed as blocks
+    #: (bounded memory) on sequential cells.
+    workload: Optional[str] = None
     #: Free-form cell tag (campaign index); part of the digest because
     #: campaign payloads embed it.
     tag: Optional[int] = None
@@ -184,6 +193,33 @@ class Scenario:
             raise ConfigError(
                 f'fidelity must be "packet" or "flow", got {self.fidelity!r}'
             )
+        if self.workload is not None:
+            from ..traffic.stream import WORKLOAD_KINDS
+
+            if not (
+                self.workload in WORKLOAD_KINDS
+                or self.workload.startswith("trace:")
+            ):
+                raise ConfigError(
+                    f"workload must be one of {WORKLOAD_KINDS} or "
+                    f'"trace:<path>", got {self.workload!r}'
+                )
+            if self.fidelity != "packet":
+                raise ConfigError(
+                    "workload streaming requires packet fidelity (the "
+                    "flow engine has no per-packet arrival stream)"
+                )
+            if self.kind not in ("switch", "router", "degradation",
+                                 "fault_cell", "attack"):
+                raise ConfigError(
+                    f"workload is not supported for kind {self.kind!r}"
+                )
+            if self.control is not None:
+                raise ConfigError(
+                    "workload streaming composes with open-loop cells "
+                    "only (the control prepass materializes the packet "
+                    "list)"
+                )
         if self.control is not None:
             from ..control.config import ControlConfig
 
@@ -242,6 +278,10 @@ class Scenario:
             # Conditional key: open-loop digests stay exactly what they
             # were before the control plane existed (cache continuity).
             data["control"] = self.control.to_dict()
+        if self.workload is not None:
+            # Conditional for the same reason: legacy-traffic digests
+            # stay exactly what they were before workloads existed.
+            data["workload"] = self.workload
         return data
 
     def digest(self) -> str:
@@ -300,6 +340,21 @@ def _size_dist(scenario: Scenario):
     return ImixSize()
 
 
+def _workload_source(scenario: Scenario, n_ports: int, port_rate_bps: float):
+    """The scenario's streaming source (``scenario.workload`` is set)."""
+    from ..traffic.stream import workload_source
+
+    return workload_source(
+        scenario.workload,
+        n_ports=n_ports,
+        port_rate_bps=port_rate_bps,
+        load=scenario.load,
+        seed=scenario.seed,
+        duration_ns=scenario.duration_ns,
+        packet_bytes=scenario.packet_size if scenario.packet_size > 0 else 1500,
+    )
+
+
 def _options(scenario: Scenario) -> PFIOptions:
     return PFIOptions(padding=scenario.padding, bypass=scenario.bypass)
 
@@ -328,15 +383,6 @@ def _execute_switch(scenario: Scenario, registry=None, trace=None) -> dict:
             "report": report_to_dict(report),
             "telemetry": registry.to_dict() if registry is not None else None,
         }
-    generator = TrafficGenerator(
-        n_ports=config.n_ports,
-        port_rate_bps=config.port_rate_bps,
-        matrix=uniform_matrix(config.n_ports, scenario.load),
-        size_dist=_size_dist(scenario),
-        process=ArrivalProcess(scenario.process),
-        seed=scenario.seed,
-    )
-    packets = generator.generate(scenario.duration_ns)
     if registry is None and scenario.telemetry:
         from ..telemetry import MetricsRegistry
 
@@ -347,7 +393,28 @@ def _execute_switch(scenario: Scenario, registry=None, trace=None) -> dict:
 
         telemetry = SwitchTelemetry(registry, config, switch=0)
     switch = HBMSwitch(config, _options(scenario), telemetry=telemetry, trace=trace)
-    report = switch.run(packets, scenario.duration_ns, drain=scenario.drain)
+    if scenario.workload is not None:
+        # Streaming ingest: the switch pulls arrival blocks and never
+        # sees the whole workload at once.
+        source = _workload_source(
+            scenario, config.n_ports, config.port_rate_bps
+        )
+        report = switch.run_stream(
+            source.blocks(scenario.duration_ns),
+            scenario.duration_ns,
+            drain=scenario.drain,
+        )
+    else:
+        generator = TrafficGenerator(
+            n_ports=config.n_ports,
+            port_rate_bps=config.port_rate_bps,
+            matrix=uniform_matrix(config.n_ports, scenario.load),
+            size_dist=_size_dist(scenario),
+            process=ArrivalProcess(scenario.process),
+            seed=scenario.seed,
+        )
+        packets = generator.materialize(scenario.duration_ns)
+        report = switch.run(packets, scenario.duration_ns, drain=scenario.drain)
     return {
         "report": report_to_dict(report),
         "telemetry": registry.to_dict() if registry is not None else None,
@@ -383,6 +450,44 @@ def _execute_router(scenario: Scenario, registry=None) -> dict:
         if result.control is not None:
             payload["control"] = result.control
         return payload
+    if registry is None and scenario.telemetry:
+        from ..telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+    router = SplitParallelSwitch(config, options=_options(scenario))
+    if scenario.workload is not None:
+        # Streaming ingest (open loop by validation).  Sequential cells
+        # pull blocks straight through run_stream; parallel cells
+        # materialize once and take the pooled path -- byte-identical
+        # results either way (the repo invariant), so both land on the
+        # same cache entry.
+        source = _workload_source(
+            scenario,
+            config.n_ribbons,
+            config.fibers_per_ribbon * config.per_fiber_rate_bps,
+        )
+        if scenario.mode == "sequential":
+            report = router.run_stream(
+                source.blocks(scenario.duration_ns),
+                scenario.duration_ns,
+                drain=scenario.drain,
+                fault_schedule=scenario.schedule,
+                telemetry=registry,
+            )
+        else:
+            report = router.run(
+                source.materialize(scenario.duration_ns),
+                scenario.duration_ns,
+                drain=scenario.drain,
+                fault_schedule=scenario.schedule,
+                mode=scenario.mode,
+                n_workers=scenario.workers,
+                telemetry=registry,
+            )
+        return {
+            "report": report_to_dict(report),
+            "telemetry": registry.to_dict() if registry is not None else None,
+        }
     generator = TrafficGenerator(
         n_ports=config.n_ribbons,
         port_rate_bps=config.fibers_per_ribbon * config.per_fiber_rate_bps,
@@ -391,13 +496,8 @@ def _execute_router(scenario: Scenario, registry=None) -> dict:
         process=ArrivalProcess(scenario.process),
         seed=scenario.seed,
     )
-    packets = generator.generate(scenario.duration_ns)
-    if registry is None and scenario.telemetry:
-        from ..telemetry import MetricsRegistry
-
-        registry = MetricsRegistry()
+    packets = generator.materialize(scenario.duration_ns)
     control_summary = None
-    router = SplitParallelSwitch(config, options=_options(scenario))
     fibers = None
     if scenario.control is not None:
         from ..control.packet import packet_control_prepass
@@ -487,6 +587,7 @@ def _execute_degradation(scenario: Scenario, registry=None) -> dict:
             n_intervals=scenario.n_intervals,
             options=_options(scenario),
             telemetry=registry,
+            workload=scenario.workload,
         )
     return {
         "report": report.to_dict(),
@@ -508,6 +609,7 @@ def _execute_fault_cell(scenario: Scenario) -> dict:
         seed=scenario.seed,
         n_intervals=scenario.n_intervals,
         control=scenario.control,
+        workload=scenario.workload,
     )
     if scenario.fidelity == "flow":
         from ..flow import execute_fault_scenario_flow
@@ -542,6 +644,7 @@ def _execute_attack(scenario: Scenario) -> dict:
             fault_schedule=scenario.schedule,
             telemetry=scenario.telemetry,
             control=scenario.control,
+            workload=scenario.workload,
         )
     )
 

@@ -1,11 +1,15 @@
 """A small deterministic discrete-event engine.
 
 Time is a float in nanoseconds (see :mod:`repro.units`).  The engine is
-intentionally simple: a binary heap of ``(time, sequence, event)`` where
-the monotonically increasing sequence number breaks ties, so two events
-scheduled for the same instant always fire in the order they were
-scheduled.  Determinism matters here because the OQ-mimicry experiment
-(E5) compares two switches fed the *same* arrival sequence.
+intentionally simple: a binary heap of ``(time, priority, sequence,
+event)`` where the priority class puts external arrivals ahead of
+internal pipeline events at the same instant and the monotonically
+increasing sequence number breaks remaining ties, so two events
+scheduled for the same instant always fire in a deterministic order --
+the same order whether arrivals were scheduled up front (eager runs)
+or block by block (streaming runs).  Determinism matters here because
+the OQ-mimicry experiment (E5) compares two switches fed the *same*
+arrival sequence.
 
 The engine is the innermost loop of every simulation -- a loaded switch
 run fires one event per batch, frame and phase -- so the hot path is
@@ -31,18 +35,35 @@ from ..errors import SimulationError
 _COMPACT_THRESHOLD = 64
 
 
+#: Priority classes within one timestamp.  External arrivals outrank
+#: internal pipeline events at the same instant, so a streaming run
+#: that injects a block's arrivals *after* earlier blocks seeded
+#: internal work still fires them in the same order an eager run would
+#: have (where every arrival is scheduled up front with the smallest
+#: sequence numbers).
+PRI_ARRIVAL = 0
+PRI_INTERNAL = 1
+
+
 class Event:
     """One scheduled callback.
 
-    The heap orders entries by ``(time, seq)`` tuples, so events pop in
-    deterministic order.  ``cancelled`` events are skipped when popped
-    (lazy deletion -- cheaper than heap surgery).
+    The heap orders entries by ``(time, pri, seq)`` tuples, so events
+    pop in deterministic order.  ``cancelled`` events are skipped when
+    popped (lazy deletion -- cheaper than heap surgery).
     """
 
-    __slots__ = ("time", "seq", "action", "cancelled")
+    __slots__ = ("time", "pri", "seq", "action", "cancelled")
 
-    def __init__(self, time: float, seq: int, action: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        action: Callable[[], None],
+        pri: int = PRI_INTERNAL,
+    ) -> None:
         self.time = time
+        self.pri = pri
         self.seq = seq
         self.action = action
         self.cancelled = False
@@ -52,11 +73,15 @@ class Event:
         self.cancelled = True
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return (self.time, self.pri, self.seq) < (
+            other.time,
+            other.pri,
+            other.seq,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
-        return f"Event(t={self.time:.3f}, seq={self.seq}{state})"
+        return f"Event(t={self.time:.3f}, pri={self.pri}, seq={self.seq}{state})"
 
 
 class Engine:
@@ -70,7 +95,7 @@ class Engine:
     """
 
     def __init__(self) -> None:
-        self._queue: List[Tuple[float, int, Event]] = []
+        self._queue: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
         self._now = 0.0
         self._cancelled = 0
@@ -86,7 +111,9 @@ class Engine:
         """Total events fired over the engine's lifetime (perf metric)."""
         return self._fired
 
-    def schedule(self, time: float, action: Callable[[], None]) -> Event:
+    def schedule(
+        self, time: float, action: Callable[[], None], pri: int = PRI_INTERNAL
+    ) -> Event:
         """Schedule ``action`` to fire at absolute ``time``.
 
         Scheduling in the past is an error: it would silently reorder
@@ -98,9 +125,20 @@ class Engine:
             )
         seq = self._seq
         self._seq = seq + 1
-        event = Event(time, seq, action)
-        heapq.heappush(self._queue, (time, seq, event))
+        event = Event(time, seq, action, pri)
+        heapq.heappush(self._queue, (time, pri, seq, event))
         return event
+
+    def schedule_arrival(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule an *external arrival* at absolute ``time``.
+
+        Arrivals carry :data:`PRI_ARRIVAL`, so at equal timestamps they
+        fire before internal pipeline events regardless of when they
+        were pushed -- the property that makes block-streamed ingest
+        (arrivals injected block by block) byte-identical to an eager
+        run that schedules every arrival up front.
+        """
+        return self.schedule(time, action, pri=PRI_ARRIVAL)
 
     def schedule_after(self, delay: float, action: Callable[[], None]) -> Event:
         """Schedule ``action`` to fire ``delay`` ns from now."""
@@ -122,7 +160,7 @@ class Engine:
             and self._cancelled * 2 > len(self._queue)
         ):
             self._queue = [
-                entry for entry in self._queue if not entry[2].cancelled
+                entry for entry in self._queue if not entry[3].cancelled
             ]
             heapq.heapify(self._queue)
             self._cancelled = 0
@@ -130,7 +168,7 @@ class Engine:
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
         queue = self._queue
-        while queue and queue[0][2].cancelled:
+        while queue and queue[0][3].cancelled:
             heapq.heappop(queue)
         return queue[0][0] if queue else None
 
@@ -139,7 +177,7 @@ class Engine:
         queue = self._queue
         pop = heapq.heappop
         while queue:
-            time, _seq, event = pop(queue)
+            time, _pri, _seq, event = pop(queue)
             if event.cancelled:
                 continue
             self._now = time
@@ -148,13 +186,25 @@ class Engine:
             return True
         return False
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        inclusive: bool = True,
+    ) -> int:
         """Run events until the queue drains, ``until`` is reached, or
         ``max_events`` have fired.  Returns the number of events fired.
 
         When ``until`` is given, the clock is advanced to exactly
         ``until`` at the end even if the last event fired earlier, so
         throughput denominators are well defined.
+
+        ``inclusive=False`` stops *before* events at exactly ``until``
+        fire (they stay queued).  Block-streamed runs advance the
+        engine this way to each block boundary: events at the boundary
+        must wait until the next block's arrivals are pushed, so that
+        same-timestamp ordering (arrivals first, by priority) matches
+        the eager run.
         """
         queue = self._queue
         pop = heapq.heappop
@@ -162,11 +212,13 @@ class Engine:
         while queue:
             if max_events is not None and fired >= max_events:
                 break
-            time, _seq, event = queue[0]
+            time, _pri, _seq, event = queue[0]
             if event.cancelled:
                 pop(queue)
                 continue
-            if until is not None and time > until:
+            if until is not None and (
+                time > until or (not inclusive and time >= until)
+            ):
                 break
             pop(queue)
             self._now = time

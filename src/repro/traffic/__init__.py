@@ -19,13 +19,33 @@ from .matrices import (
     uniform_matrix,
 )
 from .packet import Packet
-from .replay import load_trace, replay, save_trace, trace_to_string
+from .replay import (
+    TraceSource,
+    load_trace,
+    replay,
+    save_trace,
+    stream_trace,
+    trace_to_string,
+)
 from .sizes import (
     FixedSize,
     ImixSize,
     PacketSizeDistribution,
     TrimodalSize,
     UniformSize,
+)
+from .stream import (
+    DEFAULT_BLOCK_NS,
+    WORKLOAD_KINDS,
+    ArrivalBlock,
+    DiurnalProfile,
+    FlashCrowdProfile,
+    HeavyTailSource,
+    LoadProfile,
+    TrafficSource,
+    block_edges,
+    blocks_from_packets,
+    workload_source,
 )
 
 __all__ = [
@@ -53,4 +73,17 @@ __all__ = [
     "load_trace",
     "replay",
     "trace_to_string",
+    "TrafficSource",
+    "ArrivalBlock",
+    "block_edges",
+    "blocks_from_packets",
+    "DEFAULT_BLOCK_NS",
+    "HeavyTailSource",
+    "LoadProfile",
+    "DiurnalProfile",
+    "FlashCrowdProfile",
+    "workload_source",
+    "WORKLOAD_KINDS",
+    "stream_trace",
+    "TraceSource",
 ]

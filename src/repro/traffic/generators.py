@@ -21,7 +21,8 @@ on the fibers feeding one internal switch.
 from __future__ import annotations
 
 import enum
-from typing import List, Optional, Sequence
+import warnings
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +32,7 @@ from .admissibility import assert_admissible
 from .flows import FlowGenerator
 from .packet import Packet
 from .sizes import PacketSizeDistribution
+from .stream import DEFAULT_BLOCK_NS, ArrivalBlock, TrafficSource, block_edges
 
 
 class ArrivalProcess(enum.Enum):
@@ -41,8 +43,46 @@ class ArrivalProcess(enum.Enum):
     ONOFF = "onoff"
 
 
-class TrafficGenerator:
+_warned_generate = False
+
+
+def _warn_generate_deprecated() -> None:
+    """Warn (once per process) that eager ``generate()`` is legacy."""
+    global _warned_generate
+    if _warned_generate:
+        return
+    _warned_generate = True
+    warnings.warn(
+        "TrafficGenerator.generate() is deprecated; consume "
+        "TrafficGenerator.blocks(duration_ns) incrementally, or call "
+        "materialize(duration_ns) where an eager list is really needed "
+        "(byte-identical results)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _reset_generate_warning() -> None:
+    """Re-arm the warn-once flag (tests only)."""
+    global _warned_generate
+    _warned_generate = False
+
+
+class TrafficGenerator(TrafficSource):
     """Generates packet arrivals for an N-port switch.
+
+    A :class:`~repro.traffic.stream.TrafficSource`: consume
+    :meth:`blocks` incrementally, or :meth:`materialize` for an eager
+    list (the deprecated :meth:`generate` shims onto it,
+    byte-identically).  Note the legacy compatibility trade-off: this
+    generator's draw order (one shared RNG, pairs consumed
+    sequentially, flows assigned after a global sort) cannot be
+    produced incrementally, so :meth:`blocks` computes the run's
+    arrival *arrays* once and slices them per block.  That still bounds
+    the expensive part -- ``Packet`` objects (~10x the bytes of their
+    array rows) exist one block at a time -- but truly flat memory
+    needs a natively streaming source
+    (:class:`~repro.traffic.stream.HeavyTailSource`).
 
     Parameters
     ----------
@@ -93,15 +133,16 @@ class TrafficGenerator:
         self._rng = np.random.default_rng(seed)
         self._flows = FlowGenerator(np.random.default_rng(seed + 1), flows_per_pair)
 
-    def generate(self, duration_ns: float) -> List[Packet]:
-        """All packets arriving in ``[0, duration_ns)``, time-sorted.
+    def _arrays(self, duration_ns: float):
+        """(times, sizes, inputs, outputs, flows) for ``[0, duration_ns)``.
 
-        Packet ids are assigned in global arrival order.  Arrival times
-        and sizes are drawn with vectorized numpy sampling per
-        (input, output) pair and merged with one stable argsort, so
-        generation no longer dominates short simulations; ties across
-        pairs resolve in pair order, exactly as the old per-packet
-        heap-merge did.
+        Arrival times and sizes are drawn with vectorized numpy
+        sampling per (input, output) pair and merged with one stable
+        argsort; ties across pairs resolve in pair order, exactly as
+        the old per-packet heap-merge did.  Flow headers are assigned
+        after the global sort (one batched draw), so the draw order --
+        and therefore every byte of output -- matches the historical
+        ``generate()``.
         """
         if duration_ns <= 0:
             raise ConfigError(f"duration must be positive, got {duration_ns}")
@@ -122,7 +163,14 @@ class TrafficGenerator:
                 inputs_parts.append(np.full(times.size, i, dtype=np.int64))
                 outputs_parts.append(np.full(times.size, j, dtype=np.int64))
         if not times_parts:
-            return []
+            empty = np.empty(0)
+            return (
+                empty,
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                (),
+            )
         times = np.concatenate(times_parts)
         sizes = np.concatenate(sizes_parts)
         inputs = np.concatenate(inputs_parts)
@@ -131,12 +179,58 @@ class TrafficGenerator:
         times, sizes = times[order], sizes[order]
         inputs, outputs = inputs[order], outputs[order]
         flows = self._flows.flows_for_batch(inputs, outputs)
+        return times, sizes, inputs, outputs, flows
+
+    def blocks(
+        self, duration_ns: float, block_ns: float = DEFAULT_BLOCK_NS
+    ) -> Iterator[ArrivalBlock]:
+        """Arrival blocks covering ``[0, duration_ns)``.
+
+        Byte-identical to slicing :meth:`materialize`'s output at the
+        block boundaries (see the class docstring for why the arrays
+        are computed eagerly for this legacy generator).
+        """
+        times, sizes, inputs, outputs, flows = self._arrays(duration_ns)
+        for start, end in block_edges(duration_ns, block_ns):
+            lo = int(np.searchsorted(times, start, side="left"))
+            hi = int(np.searchsorted(times, end, side="left"))
+            yield ArrivalBlock(
+                times[lo:hi],
+                sizes[lo:hi],
+                inputs[lo:hi],
+                outputs[lo:hi],
+                flows[lo:hi],
+                start,
+                end,
+                pid_offset=lo,
+            )
+
+    def materialize(
+        self, duration_ns: float, block_ns: float = DEFAULT_BLOCK_NS
+    ) -> List[Packet]:
+        """All packets arriving in ``[0, duration_ns)``, time-sorted.
+
+        Packet ids are assigned in global arrival order.  Built
+        straight from the arrays (``block_ns`` is irrelevant here --
+        block content never depends on it); byte-identical to what the
+        deprecated :meth:`generate` returned.
+        """
+        times, sizes, inputs, outputs, flows = self._arrays(duration_ns)
         return [
             Packet(pid, int(size), int(i), int(j), flow, float(time_ns))
             for pid, (time_ns, size, i, j, flow) in enumerate(
                 zip(times, sizes, inputs, outputs, flows)
             )
         ]
+
+    def generate(self, duration_ns: float) -> List[Packet]:
+        """Deprecated eager path; use :meth:`blocks` or :meth:`materialize`.
+
+        Warns once per process and returns exactly what it always did
+        (every golden and digest survives the rename).
+        """
+        _warn_generate_deprecated()
+        return self.materialize(duration_ns)
 
     # -- per-pair streams -------------------------------------------------------
 

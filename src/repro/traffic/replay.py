@@ -9,18 +9,30 @@ dst_port,protocol`` -- so traces can come from anywhere.
 :func:`save_trace` / :func:`load_trace` round-trip exactly;
 :func:`replay` re-times a trace (offsetting and/or speed-scaling it) so
 one capture drives experiments at several loads.
+
+For internet-scale captures, :func:`stream_trace` reads the same CSV as
+a bounded-memory block iterator (one
+:class:`~repro.traffic.stream.ArrivalBlock` in memory at a time) and
+:class:`TraceSource` wraps a trace file as a
+:class:`~repro.traffic.stream.TrafficSource` any engine can consume.
+The eager :func:`load_trace` remains as a deprecated materializing shim
+(byte-identical packets).
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import warnings
 from pathlib import Path
-from typing import List, Sequence, TextIO, Union
+from typing import Iterator, List, Optional, Sequence, TextIO, Union
+
+import numpy as np
 
 from ..errors import ConfigError
 from .flows import FiveTuple
 from .packet import Packet
+from .stream import DEFAULT_BLOCK_NS, ArrivalBlock, TrafficSource
 
 _COLUMNS = [
     "arrival_ns",
@@ -61,15 +73,54 @@ def save_trace(packets: Sequence[Packet], destination: Union[str, Path, TextIO])
             handle.close()
 
 
-def load_trace(source: Union[str, Path, TextIO], sort: bool = False) -> List[Packet]:
-    """Read a CSV trace; returns packets with fresh sequential pids.
+_load_trace_warned = False
 
-    Rows must be sorted by arrival time (the simulators assume it);
-    violations raise :class:`ConfigError` with the offending line.
-    ``sort=True`` instead accepts out-of-order rows and stably sorts
-    them by arrival (re-assigning pids in the sorted order) -- for
-    archived captures whose writers interleaved several sources.
+
+def _warn_load_trace_deprecated() -> None:
+    """One-shot deprecation notice for the eager trace reader -- it
+    fires on the first materializing load of the process, not on every
+    file of a batch."""
+    global _load_trace_warned
+    if _load_trace_warned:
+        return
+    _load_trace_warned = True
+    warnings.warn(
+        "load_trace() materializes the whole capture; iterate "
+        "stream_trace(path, duration_ns) (or wrap the file in "
+        "TraceSource) for bounded-memory replay (byte-identical "
+        "packets)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _reset_load_trace_warning() -> None:
+    """Re-arm the one-shot warning (test hook)."""
+    global _load_trace_warned
+    _load_trace_warned = False
+
+
+def load_trace(source: Union[str, Path, TextIO], sort: bool = False) -> List[Packet]:
+    """Read a CSV trace eagerly; returns packets with fresh sequential
+    pids.  Deprecated: prefer :func:`stream_trace` / :class:`TraceSource`
+    for anything larger than a test fixture (byte-identical packets at
+    bounded memory).
+
+    Rows must be sorted by arrival time: the simulators' drain
+    invariant (offered = delivered + dropped + residual, and shared
+    arrival-time tie-breaking by pid) assumes pids follow arrival
+    order, so an unsorted trace fed to the SPS would silently reorder
+    flows.  Violations therefore raise :class:`ConfigError` with the
+    offending line.  ``sort=True`` instead accepts out-of-order rows
+    and stably sorts them by arrival (re-assigning pids in the sorted
+    order) -- for archived captures whose writers interleaved several
+    sources.
     """
+    _warn_load_trace_deprecated()
+    return _load_trace_eager(source, sort)
+
+
+def _load_trace_eager(source: Union[str, Path, TextIO], sort: bool = False) -> List[Packet]:
     own = isinstance(source, (str, Path))
     handle: TextIO = open(source, "r", newline="") if own else source
     try:
@@ -115,6 +166,143 @@ def load_trace(source: Union[str, Path, TextIO], sort: bool = False) -> List[Pac
     finally:
         if own:
             handle.close()
+
+
+def stream_trace(
+    source: Union[str, Path, TextIO],
+    duration_ns: Optional[float] = None,
+    block_ns: float = DEFAULT_BLOCK_NS,
+) -> Iterator[ArrivalBlock]:
+    """Read a CSV trace as a bounded-memory block iterator.
+
+    Yields :class:`~repro.traffic.stream.ArrivalBlock` spans of
+    ``block_ns`` covering ``[0, duration_ns)`` (trailing spans are
+    empty blocks, so a consuming engine still advances to the
+    horizon); rows at or past ``duration_ns`` are dropped, exactly as
+    the switch ingest would drop them.  With ``duration_ns=None`` the
+    stream ends at the last row's span and nothing is dropped.  Only
+    one block of rows is ever held in memory.
+
+    Ordering contract (the ``load_trace(sort=False)`` footgun, made
+    explicit): the simulators' drain invariant needs pids in arrival
+    order, so rows are auto-sorted *within* each block span -- jitter
+    smaller than ``block_ns`` is repaired for free -- but a row whose
+    arrival precedes an already-yielded block is a hard
+    :class:`ConfigError` naming the line.  Pre-sort such captures
+    (``load_trace(sort=True)``) or raise ``block_ns`` past the jitter.
+
+    For a trace that is already sorted, the concatenated blocks are
+    byte-identical to :func:`load_trace`'s packet list.
+    """
+    if block_ns <= 0:
+        raise ConfigError(f"block_ns must be positive, got {block_ns}")
+    if duration_ns is not None and duration_ns <= 0:
+        raise ConfigError(f"duration must be positive, got {duration_ns}")
+    own = isinstance(source, (str, Path))
+    handle: TextIO = open(source, "r", newline="") if own else source
+    try:
+        reader = csv.DictReader(handle)
+        missing = set(_COLUMNS) - set(reader.fieldnames or [])
+        if missing:
+            raise ConfigError(f"trace is missing columns: {sorted(missing)}")
+        start = 0.0
+        pid_offset = 0
+        times: List[float] = []
+        sizes: List[int] = []
+        inputs: List[int] = []
+        outputs: List[int] = []
+        flows: List[FiveTuple] = []
+
+        def flush(end: float) -> ArrivalBlock:
+            nonlocal pid_offset, times, sizes, inputs, outputs, flows
+            t = np.asarray(times, dtype=np.float64)
+            order = np.argsort(t, kind="stable")
+            block = ArrivalBlock(
+                times=t[order],
+                sizes=np.asarray(sizes, dtype=np.int64)[order],
+                inputs=np.asarray(inputs, dtype=np.int64)[order],
+                outputs=np.asarray(outputs, dtype=np.int64)[order],
+                flows=tuple(flows[k] for k in order),
+                start_ns=start,
+                end_ns=end,
+                pid_offset=pid_offset,
+            )
+            pid_offset += len(block)
+            times, sizes, inputs, outputs, flows = [], [], [], [], []
+            return block
+
+        for line_no, row in enumerate(reader, start=2):
+            try:
+                arrival = float(row["arrival_ns"])
+                size = int(row["size_bytes"])
+                flow = FiveTuple(
+                    src_ip=int(row["src_ip"]),
+                    dst_ip=int(row["dst_ip"]),
+                    src_port=int(row["src_port"]),
+                    dst_port=int(row["dst_port"]),
+                    protocol=int(row["protocol"]),
+                )
+                input_port = int(row["input_port"])
+                output_port = int(row["output_port"])
+            except (KeyError, ValueError) as error:
+                raise ConfigError(f"trace line {line_no}: {error}") from error
+            if arrival < 0:
+                raise ConfigError(
+                    f"trace line {line_no}: negative arrival {arrival}"
+                )
+            if duration_ns is not None and arrival >= duration_ns:
+                continue
+            if arrival < start:
+                raise ConfigError(
+                    f"trace line {line_no}: arrival {arrival} ns precedes "
+                    f"an already-emitted block (blocks only auto-sort "
+                    f"within one {block_ns:g} ns span; pre-sort the "
+                    f"capture with load_trace(sort=True) or raise "
+                    f"block_ns)"
+                )
+            while arrival >= start + block_ns:
+                end = start + block_ns
+                if duration_ns is not None:
+                    end = min(end, duration_ns)
+                yield flush(end)
+                start += block_ns
+            times.append(arrival)
+            sizes.append(size)
+            inputs.append(input_port)
+            outputs.append(output_port)
+            flows.append(flow)
+        if duration_ns is None:
+            if times:
+                yield flush(start + block_ns)
+        else:
+            while start < duration_ns:
+                yield flush(min(start + block_ns, duration_ns))
+                start += block_ns
+    finally:
+        if own:
+            handle.close()
+
+
+class TraceSource(TrafficSource):
+    """A trace file as a reusable :class:`TrafficSource`.
+
+    Re-opens ``path`` on every :meth:`blocks` call, so one source
+    drives many runs (sweep cells, fault trials) without keeping any
+    packets resident between them.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        if not self.path.exists():
+            raise ConfigError(f"trace file not found: {self.path}")
+
+    def blocks(
+        self, duration_ns: float, block_ns: float = DEFAULT_BLOCK_NS
+    ) -> Iterator[ArrivalBlock]:
+        return stream_trace(self.path, duration_ns, block_ns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceSource({str(self.path)!r})"
 
 
 def replay(
